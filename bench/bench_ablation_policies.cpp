@@ -1,0 +1,53 @@
+// Ablation: replacement policies (§3).
+//
+// The paper uses LRU throughout, citing near-optimal behavior, and notes
+// LFU was qualitatively similar. This bench re-runs the Figure-6 baseline
+// point (ATT) with LRU, LFU, FIFO, and RANDOM at every cache and reports
+// both the absolute improvements and the ICN-NR − EDGE gap per policy —
+// the paper's conclusions should not hinge on the policy choice.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+  const auto requests = static_cast<std::uint64_t>(1.8e6 * scale);
+  const auto objects = static_cast<std::uint32_t>(
+      std::max<double>(2000.0, static_cast<double>(requests) / 9.0));
+
+  std::printf("== Ablation: cache replacement policies (ATT, Figure-6 baseline) ==\n\n");
+  std::printf("%-8s %14s %14s %14s | %18s\n", "policy", "ICN-NR lat%", "EDGE lat%",
+              "gap lat%", "gap cong%/origin%");
+
+  const topology::HierarchicalNetwork network = bench::make_network("ATT");
+  core::SyntheticWorkloadSpec spec;
+  spec.request_count = requests;
+  spec.object_count = objects;
+  spec.alpha = 1.04;
+  spec.seed = 0xa51a;
+  const core::BoundWorkload workload = core::bind_synthetic(network, spec);
+  const core::OriginMap origins(network, objects,
+                                core::OriginAssignment::PopulationProportional, 0x0419);
+  core::SimulationConfig config;
+
+  for (const cache::PolicyKind policy :
+       {cache::PolicyKind::Lru, cache::PolicyKind::Lfu, cache::PolicyKind::Fifo,
+        cache::PolicyKind::Random}) {
+    core::DesignSpec nr = core::icn_nr();
+    core::DesignSpec edge = core::edge();
+    nr.policy = policy;
+    edge.policy = policy;
+    const core::ComparisonResult cmp =
+        core::compare_designs(network, origins, {nr, edge}, config, workload);
+    const core::Improvements gap = cmp.gap(0, 1);
+    std::printf("%-8s %14.2f %14.2f %14.2f | %8.2f / %8.2f\n",
+                cache::to_string(policy).c_str(),
+                cmp.designs[0].improvements.latency_pct,
+                cmp.designs[1].improvements.latency_pct, gap.latency_pct,
+                gap.congestion_pct, gap.origin_load_pct);
+  }
+  std::printf("\npaper reference: LRU is near-optimal; LFU qualitatively similar; "
+              "conclusions are policy-insensitive\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper. All
+// benches are deterministic; request counts default to a scaled-down
+// version of the paper's traces so the whole suite runs in minutes. Set
+// IDICN_BENCH_SCALE (a float in (0, 1], relative to the paper's full trace
+// sizes) to change fidelity, e.g.
+//     IDICN_BENCH_SCALE=1.0 ./bench_fig6_baseline_proportional
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "topology/pop_topology.hpp"
+#include "workload/synthetic_cdn.hpp"
+
+namespace idicn::bench {
+
+/// Scale factor for the workload sizes (fraction of the paper's counts).
+inline double bench_scale() {
+  if (const char* env = std::getenv("IDICN_BENCH_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0.0 && value <= 1.0) return value;
+    std::fprintf(stderr, "warning: ignoring invalid IDICN_BENCH_SCALE=%s\n", env);
+  }
+  return 0.05;  // default: 5% of the paper's request counts
+}
+
+/// Baseline access tree: binary, depth 5 (§4.1).
+inline topology::AccessTreeShape baseline_tree() {
+  return topology::AccessTreeShape(2, 5);
+}
+
+/// Build a named evaluation topology with the baseline access tree.
+inline topology::HierarchicalNetwork make_network(
+    const std::string& topology_name,
+    topology::LatencyModel latency = {}) {
+  return topology::HierarchicalNetwork(topology::make_topology(topology_name),
+                                       baseline_tree(), std::move(latency));
+}
+
+/// The Asia-profile synthetic trace bound to a network (the baseline
+/// workload of §4.2), with optional overrides.
+inline core::BoundWorkload asia_workload(const topology::HierarchicalNetwork& network,
+                                         double scale, std::uint64_t seed = 0xa51aULL) {
+  const workload::RegionProfile profile = workload::paper_region_profile("Asia", scale);
+  const workload::Trace trace = workload::generate_trace(profile);
+  return core::bind_trace(network, trace, seed);
+}
+
+/// The five representative designs of Figures 6–7, in plot order.
+inline std::vector<core::DesignSpec> representative_designs() {
+  return {core::icn_sp(), core::icn_nr(), core::edge(), core::edge_coop(),
+          core::edge_norm()};
+}
+
+/// Parameters of one §5 sensitivity point (ICN-NR vs EDGE on ATT).
+struct SensitivityPoint {
+  std::string topology = "ATT";
+  topology::AccessTreeShape tree = topology::AccessTreeShape(2, 5);
+  topology::LatencyModel latency;  ///< empty = uniform
+  double alpha = 1.04;             ///< Asia-trace fit (the §4 baseline)
+  double spatial_skew = 0.0;
+  double budget_fraction = 0.05;
+  cache::BudgetSplit split = cache::BudgetSplit::PopulationProportional;
+  core::OriginAssignment origins = core::OriginAssignment::PopulationProportional;
+  std::uint64_t requests = 0;   ///< 0 = scale-derived default
+  std::uint32_t objects = 0;    ///< 0 = requests/9 density
+  std::optional<std::uint32_t> serving_capacity;
+};
+
+/// Run ICN-NR and EDGE on one configuration and return the three-metric
+/// gap RelImprov(ICN-NR) − RelImprov(EDGE) (§5's normalized measure).
+inline core::Improvements nr_minus_edge(const SensitivityPoint& point) {
+  const double scale = bench_scale();
+  const std::uint64_t requests =
+      point.requests ? point.requests
+                     : static_cast<std::uint64_t>(1.8e6 * scale);
+  const std::uint32_t objects =
+      point.objects ? point.objects
+                    : static_cast<std::uint32_t>(
+                          std::max<double>(2000.0, static_cast<double>(requests) / 9.0));
+
+  topology::HierarchicalNetwork network(topology::make_topology(point.topology),
+                                        point.tree, point.latency);
+  core::SyntheticWorkloadSpec spec;
+  spec.request_count = requests;
+  spec.object_count = objects;
+  spec.alpha = point.alpha;
+  spec.spatial_skew = point.spatial_skew;
+  spec.seed = 0xa51a;
+  const core::BoundWorkload workload = core::bind_synthetic(network, spec);
+
+  core::SimulationConfig config;
+  config.budget_fraction = point.budget_fraction;
+  config.split = point.split;
+  config.origin_assignment = point.origins;
+  config.serving_capacity = point.serving_capacity;
+  const core::OriginMap origins(network, objects, point.origins, 0x0419);
+
+  const core::ComparisonResult cmp = core::compare_designs(
+      network, origins, {core::icn_nr(), core::edge()}, config, workload);
+  return cmp.gap(0, 1);
+}
+
+/// Print one row of a fixed-width table.
+inline void print_row(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-22s", label.c_str());
+  for (const double v : values) std::printf(" %10.2f", v);
+  std::printf("\n");
+}
+
+inline void print_header(const std::string& label,
+                         const std::vector<std::string>& columns) {
+  std::printf("%-22s", label.c_str());
+  for (const std::string& c : columns) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_rule(std::size_t columns) {
+  std::printf("%-22s", "----------------------");
+  for (std::size_t i = 0; i < columns; ++i) std::printf(" %10s", "----------");
+  std::printf("\n");
+}
+
+}  // namespace idicn::bench

@@ -1,0 +1,63 @@
+// §7's request-flood claim, quantified.
+//
+// "An architecture based on edge caching provides approximately the same
+// hit-ratios as a pervasively deployed ICN, indicating that such an edge
+// cache deployment can provide much of the same request flood protection."
+//
+// Injects a flash crowd (a window in which a large share of requests
+// target a handful of previously unseen objects) and reports the load on
+// the most-hit origin and the flood-window hit ratios under NO-CACHE,
+// EDGE, EDGE-Norm, ICN-SP, and ICN-NR.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+  const auto requests = static_cast<std::uint64_t>(1.8e6 * scale);
+  const auto objects = static_cast<std::uint32_t>(
+      std::max<double>(2000.0, static_cast<double>(requests) / 9.0));
+
+  std::printf("== Request-flood resilience (ATT) ==\n");
+  std::printf("(flash crowd: 25%% of the stream at 70%% intensity on 5 new objects)\n\n");
+  std::printf("%-10s %18s %18s %14s\n", "design", "max origin load",
+              "origin-load impr%", "hit ratio");
+
+  const topology::HierarchicalNetwork network = bench::make_network("ATT");
+  core::SyntheticWorkloadSpec base;
+  base.request_count = requests;
+  base.object_count = objects;
+  base.alpha = 1.04;
+  base.seed = 0xa51a;
+  core::FlashCrowdSpec crowd;
+  crowd.start = 0.5;
+  crowd.duration = 0.25;
+  crowd.intensity = 0.7;
+  crowd.hot_objects = 5;
+  const core::BoundWorkload workload = core::bind_flash_crowd(network, base, crowd);
+  const core::OriginMap origins(network, workload.object_count,
+                                core::OriginAssignment::PopulationProportional, 0x0419);
+  core::SimulationConfig config;
+
+  const core::ComparisonResult cmp = core::compare_designs(
+      network, origins,
+      {core::edge(), core::edge_norm(), core::icn_sp(), core::icn_nr()}, config,
+      workload);
+
+  std::printf("%-10s %18llu %18s %14s\n", "NO-CACHE",
+              static_cast<unsigned long long>(cmp.baseline.max_origin_served), "-",
+              "-");
+  for (const core::DesignResult& r : cmp.designs) {
+    std::printf("%-10s %18llu %18.2f %14.3f\n", r.design.name.c_str(),
+                static_cast<unsigned long long>(r.metrics.max_origin_served),
+                r.improvements.origin_load_pct, r.metrics.cache_hit_ratio());
+  }
+
+  const double edge_impr = cmp.by_name("EDGE").improvements.origin_load_pct;
+  const double nr_impr = cmp.by_name("ICN-NR").improvements.origin_load_pct;
+  std::printf("\nEDGE absorbs %.1f%% of the flood vs ICN-NR's %.1f%% — \"much of\n"
+              "the same request flood protection\" without router support.\n",
+              edge_impr, nr_impr);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 2: utility of different cache levels under optimal static
+// placement on a 6-level binary distribution tree.
+//
+// For α ∈ {0.7, 1.1, 1.5}, prints the fraction of requests served at each
+// paper level (1 = leaves … 6 = origin) for the closed-form optimum, the
+// bottom-up greedy optimizer (cross-check), and the expected-hops figures
+// the paper's §2.2 arithmetic uses. F = 5% per cache (the paper's baseline
+// provisioning).
+#include <cstdio>
+
+#include "analysis/tree_model.hpp"
+#include "bench_common.hpp"
+#include "workload/zipf.hpp"
+
+int main() {
+  using namespace idicn;
+  constexpr unsigned kDepth = 5;       // 6 paper levels
+  constexpr std::uint32_t kObjects = 10'000;
+  constexpr std::uint32_t kCapacity = 500;  // 5% of the universe per cache
+
+  std::printf("== Figure 2: fraction of requests served per tree level ==\n");
+  std::printf("(6-level binary tree, %u objects, %u-object caches at levels 1-5)\n\n",
+              kObjects, kCapacity);
+  std::printf("%-8s", "alpha");
+  for (unsigned level = 1; level <= kDepth + 1; ++level) {
+    std::printf("   level-%u", level);
+  }
+  std::printf("   E[hops]   E[hops,edge+origin only]\n");
+
+  for (const double alpha : {0.7, 1.1, 1.5}) {
+    const workload::ZipfDistribution zipf(kObjects, alpha);
+    std::vector<double> probabilities(kObjects);
+    for (std::uint32_t rank = 1; rank <= kObjects; ++rank) {
+      probabilities[rank - 1] = zipf.probability(rank);
+    }
+    const analysis::TreeCacheOptimizer optimizer(
+        topology::AccessTreeShape(2, kDepth), probabilities, kCapacity);
+    const analysis::TreePlacementResult optimal = optimizer.chunk_solution();
+    const analysis::TreePlacementResult greedy = optimizer.solve_greedy();
+
+    std::printf("%-8.1f", alpha);
+    for (const double fraction : optimal.level_fraction) {
+      std::printf("   %7.3f", fraction);
+    }
+    // The §2.2 thought experiment: drop levels 2..5, everything they served
+    // goes to the origin.
+    const double edge = optimal.level_fraction[0];
+    const double no_interior_cost =
+        edge * 1.0 + (1.0 - edge) * static_cast<double>(kDepth + 1);
+    std::printf("   %7.3f   %7.3f", optimal.expected_cost, no_interior_cost);
+    std::printf("   (greedy E[hops] %.3f)\n", greedy.expected_cost);
+  }
+  std::printf("\npaper reference (alpha=0.7): ~0.4 at the edge; interior levels add\n"
+              "little -- dropping them raises E[hops] only ~3 -> ~4 (25%%)\n");
+  return 0;
+}

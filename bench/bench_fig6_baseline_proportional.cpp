@@ -1,0 +1,76 @@
+// Figure 6: trace-driven baseline comparison, population-proportional cache
+// budgets and origin assignment.
+//
+// For each of the eight evaluation topologies, runs the five representative
+// designs (ICN-SP, ICN-NR, EDGE, EDGE-Coop, EDGE-Norm) on the Asia-profile
+// trace and prints the improvement over no caching in (a) query latency,
+// (b) max-link congestion, and (c) max origin server load.
+//
+// Paper's takeaways to check against: the spread across designs is small
+// (≤ ~9%), EDGE-Coop tracks ICN-NR within a few percent, and ICN-NR gains
+// ≤ ~2% over ICN-SP.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+
+  std::printf("== Figure 6: baseline comparison, population-proportional budgets ==\n");
+  std::printf("(Asia-profile synthetic trace at scale %.3g; improvement %% over no cache)\n\n",
+              scale);
+
+  const std::vector<core::DesignSpec> designs = bench::representative_designs();
+  const char* metric_names[3] = {"(a) query latency", "(b) congestion",
+                                 "(c) origin server load"};
+  // results[metric][topology][design]
+  std::vector<std::vector<std::vector<double>>> results(
+      3, std::vector<std::vector<double>>());
+
+  std::vector<std::string> design_names;
+  for (const auto& d : designs) design_names.push_back(d.name);
+
+  for (const std::string& topo : topology::evaluation_topology_names()) {
+    const topology::HierarchicalNetwork network = bench::make_network(topo);
+    const core::BoundWorkload workload = bench::asia_workload(network, scale);
+
+    core::SimulationConfig config;
+    config.split = cache::BudgetSplit::PopulationProportional;
+    config.origin_assignment = core::OriginAssignment::PopulationProportional;
+    const core::OriginMap origins(network, workload.object_count,
+                                  config.origin_assignment, 0x0419);
+
+    const core::ComparisonResult cmp =
+        core::compare_designs(network, origins, designs, config, workload);
+    for (int m = 0; m < 3; ++m) results[m].emplace_back();
+    for (const core::DesignResult& r : cmp.designs) {
+      results[0].back().push_back(r.improvements.latency_pct);
+      results[1].back().push_back(r.improvements.congestion_pct);
+      results[2].back().push_back(r.improvements.origin_load_pct);
+    }
+  }
+
+  const auto& names = topology::evaluation_topology_names();
+  for (int m = 0; m < 3; ++m) {
+    std::printf("-- %s improvement (%%) --\n", metric_names[m]);
+    bench::print_header("topology", design_names);
+    bench::print_rule(design_names.size());
+    double max_spread = 0.0, max_nr_minus_sp = 0.0, max_nr_minus_coop = 0.0;
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      bench::print_row(names[t], results[m][t]);
+      const auto& row = results[m][t];
+      const double spread = *std::max_element(row.begin(), row.end()) -
+                            *std::min_element(row.begin(), row.end());
+      max_spread = std::max(max_spread, spread);
+      max_nr_minus_sp = std::max(max_nr_minus_sp, row[1] - row[0]);
+      max_nr_minus_coop = std::max(max_nr_minus_coop, row[1] - row[3]);
+    }
+    std::printf("max design spread: %.2f%%   max ICN-NR - ICN-SP: %.2f%%   "
+                "max ICN-NR - EDGE-Coop: %.2f%%\n\n",
+                max_spread, max_nr_minus_sp, max_nr_minus_coop);
+  }
+  std::printf("paper reference: spread <= ~9%%, NR-SP <= ~2%%, NR-Coop <= ~3-4%%\n");
+  return 0;
+}

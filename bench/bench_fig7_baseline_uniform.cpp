@@ -1,0 +1,61 @@
+// Figure 7: trace-driven baseline comparison with UNIFORM cache budgets and
+// origin assignment (the Figure-6 counterpart; the paper reports "no major
+// change in the relative performances").
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+
+  std::printf("== Figure 7: baseline comparison, uniform budgets ==\n");
+  std::printf("(Asia-profile synthetic trace at scale %.3g; improvement %% over no cache)\n\n",
+              scale);
+
+  const std::vector<core::DesignSpec> designs = bench::representative_designs();
+  std::vector<std::string> design_names;
+  for (const auto& d : designs) design_names.push_back(d.name);
+
+  const char* metric_names[3] = {"(a) query latency", "(b) congestion",
+                                 "(c) origin server load"};
+  std::vector<std::vector<std::vector<double>>> results(3);
+
+  for (const std::string& topo : topology::evaluation_topology_names()) {
+    const topology::HierarchicalNetwork network = bench::make_network(topo);
+    const core::BoundWorkload workload = bench::asia_workload(network, scale);
+
+    core::SimulationConfig config;
+    config.split = cache::BudgetSplit::Uniform;
+    config.origin_assignment = core::OriginAssignment::Uniform;
+    const core::OriginMap origins(network, workload.object_count,
+                                  config.origin_assignment, 0x0419);
+
+    const core::ComparisonResult cmp =
+        core::compare_designs(network, origins, designs, config, workload);
+    for (int m = 0; m < 3; ++m) results[m].emplace_back();
+    for (const core::DesignResult& r : cmp.designs) {
+      results[0].back().push_back(r.improvements.latency_pct);
+      results[1].back().push_back(r.improvements.congestion_pct);
+      results[2].back().push_back(r.improvements.origin_load_pct);
+    }
+  }
+
+  const auto& names = topology::evaluation_topology_names();
+  for (int m = 0; m < 3; ++m) {
+    std::printf("-- %s improvement (%%) --\n", metric_names[m]);
+    bench::print_header("topology", design_names);
+    bench::print_rule(design_names.size());
+    double max_spread = 0.0;
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      bench::print_row(names[t], results[m][t]);
+      const auto& row = results[m][t];
+      max_spread = std::max(max_spread, *std::max_element(row.begin(), row.end()) -
+                                            *std::min_element(row.begin(), row.end()));
+    }
+    std::printf("max design spread: %.2f%%\n\n", max_spread);
+  }
+  std::printf("paper reference: same relative ordering as Figure 6\n");
+  return 0;
+}

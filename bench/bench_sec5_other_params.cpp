@@ -1,0 +1,86 @@
+// §5 "Other parameters": latency models, request serving capacity, and
+// heterogeneous object sizes.
+//
+// The paper reports each of these moves the ICN-NR − EDGE gap by at most
+// ~1–2%. Each block below compares the baseline gap against the varied
+// configuration.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/size_model.hpp"
+
+namespace {
+
+using namespace idicn;
+
+void report(const char* label, const core::Improvements& gap) {
+  std::printf("%-28s %10.2f %12.2f %14.2f\n", label, gap.latency_pct,
+              gap.congestion_pct, gap.origin_load_pct);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Section 5 'other parameters': NR-EDGE gap under model "
+              "variations (ATT) ==\n\n");
+  std::printf("%-28s %10s %12s %14s\n", "variation", "delay", "congestion",
+              "origin-load");
+
+  bench::SensitivityPoint baseline;
+  report("baseline (unit latency)", bench::nr_minus_edge(baseline));
+
+  // Latency variation 1: arithmetic progression toward the core.
+  {
+    bench::SensitivityPoint point;
+    point.latency = topology::LatencyModel::arithmetic(point.tree.depth());
+    report("arithmetic latency", bench::nr_minus_edge(point));
+  }
+  // Latency variation 2: core hops cost d x more.
+  for (const double factor : {3.0, 10.0}) {
+    bench::SensitivityPoint point;
+    point.latency = topology::LatencyModel::core_weighted(point.tree.depth(), factor);
+    char label[64];
+    std::snprintf(label, sizeof(label), "core x%.0f latency", factor);
+    report(label, bench::nr_minus_edge(point));
+  }
+
+  // Request serving capacity: overloaded caches pass requests onward.
+  for (const std::uint32_t capacity : {8u, 32u}) {
+    bench::SensitivityPoint point;
+    point.serving_capacity = capacity;
+    char label[64];
+    std::snprintf(label, sizeof(label), "serving capacity %u/window", capacity);
+    report(label, bench::nr_minus_edge(point));
+  }
+
+  // Heterogeneous object sizes, uncorrelated with popularity. Budgets stay
+  // object-denominated (mean size 1 unit → mean-size-scaled capacity), so
+  // this isolates the size-spread effect the paper examines.
+  {
+    const double scale = bench::bench_scale();
+    const auto requests = static_cast<std::uint64_t>(1.8e6 * scale);
+    const auto objects = static_cast<std::uint32_t>(
+        std::max<double>(2000.0, static_cast<double>(requests) / 9.0));
+    const topology::HierarchicalNetwork network = bench::make_network("ATT");
+    core::SyntheticWorkloadSpec spec;
+    spec.request_count = requests;
+    spec.object_count = objects;
+    spec.alpha = 1.04;
+    spec.seed = 0xa51a;
+    spec.sizes = workload::SizeModel(workload::SizeModelKind::LogNormal, 4.0);
+    const core::BoundWorkload workload = core::bind_synthetic(network, spec);
+
+    core::SimulationConfig config;
+    // Budget in units: F·O objects of mean size 4 units each.
+    config.budget_fraction = 0.05 * 4.0;
+    const core::OriginMap origins(network, objects,
+                                  core::OriginAssignment::PopulationProportional,
+                                  0x0419);
+    const core::ComparisonResult cmp = core::compare_designs(
+        network, origins, {core::icn_nr(), core::edge()}, config, workload);
+    report("lognormal sizes (mean 4)", cmp.gap(0, 1));
+  }
+
+  std::printf("\npaper reference: every variation moves the gap by <= ~2%%\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 2: Zipf fit parameters for the three CDN vantage points.
+//
+// Regenerates each regional trace and fits the Zipf exponent with both the
+// log–log least-squares estimator (what the paper's "best-fit" uses) and
+// the MLE cross-check. Paper's values: US 0.99 (1.1M requests), Europe 0.92
+// (3.1M), Asia 1.04 (1.8M).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/zipf_fit.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+  std::printf("== Table 2: Zipf fits per region (scale %.3g) ==\n\n", scale);
+  std::printf("%-10s %12s %12s %10s %10s %10s %10s\n", "Location", "Requests",
+              "Objects", "paper-a", "LSQ-a", "MLE-a", "R^2");
+
+  for (const workload::RegionProfile& profile :
+       workload::paper_region_profiles(scale)) {
+    const workload::Trace trace = workload::generate_trace(profile);
+    std::vector<std::uint32_t> stream;
+    stream.reserve(trace.requests.size());
+    for (const workload::Request& r : trace.requests) stream.push_back(r.object);
+    const std::vector<std::uint64_t> counts = workload::rank_frequencies(stream);
+    const workload::ZipfFit lsq = workload::fit_zipf_least_squares(counts);
+    const double mle = workload::fit_zipf_mle(counts);
+
+    std::printf("%-10s %12zu %12u %10.2f %10.3f %10.3f %10.3f\n",
+                profile.name.c_str(), trace.requests.size(), trace.object_count,
+                profile.alpha, lsq.alpha, mle, lsq.r_squared);
+  }
+  std::printf("\npaper reference: US 0.99, Europe 0.92, Asia 1.04; MLE should "
+              "recover the generator alpha closely\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 4: effect of access-tree arity on the ICN-NR − EDGE gap.
+//
+// Sweeps arity ∈ {2, 4, 8, 64} while holding the per-tree leaf count fixed
+// at 64 (adjusting the depth), as the paper does. The paper reports the
+// percentage gap shrinking monotonically (10.3% → 1.8% on latency),
+// explained by EDGE's total-budget share (k−1)/k approaching 1.
+//
+// Our steady-state methodology reproduces a sharper version of the paper's
+// own thesis instead: the ABSOLUTE hop saving that pervasive caching buys
+// over EDGE is essentially constant across arities (≈ the pop-root
+// aggregation layer, which the arity sweep does not change), so the
+// *percentage* gap — normalized by a no-cache baseline that shrinks as the
+// tree flattens — drifts up rather than down. Deep interior levels add
+// ≈ nothing at any arity, which is Figure 2's claim. Both views are
+// printed; see EXPERIMENTS.md for the full discussion.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace idicn;
+  const double scale = bench::bench_scale();
+  const auto requests = static_cast<std::uint64_t>(1.8e6 * scale);
+  const auto objects = static_cast<std::uint32_t>(
+      std::max<double>(2000.0, static_cast<double>(requests) / 9.0));
+
+  std::printf("== Table 4: NR-EDGE gap vs access-tree arity (ATT, 64 leaves/tree) ==\n\n");
+  std::printf("%6s %6s | %12s %12s %12s | %12s %14s %12s\n", "arity", "depth",
+              "lat-gap(%)", "cong-gap(%)", "orig-gap(%)", "base hops",
+              "abs hops saved", "EDGE lat(%)");
+
+  for (const unsigned arity : {2u, 4u, 8u, 64u}) {
+    const topology::AccessTreeShape tree =
+        topology::AccessTreeShape::with_leaf_count(arity, 64);
+    const topology::HierarchicalNetwork network(topology::make_topology("ATT"), tree);
+    core::SyntheticWorkloadSpec spec;
+    spec.request_count = requests;
+    spec.object_count = objects;
+    spec.alpha = 1.04;
+    spec.seed = 0xa51a;
+    const core::BoundWorkload workload = core::bind_synthetic(network, spec);
+    const core::OriginMap origins(network, objects,
+                                  core::OriginAssignment::PopulationProportional,
+                                  0x0419);
+    core::SimulationConfig config;
+    const core::ComparisonResult cmp = core::compare_designs(
+        network, origins, {core::icn_nr(), core::edge()}, config, workload);
+    const core::Improvements gap = cmp.gap(0, 1);
+    const double base = cmp.baseline.mean_hops();
+    const double saved = cmp.designs[1].metrics.mean_hops() -
+                         cmp.designs[0].metrics.mean_hops();
+
+    std::printf("%6u %6u | %12.2f %12.2f %12.2f | %12.2f %14.3f %12.2f\n", arity,
+                tree.depth(), gap.latency_pct, gap.congestion_pct,
+                gap.origin_load_pct, base, saved,
+                cmp.designs[1].improvements.latency_pct);
+  }
+  std::printf("\npaper reference: percentage gap falls 10.3 -> 1.8 with arity\n"
+              "(capacity-dominated regime); at steady state the ABSOLUTE saving is\n"
+              "flat -- interior value is the arity-invariant pop-root layer.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "analysis/che_approximation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace idicn::analysis {
+
+CheResult che_lru(std::span<const double> popularity, double cache_size) {
+  if (popularity.empty()) throw std::invalid_argument("che_lru: no objects");
+  if (cache_size <= 0.0) throw std::invalid_argument("che_lru: cache_size must be > 0");
+
+  double total = 0.0;
+  std::size_t nonzero = 0;
+  for (const double p : popularity) {
+    if (p < 0.0) throw std::invalid_argument("che_lru: negative popularity");
+    total += p;
+    nonzero += p > 0.0;
+  }
+  if (total <= 0.0) throw std::invalid_argument("che_lru: zero total popularity");
+
+  CheResult result;
+  result.per_object_hit.resize(popularity.size());
+  if (cache_size >= static_cast<double>(nonzero)) {
+    // Everything with nonzero popularity fits: hit ratio 1.
+    result.characteristic_time = std::numeric_limits<double>::infinity();
+    result.hit_ratio = 1.0;
+    for (std::size_t i = 0; i < popularity.size(); ++i) {
+      result.per_object_hit[i] = popularity[i] > 0.0 ? 1.0 : 0.0;
+    }
+    return result;
+  }
+
+  // Expected cache occupancy at time t: f(t) = Σ (1 − exp(−p_i t)).
+  const auto occupancy = [&](double t) {
+    double sum = 0.0;
+    for (const double p : popularity) {
+      if (p > 0.0) sum += 1.0 - std::exp(-p / total * t);
+    }
+    return sum;
+  };
+
+  // Bisection for t_C: f is increasing from 0 toward `nonzero`.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy(hi) < cache_size) {
+    hi *= 2.0;
+    if (hi > 1e18) throw std::runtime_error("che_lru: t_C search diverged");
+  }
+  for (int iteration = 0; iteration < 200 && hi - lo > 1e-9 * hi; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    (occupancy(mid) < cache_size ? lo : hi) = mid;
+  }
+  const double tc = 0.5 * (lo + hi);
+
+  result.characteristic_time = tc;
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    const double p = popularity[i] / total;
+    result.per_object_hit[i] = p > 0.0 ? 1.0 - std::exp(-p * tc) : 0.0;
+    result.hit_ratio += p * result.per_object_hit[i];
+  }
+  return result;
+}
+
+}  // namespace idicn::analysis

@@ -1,0 +1,45 @@
+#include "analysis/economics.hpp"
+
+#include <stdexcept>
+
+namespace idicn::analysis {
+namespace {
+constexpr double kDaysPerYear = 365.0;
+constexpr double kBytesPerGb = 1e9;
+}  // namespace
+
+double yearly_cost(const CacheCostModel& model) {
+  if (model.lifetime_years <= 0.0) {
+    throw std::invalid_argument("yearly_cost: lifetime must be positive");
+  }
+  return model.hardware_cost / model.lifetime_years + model.opex_per_year;
+}
+
+double yearly_savings(const CacheCostModel& model, double requests_per_day,
+                      double hit_ratio, double mean_object_bytes) {
+  if (hit_ratio < 0.0 || hit_ratio > 1.0) {
+    throw std::invalid_argument("yearly_savings: hit ratio out of range");
+  }
+  const double gb_per_year = requests_per_day * kDaysPerYear * hit_ratio *
+                             mean_object_bytes / kBytesPerGb;
+  return gb_per_year * model.transit_cost_per_gb;
+}
+
+double break_even_requests_per_day(const CacheCostModel& model, double hit_ratio,
+                                   double mean_object_bytes) {
+  if (hit_ratio <= 0.0 || hit_ratio > 1.0 || mean_object_bytes <= 0.0 ||
+      model.transit_cost_per_gb <= 0.0) {
+    throw std::invalid_argument("break_even: cache can never pay for itself");
+  }
+  const double savings_per_request =
+      hit_ratio * mean_object_bytes / kBytesPerGb * model.transit_cost_per_gb;
+  return yearly_cost(model) / kDaysPerYear / savings_per_request;
+}
+
+bool viable(const CacheCostModel& model, double requests_per_day, double hit_ratio,
+            double mean_object_bytes) {
+  return yearly_savings(model, requests_per_day, hit_ratio, mean_object_bytes) >=
+         yearly_cost(model);
+}
+
+}  // namespace idicn::analysis

@@ -1,0 +1,41 @@
+// Cache deployment economics (§7 "When is it viable to deploy a cache").
+//
+// The paper's rule of thumb: caching hardware lives 3–5 years and must
+// serve enough traffic to pay for itself. This module turns that anecdote
+// into an explicit model: a cache deployment amortizes capital expenditure
+// over its lifetime, pays yearly operating costs (rack space, bandwidth,
+// power, cooling), and earns its keep through transit-bandwidth savings on
+// every byte served locally instead of fetched upstream.
+#pragma once
+
+#include <cstdint>
+
+namespace idicn::analysis {
+
+struct CacheCostModel {
+  double hardware_cost = 8000.0;       ///< capex per cache box (USD)
+  double lifetime_years = 4.0;         ///< amortization horizon (paper: 3–5)
+  double opex_per_year = 3000.0;       ///< rack/power/cooling/ops per year
+  double transit_cost_per_gb = 0.02;   ///< upstream bandwidth price (USD/GB)
+};
+
+/// Amortized total cost of running one cache for a year.
+[[nodiscard]] double yearly_cost(const CacheCostModel& model);
+
+/// Transit savings per year for a cache absorbing `requests_per_day`
+/// requests at `hit_ratio` with `mean_object_bytes` objects.
+[[nodiscard]] double yearly_savings(const CacheCostModel& model,
+                                    double requests_per_day, double hit_ratio,
+                                    double mean_object_bytes);
+
+/// Requests/day at which savings equal costs. Throws std::invalid_argument
+/// when the hit ratio or object size make savings impossible (≤ 0).
+[[nodiscard]] double break_even_requests_per_day(const CacheCostModel& model,
+                                                 double hit_ratio,
+                                                 double mean_object_bytes);
+
+/// Convenience: is a deployment profitable at this load?
+[[nodiscard]] bool viable(const CacheCostModel& model, double requests_per_day,
+                          double hit_ratio, double mean_object_bytes);
+
+}  // namespace idicn::analysis

@@ -1,0 +1,32 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idicn::analysis {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0, sum_sq = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  const double n = static_cast<double>(values.size());
+  s.mean = sum / n;
+  s.stdev = std::sqrt(std::max(0.0, sum_sq / n - s.mean * s.mean));
+  return s;
+}
+
+double improvement_pct(double base, double value) {
+  if (base == 0.0) return 0.0;
+  return 100.0 * (base - value) / base;
+}
+
+}  // namespace idicn::analysis

@@ -1,0 +1,24 @@
+// Small statistics helpers shared by benches and tests.
+#pragma once
+
+#include <span>
+
+namespace idicn::analysis {
+
+struct Summary {
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean/stdev/min/max of a sample (population stdev). Empty input yields a
+/// zeroed summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Relative improvement in percent: 100·(base − value)/base. Zero base
+/// yields 0 (no improvement measurable).
+[[nodiscard]] double improvement_pct(double base, double value);
+
+}  // namespace idicn::analysis

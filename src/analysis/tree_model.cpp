@@ -1,0 +1,248 @@
+#include "analysis/tree_model.hpp"
+
+#include <algorithm>
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace idicn::analysis {
+
+using topology::TreeIndex;
+
+TreeCacheOptimizer::TreeCacheOptimizer(topology::AccessTreeShape shape,
+                                       std::vector<double> object_probability,
+                                       std::uint32_t per_node_capacity)
+    : shape_(shape),
+      probability_(std::move(object_probability)),
+      capacity_(per_node_capacity) {
+  if (probability_.empty()) {
+    throw std::invalid_argument("TreeCacheOptimizer: no objects");
+  }
+  double total = 0.0;
+  for (const double p : probability_) {
+    if (p < 0.0) throw std::invalid_argument("TreeCacheOptimizer: negative probability");
+    total += p;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("TreeCacheOptimizer: zero total probability");
+  }
+  for (double& p : probability_) p /= total;
+}
+
+TreePlacementResult TreeCacheOptimizer::chunk_solution() const {
+  if (!std::is_sorted(probability_.begin(), probability_.end(), std::greater<>())) {
+    throw std::logic_error("chunk_solution: probabilities must be sorted descending");
+  }
+  const unsigned depth = shape_.depth();
+  const auto object_count = static_cast<std::uint32_t>(probability_.size());
+
+  std::vector<std::vector<std::uint32_t>> placement(shape_.node_count());
+  // Paper level pl (1 = leaves) maps to shape level depth − pl + 1; each
+  // node at that level holds ranks [(pl−1)·C, pl·C).
+  for (unsigned pl = 1; pl <= depth; ++pl) {
+    const unsigned shape_level = depth - pl + 1;
+    const std::uint64_t lo = static_cast<std::uint64_t>(pl - 1) * capacity_;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(pl) * capacity_, object_count);
+    if (lo >= object_count) break;
+    std::vector<std::uint32_t> chunk;
+    chunk.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::uint64_t o = lo; o < hi; ++o) {
+      chunk.push_back(static_cast<std::uint32_t>(o));
+    }
+    const TreeIndex level_begin = shape_.level_start(shape_level);
+    const TreeIndex level_end = shape_.level_start(shape_level + 1);
+    for (TreeIndex v = level_begin; v < level_end; ++v) {
+      placement[v] = chunk;
+    }
+  }
+  return evaluate(std::move(placement));
+}
+
+TreePlacementResult TreeCacheOptimizer::evaluate(
+    std::vector<std::vector<std::uint32_t>> placement) const {
+  if (placement.size() != shape_.node_count()) {
+    throw std::invalid_argument("evaluate: placement size mismatch");
+  }
+  std::vector<std::unordered_set<std::uint32_t>> holds(placement.size());
+  for (std::size_t v = 0; v < placement.size(); ++v) {
+    holds[v].insert(placement[v].begin(), placement[v].end());
+  }
+
+  const unsigned levels = paper_levels();
+  const TreeIndex leaf_count = shape_.leaf_count();
+  const double leaf_weight = 1.0 / static_cast<double>(leaf_count);
+
+  TreePlacementResult result;
+  result.placement = std::move(placement);
+  result.level_fraction.assign(levels, 0.0);
+  result.expected_cost = 0.0;
+
+  for (std::uint32_t o = 0; o < probability_.size(); ++o) {
+    const double p = probability_[o];
+    if (p == 0.0) continue;
+    for (TreeIndex j = 0; j < leaf_count; ++j) {
+      TreeIndex node = shape_.leaf(j);
+      unsigned paper_level = 1;
+      // Climb until a holder or the root (origin) is reached.
+      while (node != 0 && holds[node].find(o) == holds[node].end()) {
+        node = shape_.parent(node);
+        ++paper_level;
+      }
+      result.level_fraction[paper_level - 1] += p * leaf_weight;
+      result.expected_cost += p * leaf_weight * static_cast<double>(paper_level);
+    }
+  }
+  return result;
+}
+
+TreePlacementResult TreeCacheOptimizer::solve_greedy() const {
+  // Bottom-up per-level greedy. Because requests only climb toward the
+  // root, the value of a placement at node v depends solely on placements
+  // *below* v. Filling levels from the leaves upward therefore lets each
+  // node independently take its C highest-marginal-gain objects given the
+  // already-final lower levels. For identical per-leaf distributions this
+  // recovers the exact optimum (the chunk solution); for heterogeneous
+  // workloads it is a strong heuristic. (A naive gain-ordered CELF greedy
+  // is notably worse here: placing a popular object high in the tree first
+  // wastes interior capacity once the edge inevitably takes it too.)
+  const unsigned depth = shape_.depth();
+  const unsigned levels = paper_levels();
+  const TreeIndex node_count = shape_.node_count();
+  const TreeIndex leaf_count = shape_.leaf_count();
+  const auto object_count = static_cast<std::uint32_t>(probability_.size());
+
+  // Contiguous leaf range [leaf_lo, leaf_hi) under each node.
+  std::vector<TreeIndex> leaf_lo(node_count), leaf_hi(node_count);
+  for (TreeIndex v = 0; v < node_count; ++v) {
+    TreeIndex lo = v, hi = v;
+    while (!shape_.is_leaf(lo)) lo = shape_.first_child(lo);
+    while (!shape_.is_leaf(hi)) hi = shape_.first_child(hi) + shape_.arity() - 1;
+    leaf_lo[v] = lo - shape_.level_start(depth);
+    leaf_hi[v] = hi - shape_.level_start(depth) + 1;
+  }
+
+  // cur_cost[o * leaf_count + j]: cost of the current serving node for
+  // object o requested at leaf j (initially the origin).
+  std::vector<float> cur_cost(static_cast<std::size_t>(object_count) * leaf_count,
+                              static_cast<float>(levels));
+
+  std::vector<std::vector<std::uint32_t>> placement(node_count);
+  std::vector<std::pair<double, std::uint32_t>> gains;  // (gain, object)
+  for (unsigned level = depth; level >= 1; --level) {
+    const double cv = node_cost(level);
+    const TreeIndex begin = shape_.level_start(level);
+    const TreeIndex end = shape_.level_start(level + 1);
+    for (TreeIndex v = begin; v < end; ++v) {
+      gains.clear();
+      for (std::uint32_t o = 0; o < object_count; ++o) {
+        double saved = 0.0;
+        for (TreeIndex j = leaf_lo[v]; j < leaf_hi[v]; ++j) {
+          const double cur = cur_cost[static_cast<std::size_t>(o) * leaf_count + j];
+          if (cur > cv) saved += cur - cv;
+        }
+        const double gain = saved * probability_[o];
+        if (gain > 0.0) gains.emplace_back(gain, o);
+      }
+      const std::size_t take = std::min<std::size_t>(capacity_, gains.size());
+      std::partial_sort(gains.begin(), gains.begin() + static_cast<std::ptrdiff_t>(take),
+                        gains.end(), [](const auto& a, const auto& b) {
+                          return a.first > b.first ||
+                                 (a.first == b.first && a.second < b.second);
+                        });
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::uint32_t o = gains[i].second;
+        placement[v].push_back(o);
+        for (TreeIndex j = leaf_lo[v]; j < leaf_hi[v]; ++j) {
+          float& cur = cur_cost[static_cast<std::size_t>(o) * leaf_count + j];
+          cur = std::min(cur, static_cast<float>(cv));
+        }
+      }
+    }
+  }
+  return evaluate(std::move(placement));
+}
+
+TreeCacheOptimizer::BudgetAllocation TreeCacheOptimizer::optimize_level_budgets(
+    std::uint64_t total_budget) const {
+  if (!std::is_sorted(probability_.begin(), probability_.end(), std::greater<>())) {
+    throw std::logic_error(
+        "optimize_level_budgets: probabilities must be sorted descending");
+  }
+  const unsigned depth = shape_.depth();
+  const unsigned levels = paper_levels();
+  const auto object_count = static_cast<std::uint64_t>(probability_.size());
+
+  // nodes[l-1] = caches at paper level l (1 = leaves → k^depth nodes).
+  std::vector<std::uint64_t> nodes(depth);
+  for (unsigned pl = 1; pl <= depth; ++pl) {
+    const unsigned shape_level = depth - pl + 1;
+    nodes[pl - 1] = shape_.level_start(shape_level + 1) - shape_.level_start(shape_level);
+  }
+
+  BudgetAllocation allocation;
+  allocation.per_level_capacity.assign(depth, 0);
+
+  // With per-level capacities c_1..c_D and chunk-style service, raising
+  // c_l by one moves every chunk boundary at levels ≥ l down by one rank;
+  // each boundary object is served one level cheaper, so the gain is the
+  // sum of the boundary probabilities from level l upward.
+  std::uint64_t remaining = total_budget;
+  std::vector<std::uint64_t> boundary(depth + 1, 0);  // boundary[l] = Σ_{j<=l} c_j
+  while (true) {
+    double best_per_slot = 0.0;
+    int best_level = -1;
+    for (unsigned pl = 1; pl <= depth; ++pl) {
+      if (nodes[pl - 1] > remaining) continue;
+      double gain = 0.0;
+      for (unsigned j = pl; j <= depth; ++j) {
+        const std::uint64_t rank = boundary[j];
+        if (rank >= object_count) break;  // chunks above are already empty
+        gain += probability_[rank];
+      }
+      const double per_slot = gain / static_cast<double>(nodes[pl - 1]);
+      if (per_slot > best_per_slot) {
+        best_per_slot = per_slot;
+        best_level = static_cast<int>(pl);
+      }
+    }
+    if (best_level < 0 || best_per_slot <= 0.0) break;
+    ++allocation.per_level_capacity[static_cast<std::size_t>(best_level - 1)];
+    remaining -= nodes[static_cast<std::size_t>(best_level - 1)];
+    for (unsigned j = static_cast<unsigned>(best_level); j <= depth; ++j) {
+      ++boundary[j];
+    }
+  }
+
+  // Budget shares and the resulting expected cost.
+  allocation.budget_share.assign(depth, 0.0);
+  double spent = 0.0;
+  for (unsigned pl = 1; pl <= depth; ++pl) {
+    allocation.budget_share[pl - 1] =
+        static_cast<double>(allocation.per_level_capacity[pl - 1] * nodes[pl - 1]);
+    spent += allocation.budget_share[pl - 1];
+  }
+  if (spent > 0.0) {
+    for (double& share : allocation.budget_share) share /= spent;
+  }
+
+  allocation.expected_cost = 0.0;
+  std::uint64_t served = 0;
+  for (unsigned pl = 1; pl <= depth; ++pl) {
+    const std::uint64_t take = std::min<std::uint64_t>(
+        allocation.per_level_capacity[pl - 1], object_count - served);
+    for (std::uint64_t i = 0; i < take; ++i) {
+      allocation.expected_cost +=
+          probability_[served + i] * static_cast<double>(pl);
+    }
+    served += take;
+    if (served >= object_count) break;
+  }
+  for (std::uint64_t rank = served; rank < object_count; ++rank) {
+    allocation.expected_cost += probability_[rank] * static_cast<double>(levels);
+  }
+  return allocation;
+}
+
+}  // namespace idicn::analysis

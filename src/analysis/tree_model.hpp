@@ -1,0 +1,106 @@
+// Optimal static cache placement on a distribution tree (§2.2, Figure 2).
+//
+// The paper motivates its study with an analytical optimization on a
+// binary tree: given a Zipf workload arriving uniformly at the leaves,
+// place objects into equal-size caches at every non-root node (the root is
+// the origin and holds everything) so as to minimize the expected number
+// of hops; requests climb toward the root and are served by the first node
+// that holds the object. The paper solves an ILP; we provide
+//
+//   * chunk_solution() — the closed-form optimum for this symmetric
+//     setting: since requests never cross to siblings and every leaf sees
+//     the same distribution, each level ℓ (counting leaves as level 1)
+//     optimally holds ranks ((ℓ−1)·C, ℓ·C]; and
+//   * solve_greedy() — a general lazy-greedy (CELF) placement for
+//     arbitrary per-node capacities and popularity vectors, which tests
+//     cross-check against chunk_solution() and against brute force on tiny
+//     instances. The objective (expected cost saved) is monotone
+//     submodular, so greedy is within (1−1/e) of optimal — and in the
+//     symmetric setting it recovers the exact optimum.
+//
+// Cost accounting follows the paper's Figure 2 arithmetic: a request
+// served at paper-level ℓ costs ℓ hops (so a request served by the leaf it
+// arrived at costs 1, and a miss served at the origin of an L-level tree
+// costs L).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/access_tree.hpp"
+
+namespace idicn::analysis {
+
+struct TreePlacementResult {
+  /// placement[node] = object ids cached at that tree node (root excluded —
+  /// it is the origin).
+  std::vector<std::vector<std::uint32_t>> placement;
+  /// level_fraction[l-1] = fraction of requests served at paper level l
+  /// (1 = leaves … L = origin/root).
+  std::vector<double> level_fraction;
+  /// Expected hops per request under the paper's cost accounting.
+  double expected_cost = 0.0;
+};
+
+class TreeCacheOptimizer {
+public:
+  /// `shape`: the distribution tree (root = origin at shape level 0,
+  /// leaves at shape level depth). `object_probability[o]` = request
+  /// probability of object o (need not be sorted). `per_node_capacity` =
+  /// objects per cache, identical for all non-root nodes.
+  TreeCacheOptimizer(topology::AccessTreeShape shape,
+                     std::vector<double> object_probability,
+                     std::uint32_t per_node_capacity);
+
+  /// Total paper levels (depth + 1): leaves are level 1, origin is level L.
+  [[nodiscard]] unsigned paper_levels() const noexcept { return shape_.depth() + 1; }
+
+  /// Closed-form optimum for the symmetric case (identical distribution at
+  /// every leaf). Requires object_probability sorted descending; throws
+  /// std::logic_error otherwise.
+  [[nodiscard]] TreePlacementResult chunk_solution() const;
+
+  /// Lazy-greedy placement for the general case.
+  [[nodiscard]] TreePlacementResult solve_greedy() const;
+
+  /// Evaluate an arbitrary placement: expected cost + per-level fractions.
+  [[nodiscard]] TreePlacementResult evaluate(
+      std::vector<std::vector<std::uint32_t>> placement) const;
+
+  // -------------------------------------------------------------------
+  // Per-level budget allocation (§2.2's second analysis: "we also vary
+  // the sizes of the cache allocated to different locations… the optimal
+  // solution under a Zipf workload involves assigning a majority of the
+  // total caching budget to the leaves").
+  // -------------------------------------------------------------------
+  struct BudgetAllocation {
+    /// per_level_capacity[l-1] = objects per cache at paper level l
+    /// (1 = leaves … depth = top cache level).
+    std::vector<std::uint32_t> per_level_capacity;
+    /// budget_share[l-1] = fraction of the total slot budget spent at that
+    /// level (capacity × node count, normalized).
+    std::vector<double> budget_share;
+    double expected_cost = 0.0;
+  };
+
+  /// Distribute `total_budget` cache slots across the tree levels (every
+  /// node at a level gets the same capacity) to minimize expected cost,
+  /// assuming descending-probability objects (chunk-style service per
+  /// level). Greedy marginal-gain-per-slot allocation; tests cross-check
+  /// it against exhaustive search on small instances. Requires the
+  /// optimizer's probabilities to be sorted descending.
+  [[nodiscard]] BudgetAllocation optimize_level_budgets(
+      std::uint64_t total_budget) const;
+
+private:
+  /// Paper-level cost of serving at a node with the given shape level.
+  [[nodiscard]] double node_cost(unsigned shape_level) const noexcept {
+    return static_cast<double>(shape_.depth() - shape_level + 1);
+  }
+
+  topology::AccessTreeShape shape_;
+  std::vector<double> probability_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace idicn::analysis

@@ -1,0 +1,59 @@
+#include "cache/budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace idicn::cache {
+
+std::string to_string(BudgetSplit split) {
+  switch (split) {
+    case BudgetSplit::Uniform: return "uniform";
+    case BudgetSplit::PopulationProportional: return "population-proportional";
+  }
+  return "unknown";
+}
+
+std::uint64_t BudgetPlan::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t b : per_node) sum += b;
+  return sum;
+}
+
+BudgetPlan compute_budget(const topology::HierarchicalNetwork& network,
+                          double budget_fraction, std::uint64_t object_count,
+                          BudgetSplit split) {
+  if (budget_fraction < 0.0) {
+    throw std::invalid_argument("compute_budget: negative budget fraction");
+  }
+  const std::size_t node_count = network.node_count();
+  const std::size_t per_pop_nodes = network.tree().node_count();
+
+  BudgetPlan plan;
+  plan.per_node.assign(node_count, 0);
+
+  if (split == BudgetSplit::Uniform) {
+    const auto per_router = static_cast<std::uint64_t>(
+        std::llround(budget_fraction * static_cast<double>(object_count)));
+    for (std::uint64_t& b : plan.per_node) b = per_router;
+    return plan;
+  }
+
+  // Population-proportional: total = F·R·O, PoP share ∝ population, split
+  // equally among the PoP's routers.
+  const double total_budget = budget_fraction * static_cast<double>(node_count) *
+                              static_cast<double>(object_count);
+  const double total_population = network.core().total_population();
+  for (topology::PopId pop = 0; pop < network.pop_count(); ++pop) {
+    const double share =
+        network.core().node(pop).population / total_population * total_budget;
+    const auto per_router = static_cast<std::uint64_t>(
+        std::llround(share / static_cast<double>(per_pop_nodes)));
+    for (topology::TreeIndex t = 0; t < per_pop_nodes; ++t) {
+      plan.per_node[network.global_node(pop, static_cast<topology::TreeIndex>(t))] =
+          per_router;
+    }
+  }
+  return plan;
+}
+
+}  // namespace idicn::cache

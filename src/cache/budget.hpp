@@ -1,0 +1,41 @@
+// Cache budget provisioning (§4.1 "Cache provisioning").
+//
+// With O objects and R routers, the network-wide cache budget is F·R·O for
+// a budget fraction F (baseline 5%, chosen by the authors from observed CDN
+// provisioning). Two splits are modeled:
+//   * Uniform — every router stores F·O objects;
+//   * Population-proportional — each PoP's subtree receives a share of the
+//     total ∝ its metro population, divided equally among its routers.
+// These per-router budgets are computed for ALL routers; the caching design
+// then decides which routers actually instantiate a cache (e.g. EDGE uses
+// only the leaves) and may scale them (EDGE-Norm).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace idicn::cache {
+
+enum class BudgetSplit { Uniform, PopulationProportional };
+
+[[nodiscard]] std::string to_string(BudgetSplit split);
+
+/// Per-router budgets, in objects, indexed by GlobalNodeId.
+struct BudgetPlan {
+  std::vector<std::uint64_t> per_node;
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+};
+
+/// Compute the plan for `network` given the budget fraction F (per-router
+/// capacity as a fraction of the `object_count` universe) and the split.
+/// Rounding is to nearest, with a floor of 0 (tiny caches may legitimately
+/// round to zero — the paper sweeps F down to 1e-5).
+[[nodiscard]] BudgetPlan compute_budget(const topology::HierarchicalNetwork& network,
+                                        double budget_fraction,
+                                        std::uint64_t object_count, BudgetSplit split);
+
+}  // namespace idicn::cache

@@ -1,0 +1,56 @@
+// LRU cache — the paper's baseline replacement policy.
+//
+// Implemented as an open hash map over slots in a contiguous vector with an
+// intrusive doubly-linked recency list (head = most recent). All operations
+// are O(1) expected; the hot path allocates nothing after warm-up.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace idicn::cache {
+
+class LruCache final : public Cache {
+public:
+  explicit LruCache(std::uint64_t capacity);
+
+  [[nodiscard]] bool lookup(ObjectId object) override;
+  [[nodiscard]] bool contains(ObjectId object) const override;
+  void insert(ObjectId object, std::uint64_t size,
+              std::vector<ObjectId>& evicted) override;
+  void erase(ObjectId object) override;
+
+  [[nodiscard]] std::size_t object_count() const noexcept override {
+    return index_.size();
+  }
+  [[nodiscard]] std::uint64_t used_units() const noexcept override { return used_; }
+  [[nodiscard]] std::uint64_t capacity_units() const noexcept override {
+    return capacity_;
+  }
+
+private:
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+  struct Slot {
+    ObjectId object = 0;
+    std::uint64_t size = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  void unlink(std::uint32_t slot) noexcept;
+  void link_front(std::uint32_t slot) noexcept;
+  void evict_lru(std::vector<ObjectId>& evicted);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  std::unordered_map<ObjectId, std::uint32_t> index_;
+};
+
+}  // namespace idicn::cache

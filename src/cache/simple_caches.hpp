@@ -1,0 +1,114 @@
+// FIFO, RANDOM, and unbounded caches.
+//
+// FIFO and RANDOM are ablation baselines (bench_ablation_policies); the
+// unbounded cache backs the paper's Inf-Budget reference point (Fig. 10)
+// and the origin servers' "very large cache" for owned objects (§4.1).
+#pragma once
+
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hpp"
+
+namespace idicn::cache {
+
+/// First-in first-out eviction; lookups do not affect order.
+class FifoCache final : public Cache {
+public:
+  explicit FifoCache(std::uint64_t capacity);
+
+  [[nodiscard]] bool lookup(ObjectId object) override;
+  [[nodiscard]] bool contains(ObjectId object) const override;
+  void insert(ObjectId object, std::uint64_t size,
+              std::vector<ObjectId>& evicted) override;
+  void erase(ObjectId object) override;
+
+  [[nodiscard]] std::size_t object_count() const noexcept override {
+    return entries_.size();
+  }
+  [[nodiscard]] std::uint64_t used_units() const noexcept override { return used_; }
+  [[nodiscard]] std::uint64_t capacity_units() const noexcept override {
+    return capacity_;
+  }
+
+private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t seq = 0;  // sequence of the live queue entry for this object
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_seq_ = 0;
+  // Arrival order; entries whose seq no longer matches entries_ are stale
+  // (the object was erased, possibly re-inserted) and skipped on eviction.
+  std::vector<std::pair<ObjectId, std::uint64_t>> queue_;
+  std::size_t queue_head_ = 0;
+  std::unordered_map<ObjectId, Entry> entries_;
+};
+
+/// Uniform-random eviction.
+class RandomCache final : public Cache {
+public:
+  RandomCache(std::uint64_t capacity, std::uint64_t seed);
+
+  [[nodiscard]] bool lookup(ObjectId object) override;
+  [[nodiscard]] bool contains(ObjectId object) const override;
+  void insert(ObjectId object, std::uint64_t size,
+              std::vector<ObjectId>& evicted) override;
+  void erase(ObjectId object) override;
+
+  [[nodiscard]] std::size_t object_count() const noexcept override {
+    return members_.size();
+  }
+  [[nodiscard]] std::uint64_t used_units() const noexcept override { return used_; }
+  [[nodiscard]] std::uint64_t capacity_units() const noexcept override {
+    return capacity_;
+  }
+
+private:
+  struct Member {
+    std::size_t position = 0;  // index into objects_
+    std::uint64_t size = 0;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::mt19937_64 rng_;
+  std::vector<ObjectId> objects_;
+  std::unordered_map<ObjectId, Member> members_;
+};
+
+/// Never evicts; capacity_units() reports a sentinel of UINT64_MAX.
+class InfiniteCache final : public Cache {
+public:
+  InfiniteCache() = default;
+
+  [[nodiscard]] bool lookup(ObjectId object) override {
+    return objects_.find(object) != objects_.end();
+  }
+  [[nodiscard]] bool contains(ObjectId object) const override {
+    return objects_.find(object) != objects_.end();
+  }
+  void insert(ObjectId object, std::uint64_t size,
+              std::vector<ObjectId>& /*evicted*/) override {
+    if (objects_.insert(object).second) used_ += size;
+  }
+  void erase(ObjectId object) override { objects_.erase(object); }
+
+  [[nodiscard]] std::size_t object_count() const noexcept override {
+    return objects_.size();
+  }
+  [[nodiscard]] std::uint64_t used_units() const noexcept override { return used_; }
+  [[nodiscard]] std::uint64_t capacity_units() const noexcept override {
+    return static_cast<std::uint64_t>(-1);
+  }
+
+private:
+  std::uint64_t used_ = 0;
+  std::unordered_set<ObjectId> objects_;
+};
+
+}  // namespace idicn::cache

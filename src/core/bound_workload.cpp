@@ -1,0 +1,213 @@
+#include "core/bound_workload.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace idicn::core {
+namespace {
+
+/// Weighted PoP picker (∝ metro population) plus uniform leaf picker.
+class AttachmentSampler {
+public:
+  AttachmentSampler(const topology::HierarchicalNetwork& network, std::uint64_t seed)
+      : rng_(seed), leaf_dist_(0, network.tree().leaf_count() - 1) {
+    const topology::PopId pops = network.pop_count();
+    cumulative_.resize(pops);
+    double total = 0.0;
+    for (topology::PopId p = 0; p < pops; ++p) {
+      total += network.core().node(p).population;
+      cumulative_[p] = total;
+    }
+    pop_dist_ = std::uniform_real_distribution<double>(0.0, total);
+  }
+
+  [[nodiscard]] topology::PopId sample_pop() {
+    const double u = pop_dist_(rng_);
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<topology::PopId>(it - cumulative_.begin());
+  }
+
+  [[nodiscard]] std::uint32_t sample_leaf() { return leaf_dist_(rng_); }
+
+  [[nodiscard]] std::mt19937_64& rng() noexcept { return rng_; }
+
+private:
+  std::mt19937_64 rng_;
+  std::vector<double> cumulative_;
+  std::uniform_real_distribution<double> pop_dist_;
+  std::uniform_int_distribution<std::uint32_t> leaf_dist_;
+};
+
+}  // namespace
+
+BoundWorkload bind_trace(const topology::HierarchicalNetwork& network,
+                         const workload::Trace& trace, std::uint64_t seed) {
+  AttachmentSampler sampler(network, seed);
+  BoundWorkload bound;
+  bound.object_count = trace.object_count;
+  bound.requests.reserve(trace.requests.size());
+  for (const workload::Request& r : trace.requests) {
+    BoundRequest b;
+    b.pop = sampler.sample_pop();
+    b.leaf = sampler.sample_leaf();
+    b.object = r.object;
+    b.size = r.size;
+    bound.requests.push_back(b);
+  }
+
+  // Global popularity order, shared by every PoP (a trace carries no
+  // per-location popularity).
+  std::vector<std::uint64_t> frequency(trace.object_count, 0);
+  for (const workload::Request& r : trace.requests) ++frequency[r.object];
+  std::vector<std::uint32_t> order(trace.object_count);
+  for (std::uint32_t o = 0; o < trace.object_count; ++o) order[o] = o;
+  std::stable_sort(order.begin(), order.end(),
+                   [&frequency](std::uint32_t a, std::uint32_t b) {
+                     return frequency[a] > frequency[b];
+                   });
+  bound.popularity_order.push_back(std::move(order));
+  return bound;
+}
+
+BoundWorkload bind_synthetic(const topology::HierarchicalNetwork& network,
+                             const SyntheticWorkloadSpec& spec) {
+  if (spec.object_count == 0) {
+    throw std::invalid_argument("bind_synthetic: object_count must be positive");
+  }
+  AttachmentSampler sampler(network, spec.seed);
+  const workload::ZipfDistribution zipf(spec.object_count, spec.alpha);
+
+  // Per-PoP rank → object mapping; identity when skew is zero.
+  std::optional<workload::SpatialSkewModel> skew;
+  if (spec.spatial_skew > 0.0) {
+    skew.emplace(spec.object_count, network.pop_count(), spec.spatial_skew,
+                 spec.seed ^ 0x5eedf00dULL);
+  }
+
+  // Per-object sizes, fixed across requests, independent of rank.
+  std::vector<std::uint64_t> size_of(spec.object_count, 1);
+  if (spec.sizes.kind() != workload::SizeModelKind::Unit) {
+    std::mt19937_64 size_rng(spec.seed ^ 0x0b1ec7ULL);
+    for (std::uint64_t& s : size_of) s = spec.sizes.sample(size_rng);
+  }
+
+  BoundWorkload bound;
+  bound.object_count = spec.object_count;
+  bound.requests.reserve(spec.request_count);
+  for (std::uint64_t i = 0; i < spec.request_count; ++i) {
+    BoundRequest b;
+    b.pop = sampler.sample_pop();
+    b.leaf = sampler.sample_leaf();
+    const std::uint32_t rank = zipf.sample(sampler.rng());
+    b.object = skew ? skew->object_for(b.pop, rank) : rank - 1;
+    b.size = size_of[b.object];
+    bound.requests.push_back(b);
+  }
+
+  // Popularity orders for prefill: rank r at pop p holds object
+  // skew(p, r); without skew the identity order is shared by all PoPs.
+  if (skew) {
+    bound.popularity_order.resize(network.pop_count());
+    for (topology::PopId p = 0; p < network.pop_count(); ++p) {
+      bound.popularity_order[p].resize(spec.object_count);
+      for (std::uint32_t r = 1; r <= spec.object_count; ++r) {
+        bound.popularity_order[p][r - 1] = skew->object_for(p, r);
+      }
+    }
+  } else {
+    std::vector<std::uint32_t> identity(spec.object_count);
+    for (std::uint32_t o = 0; o < spec.object_count; ++o) identity[o] = o;
+    bound.popularity_order.push_back(std::move(identity));
+  }
+  return bound;
+}
+
+BoundWorkload bind_flash_crowd(const topology::HierarchicalNetwork& network,
+                               const SyntheticWorkloadSpec& base,
+                               const FlashCrowdSpec& crowd) {
+  if (crowd.hot_objects == 0) {
+    throw std::invalid_argument("bind_flash_crowd: need at least one hot object");
+  }
+  if (crowd.start < 0.0 || crowd.duration < 0.0 || crowd.start + crowd.duration > 1.0) {
+    throw std::invalid_argument("bind_flash_crowd: window out of range");
+  }
+  if (crowd.intensity < 0.0 || crowd.intensity > 1.0) {
+    throw std::invalid_argument("bind_flash_crowd: intensity must be in [0, 1]");
+  }
+
+  BoundWorkload bound = bind_synthetic(network, base);
+  const std::uint32_t first_hot = bound.object_count;
+  bound.object_count += crowd.hot_objects;
+  // Hot objects append to every popularity order at the tail (they were
+  // unknown before the event, so steady-state prefill must not hold them).
+  for (std::vector<std::uint32_t>& order : bound.popularity_order) {
+    for (std::uint32_t h = 0; h < crowd.hot_objects; ++h) {
+      order.push_back(first_hot + h);
+    }
+  }
+
+  std::mt19937_64 rng(crowd.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::uint32_t> pick_hot(0, crowd.hot_objects - 1);
+  const auto window_begin = static_cast<std::size_t>(
+      crowd.start * static_cast<double>(bound.requests.size()));
+  const auto window_end = static_cast<std::size_t>(
+      (crowd.start + crowd.duration) * static_cast<double>(bound.requests.size()));
+  for (std::size_t i = window_begin; i < window_end && i < bound.requests.size(); ++i) {
+    if (coin(rng) < crowd.intensity) {
+      bound.requests[i].object = first_hot + pick_hot(rng);
+      bound.requests[i].size = 1;
+    }
+  }
+  return bound;
+}
+
+BoundWorkload bind_drifting(const topology::HierarchicalNetwork& network,
+                            const SyntheticWorkloadSpec& base,
+                            const DriftSpec& drift) {
+  if (base.spatial_skew != 0.0) {
+    throw std::invalid_argument(
+        "bind_drifting: combine drift with spatial skew is not supported");
+  }
+  if (drift.period == 0 || drift.churn_fraction < 0.0 || drift.churn_fraction > 1.0) {
+    throw std::invalid_argument("bind_drifting: bad drift parameters");
+  }
+
+  AttachmentSampler sampler(network, base.seed);
+  const workload::ZipfDistribution zipf(base.object_count, base.alpha);
+  std::mt19937_64 drift_rng(drift.seed);
+
+  // rank (0-based) → object; starts as the identity and churns over time.
+  std::vector<std::uint32_t> object_of_rank(base.object_count);
+  for (std::uint32_t o = 0; o < base.object_count; ++o) object_of_rank[o] = o;
+
+  BoundWorkload bound;
+  bound.object_count = base.object_count;
+  bound.requests.reserve(base.request_count);
+  // Prefill sees the initial (pre-drift) ranking.
+  bound.popularity_order.push_back(object_of_rank);
+
+  const auto swaps_per_step = static_cast<std::uint64_t>(
+      drift.churn_fraction * static_cast<double>(base.object_count));
+  std::uniform_int_distribution<std::uint32_t> any_rank(0, base.object_count - 1);
+
+  for (std::uint64_t i = 0; i < base.request_count; ++i) {
+    if (i > 0 && i % drift.period == 0) {
+      for (std::uint64_t s = 0; s < swaps_per_step; ++s) {
+        std::swap(object_of_rank[any_rank(drift_rng)],
+                  object_of_rank[any_rank(drift_rng)]);
+      }
+    }
+    BoundRequest r;
+    r.pop = sampler.sample_pop();
+    r.leaf = sampler.sample_leaf();
+    r.object = object_of_rank[zipf.sample(sampler.rng()) - 1];
+    bound.requests.push_back(r);
+  }
+  return bound;
+}
+
+}  // namespace idicn::core

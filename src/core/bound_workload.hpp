@@ -1,0 +1,110 @@
+// Binding a request workload to network attachment points (§4.2).
+//
+// A raw trace is a stream of (object, size); the simulator needs each
+// request attached to a PoP (chosen with probability proportional to metro
+// population) and a leaf of that PoP's access tree (uniform). Binding is
+// done once per experiment so every caching design replays the *identical*
+// request sequence.
+//
+// Two binders are provided:
+//   * bind_trace       — trace-driven: objects come from a (real or
+//     reconstructed) trace in order; all PoPs share the trace's popularity
+//     (spatial skew 0).
+//   * bind_synthetic   — model-driven: per-request Zipf rank sampling with
+//     an optional per-PoP spatial-skew rank permutation (Figures 8–10).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/network.hpp"
+#include "workload/size_model.hpp"
+#include "workload/spatial_skew.hpp"
+#include "workload/trace.hpp"
+
+namespace idicn::core {
+
+struct BoundRequest {
+  topology::PopId pop = 0;
+  std::uint32_t leaf = 0;  ///< leaf ordinal within the pop's tree
+  std::uint32_t object = 0;
+  std::uint64_t size = 1;
+};
+
+struct BoundWorkload {
+  std::uint32_t object_count = 0;
+  std::vector<BoundRequest> requests;
+
+  /// Popularity order per PoP: each entry lists object ids from most to
+  /// least popular. Holds one shared entry when every PoP follows the same
+  /// (global) popularity, or one entry per PoP under spatial skew. Used to
+  /// prefill caches to their popularity-stationary content (see
+  /// SimulationConfig::prefill).
+  std::vector<std::vector<std::uint32_t>> popularity_order;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& order_for_pop(
+      topology::PopId pop) const {
+    return popularity_order.size() == 1 ? popularity_order.front()
+                                        : popularity_order.at(pop);
+  }
+};
+
+/// Attach a trace's requests to PoPs/leaves.
+[[nodiscard]] BoundWorkload bind_trace(const topology::HierarchicalNetwork& network,
+                                       const workload::Trace& trace, std::uint64_t seed);
+
+/// Parameters for the model-driven binder.
+struct SyntheticWorkloadSpec {
+  std::uint64_t request_count = 100'000;
+  std::uint32_t object_count = 10'000;
+  double alpha = 1.0;           ///< Zipf exponent
+  double spatial_skew = 0.0;    ///< skew intensity s ∈ [0, 1] (Fig. 8c)
+  std::uint64_t seed = 1;
+  workload::SizeModel sizes;    ///< default unit sizes
+};
+
+[[nodiscard]] BoundWorkload bind_synthetic(const topology::HierarchicalNetwork& network,
+                                           const SyntheticWorkloadSpec& spec);
+
+/// Flash-crowd / request-flood overlay (§7: caching "amplif[ies] the
+/// effective number of servers", so an edge deployment should absorb a
+/// request flood about as well as pervasive ICN).
+///
+/// During the window [start, start+duration) (fractions of the request
+/// stream), each request is redirected with probability `intensity` to one
+/// of `hot_objects` brand-new objects (uniformly chosen) that no cache has
+/// seen before; outside the window the base workload flows unchanged. The
+/// returned workload's object universe is extended by the hot objects
+/// (ids object_count-hot_objects … object_count-1), which sort last in
+/// every popularity order so prefill never includes them.
+struct FlashCrowdSpec {
+  double start = 0.5;       ///< window start, fraction of the stream
+  double duration = 0.25;   ///< window length, fraction of the stream
+  double intensity = 0.5;   ///< in-window probability a request joins the flood
+  std::uint32_t hot_objects = 5;
+  std::uint64_t seed = 99;
+};
+
+[[nodiscard]] BoundWorkload bind_flash_crowd(const topology::HierarchicalNetwork& network,
+                                             const SyntheticWorkloadSpec& base,
+                                             const FlashCrowdSpec& crowd);
+
+/// Popularity drift (§7 "workload evolution": Internet workloads are in a
+/// constant state of flux). The rank → object mapping churns as the stream
+/// progresses: every `period` requests, `churn_fraction` of the objects
+/// swap ranks with random partners, so yesterday's tail objects surface
+/// and cached content slowly goes cold. Prefill orders reflect the INITIAL
+/// ranking — exactly the position a steady-state cache is in when the
+/// workload moves under it.
+struct DriftSpec {
+  std::uint64_t period = 10'000;  ///< requests between churn steps
+  double churn_fraction = 0.01;   ///< fraction of objects re-ranked per step
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] BoundWorkload bind_drifting(const topology::HierarchicalNetwork& network,
+                                          const SyntheticWorkloadSpec& base,
+                                          const DriftSpec& drift);
+
+}  // namespace idicn::core

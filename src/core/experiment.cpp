@@ -1,0 +1,75 @@
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace idicn::core {
+
+Improvements ComparisonResult::gap(std::size_t a, std::size_t b) const {
+  const Improvements& ia = designs.at(a).improvements;
+  const Improvements& ib = designs.at(b).improvements;
+  Improvements g;
+  g.latency_pct = ia.latency_pct - ib.latency_pct;
+  g.congestion_pct = ia.congestion_pct - ib.congestion_pct;
+  g.origin_load_pct = ia.origin_load_pct - ib.origin_load_pct;
+  return g;
+}
+
+const DesignResult& ComparisonResult::by_name(const std::string& name) const {
+  for (const DesignResult& r : designs) {
+    if (r.design.name == name) return r;
+  }
+  throw std::out_of_range("ComparisonResult::by_name: " + name);
+}
+
+ComparisonResult compare_designs(const topology::HierarchicalNetwork& network,
+                                 const OriginMap& origins,
+                                 const std::vector<DesignSpec>& designs,
+                                 const SimulationConfig& config,
+                                 const BoundWorkload& workload,
+                                 unsigned max_parallelism) {
+  if (max_parallelism == 0) {
+    max_parallelism = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  ComparisonResult result;
+  result.designs.resize(designs.size());
+
+  // The baseline plus each design, as independent work items over shared
+  // read-only inputs. A simple atomic work queue keeps ordering
+  // deterministic (results land at fixed indices).
+  std::atomic<std::size_t> next{0};
+  const std::size_t total = designs.size() + 1;
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= total) return;
+      if (index == 0) {
+        result.baseline = run_design(network, origins, no_cache(), config, workload);
+      } else {
+        DesignResult& r = result.designs[index - 1];
+        r.design = designs[index - 1];
+        r.metrics = run_design(network, origins, r.design, config, workload);
+      }
+    }
+  };
+
+  const unsigned thread_count =
+      static_cast<unsigned>(std::min<std::size_t>(max_parallelism, total));
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (DesignResult& r : result.designs) {
+    r.improvements = compute_improvements(result.baseline, r.metrics);
+  }
+  return result;
+}
+
+}  // namespace idicn::core

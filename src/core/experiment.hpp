@@ -1,0 +1,44 @@
+// Experiment harness: run a set of designs over one identical workload and
+// normalize every metric against the no-cache baseline (§4.2).
+#pragma once
+
+#include <vector>
+
+#include "core/bound_workload.hpp"
+#include "core/design.hpp"
+#include "core/metrics.hpp"
+#include "core/origin_map.hpp"
+#include "core/simulator.hpp"
+#include "topology/network.hpp"
+
+namespace idicn::core {
+
+struct DesignResult {
+  DesignSpec design;
+  SimulationMetrics metrics;
+  Improvements improvements;  ///< vs the no-cache baseline
+};
+
+struct ComparisonResult {
+  SimulationMetrics baseline;  ///< the no-cache run
+  std::vector<DesignResult> designs;
+
+  /// Gap of design a over design b on each metric
+  /// (RelImprov_a − RelImprov_b, the §5 normalized measure).
+  [[nodiscard]] Improvements gap(std::size_t a, std::size_t b) const;
+
+  /// Locate a design by name; throws std::out_of_range when missing.
+  [[nodiscard]] const DesignResult& by_name(const std::string& name) const;
+};
+
+/// Runs the baseline plus all `designs` on the same workload. Each design
+/// run is independent (its own caches and counters over a shared read-only
+/// network/workload), so runs execute concurrently on up to
+/// `max_parallelism` threads (1 = serial; 0 = hardware concurrency).
+/// Results are bitwise identical regardless of parallelism.
+[[nodiscard]] ComparisonResult compare_designs(
+    const topology::HierarchicalNetwork& network, const OriginMap& origins,
+    const std::vector<DesignSpec>& designs, const SimulationConfig& config,
+    const BoundWorkload& workload, unsigned max_parallelism = 0);
+
+}  // namespace idicn::core

@@ -1,0 +1,130 @@
+#include "core/holder_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idicn::core {
+
+using topology::GlobalNodeId;
+using topology::PopId;
+using topology::TreeIndex;
+
+void HolderIndex::add(std::uint32_t object, GlobalNodeId node) {
+  const PopId pop = network_->pop_of(node);
+  const TreeIndex t = network_->tree_index_of(node);
+  ObjectHolders& oh = holders_[object];
+  for (PopHolders& ph : oh.pops) {
+    if (ph.pop == pop) {
+      ph.nodes.push_back(t);
+      ++total_entries_;
+      return;
+    }
+  }
+  oh.pops.push_back(PopHolders{pop, {t}});
+  ++total_entries_;
+}
+
+void HolderIndex::remove(std::uint32_t object, GlobalNodeId node) {
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) {
+    throw std::logic_error("HolderIndex::remove: object not tracked");
+  }
+  const PopId pop = network_->pop_of(node);
+  const TreeIndex t = network_->tree_index_of(node);
+  std::vector<PopHolders>& pops = it->second.pops;
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    if (pops[i].pop != pop) continue;
+    std::vector<TreeIndex>& nodes = pops[i].nodes;
+    const auto node_it = std::find(nodes.begin(), nodes.end(), t);
+    if (node_it == nodes.end()) break;
+    *node_it = nodes.back();
+    nodes.pop_back();
+    --total_entries_;
+    if (nodes.empty()) {
+      pops[i] = std::move(pops.back());
+      pops.pop_back();
+      if (pops.empty()) holders_.erase(it);
+    }
+    return;
+  }
+  throw std::logic_error("HolderIndex::remove: node was not a holder");
+}
+
+bool HolderIndex::holds(std::uint32_t object, GlobalNodeId node) const {
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) return false;
+  const PopId pop = network_->pop_of(node);
+  const TreeIndex t = network_->tree_index_of(node);
+  for (const PopHolders& ph : it->second.pops) {
+    if (ph.pop != pop) continue;
+    return std::find(ph.nodes.begin(), ph.nodes.end(), t) != ph.nodes.end();
+  }
+  return false;
+}
+
+std::optional<HolderIndex::Candidate> HolderIndex::nearest(std::uint32_t object,
+                                                           GlobalNodeId leaf) const {
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) return std::nullopt;
+
+  const PopId own_pop = network_->pop_of(leaf);
+  const unsigned leaf_level = network_->level_of(leaf);
+  const double leaf_up = network_->root_to_level_cost(leaf_level);
+
+  bool found = false;
+  Candidate best{};
+  const auto consider = [&](GlobalNodeId node, double cost) {
+    if (!found || cost < best.cost || (cost == best.cost && node < best.node)) {
+      best = Candidate{node, cost};
+      found = true;
+    }
+  };
+
+  for (const PopHolders& ph : it->second.pops) {
+    if (ph.pop == own_pop) {
+      // Exact tree distance to every holder in the local tree.
+      for (const TreeIndex t : ph.nodes) {
+        const GlobalNodeId node = network_->global_node(ph.pop, t);
+        consider(node, network_->distance(leaf, node));
+      }
+    } else {
+      // Crossing the core costs leaf_up + core + descent; the cheapest
+      // holder in a remote pop is the one closest to its root.
+      const double base = leaf_up + network_->core_cost(own_pop, ph.pop);
+      for (const TreeIndex t : ph.nodes) {
+        const GlobalNodeId node = network_->global_node(ph.pop, t);
+        consider(node,
+                 base + network_->root_to_level_cost(network_->tree().level_of(t)));
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+  return best;
+}
+
+std::vector<HolderIndex::Candidate> HolderIndex::candidates_by_cost(
+    std::uint32_t object, GlobalNodeId leaf) const {
+  std::vector<Candidate> out;
+  const auto it = holders_.find(object);
+  if (it == holders_.end()) return out;
+
+  const PopId own_pop = network_->pop_of(leaf);
+  const double leaf_up = network_->root_to_level_cost(network_->level_of(leaf));
+  for (const PopHolders& ph : it->second.pops) {
+    for (const TreeIndex t : ph.nodes) {
+      const GlobalNodeId node = network_->global_node(ph.pop, t);
+      const double cost =
+          ph.pop == own_pop
+              ? network_->distance(leaf, node)
+              : leaf_up + network_->core_cost(own_pop, ph.pop) +
+                    network_->root_to_level_cost(network_->tree().level_of(t));
+      out.push_back(Candidate{node, cost});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    return a.cost < b.cost || (a.cost == b.cost && a.node < b.node);
+  });
+  return out;
+}
+
+}  // namespace idicn::core

@@ -1,0 +1,70 @@
+// Replica location index backing nearest-replica routing (ICN-NR).
+//
+// The paper conservatively assumes nearest-replica lookup is free (§3); the
+// simulator therefore maintains an oracle of which caches currently hold
+// each object. For efficiency the index is organized per object as a small
+// per-PoP list of holding tree nodes, so a nearest-copy query costs
+//   O(|own-PoP holders|) + O(#holding PoPs × small-level-scan)
+// rather than a scan over all caches. Insertions and evictions are pushed
+// into the index by the simulator as caches mutate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace idicn::core {
+
+class HolderIndex {
+public:
+  explicit HolderIndex(const topology::HierarchicalNetwork& network)
+      : network_(&network) {}
+
+  /// Record that `node` now holds `object`. Duplicate inserts are invalid
+  /// (the caller — a cache — already deduplicates).
+  void add(std::uint32_t object, topology::GlobalNodeId node);
+
+  /// Record that `node` no longer holds `object` (eviction).
+  void remove(std::uint32_t object, topology::GlobalNodeId node);
+
+  /// True when `node` is recorded as a holder (test/debug aid; O(holders)).
+  [[nodiscard]] bool holds(std::uint32_t object, topology::GlobalNodeId node) const;
+
+  struct Candidate {
+    topology::GlobalNodeId node = 0;
+    double cost = 0.0;
+  };
+
+  /// Nearest replica of `object` to a request arriving at `leaf` under the
+  /// network's latency model. Ties break toward the lower global node id.
+  /// Returns std::nullopt when no cache holds the object (the caller falls
+  /// back to the origin).
+  [[nodiscard]] std::optional<Candidate> nearest(std::uint32_t object,
+                                                 topology::GlobalNodeId leaf) const;
+
+  /// All replicas, sorted by ascending cost from `leaf` (used by the
+  /// serving-capacity variation, which skips overloaded caches).
+  [[nodiscard]] std::vector<Candidate> candidates_by_cost(
+      std::uint32_t object, topology::GlobalNodeId leaf) const;
+
+  /// Total (object, node) pairs tracked.
+  [[nodiscard]] std::size_t size() const noexcept { return total_entries_; }
+
+private:
+  struct PopHolders {
+    topology::PopId pop = 0;
+    std::vector<topology::TreeIndex> nodes;
+  };
+  struct ObjectHolders {
+    std::vector<PopHolders> pops;
+  };
+
+  const topology::HierarchicalNetwork* network_;
+  std::unordered_map<std::uint32_t, ObjectHolders> holders_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace idicn::core

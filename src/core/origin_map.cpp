@@ -1,0 +1,49 @@
+#include "core/origin_map.hpp"
+
+#include <random>
+
+namespace idicn::core {
+
+std::string to_string(OriginAssignment assignment) {
+  switch (assignment) {
+    case OriginAssignment::PopulationProportional: return "population-proportional";
+    case OriginAssignment::Uniform: return "uniform";
+  }
+  return "unknown";
+}
+
+OriginMap::OriginMap(const topology::HierarchicalNetwork& network,
+                     std::uint32_t object_count, OriginAssignment assignment,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const topology::PopId pops = network.pop_count();
+  origin_.resize(object_count);
+
+  if (assignment == OriginAssignment::Uniform) {
+    std::uniform_int_distribution<topology::PopId> pick(0, pops - 1);
+    for (std::uint32_t o = 0; o < object_count; ++o) origin_[o] = pick(rng);
+    return;
+  }
+
+  // Population-proportional: weighted sampling via the cumulative weights.
+  std::vector<double> cumulative(pops);
+  double total = 0.0;
+  for (topology::PopId p = 0; p < pops; ++p) {
+    total += network.core().node(p).population;
+    cumulative[p] = total;
+  }
+  std::uniform_real_distribution<double> uniform(0.0, total);
+  for (std::uint32_t o = 0; o < object_count; ++o) {
+    const double u = uniform(rng);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    origin_[o] = static_cast<topology::PopId>(it - cumulative.begin());
+  }
+}
+
+std::vector<std::uint32_t> OriginMap::objects_per_pop(topology::PopId pop_count) const {
+  std::vector<std::uint32_t> counts(pop_count, 0);
+  for (const topology::PopId p : origin_) ++counts[p];
+  return counts;
+}
+
+}  // namespace idicn::core

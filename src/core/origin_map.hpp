@@ -1,0 +1,43 @@
+// Origin assignment (§4.1).
+//
+// Each PoP serves as the origin server for a subset of the object universe;
+// the number of objects it owns is proportional to its metro population
+// (the paper also validates a uniform assignment). An origin PoP hosts its
+// objects in an unbounded origin store at its root router, in addition to
+// that router's regular bounded cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/network.hpp"
+
+namespace idicn::core {
+
+enum class OriginAssignment { PopulationProportional, Uniform };
+
+[[nodiscard]] std::string to_string(OriginAssignment assignment);
+
+/// object → owning PoP.
+class OriginMap {
+public:
+  OriginMap(const topology::HierarchicalNetwork& network, std::uint32_t object_count,
+            OriginAssignment assignment, std::uint64_t seed);
+
+  [[nodiscard]] topology::PopId origin_pop(std::uint32_t object) const {
+    return origin_.at(object);
+  }
+  [[nodiscard]] std::uint32_t object_count() const noexcept {
+    return static_cast<std::uint32_t>(origin_.size());
+  }
+
+  /// Number of objects owned by each PoP.
+  [[nodiscard]] std::vector<std::uint32_t> objects_per_pop(
+      topology::PopId pop_count) const;
+
+private:
+  std::vector<topology::PopId> origin_;
+};
+
+}  // namespace idicn::core

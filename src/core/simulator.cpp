@@ -1,0 +1,404 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cache/admission.hpp"
+
+namespace idicn::core {
+
+using topology::GlobalNodeId;
+using topology::PopId;
+using topology::TreeIndex;
+
+Simulator::Simulator(const topology::HierarchicalNetwork& network,
+                     const OriginMap& origins, DesignSpec design,
+                     SimulationConfig config)
+    : network_(network),
+      origins_(origins),
+      design_(std::move(design)),
+      config_(config) {
+  const cache::BudgetPlan plan = cache::compute_budget(
+      network_, config_.budget_fraction, origins_.object_count(), config_.split);
+
+  // EDGE-Norm: scale the equipped nodes' budgets so their total matches the
+  // full (all-routers) plan total.
+  double scale = design_.extra_budget_multiplier;
+  if (design_.scaling == BudgetScaling::NormalizeToPervasiveTotal) {
+    std::uint64_t equipped_total = 0;
+    for (GlobalNodeId n = 0; n < network_.node_count(); ++n) {
+      if (is_cache_site(n)) equipped_total += plan.per_node[n];
+    }
+    if (equipped_total > 0) {
+      scale *= static_cast<double>(plan.total()) / static_cast<double>(equipped_total);
+    }
+  }
+
+  caches_.resize(network_.node_count());
+  for (GlobalNodeId n = 0; n < network_.node_count(); ++n) {
+    if (!is_cache_site(n)) continue;
+    if (design_.infinite_budget) {
+      caches_[n] = cache::make_cache(cache::PolicyKind::Infinite, 0);
+      continue;
+    }
+    const auto capacity = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(plan.per_node[n]) * scale));
+    if (capacity == 0) continue;  // a zero-budget site has no cache at all
+    caches_[n] = cache::make_cache(design_.policy, capacity, config_.seed ^ n);
+    if (design_.admission_doorkeeper) {
+      caches_[n] = std::make_unique<cache::AdmissionFilteredCache>(
+          std::move(caches_[n]), std::max<std::size_t>(64, capacity));
+    }
+  }
+
+  if (design_.routing != Routing::ShortestPathToOrigin) {
+    holders_.emplace(network_);
+  }
+  if (config_.serving_capacity) {
+    served_in_window_.assign(network_.node_count(), 0);
+  }
+  decision_rng_.seed(config_.seed ^ 0xdec15104ULL);
+}
+
+bool Simulator::is_cache_site(GlobalNodeId node) const {
+  // Partial deployment: only a deterministic subset of PoPs run caches at
+  // all. The subset depends solely on (pop, seed), so different designs
+  // with the same fraction deploy at the same PoPs.
+  if (design_.deployment_fraction < 1.0) {
+    const PopId pop = network_.pop_of(node);
+    std::uint64_t h = (static_cast<std::uint64_t>(pop) + 1) *
+                      0x9e3779b97f4a7c15ULL ^ (config_.seed * 0xbf58476d1ce4e5b9ULL);
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 29;
+    const double u = static_cast<double>(h % 1'000'000) / 1'000'000.0;
+    if (u >= design_.deployment_fraction) return false;
+  }
+
+  const unsigned level = network_.level_of(node);
+  const unsigned depth = network_.tree().depth();
+  switch (design_.placement) {
+    case Placement::Pervasive: return true;
+    case Placement::EdgeOnly: return level == depth;
+    case Placement::TwoLevels: return depth == 0 || level >= depth - 1;
+  }
+  return false;
+}
+
+bool Simulator::has_serving_capacity(GlobalNodeId node) const {
+  if (!config_.serving_capacity) return true;
+  return served_in_window_[node] < *config_.serving_capacity;
+}
+
+void Simulator::note_served(GlobalNodeId node) {
+  if (!config_.serving_capacity) return;
+  ++served_in_window_[node];
+}
+
+void Simulator::store_on_path(std::uint32_t object, std::uint64_t size,
+                              GlobalNodeId node, PopId origin_pop) {
+  cache::Cache* cache = caches_[node].get();
+  if (cache == nullptr) return;
+  // The origin PoP root never stores its own objects in its regular cache:
+  // its origin store already holds them permanently.
+  if (network_.tree_index_of(node) == 0 && network_.pop_of(node) == origin_pop) return;
+
+  if (holders_) {
+    const bool was_present = cache->contains(object);
+    eviction_scratch_.clear();
+    cache->insert(object, size, eviction_scratch_);
+    for (const cache::ObjectId evicted : eviction_scratch_) {
+      holders_->remove(evicted, node);
+    }
+    // insert() may refuse admission (size > capacity); re-check presence.
+    if (!was_present && cache->contains(object)) holders_->add(object, node);
+  } else {
+    eviction_scratch_.clear();
+    cache->insert(object, size, eviction_scratch_);
+  }
+}
+
+std::optional<Simulator::ServeDecision> Simulator::try_local(
+    const BoundRequest& request, GlobalNodeId leaf_node) {
+  // 1. The arrival leaf itself.
+  cache::Cache* own = caches_[leaf_node].get();
+  if (own != nullptr && has_serving_capacity(leaf_node) && own->lookup(request.object)) {
+    return ServeDecision{leaf_node, false, false};
+  }
+
+  // 2. Scoped sibling cooperation (EDGE-Coop and friends, §4.1).
+  if (design_.sibling_cooperation) {
+    const PopId pop = network_.pop_of(leaf_node);
+    const TreeIndex t = network_.tree_index_of(leaf_node);
+    for (const TreeIndex sib : network_.tree().siblings(t)) {
+      const GlobalNodeId sib_node = network_.global_node(pop, sib);
+      cache::Cache* cache = caches_[sib_node].get();
+      if (cache != nullptr && has_serving_capacity(sib_node) &&
+          cache->lookup(request.object)) {
+        return ServeDecision{sib_node, false, true};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Simulator::ServeDecision Simulator::decide_shortest_path(const BoundRequest& request,
+                                                         GlobalNodeId leaf_node,
+                                                         GlobalNodeId origin_node) {
+  // Climb the access tree (above the leaf), then cross the core toward the
+  // origin; serve from the first cache holding the object.
+  const PopId pop = network_.pop_of(leaf_node);
+  const PopId origin_pop = network_.pop_of(origin_node);
+
+  const auto try_serve = [&](GlobalNodeId node) -> bool {
+    if (node == origin_node) return false;  // the origin is handled below
+    cache::Cache* cache = caches_[node].get();
+    if (cache == nullptr) return false;
+    if (!cache->contains(request.object)) return false;
+    if (!has_serving_capacity(node)) {
+      ++metrics_.capacity_redirects;
+      return false;
+    }
+    (void)cache->lookup(request.object);  // record the hit for the policy
+    return true;
+  };
+
+  TreeIndex t = network_.tree_index_of(leaf_node);
+  while (t != 0) {
+    t = network_.tree().parent(t);
+    const GlobalNodeId node = network_.global_node(pop, t);
+    if (try_serve(node)) return ServeDecision{node, false, false};
+  }
+  const std::vector<topology::NodeId> core_path =
+      network_.core_paths().path(pop, origin_pop);
+  for (std::size_t i = 1; i < core_path.size(); ++i) {
+    const GlobalNodeId node = network_.pop_root(core_path[i]);
+    if (try_serve(node)) return ServeDecision{node, false, false};
+  }
+  return ServeDecision{origin_node, true, false};
+}
+
+Simulator::ServeDecision Simulator::decide_nearest_replica(const BoundRequest& request,
+                                                           GlobalNodeId leaf_node,
+                                                           GlobalNodeId origin_node) {
+  const double origin_cost = network_.distance(leaf_node, origin_node);
+
+  if (!config_.serving_capacity) {
+    const auto best = holders_->nearest(request.object, leaf_node);
+    if (best && best->cost <= origin_cost) {
+      (void)caches_[best->node]->lookup(request.object);
+      return ServeDecision{best->node, false, false};
+    }
+    return ServeDecision{origin_node, true, false};
+  }
+
+  // Capacity-limited: walk replicas by increasing cost; an overloaded cache
+  // passes the request on; the origin absorbs the overflow.
+  for (const HolderIndex::Candidate& candidate :
+       holders_->candidates_by_cost(request.object, leaf_node)) {
+    if (candidate.cost > origin_cost) break;
+    if (!has_serving_capacity(candidate.node)) {
+      ++metrics_.capacity_redirects;
+      continue;
+    }
+    (void)caches_[candidate.node]->lookup(request.object);
+    return ServeDecision{candidate.node, false, false};
+  }
+  return ServeDecision{origin_node, true, false};
+}
+
+void Simulator::prefill(const BoundWorkload& workload) {
+  // Per-object sizes: first occurrence in the workload wins; objects never
+  // requested default to 1 unit (they sort to the end of any real
+  // popularity order anyway).
+  std::vector<std::uint64_t> size_of(workload.object_count, 1);
+  std::vector<bool> size_known(workload.object_count, false);
+  for (const BoundRequest& r : workload.requests) {
+    if (!size_known[r.object]) {
+      size_known[r.object] = true;
+      size_of[r.object] = r.size;
+    }
+  }
+
+  std::vector<std::uint32_t> chosen;
+  for (GlobalNodeId n = 0; n < network_.node_count(); ++n) {
+    cache::Cache* cache = caches_[n].get();
+    if (cache == nullptr) continue;
+    const std::uint64_t capacity = cache->capacity_units();
+    if (capacity == static_cast<std::uint64_t>(-1)) continue;  // infinite: stay cold
+    const std::vector<std::uint32_t>& order =
+        workload.order_for_pop(network_.pop_of(n));
+
+    // Greedy prefix of the popularity order that fits.
+    chosen.clear();
+    std::uint64_t used = 0;
+    for (const std::uint32_t object : order) {
+      if (used + size_of[object] > capacity) break;
+      used += size_of[object];
+      chosen.push_back(object);
+    }
+    // Insert least-popular first so the most popular object is MRU.
+    for (std::size_t i = chosen.size(); i-- > 0;) {
+      store_on_path(chosen[i], size_of[chosen[i]], n, origins_.origin_pop(chosen[i]));
+    }
+  }
+}
+
+void Simulator::apply_cache_decision(const std::vector<GlobalNodeId>& response,
+                                     std::uint32_t object, std::uint64_t size,
+                                     PopId origin_pop) {
+  // response[0] is the serving node; response.back() is the request leaf.
+  switch (design_.cache_decision) {
+    case CacheDecision::LeaveCopyEverywhere:
+      for (const GlobalNodeId node : response) {
+        store_on_path(object, size, node, origin_pop);
+      }
+      return;
+    case CacheDecision::LeaveCopyDown:
+      // The copy advances one node toward the client per fetch (and the
+      // serving node refreshes its own policy state).
+      store_on_path(object, size, response[0], origin_pop);
+      if (response.size() > 1) store_on_path(object, size, response[1], origin_pop);
+      return;
+    case CacheDecision::Probabilistic: {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      store_on_path(object, size, response[0], origin_pop);  // refresh at server
+      for (std::size_t i = 1; i + 1 < response.size(); ++i) {
+        if (coin(decision_rng_) < design_.cache_probability) {
+          store_on_path(object, size, response[i], origin_pop);
+        }
+      }
+      // The requesting leaf always stores (it asked for the object).
+      if (response.size() > 1) {
+        store_on_path(object, size, response.back(), origin_pop);
+      }
+      return;
+    }
+  }
+}
+
+SimulationMetrics Simulator::run(const BoundWorkload& workload) {
+  metrics_ = SimulationMetrics{};
+  metrics_.design_name = design_.name;
+  metrics_.link_transfers.assign(network_.link_count(), 0);
+  metrics_.link_bytes.assign(network_.link_count(), 0.0);
+  metrics_.origin_served.assign(network_.pop_count(), 0);
+  metrics_.served_per_level.assign(network_.tree().depth() + 1, 0);
+  metrics_.pop_latency.assign(network_.pop_count(), 0.0);
+  metrics_.pop_requests.assign(network_.pop_count(), 0);
+
+  if (config_.prefill) prefill(workload);
+  if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("Simulator: warmup_fraction must be in [0, 1)");
+  }
+  const auto warmup_count = static_cast<std::size_t>(
+      config_.warmup_fraction * static_cast<double>(workload.requests.size()));
+
+  for (std::size_t request_index = 0; request_index < workload.requests.size();
+       ++request_index) {
+    const BoundRequest& request = workload.requests[request_index];
+    const bool record = request_index >= warmup_count;
+    if (config_.serving_capacity &&
+        window_cursor_++ % config_.capacity_window == 0) {
+      std::fill(served_in_window_.begin(), served_in_window_.end(), 0u);
+    }
+
+    const GlobalNodeId leaf_node = network_.leaf(request.pop, request.leaf);
+    const PopId origin_pop = origins_.origin_pop(request.object);
+    const GlobalNodeId origin_node = network_.pop_root(origin_pop);
+
+    ServeDecision decision{};
+    if (auto local = try_local(request, leaf_node)) {
+      decision = *local;
+    } else if (design_.routing == Routing::NearestReplica) {
+      decision = decide_nearest_replica(request, leaf_node, origin_node);
+    } else if (design_.routing == Routing::ScopedNearestReplica) {
+      // §3's intermediate strategy: use the nearest replica only when it is
+      // within the scope radius (and no farther than the origin itself);
+      // otherwise fall back to the shortest path. An unbounded radius is
+      // exactly nearest-replica routing.
+      const auto best = holders_->nearest(request.object, leaf_node);
+      if (best && best->cost <= design_.scoped_radius &&
+          best->cost <= network_.distance(leaf_node, origin_node) &&
+          (!config_.serving_capacity || has_serving_capacity(best->node))) {
+        (void)caches_[best->node]->lookup(request.object);
+        decision = ServeDecision{best->node, false, false};
+      } else {
+        decision = decide_shortest_path(request, leaf_node, origin_node);
+      }
+    } else {
+      decision = decide_shortest_path(request, leaf_node, origin_node);
+    }
+
+    // --- accounting ---------------------------------------------------
+    note_served(decision.node);
+    if (record) {
+      const double latency = network_.distance(leaf_node, decision.node);
+      ++metrics_.request_count;
+      metrics_.total_latency += latency;
+      metrics_.total_hops += network_.hop_count(leaf_node, decision.node);
+      metrics_.pop_latency[request.pop] += latency;
+      ++metrics_.pop_requests[request.pop];
+
+      if (decision.from_origin) {
+        ++metrics_.origin_served[origin_pop];
+        ++metrics_.total_origin_served;
+      } else {
+        ++metrics_.cache_hits;
+        ++metrics_.served_per_level[network_.level_of(decision.node)];
+        if (decision.node == leaf_node) ++metrics_.own_leaf_hits;
+        if (decision.via_sibling) ++metrics_.sibling_hits;
+      }
+    }
+
+    // --- response transfer and on-path caching -------------------------
+    if (decision.node != leaf_node) {
+      const std::vector<GlobalNodeId> response = network_.path(decision.node, leaf_node);
+      if (record) {
+        for (std::size_t i = 0; i + 1 < response.size(); ++i) {
+          const topology::GlobalLinkId link =
+              network_.link_between(response[i], response[i + 1]);
+          ++metrics_.link_transfers[link];
+          metrics_.link_bytes[link] += static_cast<double>(request.size);
+        }
+      }
+      apply_cache_decision(response, request.object, request.size, origin_pop);
+    }
+  }
+
+  for (const std::uint64_t transfers : metrics_.link_transfers) {
+    metrics_.max_link_transfers = std::max(metrics_.max_link_transfers, transfers);
+  }
+  for (const double bytes : metrics_.link_bytes) {
+    metrics_.max_link_bytes = std::max(metrics_.max_link_bytes, bytes);
+  }
+  for (const std::uint64_t served : metrics_.origin_served) {
+    metrics_.max_origin_served = std::max(metrics_.max_origin_served, served);
+  }
+  return metrics_;
+}
+
+SimulationMetrics run_design(const topology::HierarchicalNetwork& network,
+                             const OriginMap& origins, const DesignSpec& design,
+                             const SimulationConfig& config,
+                             const BoundWorkload& workload) {
+  Simulator simulator(network, origins, design, config);
+  return simulator.run(workload);
+}
+
+Improvements compute_improvements(const SimulationMetrics& baseline,
+                                  const SimulationMetrics& design) {
+  const auto pct = [](double base, double value) {
+    return base == 0.0 ? 0.0 : 100.0 * (base - value) / base;
+  };
+  Improvements imp;
+  imp.latency_pct = pct(baseline.mean_latency(), design.mean_latency());
+  imp.congestion_pct = pct(static_cast<double>(baseline.max_link_transfers),
+                           static_cast<double>(design.max_link_transfers));
+  imp.origin_load_pct = pct(static_cast<double>(baseline.max_origin_served),
+                            static_cast<double>(design.max_origin_served));
+  return imp;
+}
+
+}  // namespace idicn::core

@@ -1,0 +1,130 @@
+// The request-level simulator (§4.1–§4.2).
+//
+// Replays a bound workload over a hierarchical network under one caching
+// design. Modeling choices follow the paper:
+//   * request granularity — no packets, TCP, or router queueing;
+//   * routing/lookup are free for ICN designs (conservatively generous);
+//   * every cache-equipped node on the response path stores the object;
+//   * latency = distance (hops, or weighted cost under non-uniform latency
+//     models) between the arrival leaf and the serving node;
+//   * congestion = per-link count of object transfers (responses);
+//   * origin load = per-PoP count of requests served from origin stores;
+//   * optional per-cache serving capacity: an overloaded cache passes the
+//     request to the next cache on the query path / next-nearest replica
+//     (§5 "request serving capacity").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <random>
+
+#include "cache/budget.hpp"
+#include "cache/cache.hpp"
+#include "core/bound_workload.hpp"
+#include "core/design.hpp"
+#include "core/holder_index.hpp"
+#include "core/metrics.hpp"
+#include "core/origin_map.hpp"
+#include "topology/network.hpp"
+
+namespace idicn::core {
+
+struct SimulationConfig {
+  /// Per-router capacity as a fraction of the object universe (F, §4.1).
+  double budget_fraction = 0.05;
+  cache::BudgetSplit split = cache::BudgetSplit::PopulationProportional;
+  OriginAssignment origin_assignment = OriginAssignment::PopulationProportional;
+  std::uint64_t seed = 42;  ///< cache-policy internal randomness (RANDOM)
+
+  /// Steady-state methodology. The paper simulates one day of a CDN that
+  /// has been running long before the measurement window, so caches are
+  /// warm. We model that by (a) prefilling every finite cache with the most
+  /// popular objects of its PoP's ranking (the LRU fixed point under
+  /// leave-copy-everywhere) and (b) replaying the first `warmup_fraction`
+  /// of the workload without recording metrics. Cold-start runs (both
+  /// knobs off) heavily overstate the value of interior caches, because
+  /// interior nodes aggregate request streams and warm much faster than
+  /// the edge. Infinite caches are never prefilled.
+  bool prefill = true;
+  double warmup_fraction = 0.25;
+
+  /// When set, each cache may serve at most this many requests per window
+  /// of `capacity_window` consecutive requests.
+  std::optional<std::uint32_t> serving_capacity;
+  std::uint32_t capacity_window = 1000;
+};
+
+/// One design × one network × one workload run. Construct fresh per run —
+/// cache state is not reusable across workloads.
+class Simulator {
+public:
+  Simulator(const topology::HierarchicalNetwork& network, const OriginMap& origins,
+            DesignSpec design, SimulationConfig config);
+
+  /// Replay the workload and return the metrics.
+  [[nodiscard]] SimulationMetrics run(const BoundWorkload& workload);
+
+  /// True when this design equips `node` with a cache (regardless of
+  /// whether its budget rounded to zero).
+  [[nodiscard]] bool is_cache_site(topology::GlobalNodeId node) const;
+
+  /// The cache at `node`, or nullptr (exposed for tests).
+  [[nodiscard]] const cache::Cache* cache_at(topology::GlobalNodeId node) const {
+    return caches_[node].get();
+  }
+
+private:
+  struct ServeDecision {
+    topology::GlobalNodeId node = 0;
+    bool from_origin = false;
+    bool via_sibling = false;
+  };
+
+  [[nodiscard]] ServeDecision decide_shortest_path(const BoundRequest& request,
+                                                   topology::GlobalNodeId leaf_node,
+                                                   topology::GlobalNodeId origin_node);
+  [[nodiscard]] ServeDecision decide_nearest_replica(const BoundRequest& request,
+                                                     topology::GlobalNodeId leaf_node,
+                                                     topology::GlobalNodeId origin_node);
+  /// Store along the response path per the design's CacheDecision.
+  void apply_cache_decision(const std::vector<topology::GlobalNodeId>& response,
+                            std::uint32_t object, std::uint64_t size,
+                            topology::PopId origin_pop);
+  [[nodiscard]] std::optional<ServeDecision> try_local(const BoundRequest& request,
+                                                       topology::GlobalNodeId leaf_node);
+
+  [[nodiscard]] bool has_serving_capacity(topology::GlobalNodeId node) const;
+  void note_served(topology::GlobalNodeId node);
+
+  /// Insert `object` into the cache at `node` (if any), keeping the holder
+  /// index in sync. Never caches an object into its own origin's regular
+  /// cache (the origin store already holds it).
+  void store_on_path(std::uint32_t object, std::uint64_t size,
+                     topology::GlobalNodeId node, topology::PopId origin_pop);
+
+  /// Fill every finite cache with the top objects of its PoP's popularity
+  /// order (most popular ends most-recently-used).
+  void prefill(const BoundWorkload& workload);
+
+  const topology::HierarchicalNetwork& network_;
+  const OriginMap& origins_;
+  DesignSpec design_;
+  SimulationConfig config_;
+
+  std::vector<std::unique_ptr<cache::Cache>> caches_;
+  std::optional<HolderIndex> holders_;  ///< engaged for replica routing modes
+  std::vector<std::uint32_t> served_in_window_;
+  std::uint64_t window_cursor_ = 0;
+  std::vector<cache::ObjectId> eviction_scratch_;
+  std::mt19937_64 decision_rng_{0};  ///< probabilistic cache decision coins
+  SimulationMetrics metrics_;
+};
+
+/// Convenience: construct and run in one call.
+[[nodiscard]] SimulationMetrics run_design(const topology::HierarchicalNetwork& network,
+                                           const OriginMap& origins,
+                                           const DesignSpec& design,
+                                           const SimulationConfig& config,
+                                           const BoundWorkload& workload);
+
+}  // namespace idicn::core

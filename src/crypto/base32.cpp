@@ -1,0 +1,63 @@
+#include "crypto/base32.hpp"
+
+#include <array>
+
+namespace idicn::crypto {
+namespace {
+
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz234567";
+
+constexpr int symbol_value(char c) noexcept {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= '2' && c <= '7') return c - '2' + 26;
+  return -1;
+}
+
+}  // namespace
+
+std::string base32_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const std::uint8_t byte : data) {
+    buffer = (buffer << 8) | byte;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kAlphabet[(buffer >> bits) & 0x1f]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kAlphabet[(buffer << (5 - bits)) & 0x1f]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base32_decode(std::string_view text) {
+  // Valid unpadded lengths mod 8: 0, 2, 4, 5, 7.
+  switch (text.size() % 8) {
+    case 1: case 3: case 6: return std::nullopt;
+    default: break;
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (const char c : text) {
+    const int value = symbol_value(c);
+    if (value < 0) return std::nullopt;
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(value);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xff));
+    }
+  }
+  // Leftover bits must be zero padding.
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace idicn::crypto

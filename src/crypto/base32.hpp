@@ -1,0 +1,26 @@
+// RFC 4648 base32 (lowercase, unpadded).
+//
+// The paper's naming footnote observes that DNS labels are capped at 63
+// characters, which rules out hex-coded SHA-256 digests (64 chars). idICN
+// therefore encodes the publisher-key hash P as unpadded base32 (52 chars
+// for 32 bytes), which is also DNS-safe (letters and digits only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idicn::crypto {
+
+/// Encode to lowercase unpadded base32.
+[[nodiscard]] std::string base32_encode(std::span<const std::uint8_t> data);
+
+/// Decode unpadded base32 (either case). Returns std::nullopt on invalid
+/// characters or impossible lengths.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base32_decode(
+    std::string_view text);
+
+}  // namespace idicn::crypto

@@ -1,0 +1,21 @@
+// Hex encoding/decoding used to render digests and keys inside
+// self-certifying names (L.P where P is a hex-coded hash of a public key).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idicn::crypto {
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decode a hex string (either case). Returns std::nullopt on odd length or
+/// non-hex characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view text);
+
+}  // namespace idicn::crypto

@@ -1,0 +1,46 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace idicn::crypto {
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlockSize = 64;
+
+  // Keys longer than the block size are hashed first (RFC 2104).
+  std::array<std::uint8_t, kBlockSize> key_block{};
+  if (key.size() > kBlockSize) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad));
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad));
+  outer.update(std::span<const std::uint8_t>(inner_digest));
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(std::string_view key, std::string_view message) noexcept {
+  return hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(message.data()),
+                                    message.size()));
+}
+
+}  // namespace idicn::crypto

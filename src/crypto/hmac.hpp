@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104). Used by the idICN prototype for keyed request
+// authentication between cooperating proxies and in tests as a reference
+// MAC construction over the from-scratch SHA-256.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace idicn::crypto {
+
+/// Compute HMAC-SHA256(key, message).
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message) noexcept;
+
+/// String-view convenience overload.
+[[nodiscard]] Sha256Digest hmac_sha256(std::string_view key, std::string_view message) noexcept;
+
+}  // namespace idicn::crypto

@@ -1,0 +1,118 @@
+#include "idicn/adhoc.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "idicn/nrs.hpp"
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+net::Address allocate_link_local(const net::SimNet& net, const std::string& host_name) {
+  // Derive the starting candidate from a hash of the host name (RFC 3927
+  // picks pseudo-randomly; we pick deterministically for reproducibility),
+  // then probe forward past collisions.
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(host_name);
+  std::uint32_t offset =
+      (static_cast<std::uint32_t>(digest[0]) << 8 | digest[1]) % (254 * 254);
+  for (int attempts = 0; attempts < 254 * 254; ++attempts) {
+    const std::uint32_t x = offset / 254 + 1;  // avoid .0 and .255
+    const std::uint32_t y = offset % 254 + 1;
+    const net::Address candidate =
+        "169.254." + std::to_string(x) + "." + std::to_string(y);
+    if (!net.is_attached(candidate)) return candidate;
+    offset = (offset + 1) % (254 * 254);
+  }
+  throw std::runtime_error("allocate_link_local: address space exhausted");
+}
+
+void BrowserCache::put(const std::string& url, std::string body,
+                       std::string content_type) {
+  items_[url] = Item{std::move(body), std::move(content_type)};
+}
+
+const BrowserCache::Item* BrowserCache::find(const std::string& url) const {
+  const auto it = items_.find(url);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+std::set<std::string> BrowserCache::domains() const {
+  std::set<std::string> out;
+  for (const auto& [url, item] : items_) {
+    if (const auto uri = net::parse_uri(url); uri && !uri->host.empty()) {
+      out.insert(uri->host);
+    }
+  }
+  return out;
+}
+
+AdHocNode::AdHocNode(net::SimNet* net, const std::string& host_name)
+    : net_(net), host_name_(host_name), address_(allocate_link_local(*net, host_name)) {
+  net_->attach(address_, this);
+  net_->join_group(kMdnsGroup, address_);
+}
+
+AdHocNode::~AdHocNode() {
+  net_->leave_group(kMdnsGroup, address_);
+  net_->detach(address_);
+}
+
+std::optional<net::Address> AdHocNode::mdns_resolve(const std::string& host) const {
+  net::HttpRequest query;
+  query.method = "GET";
+  query.target = "/mdns?name=" + host;
+  for (const net::HttpResponse& answer :
+       net_->multicast(address_, kMdnsGroup, query)) {
+    if (!answer.ok()) continue;
+    for (const auto& [key, value] : parse_form_lines(answer.body)) {
+      if (key == "address") return value;
+    }
+  }
+  return std::nullopt;
+}
+
+net::HttpResponse AdHocNode::fetch(const std::string& url) const {
+  const auto uri = net::parse_uri(url);
+  if (!uri || uri->host.empty()) return net::make_response(400, "bad url");
+
+  // No unicast DNS on a link-local network: the name switching service
+  // falls back to mDNS.
+  const auto peer = mdns_resolve(uri->host);
+  if (!peer) return net::make_response(502, "mdns: no peer has " + uri->host);
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = uri->target();
+  request.headers.set("Host", uri->host);
+  return net_->send(address_, *peer, request);
+}
+
+net::HttpResponse AdHocNode::handle_http(const net::HttpRequest& request,
+                                         const net::Address& /*from*/) {
+  const auto uri = net::parse_uri(request.target);
+  if (!uri) return net::make_response(400, "bad target");
+
+  // mDNS responder: claim a name iff our browser cache can serve it.
+  if (uri->path == "/mdns") {
+    const auto params = parse_form(uri->query);
+    const auto it = params.find("name");
+    if (it == params.end()) return net::make_response(400, "missing name");
+    if (cache_.domains().count(it->second) == 0) {
+      return net::make_response(404, "not published here");
+    }
+    return net::make_response(200, "address=" + address_ + "\n");
+  }
+
+  // Ad hoc proxy: serve out of the browser cache (the paper's prototype
+  // serves straight from Chrome's cache).
+  const auto host = request.headers.get("Host");
+  if (!host) return net::make_response(400, "missing Host");
+  const std::string url = "http://" + *host + uri->target();
+  const BrowserCache::Item* item = cache_.find(url);
+  if (item == nullptr) return net::make_response(404, "not in browser cache");
+  net::HttpResponse response = net::make_response(200, item->body, item->content_type);
+  response.headers.set("X-AdHoc-Source", host_name_);
+  return response;
+}
+
+}  // namespace idicn::idicn

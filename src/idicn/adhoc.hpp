@@ -1,0 +1,84 @@
+// Ad hoc content sharing (§6.2 "Content sharing in ad hoc mode").
+//
+// Models the paper's Zeroconf-based prototype (their 350-line Python
+// proxy): on a network with no infrastructure,
+//   * nodes self-assign link-local addresses (IPv4LL-style probing),
+//   * each node's ad hoc proxy publishes, over multicast DNS, the domain
+//     names for which its browser cache holds content,
+//   * a consumer whose unicast DNS is absent falls back to an mDNS query
+//     and fetches straight from the peer's browser cache.
+// The paper's Alice/Bob CNN-headlines walkthrough is reproduced in
+// examples/adhoc_sharing.cpp and tests/test_adhoc.cpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+/// The multicast group standing in for the link-local mDNS scope.
+inline constexpr const char* kMdnsGroup = "mdns.local";
+
+/// IPv4 link-local (169.254/16) address assignment with conflict probing:
+/// candidates derive deterministically from the host name; taken addresses
+/// are skipped, as in RFC 3927's probe-and-defend.
+[[nodiscard]] net::Address allocate_link_local(const net::SimNet& net,
+                                               const std::string& host_name);
+
+/// A browser cache: full URLs mapped to response bodies.
+class BrowserCache {
+public:
+  void put(const std::string& url, std::string body,
+           std::string content_type = "text/html");
+  struct Item {
+    std::string body;
+    std::string content_type;
+  };
+  [[nodiscard]] const Item* find(const std::string& url) const;
+  /// The set of hostnames with at least one cached URL.
+  [[nodiscard]] std::set<std::string> domains() const;
+
+private:
+  std::map<std::string, Item> items_;  // full URL → item
+};
+
+/// A peer on the ad hoc network: link-local address + mDNS responder +
+/// HTTP proxy serving its own browser cache (only sharers deploy this;
+/// consumers need nothing beyond mDNS fallback resolution).
+class AdHocNode : public net::SimHost {
+public:
+  /// Joins the mDNS group and attaches at a fresh link-local address.
+  AdHocNode(net::SimNet* net, const std::string& host_name);
+  ~AdHocNode() override;
+
+  AdHocNode(const AdHocNode&) = delete;
+  AdHocNode& operator=(const AdHocNode&) = delete;
+
+  [[nodiscard]] const net::Address& address() const noexcept { return address_; }
+  [[nodiscard]] BrowserCache& browser_cache() noexcept { return cache_; }
+
+  /// mDNS name resolution with unicast-DNS absent: multicast the query,
+  /// take the first positive answer ("only one of them will be able to
+  /// publish" a given domain — the first responder wins, matching the
+  /// paper's noted DNS limitation).
+  [[nodiscard]] std::optional<net::Address> mdns_resolve(const std::string& host) const;
+
+  /// Fetch an URL from the ad hoc network: mDNS-resolve the host, then
+  /// HTTP GET from the peer's ad hoc proxy.
+  [[nodiscard]] net::HttpResponse fetch(const std::string& url) const;
+
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  net::SimNet* net_;
+  std::string host_name_;
+  net::Address address_;
+  BrowserCache cache_;
+};
+
+}  // namespace idicn::idicn

@@ -1,0 +1,71 @@
+#include "idicn/client.hpp"
+
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+Client::Client(net::SimNet* net, net::Address self, const net::DnsService* dns,
+               Options options)
+    : net_(net), self_(std::move(self)), dns_(dns), options_(options) {}
+
+bool Client::auto_configure(const NetworkEnvironment& env) {
+  if (dns_ == nullptr) return false;
+  auto pac = discover_pac(*net_, self_, env, *dns_);
+  if (!pac) return false;
+  pac_ = std::move(*pac);
+  return true;
+}
+
+Client::FetchResult Client::get(const std::string& url) {
+  FetchResult result;
+  result.response = net::make_response(400, "bad url");
+
+  const auto uri = net::parse_uri(url);
+  if (!uri || uri->host.empty()) return result;
+
+  const ProxyDecision decision = pac_ ? pac_->find_proxy_for_host(uri->host)
+                                      : ProxyDecision{};
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.headers.set("Host", uri->host);
+
+  ++requests_sent_;
+  if (!decision.direct()) {
+    // Step 2: explicit proxying — absolute-form target, no name lookup or
+    // per-request connection setup at the client.
+    request.target = url;
+    result.response = net_->send(self_, *decision.proxy, request);
+    result.via_proxy = true;
+  } else {
+    const auto address = dns_ != nullptr ? dns_->resolve_with_wildcards(uri->host)
+                                         : std::optional<std::string>{};
+    if (!address) {
+      result.response = net::make_response(502, "host did not resolve");
+      return result;
+    }
+    request.target = uri->target();
+    result.response = net_->send(self_, *address, request);
+  }
+
+  // Optional end-to-end verification for self-certifying names.
+  if (options_.verify_end_to_end && result.response.ok()) {
+    if (const auto name = SelfCertifyingName::parse_host(uri->host)) {
+      const auto metadata = ContentMetadata::from_headers(result.response.headers);
+      if (!metadata || metadata->name != *name) {
+        result.verify_result = VerifyResult::BadSignature;
+      } else {
+        result.verify_result = verify_content(*metadata, result.response.body);
+      }
+      result.verified = result.verify_result == VerifyResult::Ok;
+      if (!result.verified) {
+        result.response = net::make_response(
+            502, std::string("content failed verification: ") +
+                     to_string(*result.verify_result));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace idicn::idicn

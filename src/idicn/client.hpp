@@ -1,0 +1,63 @@
+// idICN client (§6, steps 1–2 and 7).
+//
+// A browser-like client: discovers its proxy automatically via WPAD
+// (step 1), then issues content requests by name through the proxy
+// (step 2) — no per-request name lookup or connection setup on the client.
+// Hosts without a proxy (or for hosts the PAC sends DIRECT) resolve
+// through DNS and fetch directly. The client can optionally verify
+// content end-to-end itself — the stronger of the two §6.1 deployment
+// modes (trust-the-proxy vs verify-at-the-client).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "idicn/metalink.hpp"
+#include "idicn/wpad.hpp"
+#include "net/dns.hpp"
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+class Client {
+public:
+  struct Options {
+    bool verify_end_to_end = false;  ///< verify signatures at the client too
+  };
+
+  Client(net::SimNet* net, net::Address self, const net::DnsService* dns,
+         Options options);
+  Client(net::SimNet* net, net::Address self, const net::DnsService* dns)
+      : Client(net, std::move(self), dns, Options{}) {}
+
+  /// Step 1: WPAD discovery. Returns true when a PAC was found and parsed.
+  bool auto_configure(const NetworkEnvironment& env);
+
+  /// Manually install a PAC (for environments without WPAD).
+  void configure(PacFile pac) { pac_ = std::move(pac); }
+  [[nodiscard]] bool configured() const noexcept { return pac_.has_value(); }
+
+  struct FetchResult {
+    net::HttpResponse response;
+    bool via_proxy = false;
+    bool verified = false;  ///< end-to-end verification succeeded
+    std::optional<VerifyResult> verify_result;
+  };
+
+  /// GET a URL ("http://l.p.idicn.org/" or a legacy URL). Routing follows
+  /// the PAC; verification follows Options::verify_end_to_end (an
+  /// inauthentic response is surfaced as status 502 locally).
+  [[nodiscard]] FetchResult get(const std::string& url);
+
+  [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
+
+private:
+  net::SimNet* net_;
+  net::Address self_;
+  const net::DnsService* dns_;
+  Options options_;
+  std::optional<PacFile> pac_;
+  std::uint64_t requests_sent_ = 0;
+};
+
+}  // namespace idicn::idicn

@@ -1,0 +1,61 @@
+// Metalink-style content metadata over HTTP headers (§6.1).
+//
+// The reverse proxy attaches, and caches/clients verify, per-object
+// metadata: the content digest, the publisher's public key (Merkle root)
+// and a hash-based signature over (name ‖ digest), plus mirror locations.
+// We follow the spirit of Metalink/HTTP (RFC 6249): digests and duplicate
+// mirrors ride in response headers that legacy clients simply ignore.
+//
+// Headers:
+//   X-IdICN-Name:       <L>.<P>.idicn.org
+//   X-IdICN-Digest:     sha-256=<hex>
+//   X-IdICN-Publisher:  <hex Merkle root (the public key)>
+//   X-IdICN-Signature:  <MerkleSignature::encode()>
+//   Link: <uri>; rel=duplicate        (zero or more mirrors)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/lamport.hpp"
+#include "crypto/sha256.hpp"
+#include "idicn/name.hpp"
+#include "net/http_message.hpp"
+
+namespace idicn::idicn {
+
+struct ContentMetadata {
+  SelfCertifyingName name;
+  crypto::Sha256Digest digest{};      ///< SHA-256 of the content bytes
+  crypto::Sha256Digest publisher_key{};  ///< publisher's Merkle root
+  crypto::MerkleSignature signature;  ///< over signing_input()
+  std::vector<std::string> mirrors;   ///< alternate locations (Link rel=duplicate)
+
+  /// The byte string the signature covers: binds the name to the digest so
+  /// a valid signature for one object cannot be replayed for another.
+  [[nodiscard]] std::string signing_input() const;
+
+  /// Attach to / extract from HTTP headers.
+  void apply_to(net::HeaderMap& headers) const;
+  [[nodiscard]] static std::optional<ContentMetadata> from_headers(
+      const net::HeaderMap& headers);
+};
+
+/// Verification outcome; distinguishes the failure modes so callers (and
+/// tests) can tell tampering from key substitution.
+enum class VerifyResult {
+  Ok,
+  DigestMismatch,    ///< body does not hash to the advertised digest
+  PublisherMismatch, ///< hash of enclosed key != P in the name
+  BadSignature       ///< signature does not verify under the enclosed key
+};
+
+[[nodiscard]] const char* to_string(VerifyResult result);
+
+/// Full content-oriented verification: digest, name↔key binding, signature.
+/// This is the ICN security property — no trust in the delivery path.
+[[nodiscard]] VerifyResult verify_content(const ContentMetadata& metadata,
+                                          std::string_view body);
+
+}  // namespace idicn::idicn

@@ -1,0 +1,158 @@
+#include "idicn/mobility.hpp"
+
+#include <charconv>
+
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+std::optional<ByteRange> parse_byte_range(std::string_view header) {
+  if (header.rfind("bytes=", 0) != 0) return std::nullopt;
+  header.remove_prefix(6);
+  const std::size_t dash = header.find('-');
+  if (dash == std::string_view::npos || dash == 0) return std::nullopt;
+
+  ByteRange range;
+  const std::string_view lo_text = header.substr(0, dash);
+  auto [lo_ptr, lo_ec] =
+      std::from_chars(lo_text.data(), lo_text.data() + lo_text.size(), range.lo);
+  if (lo_ec != std::errc() || lo_ptr != lo_text.data() + lo_text.size()) {
+    return std::nullopt;
+  }
+  const std::string_view hi_text = header.substr(dash + 1);
+  if (!hi_text.empty()) {
+    std::uint64_t hi = 0;
+    auto [hi_ptr, hi_ec] =
+        std::from_chars(hi_text.data(), hi_text.data() + hi_text.size(), hi);
+    if (hi_ec != std::errc() || hi_ptr != hi_text.data() + hi_text.size() ||
+        hi < range.lo) {
+      return std::nullopt;
+    }
+    range.hi = hi;
+  }
+  return range;
+}
+
+MobileServer::MobileServer(net::SimNet* net, net::DnsService* dns, std::string dns_name,
+                           net::Address address)
+    : net_(net), dns_(dns), dns_name_(std::move(dns_name)), address_(std::move(address)) {
+  net_->attach(address_, this);
+  dns_->update(dns_name_, address_);
+}
+
+MobileServer::~MobileServer() { net_->detach(address_); }
+
+void MobileServer::put(const std::string& path, std::string body) {
+  content_[path] = std::move(body);
+}
+
+void MobileServer::move_to(const net::Address& new_address) {
+  net_->detach(address_);
+  address_ = new_address;
+  net_->attach(address_, this);
+  dns_->update(dns_name_, address_);  // dynamic DNS announcement
+  ++moves_;
+}
+
+net::HttpResponse MobileServer::handle_http(const net::HttpRequest& request,
+                                            const net::Address& /*from*/) {
+  if (request.method != "GET") return net::make_response(400, "GET only");
+  const auto uri = net::parse_uri(request.target);
+  if (!uri) return net::make_response(400, "bad target");
+  const auto it = content_.find(uri->path);
+  if (it == content_.end()) return net::make_response(404, "no such path");
+  const std::string& body = it->second;
+
+  // Session management: reuse the cookie if presented, mint one otherwise.
+  std::string session;
+  if (const auto cookie = request.headers.get("Cookie");
+      cookie && cookie->rfind("session=", 0) == 0) {
+    session = cookie->substr(8);
+  } else {
+    session = "s" + std::to_string(next_session_++);
+  }
+
+  const auto range_header = request.headers.get("Range");
+  if (!range_header) {
+    net::HttpResponse response = net::make_response(200, body);
+    response.headers.set("Set-Cookie", "session=" + session);
+    session_bytes_[session] += body.size();
+    return response;
+  }
+
+  const auto range = parse_byte_range(*range_header);
+  if (!range || range->lo >= body.size()) {
+    net::HttpResponse response = net::make_response(416, "range not satisfiable");
+    response.headers.set("Content-Range", "bytes */" + std::to_string(body.size()));
+    return response;
+  }
+  const std::uint64_t hi = range->hi ? std::min<std::uint64_t>(*range->hi, body.size() - 1)
+                                     : body.size() - 1;
+  std::string slice = body.substr(range->lo, hi - range->lo + 1);
+  session_bytes_[session] += slice.size();
+
+  net::HttpResponse response = net::make_response(206, std::move(slice));
+  response.headers.set("Content-Range", "bytes " + std::to_string(range->lo) + "-" +
+                                            std::to_string(hi) + "/" +
+                                            std::to_string(body.size()));
+  response.headers.set("Set-Cookie", "session=" + session);
+  return response;
+}
+
+MobileClient::DownloadResult MobileClient::download(const std::string& name,
+                                                    const std::string& path,
+                                                    std::uint64_t chunk_size,
+                                                    unsigned max_attempts) {
+  DownloadResult result;
+  if (chunk_size == 0) return result;
+  std::uint64_t total_size = 0;
+  bool size_known = false;
+  unsigned failures = 0;
+
+  while (!size_known || result.body.size() < total_size) {
+    // §6.3: upon loss of connectivity, re-establish via a fresh lookup.
+    const auto address = dns_->resolve_with_wildcards(name);
+    if (!address) {
+      if (++failures >= max_attempts) break;
+      continue;
+    }
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = path;
+    request.headers.set("Host", name);
+    request.headers.set("Range",
+                        "bytes=" + std::to_string(result.body.size()) + "-" +
+                            std::to_string(result.body.size() + chunk_size - 1));
+    if (!result.session_id.empty()) {
+      request.headers.set("Cookie", "session=" + result.session_id);
+    }
+    const net::HttpResponse response = net_->send(self_, *address, request);
+    if (response.status == 504) {  // server unreachable (moving)
+      ++result.reconnects;
+      if (++failures >= max_attempts) break;
+      continue;
+    }
+    if (response.status != 206) break;
+    failures = 0;
+
+    if (const auto cookie = response.headers.get("Set-Cookie");
+        cookie && cookie->rfind("session=", 0) == 0 && result.session_id.empty()) {
+      result.session_id = cookie->substr(8);
+    }
+    // Content-Range: bytes lo-hi/total
+    if (const auto content_range = response.headers.get("Content-Range")) {
+      const std::size_t slash = content_range->find('/');
+      if (slash != std::string::npos) {
+        total_size = std::stoull(content_range->substr(slash + 1));
+        size_known = true;
+      }
+    }
+    result.body += response.body;
+    ++result.chunks;
+    if (between_chunks) between_chunks(result.body.size());
+  }
+  result.complete = size_known && result.body.size() == total_size;
+  return result;
+}
+
+}  // namespace idicn::idicn

@@ -1,0 +1,107 @@
+// Mobility support (§6.3).
+//
+// idICN handles mobility with two off-the-shelf ingredients:
+//   * session management over HTTP — stateless byte ranges (and a session
+//     cookie) let a transfer resume after any disconnection;
+//   * dynamic DNS — a server that moves re-announces its location, and the
+//     client's next name lookup finds the new address.
+// MobileServer is an HTTP server with Range support that can move between
+// simulated addresses mid-transfer; MobileClient downloads in ranged
+// chunks, re-resolving and resuming whenever the server becomes
+// unreachable. Either side (or both) may move.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+/// Parse "bytes=lo-" or "bytes=lo-hi"; std::nullopt on anything else.
+struct ByteRange {
+  std::uint64_t lo = 0;
+  std::optional<std::uint64_t> hi;  ///< inclusive; nullopt = to end
+};
+[[nodiscard]] std::optional<ByteRange> parse_byte_range(std::string_view header);
+
+class MobileServer : public net::SimHost {
+public:
+  /// Attaches at `address` and announces "<dns_name> → address" (dynamic
+  /// DNS). Non-owning pointers must outlive the server.
+  MobileServer(net::SimNet* net, net::DnsService* dns, std::string dns_name,
+               net::Address address);
+  ~MobileServer() override;
+
+  MobileServer(const MobileServer&) = delete;
+  MobileServer& operator=(const MobileServer&) = delete;
+
+  void put(const std::string& path, std::string body);
+
+  /// Move to a new attachment point: detach, attach, dynamic-DNS update
+  /// (§6.3: "mobile servers must announce their locations").
+  void move_to(const net::Address& new_address);
+
+  [[nodiscard]] const net::Address& address() const noexcept { return address_; }
+  [[nodiscard]] std::uint64_t moves() const noexcept { return moves_; }
+  [[nodiscard]] std::uint64_t sessions_created() const noexcept {
+    return next_session_ - 1;
+  }
+
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  net::SimNet* net_;
+  net::DnsService* dns_;
+  std::string dns_name_;
+  net::Address address_;
+  std::map<std::string, std::string> content_;  // path → body
+  std::map<std::string, std::uint64_t> session_bytes_;  // session id → bytes served
+  std::uint64_t next_session_ = 1;
+  std::uint64_t moves_ = 0;
+};
+
+class MobileClient {
+public:
+  MobileClient(net::SimNet* net, const net::DnsService* dns, net::Address self)
+      : net_(net), dns_(dns), self_(std::move(self)) {}
+
+  struct DownloadResult {
+    bool complete = false;
+    std::string body;
+    std::uint32_t chunks = 0;
+    std::uint32_t reconnects = 0;    ///< re-resolutions after unreachability
+    std::string session_id;          ///< cookie the server assigned
+  };
+
+  /// Download http://<name><path> in `chunk_size`-byte ranged requests,
+  /// re-resolving `name` and resuming from the current offset whenever the
+  /// server is unreachable (it may be moving). Gives up after
+  /// `max_attempts` consecutive failures.
+  [[nodiscard]] DownloadResult download(const std::string& name, const std::string& path,
+                                        std::uint64_t chunk_size,
+                                        unsigned max_attempts = 8);
+
+  /// Hook invoked between chunks (tests use it to move the server
+  /// mid-transfer). The argument is the byte offset reached so far.
+  std::function<void(std::uint64_t)> between_chunks;
+
+  /// Client-side mobility: the client reattaches at a new address. The
+  /// next chunk goes out from there; the HTTP session cookie keeps the
+  /// transfer logically continuous (§6.3 covers "moving the client, the
+  /// server, or both").
+  void move_to(net::Address new_address) { self_ = std::move(new_address); }
+  [[nodiscard]] const net::Address& address() const noexcept { return self_; }
+
+private:
+  net::SimNet* net_;
+  const net::DnsService* dns_;
+  net::Address self_;
+};
+
+}  // namespace idicn::idicn

@@ -1,0 +1,61 @@
+// Self-certifying names (§6.1).
+//
+// idICN adopts DONA-style flat names of the form L.P where P is the
+// cryptographic hash of the publisher's public key and L a label the
+// publisher assigns. For DNS backward compatibility the name is expressed
+// as a hostname under the idicn.org resolver consortium:
+//
+//     <L>.<P>.idicn.org
+//
+// with P encoded as unpadded base32 (52 chars — hex SHA-256 would exceed
+// the 63-char DNS label limit the paper's footnote calls out). L must be a
+// valid DNS label. Content fetched under such a name is verifiable by
+// anyone: hash the enclosed publisher key, compare to P, verify the
+// enclosed signature — no trusted delivery channel needed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace idicn::idicn {
+
+inline constexpr std::string_view kIdicnDomain = "idicn.org";
+
+class SelfCertifyingName {
+public:
+  SelfCertifyingName() = default;
+
+  /// Build from components. Throws std::invalid_argument when `label` is
+  /// not a valid DNS label or `publisher` is not 32 bytes of base32.
+  SelfCertifyingName(std::string label, std::string publisher_b32);
+
+  /// Derive the P component from a publisher's public key (Merkle root).
+  [[nodiscard]] static std::string publisher_id(const crypto::Sha256Digest& root_key);
+
+  /// Parse "<L>.<P>.idicn.org" (case-insensitive host).
+  [[nodiscard]] static std::optional<SelfCertifyingName> parse_host(
+      std::string_view host);
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] const std::string& publisher() const noexcept { return publisher_; }
+
+  /// The full DNS host form.
+  [[nodiscard]] std::string host() const;
+  /// The flat form "L.P" used by the resolution system.
+  [[nodiscard]] std::string flat() const;
+
+  bool operator==(const SelfCertifyingName&) const = default;
+  auto operator<=>(const SelfCertifyingName&) const = default;
+
+private:
+  std::string label_;
+  std::string publisher_;
+};
+
+/// DNS label validity: 1–63 chars of [a-z0-9-], no leading/trailing '-'.
+[[nodiscard]] bool valid_dns_label(std::string_view label);
+
+}  // namespace idicn::idicn

@@ -1,0 +1,34 @@
+#include "idicn/origin_server.hpp"
+
+#include "idicn/nrs.hpp"
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+void OriginServer::put(const std::string& label, std::string body,
+                       std::string content_type) {
+  items_[label] = Item{std::move(body), std::move(content_type)};
+}
+
+const OriginServer::Item* OriginServer::find(const std::string& label) const {
+  const auto it = items_.find(label);
+  return it == items_.end() ? nullptr : &it->second;
+}
+
+net::HttpResponse OriginServer::handle_http(const net::HttpRequest& request,
+                                            const net::Address& /*from*/) {
+  const auto uri = net::parse_uri(request.target);
+  if (!uri) return net::make_response(400, "bad target");
+  if (request.method != "GET" || uri->path != "/content") {
+    return net::make_response(404, "no such endpoint");
+  }
+  const auto params = parse_form(uri->query);
+  const auto it = params.find("label");
+  if (it == params.end()) return net::make_response(400, "missing label");
+  const Item* item = find(it->second);
+  if (item == nullptr) return net::make_response(404, "no such content");
+  ++requests_served_;
+  return net::make_response(200, item->body, item->content_type);
+}
+
+}  // namespace idicn::idicn

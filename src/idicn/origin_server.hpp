@@ -1,0 +1,42 @@
+// Origin server (§6, steps 5 and P1).
+//
+// Holds a publisher's authoritative content and answers fetches from its
+// reverse proxy. Publication flows *through* the reverse proxy (step P1):
+// the origin stores the bytes and asks the reverse proxy to sign and
+// register the name.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+class OriginServer : public net::SimHost {
+public:
+  struct Item {
+    std::string body;
+    std::string content_type = "text/plain";
+  };
+
+  /// Store (or replace) an item under `label`.
+  void put(const std::string& label, std::string body,
+           std::string content_type = "text/plain");
+
+  [[nodiscard]] const Item* find(const std::string& label) const;
+  [[nodiscard]] std::size_t item_count() const noexcept { return items_.size(); }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_;
+  }
+
+  /// HTTP face: GET /content?label=<L>.
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  std::map<std::string, Item> items_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace idicn::idicn

@@ -1,0 +1,231 @@
+#include "idicn/proxy.hpp"
+
+#include "idicn/nrs.hpp"
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+Proxy::Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+             const net::DnsService* dns, Options options)
+    : net_(net),
+      self_(std::move(self)),
+      nrs_(std::move(nrs)),
+      dns_(dns),
+      options_(options) {}
+
+void Proxy::touch(const std::string& host) {
+  const auto it = entries_.find(host);
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(host);
+  it->second.lru_position = lru_.begin();
+}
+
+void Proxy::evict_until_fits(std::uint64_t incoming) {
+  while (!lru_.empty() && used_bytes_ + incoming > options_.capacity_bytes) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = entries_.find(victim);
+    used_bytes_ -= it->second.body.size();
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void Proxy::cache_store(const std::string& host, Entry entry) {
+  if (entry.body.size() > options_.capacity_bytes) return;  // too large to cache
+  const auto existing = entries_.find(host);
+  if (existing != entries_.end()) {
+    used_bytes_ -= existing->second.body.size();
+    lru_.erase(existing->second.lru_position);
+    entries_.erase(existing);
+  }
+  evict_until_fits(entry.body.size());
+  used_bytes_ += entry.body.size();
+  lru_.push_front(host);
+  entry.lru_position = lru_.begin();
+  entries_.emplace(host, std::move(entry));
+}
+
+net::HttpResponse Proxy::serve_entry(const std::string& host, Entry& entry, bool hit) {
+  net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
+  if (entry.metadata) entry.metadata->apply_to(response.headers);
+  if (!entry.etag.empty()) response.headers.set("ETag", entry.etag);
+  response.headers.set("X-Cache", hit ? "HIT" : "MISS");
+  response.headers.set("Via", self_);
+  if (hit) touch(host);
+  return response;
+}
+
+std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
+                                                    const net::Address& location) {
+  net::HttpRequest fetch;
+  fetch.method = "GET";
+  fetch.target = "/";
+  fetch.headers.set("Host", name.host());
+  const net::HttpResponse response = net_->send(self_, location, fetch);
+  if (!response.ok()) return std::nullopt;
+
+  Entry entry;
+  entry.body = response.body;
+  entry.content_type = response.headers.get("Content-Type").value_or("text/plain");
+  entry.etag = response.headers.get("ETag").value_or("");
+  entry.fetched_from = location;
+  entry.stored_at_ms = net_->now_ms();
+  entry.metadata = ContentMetadata::from_headers(response.headers);
+
+  if (options_.verify) {
+    if (!entry.metadata) {
+      ++stats_.verification_failures;
+      return std::nullopt;
+    }
+    if (entry.metadata->name != name ||
+        verify_content(*entry.metadata, entry.body) != VerifyResult::Ok) {
+      ++stats_.verification_failures;
+      return std::nullopt;
+    }
+  }
+  return entry;
+}
+
+bool Proxy::revalidate(const std::string& host, Entry& entry) {
+  if (entry.etag.empty() || entry.fetched_from.empty()) return false;
+  ++stats_.revalidations;
+  net::HttpRequest conditional;
+  conditional.method = "GET";
+  conditional.target = "/";
+  conditional.headers.set("Host", host);
+  conditional.headers.set("If-None-Match", entry.etag);
+  const net::HttpResponse response = net_->send(self_, entry.fetched_from, conditional);
+  if (response.status != 304) return false;
+  ++stats_.revalidated_304;
+  entry.stored_at_ms = net_->now_ms();  // fresh again, body unchanged
+  return true;
+}
+
+std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& name) {
+  for (const net::Address& peer : peers_) {
+    net::HttpRequest query;
+    query.method = "GET";
+    query.target = "http://" + name.host() + "/";
+    query.headers.set("Host", name.host());
+    query.headers.set(kIcpQueryHeader, "1");
+    const net::HttpResponse response = net_->send(self_, peer, query);
+    if (!response.ok()) continue;
+
+    Entry entry;
+    entry.body = response.body;
+    entry.content_type = response.headers.get("Content-Type").value_or("text/plain");
+    entry.etag = response.headers.get("ETag").value_or("");
+    entry.fetched_from = peer;
+    entry.stored_at_ms = net_->now_ms();
+    entry.metadata = ContentMetadata::from_headers(response.headers);
+    if (options_.verify) {
+      // Peers are not more trusted than any other source.
+      if (!entry.metadata || entry.metadata->name != name ||
+          verify_content(*entry.metadata, entry.body) != VerifyResult::Ok) {
+        ++stats_.verification_failures;
+        continue;
+      }
+    }
+    ++stats_.peer_hits;
+    return entry;
+  }
+  return std::nullopt;
+}
+
+net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
+                                     const net::HttpRequest& request) {
+  const std::string host = name.host();
+  const bool peer_query = request.headers.contains(kIcpQueryHeader);
+
+  // Step 7 fast path: fresh cached copy (stale entries try a cheap
+  // conditional refresh before a full refetch).
+  const auto cached = entries_.find(host);
+  if (cached != entries_.end()) {
+    const bool fresh =
+        net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
+    if (fresh) {
+      ++stats_.hits;
+      return serve_entry(host, cached->second, true);
+    }
+    ++stats_.expired;
+    if (!peer_query && revalidate(host, cached->second)) {
+      ++stats_.hits;
+      return serve_entry(host, cached->second, true);
+    }
+  }
+  // Cooperative queries are strictly cache-only: never trigger a fetch.
+  if (peer_query) return net::make_response(404, "not cached here");
+  ++stats_.misses;
+
+  // Scoped cooperation first: a sibling proxy may already hold the object.
+  if (auto entry = fetch_from_peers(name)) {
+    cache_store(host, std::move(*entry));
+    return serve_entry(host, entries_.find(host)->second, false);
+  }
+
+  // Step 3: resolve the name, following at most one P-delegation hop.
+  std::vector<std::string> locations;
+  net::Address resolver = nrs_;
+  for (int hop = 0; hop < 2 && locations.empty(); ++hop) {
+    net::HttpRequest query;
+    query.method = "GET";
+    query.target = "/resolve?name=" + host;
+    const net::HttpResponse answer = net_->send(self_, resolver, query);
+    if (!answer.ok()) break;
+    std::optional<net::Address> delegate;
+    for (const auto& [key, value] : parse_form_lines(answer.body)) {
+      if (key == "location") locations.push_back(value);
+      if (key == "resolver") delegate = value;
+    }
+    if (!locations.empty() || !delegate) break;
+    resolver = *delegate;
+  }
+  if (locations.empty()) return net::make_response(404, "name did not resolve");
+
+  // Step 4: fetch from the first location that yields authentic content.
+  for (const net::Address& location : locations) {
+    auto entry = fetch_and_verify(name, location);
+    if (!entry) continue;
+    cache_store(host, std::move(*entry));
+    return serve_entry(host, entries_.find(host)->second, false);
+  }
+  return net::make_response(502, "no location provided authentic content");
+}
+
+net::HttpResponse Proxy::serve_legacy(const std::string& host,
+                                      const net::HttpRequest& request) {
+  ++stats_.legacy_forwards;
+  const auto address = dns_ != nullptr ? dns_->resolve_with_wildcards(host)
+                                       : std::optional<std::string>{};
+  if (!address) return net::make_response(502, "legacy host did not resolve");
+  net::HttpRequest forward = request;
+  const auto uri = net::parse_uri(request.target);
+  forward.target = uri ? uri->target() : "/";
+  forward.headers.set("Host", host);
+  forward.headers.set("Via", self_);
+  net::HttpResponse response = net_->send(self_, *address, forward);
+  response.headers.set("Via", self_);
+  return response;
+}
+
+net::HttpResponse Proxy::handle_http(const net::HttpRequest& request,
+                                     const net::Address& /*from*/) {
+  if (request.method != "GET") return net::make_response(400, "proxy supports GET only");
+  const auto uri = net::parse_uri(request.target);
+  std::string host;
+  if (uri && !uri->host.empty()) {
+    host = uri->host;  // absolute-form proxy request
+  } else if (const auto host_header = request.headers.get("Host")) {
+    host = *host_header;  // transparent / origin-form fallback
+  } else {
+    return net::make_response(400, "cannot determine host");
+  }
+
+  if (const auto name = SelfCertifyingName::parse_host(host)) {
+    return serve_idicn(*name, request);
+  }
+  return serve_legacy(host, request);
+}
+
+}  // namespace idicn::idicn

@@ -1,0 +1,120 @@
+// Edge proxy cache (§6, steps 2–4 and 7).
+//
+// The AD-operated HTTP proxy clients are auto-configured to use. Per
+// request (absolute-form target, classic proxy semantics):
+//   * a fresh cached copy is served immediately (step 7, X-Cache: HIT);
+//   * otherwise an idICN name is resolved through the NRS (step 3,
+//     following one level of P-delegation), fetched from a
+//     location/mirror (step 4), VERIFIED against the self-certifying name
+//     (the proxy-authenticates-content deployment mode of §6.1), cached,
+//     and served (X-Cache: MISS);
+//   * legacy hosts are resolved through DNS and forwarded transparently —
+//     idICN leaves the existing web intact.
+// Verification failures are never cached or served; the proxy falls back
+// to the next known location and answers 502 when none verifies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "idicn/metalink.hpp"
+#include "idicn/name.hpp"
+#include "net/dns.hpp"
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+class Proxy : public net::SimHost {
+public:
+  struct Options {
+    std::uint64_t capacity_bytes = 1 << 20;
+    std::uint64_t freshness_ms = 3'600'000;  ///< cached copies stay fresh this long
+    bool verify = true;  ///< authenticate content before caching/serving
+  };
+
+  Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+        const net::DnsService* dns, Options options);
+  Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+        const net::DnsService* dns)
+      : Proxy(net, std::move(self), std::move(nrs), dns, Options{}) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t expired = 0;             ///< stale entries refreshed
+    std::uint64_t verification_failures = 0;
+    std::uint64_t legacy_forwards = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t peer_hits = 0;           ///< served via cooperating proxies
+    std::uint64_t revalidations = 0;       ///< conditional refreshes attempted
+    std::uint64_t revalidated_304 = 0;     ///< …answered Not Modified
+  };
+  /// Register a cooperating sibling proxy in the same AD (the
+  /// application-layer analogue of the simulator's EDGE-Coop): on a local
+  /// miss, peers are asked — cache-only, no recursive fetch — before the
+  /// name is resolved upstream.
+  void add_peer(net::Address peer) { peers_.push_back(std::move(peer)); }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return used_bytes_; }
+  [[nodiscard]] std::size_t cached_objects() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool is_cached(const std::string& host) const {
+    return entries_.find(host) != entries_.end();
+  }
+
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  struct Entry {
+    std::string body;
+    std::string content_type;
+    std::optional<ContentMetadata> metadata;
+    std::string etag;          ///< validator for conditional refreshes
+    net::Address fetched_from; ///< where a revalidation should go
+    std::uint64_t stored_at_ms = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  net::HttpResponse serve_idicn(const SelfCertifyingName& name,
+                                const net::HttpRequest& request);
+  net::HttpResponse serve_legacy(const std::string& host,
+                                 const net::HttpRequest& request);
+
+  /// Conditional refresh of a stale entry; true when a 304 renewed it.
+  bool revalidate(const std::string& host, Entry& entry);
+  /// Ask cooperating peers (cache-only); nullopt when no peer has it.
+  std::optional<Entry> fetch_from_peers(const SelfCertifyingName& name);
+
+  /// Fetch `name` from `location` and verify; std::nullopt on any failure.
+  std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
+                                        const net::Address& location);
+
+  net::HttpResponse serve_entry(const std::string& host, Entry& entry, bool hit);
+  void cache_store(const std::string& host, Entry entry);
+  void touch(const std::string& host);
+  void evict_until_fits(std::uint64_t incoming);
+
+  net::SimNet* net_;
+  net::Address self_;
+  net::Address nrs_;
+  const net::DnsService* dns_;
+  Options options_;
+  Stats stats_;
+
+  std::map<std::string, Entry> entries_;  // host → entry
+  std::list<std::string> lru_;            // front = most recent
+  std::uint64_t used_bytes_ = 0;
+  std::vector<net::Address> peers_;
+};
+
+/// The request header marking a cache-only cooperative query (a proxy must
+/// answer it from its cache or 404 — never by fetching upstream, which
+/// would loop).
+inline constexpr const char* kIcpQueryHeader = "X-IdICN-Peer-Query";
+
+}  // namespace idicn::idicn

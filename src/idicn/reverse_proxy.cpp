@@ -1,0 +1,118 @@
+#include "idicn/reverse_proxy.hpp"
+
+#include "crypto/hex.hpp"
+#include "idicn/nrs.hpp"
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+ReverseProxy::ReverseProxy(net::SimNet* net, net::Address self, net::Address origin,
+                           net::Address nrs, crypto::MerkleSigner* signer)
+    : net_(net),
+      self_(std::move(self)),
+      origin_(std::move(origin)),
+      nrs_(std::move(nrs)),
+      signer_(signer) {}
+
+std::string ReverseProxy::publisher_id() const {
+  return SelfCertifyingName::publisher_id(signer_->root());
+}
+
+ReverseProxy::Entry& ReverseProxy::admit(const std::string& label, std::string body,
+                                         std::string content_type) {
+  Entry entry;
+  entry.body = std::move(body);
+  entry.content_type = std::move(content_type);
+  entry.metadata.name = SelfCertifyingName(label, publisher_id());
+  entry.metadata.digest = crypto::Sha256::hash(entry.body);
+  entry.metadata.publisher_key = signer_->root();
+  entry.metadata.signature = signer_->sign(entry.metadata.signing_input());
+  entry.metadata.mirrors = {self_};
+  return entries_[label] = std::move(entry);
+}
+
+std::optional<SelfCertifyingName> ReverseProxy::publish(const std::string& label) {
+  // A publish consumes two one-time signatures (content + registration);
+  // refuse cleanly when the publisher's key is exhausted.
+  if (signer_->remaining() < 2) return std::nullopt;
+
+  // Step P1: pull the authoritative bytes from the origin.
+  net::HttpRequest fetch;
+  fetch.method = "GET";
+  fetch.target = "/content?label=" + label;
+  const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+  if (!from_origin.ok()) return std::nullopt;
+  ++origin_fetches_;
+
+  const Entry& entry =
+      admit(label, from_origin.body,
+            from_origin.headers.get("Content-Type").value_or("text/plain"));
+
+  // Step P2: register the name with the resolution system; the NRS checks
+  // nothing but cryptographic correctness.
+  const crypto::MerkleSignature registration = signer_->sign(
+      NameResolutionSystem::registration_signing_input(entry.metadata.name, self_));
+  net::HttpRequest reg;
+  reg.method = "POST";
+  reg.target = "/register";
+  reg.body = "name=" + entry.metadata.name.host() + "&location=" + self_ +
+             "&publisher-key=" +
+             crypto::hex_encode(std::span<const std::uint8_t>(signer_->root())) +
+             "&signature=" + registration.encode();
+  reg.headers.set("Content-Length", std::to_string(reg.body.size()));
+  const net::HttpResponse ack = net_->send(self_, nrs_, reg);
+  if (!ack.ok()) return std::nullopt;
+  return entry.metadata.name;
+}
+
+net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
+                                            const net::Address& /*from*/) {
+  if (request.method != "GET") return net::make_response(404, "no such endpoint");
+  const auto host = request.headers.get("Host");
+  if (!host) return net::make_response(400, "missing Host");
+  const auto name = SelfCertifyingName::parse_host(*host);
+  if (!name) return net::make_response(400, "not an idicn name");
+  if (name->publisher() != publisher_id()) {
+    return net::make_response(403, "wrong publisher");
+  }
+
+  auto it = entries_.find(name->label());
+  if (it == entries_.end()) {
+    // On-demand admission needs a fresh one-time signature.
+    if (signer_->remaining() == 0) {
+      return net::make_response(503, "publisher signing key exhausted");
+    }
+    // Step 5: route the request to the origin server.
+    net::HttpRequest fetch;
+    fetch.method = "GET";
+    fetch.target = "/content?label=" + name->label();
+    const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+    if (!from_origin.ok()) return net::make_response(404, "no such content");
+    ++origin_fetches_;
+    admit(name->label(), from_origin.body,
+          from_origin.headers.get("Content-Type").value_or("text/plain"));
+    it = entries_.find(name->label());
+  } else {
+    ++cache_hits_;
+  }
+
+  // Step 6: respond with the content plus verification metadata. The ETag
+  // is the content digest, enabling cheap conditional revalidation by
+  // downstream caches.
+  const Entry& entry = it->second;
+  const std::string etag =
+      "\"" + crypto::hex_encode(std::span<const std::uint8_t>(entry.metadata.digest)) +
+      "\"";
+  if (const auto condition = request.headers.get("If-None-Match");
+      condition && *condition == etag) {
+    net::HttpResponse not_modified = net::make_response(304, "");
+    not_modified.headers.set("ETag", etag);
+    return not_modified;
+  }
+  net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
+  entry.metadata.apply_to(response.headers);
+  response.headers.set("ETag", etag);
+  return response;
+}
+
+}  // namespace idicn::idicn

@@ -1,0 +1,69 @@
+// Reverse proxy (§6, steps 4–6 and P1–P2).
+//
+// Deployed by the content provider in front of the origin. It
+//   * publishes new content: computes the digest, signs (name ‖ digest)
+//     with the publisher's hash-based key, caches the metadata, and
+//     registers the name with the NRS (and, through it, DNS);
+//   * serves content requests by name, attaching the Metalink-style
+//     metadata headers; on a local miss it fetches from the origin
+//     (step 5) and caches the result.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/lamport.hpp"
+#include "idicn/metalink.hpp"
+#include "idicn/name.hpp"
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+class ReverseProxy : public net::SimHost {
+public:
+  /// `signer` is the publisher's long-lived key (kept at the reverse proxy,
+  /// which generates signatures per the paper). Non-owning pointers must
+  /// outlive the proxy.
+  ReverseProxy(net::SimNet* net, net::Address self, net::Address origin,
+               net::Address nrs, crypto::MerkleSigner* signer);
+
+  /// The publisher id (P) this proxy publishes under.
+  [[nodiscard]] std::string publisher_id() const;
+
+  /// Publish content already held at the origin under `label` (step P1):
+  /// fetch it, sign it, register the name (step P2). Returns the full
+  /// self-certifying name, or std::nullopt when the origin lacks the label
+  /// or registration is refused.
+  std::optional<SelfCertifyingName> publish(const std::string& label);
+
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t origin_fetches() const noexcept {
+    return origin_fetches_;
+  }
+
+  /// HTTP face: GET with Host: <L>.<P>.idicn.org (any path).
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  struct Entry {
+    std::string body;
+    std::string content_type;
+    ContentMetadata metadata;
+  };
+
+  /// Sign and remember metadata for (label, body); returns the entry.
+  Entry& admit(const std::string& label, std::string body, std::string content_type);
+
+  net::SimNet* net_;
+  net::Address self_;
+  net::Address origin_;
+  net::Address nrs_;
+  crypto::MerkleSigner* signer_;
+  std::map<std::string, Entry> entries_;  // label → signed content
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t origin_fetches_ = 0;
+};
+
+}  // namespace idicn::idicn

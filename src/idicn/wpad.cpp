@@ -1,0 +1,113 @@
+#include "idicn/wpad.hpp"
+
+#include <sstream>
+
+#include "net/uri.hpp"
+
+namespace idicn::idicn {
+
+bool PacFile::matches(std::string_view pattern, std::string_view host) {
+  if (pattern.rfind("*.", 0) == 0) {
+    const std::string_view suffix = pattern.substr(1);  // ".idicn.org"
+    return host.size() > suffix.size() &&
+           host.compare(host.size() - suffix.size(), suffix.size(), suffix) == 0;
+  }
+  return pattern == host;
+}
+
+std::optional<PacFile> PacFile::parse(std::string_view text) {
+  PacFile pac;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word) || word[0] == '#') continue;
+
+    if (word == "proxy") {
+      Rule rule;
+      std::string keyword;
+      if (!(words >> rule.proxy >> keyword >> rule.pattern) || keyword != "for") {
+        return std::nullopt;
+      }
+      pac.rules_.push_back(std::move(rule));
+    } else if (word == "default") {
+      std::string mode;
+      if (!(words >> mode)) return std::nullopt;
+      if (mode == "DIRECT") {
+        pac.default_proxy_.reset();
+      } else if (mode == "PROXY") {
+        std::string address;
+        if (!(words >> address)) return std::nullopt;
+        pac.default_proxy_ = address;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  return pac;
+}
+
+ProxyDecision PacFile::find_proxy_for_host(std::string_view host) const {
+  for (const Rule& rule : rules_) {
+    if (matches(rule.pattern, host)) return ProxyDecision{rule.proxy};
+  }
+  return ProxyDecision{default_proxy_};
+}
+
+std::string PacFile::serialize() const {
+  std::string out = "# idICN PAC (mini dialect)\n";
+  for (const Rule& rule : rules_) {
+    out += "proxy " + rule.proxy + " for " + rule.pattern + "\n";
+  }
+  out += default_proxy_ ? "default PROXY " + *default_proxy_ + "\n"
+                        : std::string("default DIRECT\n");
+  return out;
+}
+
+PacFile PacFile::idicn_default(const net::Address& proxy) {
+  PacFile pac;
+  pac.rules_.push_back(Rule{"*.idicn.org", proxy});
+  return pac;
+}
+
+net::HttpResponse WpadService::handle_http(const net::HttpRequest& request,
+                                           const net::Address& /*from*/) {
+  const auto uri = net::parse_uri(request.target);
+  if (request.method != "GET" || !uri || uri->path != "/wpad.dat") {
+    return net::make_response(404, "no such endpoint");
+  }
+  return net::make_response(200, pac_.serialize(),
+                            "application/x-ns-proxy-autoconfig");
+}
+
+std::optional<PacFile> discover_pac(net::SimNet& net, const net::Address& self,
+                                    const NetworkEnvironment& env,
+                                    const net::DnsService& dns) {
+  // Candidate PAC URLs: DHCP option 252 first, then DNS wpad.<domain>.
+  std::vector<std::string> urls;
+  if (env.dhcp_pac_url) urls.push_back(*env.dhcp_pac_url);
+  if (!env.dns_domain.empty()) {
+    urls.push_back("http://wpad." + env.dns_domain + "/wpad.dat");
+  }
+
+  for (const std::string& url : urls) {
+    const auto uri = net::parse_uri(url);
+    if (!uri || uri->host.empty()) continue;
+    const auto address = dns.resolve_with_wildcards(uri->host);
+    if (!address) continue;
+    net::HttpRequest fetch;
+    fetch.method = "GET";
+    fetch.target = uri->target();
+    fetch.headers.set("Host", uri->host);
+    const net::HttpResponse response = net.send(self, *address, fetch);
+    if (!response.ok()) continue;
+    if (auto pac = PacFile::parse(response.body)) return pac;
+  }
+  return std::nullopt;
+}
+
+}  // namespace idicn::idicn

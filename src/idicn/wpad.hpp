@@ -1,0 +1,89 @@
+// Automatic proxy configuration (§6.2).
+//
+// Hosts locate a Proxy Auto-Config (PAC) file via WPAD: first the
+// DHCP-provided URL (option 252), then DNS ("wpad.<domain>"); the fetched
+// PAC decides, per URL, which proxy to use. Real PAC files are JavaScript;
+// the prototype uses a line-oriented mini-dialect with the same decision
+// power for our flows:
+//
+//     # comment
+//     proxy <address> for <host-pattern>     e.g. proxy cache.ad1 for *.idicn.org
+//     default DIRECT | PROXY <address>
+//
+// Host patterns are exact hostnames or "*.suffix". The first matching rule
+// wins; a missing default means DIRECT.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/sim_net.hpp"
+
+namespace idicn::idicn {
+
+/// One evaluated decision: proxy address, or direct when empty.
+struct ProxyDecision {
+  std::optional<net::Address> proxy;
+  [[nodiscard]] bool direct() const noexcept { return !proxy.has_value(); }
+};
+
+/// Parsed PAC file (mini dialect above).
+class PacFile {
+public:
+  /// Parse; returns std::nullopt on syntax errors.
+  [[nodiscard]] static std::optional<PacFile> parse(std::string_view text);
+
+  /// The FindProxyForURL equivalent.
+  [[nodiscard]] ProxyDecision find_proxy_for_host(std::string_view host) const;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Render back to text (for serving).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Convenience: a PAC sending *.idicn.org through `proxy`, rest DIRECT.
+  [[nodiscard]] static PacFile idicn_default(const net::Address& proxy);
+
+private:
+  struct Rule {
+    std::string pattern;  // exact host or "*.suffix"
+    net::Address proxy;
+  };
+  [[nodiscard]] static bool matches(std::string_view pattern, std::string_view host);
+
+  std::vector<Rule> rules_;
+  std::optional<net::Address> default_proxy_;  // nullopt = DIRECT
+};
+
+/// The host serving GET /wpad.dat.
+class WpadService : public net::SimHost {
+public:
+  explicit WpadService(PacFile pac) : pac_(std::move(pac)) {}
+
+  void set_pac(PacFile pac) { pac_ = std::move(pac); }
+
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override;
+
+private:
+  PacFile pac_;
+};
+
+/// The network-side configuration a client discovers against: the DHCP
+/// server's PAC URL (option 252) and the local DNS domain.
+struct NetworkEnvironment {
+  std::optional<std::string> dhcp_pac_url;  ///< e.g. "http://wpad.ad1/wpad.dat"
+  std::string dns_domain;                   ///< e.g. "ad1" → try wpad.ad1
+};
+
+/// Run WPAD discovery: DHCP first, DNS second; fetch and parse the PAC.
+/// Returns std::nullopt when no PAC can be located (client goes DIRECT).
+[[nodiscard]] std::optional<PacFile> discover_pac(net::SimNet& net,
+                                                  const net::Address& self,
+                                                  const NetworkEnvironment& env,
+                                                  const net::DnsService& dns);
+
+}  // namespace idicn::idicn

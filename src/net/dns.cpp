@@ -1,0 +1,42 @@
+#include "net/dns.hpp"
+
+namespace idicn::net {
+
+void DnsService::update(const std::string& name, const std::string& address) {
+  Record& r = records_[name];
+  r.address = address;
+  r.serial = next_serial_++;
+}
+
+void DnsService::remove(const std::string& name) { records_.erase(name); }
+
+std::optional<std::string> DnsService::resolve(const std::string& name) const {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.address;
+}
+
+std::optional<std::string> DnsService::resolve_with_wildcards(
+    const std::string& name) const {
+  if (auto exact = resolve(name)) return exact;
+  std::string domain = parent_domain(name);
+  while (!domain.empty()) {
+    if (auto wildcard = resolve("*." + domain)) return wildcard;
+    domain = parent_domain(domain);
+  }
+  return std::nullopt;
+}
+
+std::optional<DnsService::Record> DnsService::record(const std::string& name) const {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string parent_domain(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return "";
+  return name.substr(dot + 1);
+}
+
+}  // namespace idicn::net

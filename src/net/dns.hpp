@@ -1,0 +1,57 @@
+// DNS for the idICN prototype.
+//
+// Three roles from §6:
+//   * plain name → address resolution (backward compatibility: content is
+//     registered under .idicn.org so legacy clients still resolve it);
+//   * dynamic updates (mobility, §6.3: "with dynamic DNS updates, mobile
+//     servers must announce their locations");
+//   * DHCP-option-style discovery hooks (WPAD looks up the PAC URL via
+//     DHCP first and DNS second, §6.2).
+//
+// DnsService is an in-memory authoritative server with a monotonically
+// increasing serial per record so tests can observe update ordering.
+// Multicast DNS (ad hoc mode) lives in idicn/adhoc.hpp on top of SimNet
+// multicast groups.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace idicn::net {
+
+class DnsService {
+public:
+  struct Record {
+    std::string address;
+    std::uint64_t serial = 0;  ///< bumped on every update
+  };
+
+  /// Create or replace a record (dynamic DNS update).
+  void update(const std::string& name, const std::string& address);
+
+  void remove(const std::string& name);
+
+  /// Exact-match lookup.
+  [[nodiscard]] std::optional<std::string> resolve(const std::string& name) const;
+
+  /// Exact match, else walk up the label hierarchy looking for a wildcard
+  /// ("*.idicn.org" answers any name under idicn.org). This is how one
+  /// resolver can front an entire namespace.
+  [[nodiscard]] std::optional<std::string> resolve_with_wildcards(
+      const std::string& name) const;
+
+  [[nodiscard]] std::optional<Record> record(const std::string& name) const;
+  [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
+
+private:
+  std::map<std::string, Record> records_;
+  std::uint64_t next_serial_ = 1;
+};
+
+/// Drop the leftmost label: "a.b.c" → "b.c"; "" for single labels.
+[[nodiscard]] std::string parent_domain(const std::string& name);
+
+}  // namespace idicn::net

@@ -1,0 +1,85 @@
+// HTTP/1.1 message codec for the idICN prototype (§6).
+//
+// idICN deliberately builds on plain HTTP — "it already provides a
+// fetch-by-name primitive" — extended with content-oriented metadata
+// headers (Metalink-style, §6.1). This is a strict-enough subset of RFC
+// 7230: request line / status line, CRLF header fields with
+// case-insensitive names, and Content-Length-delimited bodies (the
+// prototype never uses chunked transfer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace idicn::net {
+
+/// Ordered header list preserving insertion order; name lookups are
+/// case-insensitive (RFC 7230 §3.2).
+class HeaderMap {
+public:
+  void add(std::string name, std::string value);
+  /// Replace all values of `name` with a single value.
+  void set(std::string name, std::string value);
+  void remove(std::string_view name);
+
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& fields()
+      const noexcept {
+    return fields_;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";      ///< origin-form or absolute-form
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// Parse outcomes carry a human-readable reason on failure.
+struct ParseError {
+  std::string message;
+};
+
+/// Parse one complete request/response from `text`. The message must be
+/// complete: headers terminated by CRLFCRLF and the body exactly
+/// Content-Length bytes (trailing bytes are an error — the simulated
+/// transport is message-oriented).
+[[nodiscard]] std::optional<HttpRequest> parse_request(std::string_view text,
+                                                       ParseError* error = nullptr);
+[[nodiscard]] std::optional<HttpResponse> parse_response(std::string_view text,
+                                                         ParseError* error = nullptr);
+
+/// Canonical reason phrase for common status codes ("OK", "Not Found", …).
+[[nodiscard]] std::string_view default_reason(int status);
+
+/// Build a response with Content-Length set.
+[[nodiscard]] HttpResponse make_response(int status, std::string body,
+                                         std::string_view content_type = "text/plain");
+
+}  // namespace idicn::net

@@ -1,0 +1,102 @@
+#include "net/uri.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace idicn::net {
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool has_whitespace_or_control(std::string_view text) {
+  return std::any_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isspace(c) || std::iscntrl(c);
+  });
+}
+
+}  // namespace
+
+std::string Uri::target() const {
+  std::string out = path.empty() ? "/" : path;
+  if (!query.empty()) {
+    out.push_back('?');
+    out += query;
+  }
+  return out;
+}
+
+std::string Uri::to_string() const {
+  if (host.empty()) return target();
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  out += target();
+  return out;
+}
+
+std::optional<Uri> parse_uri(std::string_view text) {
+  if (text.empty() || has_whitespace_or_control(text)) return std::nullopt;
+
+  Uri uri;
+
+  // Strip any fragment.
+  if (const std::size_t hash = text.find('#'); hash != std::string_view::npos) {
+    text = text.substr(0, hash);
+  }
+
+  // Origin form: "/path?query".
+  if (text.front() == '/') {
+    const std::size_t question = text.find('?');
+    uri.path = std::string(text.substr(0, question));
+    if (question != std::string_view::npos) {
+      uri.query = std::string(text.substr(question + 1));
+    }
+    return uri;
+  }
+
+  // Absolute form: "scheme://host[:port][/path][?query]".
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return std::nullopt;
+  uri.scheme = to_lower(text.substr(0, scheme_end));
+  text.remove_prefix(scheme_end + 3);
+
+  const std::size_t authority_end = text.find_first_of("/?");
+  std::string_view authority = text.substr(0, authority_end);
+  std::string_view rest =
+      authority_end == std::string_view::npos ? std::string_view{} : text.substr(authority_end);
+
+  if (authority.empty()) return std::nullopt;
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view port_text = authority.substr(colon + 1);
+    if (port_text.empty() || port_text.size() > 5) return std::nullopt;
+    std::uint32_t port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') return std::nullopt;
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (port == 0 || port > 65535) return std::nullopt;
+    uri.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  uri.host = to_lower(authority);
+
+  if (rest.empty() || rest.front() == '?') {
+    uri.path = "/";
+    if (!rest.empty()) uri.query = std::string(rest.substr(1));
+    return uri;
+  }
+  const std::size_t question = rest.find('?');
+  uri.path = std::string(rest.substr(0, question));
+  if (question != std::string_view::npos) {
+    uri.query = std::string(rest.substr(question + 1));
+  }
+  return uri;
+}
+
+}  // namespace idicn::net

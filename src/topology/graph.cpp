@@ -1,0 +1,71 @@
+#include "topology/graph.hpp"
+
+#include <queue>
+
+namespace idicn::topology {
+
+NodeId Graph::add_node(std::string name, double population) {
+  if (population <= 0.0) {
+    throw std::invalid_argument("Graph::add_node: population must be positive");
+  }
+  nodes_.push_back(Node{std::move(name), population});
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, double weight) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Graph::add_link: unknown node");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Graph::add_link: self loops are not allowed");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("Graph::add_link: weight must be positive");
+  }
+  if (link_between(a, b) != kInvalidLink) {
+    throw std::invalid_argument("Graph::add_link: duplicate link");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, weight});
+  adjacency_[a].push_back(Adjacency{b, id, weight});
+  adjacency_[b].push_back(Adjacency{a, id, weight});
+  return id;
+}
+
+LinkId Graph::link_between(NodeId a, NodeId b) const {
+  if (a >= nodes_.size() || b >= nodes_.size()) return kInvalidLink;
+  for (const Adjacency& adj : adjacency_[a]) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return kInvalidLink;
+}
+
+bool Graph::connected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Adjacency& adj : adjacency_[u]) {
+      if (!seen[adj.neighbor]) {
+        seen[adj.neighbor] = true;
+        ++visited;
+        frontier.push(adj.neighbor);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+double Graph::total_population() const noexcept {
+  double total = 0.0;
+  for (const Node& n : nodes_) total += n.population;
+  return total;
+}
+
+}  // namespace idicn::topology

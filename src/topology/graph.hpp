@@ -1,0 +1,83 @@
+// Weighted undirected graph used for PoP-level (core) ISP topologies.
+//
+// The paper's simulations (§4.1) run over PoP-level maps from educational
+// backbones and Rocketfuel, where each PoP node is annotated with the
+// population of its metro region. This module provides the graph container;
+// shortest_path.hpp provides the routing computations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace idicn::topology {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// One PoP / router in a core topology.
+struct Node {
+  std::string name;        ///< human-readable PoP name (e.g. metro city)
+  double population = 1.0; ///< metro population weight (requests & origins ∝ this)
+};
+
+/// An undirected link with a routing weight (hop metric by default).
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double weight = 1.0;
+};
+
+/// Adjacency entry: neighbor plus the link that reaches it.
+struct Adjacency {
+  NodeId neighbor = kInvalidNode;
+  LinkId link = kInvalidLink;
+  double weight = 1.0;
+};
+
+/// A simple undirected weighted graph with named, population-annotated nodes.
+///
+/// Invariants: no self loops; node ids are dense [0, node_count());
+/// link ids are dense [0, link_count()).
+class Graph {
+public:
+  Graph() = default;
+
+  /// Add a node and return its id.
+  NodeId add_node(std::string name, double population = 1.0);
+
+  /// Add an undirected link between existing nodes. Throws std::out_of_range
+  /// for unknown nodes and std::invalid_argument for self loops or
+  /// non-positive weights.
+  LinkId add_link(NodeId a, NodeId b, double weight = 1.0);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+
+  /// Find the link joining a and b, or kInvalidLink when absent.
+  [[nodiscard]] LinkId link_between(NodeId a, NodeId b) const;
+
+  /// True when every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+  /// Total population across all nodes.
+  [[nodiscard]] double total_population() const noexcept;
+
+private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace idicn::topology

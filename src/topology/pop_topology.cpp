@@ -1,0 +1,131 @@
+#include "topology/pop_topology.hpp"
+
+#include <stdexcept>
+
+#include "topology/rocketfuel_gen.hpp"
+
+namespace idicn::topology {
+
+const std::vector<std::string>& evaluation_topology_names() {
+  static const std::vector<std::string> names = {
+      "Abilene", "Geant", "Telstra", "Sprint", "Verio", "Tiscali", "Level3", "ATT"};
+  return names;
+}
+
+Graph make_abilene() {
+  Graph g;
+  // Metro populations in millions (approximate metro-area values; only the
+  // relative weights matter to the simulation).
+  const NodeId seattle = g.add_node("Seattle", 3.9);
+  const NodeId sunnyvale = g.add_node("Sunnyvale", 1.9);
+  const NodeId losangeles = g.add_node("LosAngeles", 13.2);
+  const NodeId denver = g.add_node("Denver", 2.9);
+  const NodeId kansascity = g.add_node("KansasCity", 2.1);
+  const NodeId houston = g.add_node("Houston", 6.9);
+  const NodeId chicago = g.add_node("Chicago", 9.5);
+  const NodeId indianapolis = g.add_node("Indianapolis", 2.0);
+  const NodeId atlanta = g.add_node("Atlanta", 5.9);
+  const NodeId washington = g.add_node("WashingtonDC", 6.2);
+  const NodeId newyork = g.add_node("NewYork", 19.8);
+
+  // The 14 Abilene backbone links.
+  g.add_link(seattle, sunnyvale);
+  g.add_link(seattle, denver);
+  g.add_link(sunnyvale, losangeles);
+  g.add_link(sunnyvale, denver);
+  g.add_link(losangeles, houston);
+  g.add_link(denver, kansascity);
+  g.add_link(kansascity, houston);
+  g.add_link(kansascity, indianapolis);
+  g.add_link(houston, atlanta);
+  g.add_link(chicago, indianapolis);
+  g.add_link(chicago, newyork);
+  g.add_link(indianapolis, atlanta);
+  g.add_link(atlanta, washington);
+  g.add_link(washington, newyork);
+  return g;
+}
+
+Graph make_geant() {
+  Graph g;
+  // 22 national research networks; populations are the countries'
+  // populations in millions (relative weights only).
+  const NodeId at = g.add_node("Austria", 8.4);
+  const NodeId be = g.add_node("Belgium", 11.0);
+  const NodeId ch = g.add_node("Switzerland", 8.0);
+  const NodeId cz = g.add_node("Czechia", 10.5);
+  const NodeId de = g.add_node("Germany", 81.8);
+  const NodeId es = g.add_node("Spain", 46.8);
+  const NodeId fr = g.add_node("France", 65.3);
+  const NodeId gr = g.add_node("Greece", 11.1);
+  const NodeId hr = g.add_node("Croatia", 4.3);
+  const NodeId hu = g.add_node("Hungary", 10.0);
+  const NodeId ie = g.add_node("Ireland", 4.6);
+  const NodeId il = g.add_node("Israel", 7.8);
+  const NodeId it = g.add_node("Italy", 59.4);
+  const NodeId lu = g.add_node("Luxembourg", 0.5);
+  const NodeId nl = g.add_node("Netherlands", 16.7);
+  const NodeId pl = g.add_node("Poland", 38.5);
+  const NodeId pt = g.add_node("Portugal", 10.6);
+  const NodeId se = g.add_node("Sweden", 9.5);
+  const NodeId si = g.add_node("Slovenia", 2.1);
+  const NodeId sk = g.add_node("Slovakia", 5.4);
+  const NodeId uk = g.add_node("UK", 63.2);
+  const NodeId dk = g.add_node("Denmark", 5.6);
+
+  g.add_link(at, ch);
+  g.add_link(at, cz);
+  g.add_link(at, de);
+  g.add_link(at, hu);
+  g.add_link(at, si);
+  g.add_link(at, sk);
+  g.add_link(be, fr);
+  g.add_link(be, nl);
+  g.add_link(ch, de);
+  g.add_link(ch, fr);
+  g.add_link(ch, it);
+  g.add_link(cz, de);
+  g.add_link(cz, pl);
+  g.add_link(cz, sk);
+  g.add_link(de, dk);
+  g.add_link(de, fr);
+  g.add_link(de, il);
+  g.add_link(de, nl);
+  g.add_link(de, se);
+  g.add_link(es, fr);
+  g.add_link(es, it);
+  g.add_link(es, pt);
+  g.add_link(fr, lu);
+  g.add_link(fr, uk);
+  g.add_link(gr, it);
+  g.add_link(gr, at);
+  g.add_link(hr, hu);
+  g.add_link(hr, si);
+  g.add_link(hu, sk);
+  g.add_link(ie, uk);
+  g.add_link(il, it);
+  g.add_link(it, at);
+  g.add_link(nl, uk);
+  g.add_link(pl, de);
+  g.add_link(pt, uk);
+  g.add_link(se, dk);
+  g.add_link(uk, de);
+  return g;
+}
+
+Graph make_topology(std::string_view name) {
+  if (name == "Abilene") return make_abilene();
+  if (name == "Geant") return make_geant();
+  // Rocketfuel-like synthetic ISPs; PoP counts follow the published
+  // Rocketfuel PoP-level maps (AT&T is the largest, matching §5 of the
+  // paper). Seeds are fixed per ISP so every run sees the same graph.
+  if (name == "Telstra") return RocketfuelLikeGenerator{57, 0x7e15741u}.generate("Telstra");
+  if (name == "Sprint") return RocketfuelLikeGenerator{43, 0x5931239u}.generate("Sprint");
+  if (name == "Verio") return RocketfuelLikeGenerator{70, 0x2914ab3u}.generate("Verio");
+  if (name == "Tiscali") return RocketfuelLikeGenerator{41, 0x3257c4du}.generate("Tiscali");
+  if (name == "Level3") return RocketfuelLikeGenerator{52, 0x3356e5fu}.generate("Level3");
+  if (name == "ATT") return RocketfuelLikeGenerator{115, 0x7018f61u}.generate("ATT");
+  throw std::invalid_argument("make_topology: unknown topology name: " + std::string(name));
+}
+
+}  // namespace idicn::topology

@@ -1,0 +1,35 @@
+// Embedded PoP-level topologies.
+//
+// The paper evaluates on PoP-level maps of two educational backbones
+// (Abilene, Géant) and six Rocketfuel ISP maps (Telstra, Sprint, Verio,
+// Tiscali, Level3, AT&T). Abilene and Géant are public and embedded here
+// verbatim (node list + links + metro populations). The Rocketfuel maps are
+// not redistributable in this repository, so rocketfuel_gen.hpp synthesizes
+// structurally comparable graphs with the published PoP counts — see
+// DESIGN.md §5 for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace idicn::topology {
+
+/// Names of the eight evaluation topologies, in the paper's order
+/// (Figures 6 and 7 x-axis).
+[[nodiscard]] const std::vector<std::string>& evaluation_topology_names();
+
+/// Build a topology by name ("Abilene", "Geant", "Telstra", "Sprint",
+/// "Verio", "Tiscali", "Level3", "ATT"). Throws std::invalid_argument for
+/// unknown names.
+[[nodiscard]] Graph make_topology(std::string_view name);
+
+/// The 11-PoP Abilene (Internet2) backbone with metro populations.
+[[nodiscard]] Graph make_abilene();
+
+/// The Géant European research backbone (22 PoPs, circa the paper's era).
+[[nodiscard]] Graph make_geant();
+
+}  // namespace idicn::topology

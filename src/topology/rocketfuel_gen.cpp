@@ -1,0 +1,88 @@
+#include "topology/rocketfuel_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace idicn::topology {
+
+Graph RocketfuelLikeGenerator::generate(const std::string& isp_name) const {
+  if (pop_count_ < 4) {
+    throw std::invalid_argument("RocketfuelLikeGenerator: need at least 4 PoPs");
+  }
+  std::mt19937_64 rng(seed_);
+  Graph g;
+
+  // Power-law metro populations: the i-th largest metro has weight 1/(i+1),
+  // shuffled so population rank is not correlated with node id (and hence
+  // not with backbone position).
+  std::vector<double> populations(pop_count_);
+  for (unsigned i = 0; i < pop_count_; ++i) {
+    populations[i] = 100.0 / static_cast<double>(i + 1);
+  }
+  std::shuffle(populations.begin(), populations.end(), rng);
+
+  for (unsigned i = 0; i < pop_count_; ++i) {
+    g.add_node(isp_name + "-PoP" + std::to_string(i), populations[i]);
+  }
+
+  // Ring backbone over the first `backbone` PoPs.
+  const unsigned backbone = std::max(4u, pop_count_ / 8);
+  for (unsigned i = 0; i < backbone; ++i) {
+    g.add_link(i, (i + 1) % backbone);
+  }
+
+  // Preferential attachment for the remaining PoPs: each new PoP connects
+  // to 1–2 existing PoPs chosen with probability proportional to degree+1.
+  std::vector<unsigned> degree(pop_count_, 0);
+  for (unsigned i = 0; i < backbone; ++i) degree[i] = 2;
+
+  const auto pick_preferential = [&](unsigned limit) -> NodeId {
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < limit; ++i) total += degree[i] + 1;
+    std::uniform_int_distribution<std::uint64_t> dist(0, total - 1);
+    std::uint64_t r = dist(rng);
+    for (unsigned i = 0; i < limit; ++i) {
+      const std::uint64_t w = degree[i] + 1;
+      if (r < w) return i;
+      r -= w;
+    }
+    return limit - 1;
+  };
+
+  std::uniform_int_distribution<int> extra_link(0, 2);
+  for (unsigned i = backbone; i < pop_count_; ++i) {
+    const NodeId first = pick_preferential(i);
+    g.add_link(i, first);
+    degree[i] += 1;
+    degree[first] += 1;
+    // One extra uplink for roughly a third of access PoPs (multi-homing).
+    if (extra_link(rng) == 0) {
+      NodeId second = pick_preferential(i);
+      if (second != first && g.link_between(i, second) == kInvalidLink) {
+        g.add_link(i, second);
+        degree[i] += 1;
+        degree[second] += 1;
+      }
+    }
+  }
+
+  // A few random backbone shortcuts to lower the diameter toward measured
+  // PoP-map values.
+  const unsigned shortcuts = std::max(2u, pop_count_ / 12);
+  std::uniform_int_distribution<NodeId> any(0, pop_count_ - 1);
+  unsigned added = 0;
+  unsigned attempts = 0;
+  while (added < shortcuts && attempts < 100 * shortcuts) {
+    ++attempts;
+    const NodeId a = any(rng);
+    const NodeId b = any(rng);
+    if (a == b || g.link_between(a, b) != kInvalidLink) continue;
+    g.add_link(a, b);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace idicn::topology

@@ -1,0 +1,36 @@
+// Synthetic Rocketfuel-like ISP topology generator.
+//
+// The Rocketfuel PoP-level maps used by the paper are not redistributable
+// here, so we synthesize graphs with the same high-level structure:
+//   * a small ring backbone so the graph is 2-connected (ISP cores avoid
+//     single points of failure),
+//   * preferential attachment for the remaining PoPs, which yields the
+//     heavy-tailed degree distribution observed in measured ISP maps,
+//   * a few extra shortcut links to bring the mean degree to ≈2.5–3 and a
+//     diameter comparable to measured PoP maps,
+//   * power-law metro populations (rank^-1), since a handful of metros
+//     dominate an ISP's customer base.
+// Generation is fully deterministic given (pop_count, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace idicn::topology {
+
+class RocketfuelLikeGenerator {
+public:
+  RocketfuelLikeGenerator(unsigned pop_count, std::uint64_t seed)
+      : pop_count_(pop_count), seed_(seed) {}
+
+  /// Build the graph; node names are "<isp_name>-PoP<i>".
+  [[nodiscard]] Graph generate(const std::string& isp_name) const;
+
+private:
+  unsigned pop_count_;
+  std::uint64_t seed_;
+};
+
+}  // namespace idicn::topology

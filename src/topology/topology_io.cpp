@@ -1,0 +1,74 @@
+#include "topology/topology_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace idicn::topology {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("topology line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void write_topology(std::ostream& out, const Graph& graph) {
+  out << "# idicn topology: " << graph.node_count() << " nodes, "
+      << graph.link_count() << " links\n";
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    out << "node " << graph.node(n).name << ' ' << graph.node(n).population << '\n';
+  }
+  for (LinkId l = 0; l < graph.link_count(); ++l) {
+    const Link& link = graph.link(l);
+    out << "link " << graph.node(link.a).name << ' ' << graph.node(link.b).name << ' '
+        << link.weight << '\n';
+  }
+}
+
+Graph read_topology(std::istream& in) {
+  Graph graph;
+  std::map<std::string, NodeId> by_name;
+  std::string line;
+  std::size_t line_number = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword) || keyword[0] == '#') continue;
+
+    if (keyword == "node") {
+      std::string name;
+      double population = 0.0;
+      if (!(words >> name >> population)) fail(line_number, "expected: node <name> <population>");
+      if (by_name.count(name) != 0) fail(line_number, "duplicate node: " + name);
+      try {
+        by_name[name] = graph.add_node(name, population);
+      } catch (const std::exception& e) {
+        fail(line_number, e.what());
+      }
+    } else if (keyword == "link") {
+      std::string a, b;
+      if (!(words >> a >> b)) fail(line_number, "expected: link <a> <b> [weight]");
+      double weight = 1.0;
+      words >> weight;  // optional
+      const auto ita = by_name.find(a);
+      const auto itb = by_name.find(b);
+      if (ita == by_name.end()) fail(line_number, "unknown node: " + a);
+      if (itb == by_name.end()) fail(line_number, "unknown node: " + b);
+      try {
+        graph.add_link(ita->second, itb->second, weight);
+      } catch (const std::exception& e) {
+        fail(line_number, e.what());
+      }
+    } else {
+      fail(line_number, "unknown keyword: " + keyword);
+    }
+  }
+  return graph;
+}
+
+}  // namespace idicn::topology

@@ -1,0 +1,29 @@
+// Topology serialization.
+//
+// A small line-oriented text format so users can (a) inspect/export the
+// embedded and generated maps and (b) plug in their own PoP-level
+// topologies — e.g. ones derived from the actual Rocketfuel data, which we
+// cannot redistribute (DESIGN.md §5):
+//
+//     # comments and blank lines ignored
+//     node <name> <population>
+//     link <name-a> <name-b> [weight]
+//
+// Node names may not contain whitespace; links reference previously
+// declared nodes by name; weight defaults to 1.
+#pragma once
+
+#include <iosfwd>
+
+#include "topology/graph.hpp"
+
+namespace idicn::topology {
+
+/// Serialize `graph` in the format above.
+void write_topology(std::ostream& out, const Graph& graph);
+
+/// Parse the format above; throws std::runtime_error with a line number on
+/// malformed input (unknown node, duplicate name, bad number, …).
+[[nodiscard]] Graph read_topology(std::istream& in);
+
+}  // namespace idicn::topology

@@ -1,0 +1,82 @@
+#include "workload/spatial_skew.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace idicn::workload {
+
+SpatialSkewModel::SpatialSkewModel(std::uint32_t object_count, std::uint32_t pop_count,
+                                   double s, std::uint64_t seed)
+    : object_count_(object_count), pop_count_(pop_count), intensity_(s) {
+  if (object_count == 0 || pop_count == 0) {
+    throw std::invalid_argument("SpatialSkewModel: empty universe");
+  }
+  if (s < 0.0 || s > 1.0) {
+    throw std::invalid_argument("SpatialSkewModel: intensity must be in [0, 1]");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  perm_.resize(pop_count);
+  rank_.resize(pop_count);
+  std::vector<double> score(object_count);
+  for (std::uint32_t p = 0; p < pop_count; ++p) {
+    if (s == 0.0) {
+      // Fast path: identity everywhere.
+      perm_[p].resize(object_count);
+      std::iota(perm_[p].begin(), perm_[p].end(), 0u);
+      rank_[p] = perm_[p];
+      continue;
+    }
+    for (std::uint32_t o = 0; o < object_count; ++o) {
+      score[o] = (1.0 - s) * static_cast<double>(o) +
+                 s * uniform(rng) * static_cast<double>(object_count);
+    }
+    perm_[p].resize(object_count);
+    std::iota(perm_[p].begin(), perm_[p].end(), 0u);
+    std::stable_sort(perm_[p].begin(), perm_[p].end(),
+                     [&score](std::uint32_t a, std::uint32_t b) {
+                       return score[a] < score[b];
+                     });
+    rank_[p].resize(object_count);
+    for (std::uint32_t r = 0; r < object_count; ++r) {
+      rank_[p][perm_[p][r]] = r;
+    }
+  }
+}
+
+std::uint32_t SpatialSkewModel::object_for(std::uint32_t pop, std::uint32_t rank) const {
+  if (pop >= pop_count_ || rank == 0 || rank > object_count_) {
+    throw std::out_of_range("SpatialSkewModel::object_for");
+  }
+  return perm_[pop][rank - 1];
+}
+
+std::uint32_t SpatialSkewModel::rank_of(std::uint32_t pop, std::uint32_t object) const {
+  if (pop >= pop_count_ || object >= object_count_) {
+    throw std::out_of_range("SpatialSkewModel::rank_of");
+  }
+  return rank_[pop][object] + 1;
+}
+
+double SpatialSkewModel::measured_skew() const {
+  double total_stdev = 0.0;
+  for (std::uint32_t o = 0; o < object_count_; ++o) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::uint32_t p = 0; p < pop_count_; ++p) {
+      const double r = static_cast<double>(rank_[p][o] + 1);
+      sum += r;
+      sum_sq += r * r;
+    }
+    const double n = static_cast<double>(pop_count_);
+    const double variance = std::max(0.0, sum_sq / n - (sum / n) * (sum / n));
+    total_stdev += std::sqrt(variance);
+  }
+  return total_stdev / static_cast<double>(object_count_) /
+         static_cast<double>(object_count_);
+}
+
+}  // namespace idicn::workload

@@ -1,0 +1,74 @@
+#include "workload/synthetic_cdn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "workload/zipf.hpp"
+
+namespace idicn::workload {
+
+std::vector<RegionProfile> paper_region_profiles(double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("paper_region_profiles: scale must be in (0, 1]");
+  }
+  // Requests-per-object density ≈ 9 (daily CDN log, diverse content mix).
+  constexpr double kRequestsPerObject = 9.0;
+  const auto make = [&](std::string name, double requests_m, double alpha,
+                        std::uint64_t seed) {
+    RegionProfile p;
+    p.name = std::move(name);
+    p.request_count = static_cast<std::uint64_t>(requests_m * 1e6 * scale);
+    p.object_count = static_cast<std::uint32_t>(
+        std::max(1000.0, requests_m * 1e6 * scale / kRequestsPerObject));
+    p.alpha = alpha;
+    p.seed = seed;
+    return p;
+  };
+  return {
+      make("US", 1.1, 0.99, 0x05011u),
+      make("Europe", 3.1, 0.92, 0x0e522u),
+      make("Asia", 1.8, 1.04, 0x4514a3u),
+  };
+}
+
+RegionProfile paper_region_profile(const std::string& region, double scale) {
+  for (RegionProfile& p : paper_region_profiles(scale)) {
+    if (p.name == region) return p;
+  }
+  throw std::invalid_argument("paper_region_profile: unknown region: " + region);
+}
+
+Trace generate_trace(const RegionProfile& profile) {
+  if (profile.object_count == 0 || profile.request_count == 0) {
+    throw std::invalid_argument("generate_trace: empty profile");
+  }
+  std::mt19937_64 rng(profile.seed);
+
+  // rank → anonymized object id.
+  std::vector<std::uint32_t> id_of_rank(profile.object_count);
+  std::iota(id_of_rank.begin(), id_of_rank.end(), 0u);
+  std::shuffle(id_of_rank.begin(), id_of_rank.end(), rng);
+
+  // Per-object sizes (fixed per object, sampled independent of rank).
+  std::vector<std::uint64_t> size_of_id(profile.object_count, 1);
+  if (profile.sizes.kind() != SizeModelKind::Unit) {
+    for (std::uint64_t& s : size_of_id) s = profile.sizes.sample(rng);
+  }
+
+  const ZipfDistribution zipf(profile.object_count, profile.alpha);
+  Trace trace;
+  trace.name = profile.name + "-synthetic";
+  trace.object_count = profile.object_count;
+  trace.requests.reserve(profile.request_count);
+  for (std::uint64_t i = 0; i < profile.request_count; ++i) {
+    const std::uint32_t rank = zipf.sample(rng);
+    const std::uint32_t id = id_of_rank[rank - 1];
+    trace.requests.push_back(Request{id, size_of_id[id]});
+  }
+  return trace;
+}
+
+}  // namespace idicn::workload

@@ -1,0 +1,50 @@
+// Synthetic reconstruction of the paper's proprietary CDN request logs.
+//
+// The paper analyzes one day of requests from three geographically diverse
+// CDN cache clusters (Table 2): US 1.1M requests (α=0.99), Europe 3.1M
+// (α=0.92), Asia 1.8M (α=1.04), spanning text/images/video/binaries. Those
+// logs are proprietary, so we reconstruct statistically equivalent traces:
+// Zipf-sampled object streams at the published exponents with object
+// universes sized to the published requests-per-object density, optional
+// heavy-tailed sizes, and object ids permuted so identity carries no rank
+// information (as with anonymized URLs).
+//
+// The validity of this substitution is exactly what the paper's own
+// Table 3 establishes: simulations driven by best-fit-Zipf synthetic logs
+// predict trace-driven performance gaps to within 1.67%.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/size_model.hpp"
+#include "workload/trace.hpp"
+
+namespace idicn::workload {
+
+/// Parameters of one regional trace.
+struct RegionProfile {
+  std::string name;
+  std::uint64_t request_count = 0;
+  std::uint32_t object_count = 0;
+  double alpha = 1.0;
+  std::uint64_t seed = 1;
+  SizeModel sizes;  ///< default: unit sizes
+};
+
+/// The three vantage points of Table 2, scaled by `scale` ∈ (0, 1] so test
+/// and bench runs stay fast (scale=1 reproduces the paper's request
+/// counts). Object universes use the ~1 object per 9 requests density the
+/// paper's cache-budget discussion implies for a daily log.
+[[nodiscard]] std::vector<RegionProfile> paper_region_profiles(double scale = 1.0);
+
+/// Convenience accessors for single regions ("US", "Europe", "Asia").
+[[nodiscard]] RegionProfile paper_region_profile(const std::string& region,
+                                                 double scale = 1.0);
+
+/// Generate the trace for a profile. Object ids are a seeded permutation of
+/// rank order, so id order reveals nothing about popularity.
+[[nodiscard]] Trace generate_trace(const RegionProfile& profile);
+
+}  // namespace idicn::workload

@@ -1,0 +1,49 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace idicn::workload {
+
+ZipfDistribution::ZipfDistribution(std::uint32_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be positive");
+  if (alpha < 0.0) throw std::invalid_argument("ZipfDistribution: alpha must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -alpha);
+    cdf_[i - 1] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_[n - 1] = 1.0;  // close any floating-point gap
+}
+
+double ZipfDistribution::probability(std::uint32_t rank) const {
+  if (rank == 0 || rank > n_) throw std::out_of_range("ZipfDistribution::probability");
+  const double below = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return cdf_[rank - 1] - below;
+}
+
+double ZipfDistribution::cumulative(std::uint32_t rank) const {
+  if (rank == 0 || rank > n_) throw std::out_of_range("ZipfDistribution::cumulative");
+  return cdf_[rank - 1];
+}
+
+std::uint32_t ZipfDistribution::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::harmonic(std::uint32_t n, double alpha) {
+  double total = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -alpha);
+  }
+  return total;
+}
+
+}  // namespace idicn::workload

@@ -1,0 +1,43 @@
+// Zipf (power-law) popularity distributions.
+//
+// §2.2 of the paper: request popularity across the CDN vantage points is
+// well approximated by Zipf — the i-th most popular object is requested
+// with probability ∝ 1/i^α (fitted α: US 0.99, Europe 0.92, Asia 1.04).
+// This sampler draws ranks in O(log n) via binary search over the CDF and
+// exposes the analytic pieces (probabilities, partial sums) used by the
+// tree placement model (§2.2, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace idicn::workload {
+
+class ZipfDistribution {
+public:
+  /// Ranks run 1..n; `alpha` ≥ 0 (0 = uniform).
+  ZipfDistribution(std::uint32_t n, double alpha);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Probability of rank i (1-based).
+  [[nodiscard]] double probability(std::uint32_t rank) const;
+
+  /// P[rank ≤ i] (1-based; cumulative(n) == 1).
+  [[nodiscard]] double cumulative(std::uint32_t rank) const;
+
+  /// Draw a rank in [1, n].
+  [[nodiscard]] std::uint32_t sample(std::mt19937_64& rng) const;
+
+  /// Generalized harmonic number H(n, alpha) = Σ i^-alpha.
+  [[nodiscard]] static double harmonic(std::uint32_t n, double alpha);
+
+private:
+  std::uint32_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i-1] = P[rank <= i]
+};
+
+}  // namespace idicn::workload

@@ -1,0 +1,104 @@
+#include "workload/zipf_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace idicn::workload {
+
+std::vector<std::uint64_t> rank_frequencies(std::span<const std::uint32_t> object_stream) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  counts.reserve(object_stream.size() / 4 + 1);
+  for (const std::uint32_t object : object_stream) ++counts[object];
+  std::vector<std::uint64_t> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [object, count] : counts) frequencies.push_back(count);
+  std::sort(frequencies.begin(), frequencies.end(), std::greater<>());
+  return frequencies;
+}
+
+ZipfFit fit_zipf_least_squares(std::span<const std::uint64_t> counts) {
+  // Gather (log10 rank, log10 count) points over nonzero counts.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double x = std::log10(static_cast<double>(i + 1));
+    const double y = std::log10(static_cast<double>(counts[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    ++n;
+  }
+  if (n < 2) {
+    throw std::invalid_argument("fit_zipf_least_squares: need >= 2 nonzero ranks");
+  }
+  const double dn = static_cast<double>(n);
+  const double slope = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / dn;
+
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double x = std::log10(static_cast<double>(i + 1));
+    const double y = std::log10(static_cast<double>(counts[i]));
+    const double e = y - (intercept + slope * x);
+    ss_res += e * e;
+  }
+
+  ZipfFit fit;
+  fit.alpha = -slope;
+  fit.intercept = intercept;
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double fit_zipf_mle(std::span<const std::uint64_t> counts) {
+  const std::size_t n = counts.size();
+  if (n < 2) throw std::invalid_argument("fit_zipf_mle: need >= 2 ranks");
+
+  // Negative log-likelihood (up to constants):
+  //   L(a) = N·log H(n,a) + a·Σ_i count_i·log(i)
+  double weighted_log_rank = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weighted_log_rank += static_cast<double>(counts[i]) * std::log(static_cast<double>(i + 1));
+    total += static_cast<double>(counts[i]);
+  }
+  const auto nll = [&](double a) {
+    double harmonic = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      harmonic += std::pow(static_cast<double>(i), -a);
+    }
+    return total * std::log(harmonic) + a * weighted_log_rank;
+  };
+
+  // Golden-section search over a unimodal objective.
+  constexpr double kGolden = 0.61803398874989484;
+  double lo = 0.0, hi = 4.0;
+  double x1 = hi - kGolden * (hi - lo);
+  double x2 = lo + kGolden * (hi - lo);
+  double f1 = nll(x1), f2 = nll(x2);
+  for (int iter = 0; iter < 80 && hi - lo > 1e-7; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - kGolden * (hi - lo);
+      f1 = nll(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + kGolden * (hi - lo);
+      f2 = nll(x2);
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace idicn::workload

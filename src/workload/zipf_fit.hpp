@@ -1,0 +1,35 @@
+// Zipf parameter estimation (Table 2 of the paper).
+//
+// The paper fits Zipf exponents to per-region CDN request logs. We provide
+// the two standard estimators:
+//   * log–log least squares over the rank–frequency curve ("best-fit Zipf",
+//     what the paper's Figure 1 / Table 2 use), and
+//   * maximum likelihood over the discrete truncated Zipf, solved by golden
+//     section search (a sanity cross-check in tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace idicn::workload {
+
+struct ZipfFit {
+  double alpha = 0.0;       ///< fitted exponent
+  double intercept = 0.0;   ///< log10 intercept of the rank–frequency line
+  double r_squared = 0.0;   ///< goodness of the log–log linear fit
+};
+
+/// Convert a request stream (object ids) into descending per-rank counts.
+[[nodiscard]] std::vector<std::uint64_t> rank_frequencies(
+    std::span<const std::uint32_t> object_stream);
+
+/// Least-squares fit of log10(freq) = intercept − alpha·log10(rank) over all
+/// ranks with nonzero counts. `counts` must be the descending rank-frequency
+/// vector. Throws std::invalid_argument when fewer than 2 nonzero ranks.
+[[nodiscard]] ZipfFit fit_zipf_least_squares(std::span<const std::uint64_t> counts);
+
+/// Maximum-likelihood exponent for a truncated Zipf over ranks 1..counts.size().
+[[nodiscard]] double fit_zipf_mle(std::span<const std::uint64_t> counts);
+
+}  // namespace idicn::workload

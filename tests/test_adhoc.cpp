@@ -1,0 +1,120 @@
+// Ad hoc mode tests (§6.2): link-local addressing, mDNS publication of
+// browser-cache domains, and the Alice/Bob sharing walkthrough.
+#include <gtest/gtest.h>
+
+#include "idicn/adhoc.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace ::idicn::idicn;
+
+TEST(LinkLocal, AddressesAreInRangeAndDeterministic) {
+  net::SimNet net;
+  const net::Address a = allocate_link_local(net, "alice");
+  const net::Address b = allocate_link_local(net, "alice");
+  EXPECT_EQ(a, b);  // nothing attached yet: same candidate
+  EXPECT_EQ(a.rfind("169.254.", 0), 0u);
+}
+
+TEST(LinkLocal, ConflictsAreProbedPast) {
+  net::SimNet net;
+  class Dummy : public net::SimHost {
+  public:
+    net::HttpResponse handle_http(const net::HttpRequest&,
+                                  const net::Address&) override {
+      return net::make_response(200, "");
+    }
+  } dummy;
+  const net::Address first = allocate_link_local(net, "alice");
+  net.attach(first, &dummy);
+  const net::Address second = allocate_link_local(net, "alice");
+  EXPECT_NE(first, second);
+}
+
+TEST(BrowserCache, DomainsAreExtractedFromUrls) {
+  BrowserCache cache;
+  cache.put("http://cnn.com/", "<html>headlines</html>");
+  cache.put("http://cnn.com/world", "<html>world</html>");
+  cache.put("http://bbc.co.uk/", "<html>auntie</html>");
+  const auto domains = cache.domains();
+  EXPECT_EQ(domains.size(), 2u);
+  EXPECT_TRUE(domains.count("cnn.com"));
+  EXPECT_TRUE(domains.count("bbc.co.uk"));
+  EXPECT_NE(cache.find("http://cnn.com/world"), nullptr);
+  EXPECT_EQ(cache.find("http://cnn.com/missing"), nullptr);
+}
+
+TEST(AdHoc, AliceAndBobShareCnnHeadlines) {
+  // The paper's walkthrough: Alice has CNN cached; Bob, with no DNS server
+  // to contact, resolves cnn.com over mDNS and fetches from Alice's ad hoc
+  // proxy, which serves straight out of her browser cache.
+  net::SimNet net;
+  AdHocNode alice(&net, "alice");
+  AdHocNode bob(&net, "bob");
+  alice.browser_cache().put("http://cnn.com/", "<html>CNN headlines</html>");
+
+  const auto resolved = bob.mdns_resolve("cnn.com");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, alice.address());
+
+  const net::HttpResponse page = bob.fetch("http://cnn.com/");
+  EXPECT_EQ(page.status, 200);
+  EXPECT_EQ(page.body, "<html>CNN headlines</html>");
+  EXPECT_EQ(page.headers.get("X-AdHoc-Source"), "alice");
+}
+
+TEST(AdHoc, UnknownDomainFailsToResolve) {
+  net::SimNet net;
+  AdHocNode alice(&net, "alice");
+  AdHocNode bob(&net, "bob");
+  EXPECT_FALSE(bob.mdns_resolve("nytimes.com").has_value());
+  EXPECT_EQ(bob.fetch("http://nytimes.com/").status, 502);
+}
+
+TEST(AdHoc, OnlyCachedPathsAreServed) {
+  net::SimNet net;
+  AdHocNode alice(&net, "alice");
+  AdHocNode bob(&net, "bob");
+  alice.browser_cache().put("http://cnn.com/", "front page");
+  const net::HttpResponse missing = bob.fetch("http://cnn.com/sports");
+  EXPECT_EQ(missing.status, 404);  // domain resolves, path isn't cached
+}
+
+TEST(AdHoc, FirstResponderWinsForSharedDomain) {
+  // The paper notes the DNS-compatibility limitation: when several machines
+  // hold content for one domain, only one gets to publish it.
+  net::SimNet net;
+  AdHocNode alice(&net, "alice");
+  AdHocNode carol(&net, "carol");
+  AdHocNode bob(&net, "bob");
+  alice.browser_cache().put("http://cnn.com/", "alice copy");
+  carol.browser_cache().put("http://cnn.com/", "carol copy");
+  const auto resolved = bob.mdns_resolve("cnn.com");
+  ASSERT_TRUE(resolved.has_value());
+  // Deterministic: the group iterates members in sorted address order.
+  const net::Address expected = std::min(alice.address(), carol.address());
+  EXPECT_EQ(*resolved, expected);
+}
+
+TEST(AdHoc, DepartedPeerStopsAnswering) {
+  net::SimNet net;
+  auto alice = std::make_unique<AdHocNode>(&net, "alice");
+  AdHocNode bob(&net, "bob");
+  alice->browser_cache().put("http://cnn.com/", "page");
+  ASSERT_TRUE(bob.mdns_resolve("cnn.com").has_value());
+  alice.reset();  // Alice leaves the network
+  EXPECT_FALSE(bob.mdns_resolve("cnn.com").has_value());
+}
+
+TEST(AdHoc, ConsumersNeedNoProxyDeployment) {
+  // Bob shares nothing; he can still consume (only sharers run the proxy).
+  net::SimNet net;
+  AdHocNode alice(&net, "alice");
+  AdHocNode bob(&net, "bob");
+  alice.browser_cache().put("http://cnn.com/", "page");
+  EXPECT_TRUE(bob.browser_cache().domains().empty());
+  EXPECT_EQ(bob.fetch("http://cnn.com/").status, 200);
+}
+
+}  // namespace

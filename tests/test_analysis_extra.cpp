@@ -1,0 +1,157 @@
+// Tests for the analytic extensions: Che's LRU approximation (validated
+// against the simulator's LRU) and the §7 deployment-economics model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/che_approximation.hpp"
+#include "analysis/economics.hpp"
+#include "cache/cache.hpp"
+#include "workload/zipf.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace idicn::analysis;
+
+std::vector<double> zipf_popularity(std::uint32_t n, double alpha) {
+  const workload::ZipfDistribution zipf(n, alpha);
+  std::vector<double> p(n);
+  for (std::uint32_t i = 1; i <= n; ++i) p[i - 1] = zipf.probability(i);
+  return p;
+}
+
+// --- Che approximation ------------------------------------------------------
+
+TEST(Che, HitRatioIsInUnitInterval) {
+  const CheResult result = che_lru(zipf_popularity(1000, 0.8), 50);
+  EXPECT_GT(result.hit_ratio, 0.0);
+  EXPECT_LT(result.hit_ratio, 1.0);
+  EXPECT_GT(result.characteristic_time, 0.0);
+  for (const double h : result.per_object_hit) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(Che, PopularObjectsHitMore) {
+  const CheResult result = che_lru(zipf_popularity(1000, 1.0), 50);
+  for (std::size_t i = 0; i + 1 < result.per_object_hit.size(); ++i) {
+    EXPECT_GE(result.per_object_hit[i] + 1e-12, result.per_object_hit[i + 1]);
+  }
+}
+
+TEST(Che, OccupancyConstraintHolds) {
+  // Σ h_i ≈ C at the characteristic time.
+  const CheResult result = che_lru(zipf_popularity(2000, 0.9), 100);
+  double occupancy = 0.0;
+  for (const double h : result.per_object_hit) occupancy += h;
+  EXPECT_NEAR(occupancy, 100.0, 0.1);
+}
+
+TEST(Che, FullCacheHitsEverything) {
+  const CheResult result = che_lru(zipf_popularity(100, 1.0), 100);
+  EXPECT_DOUBLE_EQ(result.hit_ratio, 1.0);
+}
+
+TEST(Che, BiggerCachesHitMore) {
+  const auto p = zipf_popularity(1000, 1.0);
+  double previous = 0.0;
+  for (const double size : {10.0, 50.0, 200.0, 800.0}) {
+    const double hit = che_lru(p, size).hit_ratio;
+    EXPECT_GT(hit, previous);
+    previous = hit;
+  }
+}
+
+class CheVsSimulatedLru : public ::testing::TestWithParam<double> {};
+
+TEST_P(CheVsSimulatedLru, PredictsSimulatedHitRatio) {
+  // Drive a plain LRU cache with an IRM Zipf stream and compare the
+  // stationary hit ratio against Che's prediction.
+  const double alpha = GetParam();
+  constexpr std::uint32_t kObjects = 2000;
+  constexpr std::uint64_t kCacheSize = 150;
+
+  const workload::ZipfDistribution zipf(kObjects, alpha);
+  auto cache = cache::make_cache(cache::PolicyKind::Lru, kCacheSize);
+  std::mt19937_64 rng(13);
+  std::vector<cache::ObjectId> evicted;
+
+  // Warm up, then measure.
+  for (int i = 0; i < 100'000; ++i) {
+    const cache::ObjectId object = zipf.sample(rng) - 1;
+    if (!cache->lookup(object)) cache->insert(object, 1, evicted);
+  }
+  std::uint64_t hits = 0;
+  constexpr int kMeasured = 300'000;
+  for (int i = 0; i < kMeasured; ++i) {
+    const cache::ObjectId object = zipf.sample(rng) - 1;
+    if (cache->lookup(object)) {
+      ++hits;
+    } else {
+      cache->insert(object, 1, evicted);
+    }
+  }
+  const double simulated = static_cast<double>(hits) / kMeasured;
+  const double predicted =
+      che_lru(zipf_popularity(kObjects, alpha), kCacheSize).hit_ratio;
+  EXPECT_NEAR(simulated, predicted, 0.02) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CheVsSimulatedLru,
+                         ::testing::Values(0.7, 0.9, 1.04, 1.3));
+
+TEST(Che, InvalidInputsThrow) {
+  EXPECT_THROW((void)che_lru({}, 10), std::invalid_argument);
+  EXPECT_THROW((void)che_lru(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)che_lru(std::vector<double>{1.0, -1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)che_lru(std::vector<double>{0.0, 0.0}, 1.0),
+               std::invalid_argument);
+}
+
+// --- economics --------------------------------------------------------------
+
+TEST(Economics, YearlyCostAmortizesHardware) {
+  CacheCostModel model;
+  model.hardware_cost = 8000.0;
+  model.lifetime_years = 4.0;
+  model.opex_per_year = 3000.0;
+  EXPECT_DOUBLE_EQ(yearly_cost(model), 5000.0);
+}
+
+TEST(Economics, BreakEvenIsConsistentWithViability) {
+  CacheCostModel model;
+  const double hit_ratio = 0.7;
+  const double object_bytes = 1e6;  // 1 MB mean
+  const double break_even = break_even_requests_per_day(model, hit_ratio, object_bytes);
+  EXPECT_GT(break_even, 0.0);
+  EXPECT_FALSE(viable(model, break_even * 0.9, hit_ratio, object_bytes));
+  EXPECT_TRUE(viable(model, break_even * 1.1, hit_ratio, object_bytes));
+}
+
+TEST(Economics, HigherHitRatioLowersBreakEven) {
+  CacheCostModel model;
+  EXPECT_LT(break_even_requests_per_day(model, 0.8, 1e6),
+            break_even_requests_per_day(model, 0.4, 1e6));
+}
+
+TEST(Economics, SavingsScaleWithTraffic) {
+  CacheCostModel model;
+  EXPECT_DOUBLE_EQ(yearly_savings(model, 2000, 0.5, 1e6),
+                   2.0 * yearly_savings(model, 1000, 0.5, 1e6));
+}
+
+TEST(Economics, ImpossibleDeploymentsThrow) {
+  CacheCostModel model;
+  EXPECT_THROW((void)break_even_requests_per_day(model, 0.0, 1e6),
+               std::invalid_argument);
+  EXPECT_THROW((void)break_even_requests_per_day(model, 0.5, 0.0),
+               std::invalid_argument);
+  model.lifetime_years = 0.0;
+  EXPECT_THROW((void)yearly_cost(model), std::invalid_argument);
+}
+
+}  // namespace

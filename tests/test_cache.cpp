@@ -1,0 +1,295 @@
+// Cache policy tests: per-policy eviction semantics plus generic invariants
+// checked across all bounded policies (parameterized).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "cache/admission.hpp"
+#include "cache/budget.hpp"
+#include "cache/cache.hpp"
+#include "topology/pop_topology.hpp"
+
+namespace {
+
+using namespace idicn::cache;
+
+std::vector<ObjectId> insert(Cache& cache, ObjectId object, std::uint64_t size = 1) {
+  std::vector<ObjectId> evicted;
+  cache.insert(object, size, evicted);
+  return evicted;
+}
+
+// --- LRU specifics -----------------------------------------------------
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  auto cache = make_cache(PolicyKind::Lru, 3);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  insert(*cache, 3);
+  EXPECT_TRUE(cache->lookup(1));  // 1 becomes MRU; 2 is now LRU
+  const auto evicted = insert(*cache, 4);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{2});
+  EXPECT_TRUE(cache->contains(1));
+  EXPECT_FALSE(cache->contains(2));
+}
+
+TEST(LruCache, ReinsertRefreshesRecency) {
+  auto cache = make_cache(PolicyKind::Lru, 2);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  insert(*cache, 1);  // refresh, not duplicate
+  EXPECT_EQ(cache->object_count(), 2u);
+  const auto evicted = insert(*cache, 3);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{2});
+}
+
+TEST(LruCache, SizeAwareEviction) {
+  auto cache = make_cache(PolicyKind::Lru, 10);
+  insert(*cache, 1, 4);
+  insert(*cache, 2, 4);
+  const auto evicted = insert(*cache, 3, 6);  // needs 6; evicts 1 then has 4+6=10
+  EXPECT_EQ(evicted, std::vector<ObjectId>{1});
+  EXPECT_EQ(cache->used_units(), 10u);
+}
+
+TEST(LruCache, OversizedObjectNotAdmitted) {
+  auto cache = make_cache(PolicyKind::Lru, 10);
+  insert(*cache, 1, 3);
+  const auto evicted = insert(*cache, 2, 11);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_FALSE(cache->contains(2));
+  EXPECT_TRUE(cache->contains(1));  // nothing was disturbed
+}
+
+TEST(LruCache, EraseFreesSpace) {
+  auto cache = make_cache(PolicyKind::Lru, 2);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  cache->erase(1);
+  EXPECT_EQ(cache->object_count(), 1u);
+  EXPECT_TRUE(insert(*cache, 3).empty());  // no eviction needed
+}
+
+// --- LFU specifics ------------------------------------------------------
+
+TEST(LfuCache, EvictsLeastFrequent) {
+  auto cache = make_cache(PolicyKind::Lfu, 3);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  insert(*cache, 3);
+  EXPECT_TRUE(cache->lookup(1));
+  EXPECT_TRUE(cache->lookup(1));
+  EXPECT_TRUE(cache->lookup(2));
+  // Frequencies: 1→3, 2→2, 3→1. Victim is 3.
+  const auto evicted = insert(*cache, 4);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{3});
+}
+
+TEST(LfuCache, TieBreaksByRecency) {
+  auto cache = make_cache(PolicyKind::Lfu, 2);
+  insert(*cache, 1);
+  insert(*cache, 2);  // both frequency 1; 1 is older
+  const auto evicted = insert(*cache, 3);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{1});
+}
+
+// --- FIFO specifics -----------------------------------------------------
+
+TEST(FifoCache, EvictsInArrivalOrder) {
+  auto cache = make_cache(PolicyKind::Fifo, 3);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  insert(*cache, 3);
+  EXPECT_TRUE(cache->lookup(1));  // lookups must NOT affect FIFO order
+  const auto evicted = insert(*cache, 4);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{1});
+}
+
+TEST(FifoCache, EraseThenReinsertGetsFreshPosition) {
+  auto cache = make_cache(PolicyKind::Fifo, 3);
+  insert(*cache, 1);
+  insert(*cache, 2);
+  cache->erase(1);
+  insert(*cache, 1);  // re-inserted: now newer than 2
+  insert(*cache, 3);
+  const auto evicted = insert(*cache, 4);
+  EXPECT_EQ(evicted, std::vector<ObjectId>{2});
+  EXPECT_TRUE(cache->contains(1));
+}
+
+// --- RANDOM / INFINITE ----------------------------------------------------
+
+TEST(RandomCache, EvictsSomethingDeterministically) {
+  auto a = make_cache(PolicyKind::Random, 3, 42);
+  auto b = make_cache(PolicyKind::Random, 3, 42);
+  for (ObjectId o = 1; o <= 10; ++o) {
+    const auto ea = insert(*a, o);
+    const auto eb = insert(*b, o);
+    EXPECT_EQ(ea, eb);  // same seed, same victims
+  }
+  EXPECT_EQ(a->object_count(), 3u);
+}
+
+TEST(InfiniteCache, NeverEvicts) {
+  auto cache = make_cache(PolicyKind::Infinite, 0);
+  for (ObjectId o = 0; o < 10000; ++o) {
+    EXPECT_TRUE(insert(*cache, o).empty());
+  }
+  EXPECT_EQ(cache->object_count(), 10000u);
+  EXPECT_TRUE(cache->contains(1234));
+}
+
+// --- generic invariants across bounded policies ----------------------------
+
+class BoundedPolicy : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(BoundedPolicy, CapacityNeverExceeded) {
+  auto cache = make_cache(GetParam(), 50, 1);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<ObjectId> evicted;
+    cache->insert(static_cast<ObjectId>(rng() % 500), 1 + rng() % 7, evicted);
+    EXPECT_LE(cache->used_units(), 50u);
+  }
+}
+
+TEST_P(BoundedPolicy, EvictionReportingIsExact) {
+  // Track membership via the eviction reports alone; it must match the
+  // cache's own contains().
+  auto cache = make_cache(GetParam(), 20, 2);
+  std::set<ObjectId> shadow;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const auto object = static_cast<ObjectId>(rng() % 100);
+    std::vector<ObjectId> evicted;
+    cache->insert(object, 1, evicted);
+    shadow.insert(object);
+    for (const ObjectId e : evicted) {
+      EXPECT_EQ(shadow.erase(e), 1u) << "evicted object was not a member";
+    }
+  }
+  EXPECT_EQ(shadow.size(), cache->object_count());
+  for (const ObjectId o : shadow) EXPECT_TRUE(cache->contains(o));
+}
+
+TEST_P(BoundedPolicy, LookupMissDoesNotInsert) {
+  auto cache = make_cache(GetParam(), 10, 3);
+  EXPECT_FALSE(cache->lookup(7));
+  EXPECT_EQ(cache->object_count(), 0u);
+}
+
+TEST_P(BoundedPolicy, EraseIsIdempotent) {
+  auto cache = make_cache(GetParam(), 10, 4);
+  insert(*cache, 5);
+  cache->erase(5);
+  cache->erase(5);
+  EXPECT_FALSE(cache->contains(5));
+  EXPECT_EQ(cache->used_units(), 0u);
+}
+
+TEST_P(BoundedPolicy, ZeroCapacityAdmitsNothing) {
+  auto cache = make_cache(GetParam(), 0, 5);
+  EXPECT_TRUE(insert(*cache, 1).empty());
+  EXPECT_FALSE(cache->contains(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBounded, BoundedPolicy,
+                         ::testing::Values(PolicyKind::Lru, PolicyKind::Lfu,
+                                           PolicyKind::Fifo, PolicyKind::Random),
+                         [](const auto& info) { return to_string(info.param); });
+
+
+// --- admission filtering (doorkeeper) -------------------------------------
+
+TEST(AdmissionFilter, AdmitsFreelyUntilFull) {
+  auto filtered = std::make_unique<AdmissionFilteredCache>(
+      make_cache(PolicyKind::Lru, 4), 128);
+  std::vector<ObjectId> evicted;
+  for (ObjectId o = 0; o < 4; ++o) filtered->insert(o, 1, evicted);
+  EXPECT_EQ(filtered->object_count(), 4u);
+  EXPECT_EQ(filtered->rejections(), 0u);
+}
+
+TEST(AdmissionFilter, RejectsFirstSightingUnderPressure) {
+  auto filtered = std::make_unique<AdmissionFilteredCache>(
+      make_cache(PolicyKind::Lru, 2), 128);
+  std::vector<ObjectId> evicted;
+  filtered->insert(10, 1, evicted);
+  filtered->insert(11, 1, evicted);  // full now
+  filtered->insert(12, 1, evicted);  // first sighting under pressure: rejected
+  EXPECT_FALSE(filtered->contains(12));
+  EXPECT_EQ(filtered->rejections(), 1u);
+  filtered->insert(12, 1, evicted);  // second sighting: admitted
+  EXPECT_TRUE(filtered->contains(12));
+}
+
+TEST(AdmissionFilter, RefreshesExistingWithoutDoorkeeper) {
+  auto filtered = std::make_unique<AdmissionFilteredCache>(
+      make_cache(PolicyKind::Lru, 2), 128);
+  std::vector<ObjectId> evicted;
+  filtered->insert(1, 1, evicted);
+  filtered->insert(2, 1, evicted);
+  filtered->insert(1, 1, evicted);  // refresh: 1 becomes MRU
+  filtered->insert(3, 1, evicted);  // rejected (first sighting)
+  filtered->insert(3, 1, evicted);  // admitted, evicts LRU = 2
+  EXPECT_TRUE(filtered->contains(1));
+  EXPECT_FALSE(filtered->contains(2));
+}
+
+TEST(AdmissionFilter, ShieldsAgainstOneHitWonders) {
+  // A scan of unique objects must not destroy the hot set.
+  auto filtered = std::make_unique<AdmissionFilteredCache>(
+      make_cache(PolicyKind::Lru, 8), 1024);
+  std::vector<ObjectId> evicted;
+  for (ObjectId o = 0; o < 8; ++o) filtered->insert(o, 1, evicted);
+  for (ObjectId scan = 1000; scan < 2000; ++scan) filtered->insert(scan, 1, evicted);
+  int survivors = 0;
+  for (ObjectId o = 0; o < 8; ++o) survivors += filtered->contains(o);
+  EXPECT_EQ(survivors, 8);  // every scan object was a first sighting
+  EXPECT_EQ(filtered->rejections(), 1000u);
+}
+
+TEST(AdmissionFilter, InvalidConstructionThrows) {
+  EXPECT_THROW(AdmissionFilteredCache(nullptr, 16), std::invalid_argument);
+  EXPECT_THROW(AdmissionFilteredCache(make_cache(PolicyKind::Lru, 2), 0),
+               std::invalid_argument);
+}
+
+// --- budget provisioning ---------------------------------------------------
+
+TEST(Budget, UniformGivesEveryRouterTheSame) {
+  using namespace idicn::topology;
+  const HierarchicalNetwork net(make_abilene(), AccessTreeShape(2, 2));
+  const BudgetPlan plan = compute_budget(net, 0.05, 1000, BudgetSplit::Uniform);
+  ASSERT_EQ(plan.per_node.size(), net.node_count());
+  for (const std::uint64_t b : plan.per_node) EXPECT_EQ(b, 50u);
+  EXPECT_EQ(plan.total(), 50u * net.node_count());
+}
+
+TEST(Budget, ProportionalFollowsPopulation) {
+  using namespace idicn::topology;
+  const HierarchicalNetwork net(make_abilene(), AccessTreeShape(2, 2));
+  const BudgetPlan plan =
+      compute_budget(net, 0.05, 10000, BudgetSplit::PopulationProportional);
+  // New York (pop 19.8M) must out-provision Sunnyvale (1.9M) ~10×.
+  const std::uint64_t ny = plan.per_node[net.global_node(10, 0)];
+  const std::uint64_t sunnyvale = plan.per_node[net.global_node(1, 0)];
+  EXPECT_GT(ny, sunnyvale * 8);
+  // Equal split within a PoP.
+  for (idicn::topology::TreeIndex t = 1; t < net.tree().node_count(); ++t) {
+    EXPECT_EQ(plan.per_node[net.global_node(10, t)], ny);
+  }
+  // Totals approximately preserved (rounding only).
+  const double expected = 0.05 * static_cast<double>(net.node_count()) * 10000.0;
+  EXPECT_NEAR(static_cast<double>(plan.total()), expected, expected * 0.01);
+}
+
+TEST(Budget, NegativeFractionThrows) {
+  using namespace idicn::topology;
+  const HierarchicalNetwork net(make_abilene(), AccessTreeShape(2, 2));
+  EXPECT_THROW(compute_budget(net, -0.1, 100, BudgetSplit::Uniform),
+               std::invalid_argument);
+}
+
+}  // namespace

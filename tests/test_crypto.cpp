@@ -1,0 +1,324 @@
+// Crypto substrate tests: SHA-256 against FIPS vectors, hex/base32 codecs,
+// HMAC against RFC 4231, Lamport and Merkle signatures incl. forgery and
+// tamper rejection.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "crypto/base32.hpp"
+#include "crypto/hex.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/lamport.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace idicn::crypto;
+
+std::string hex_of(const Sha256Digest& digest) {
+  return hex_encode(std::span<const std::uint8_t>(digest));
+}
+
+// --- SHA-256 (FIPS 180-4 / NIST test vectors) ------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: padding spills into a second block.
+  const std::string message(64, 'x');
+  EXPECT_EQ(Sha256::hash(message), Sha256::hash(message));
+  EXPECT_NE(hex_of(Sha256::hash(message)), hex_of(Sha256::hash(std::string(63, 'x'))));
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly and at length.";
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(message).substr(0, split));
+    h.update(std::string_view(message).substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(message)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update("first");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(hex_of(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+class Sha256LengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256LengthSweep, ByteAtATimeMatchesOneShot) {
+  const std::size_t length = GetParam();
+  std::string message(length, '\0');
+  for (std::size_t i = 0; i < length; ++i) {
+    message[i] = static_cast<char>(i * 131 + 7);
+  }
+  Sha256 h;
+  for (const char c : message) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finish(), Sha256::hash(message));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddingBoundaries, Sha256LengthSweep,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119, 120,
+                                           127, 128, 129, 1000));
+
+// --- hex ---------------------------------------------------------------
+
+TEST(Hex, EncodeDecodeRoundtrip) {
+  std::mt19937_64 rng(42);
+  for (std::size_t length = 0; length < 100; ++length) {
+    std::vector<std::uint8_t> data(length);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const std::string encoded = hex_encode(data);
+    EXPECT_EQ(encoded.size(), length * 2);
+    const auto decoded = hex_decode(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Hex, DecodeRejectsOddLength) { EXPECT_FALSE(hex_decode("abc").has_value()); }
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  const auto decoded = hex_decode("DEADBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(hex_encode(*decoded), "deadbeef");
+}
+
+// --- base32 --------------------------------------------------------------
+
+TEST(Base32, Rfc4648Vectors) {
+  const auto bytes = [](std::string_view s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  };
+  EXPECT_EQ(base32_encode(bytes("")), "");
+  EXPECT_EQ(base32_encode(bytes("f")), "my");
+  EXPECT_EQ(base32_encode(bytes("fo")), "mzxq");
+  EXPECT_EQ(base32_encode(bytes("foo")), "mzxw6");
+  EXPECT_EQ(base32_encode(bytes("foob")), "mzxw6yq");
+  EXPECT_EQ(base32_encode(bytes("fooba")), "mzxw6ytb");
+  EXPECT_EQ(base32_encode(bytes("foobar")), "mzxw6ytboi");
+}
+
+TEST(Base32, Sha256DigestIsDnsLabelSized) {
+  // The whole point (paper footnote): a 32-byte digest must fit in a
+  // 63-char DNS label; hex (64 chars) does not, base32 (52) does.
+  const Sha256Digest digest = Sha256::hash("anything");
+  const std::string encoded = base32_encode(std::span<const std::uint8_t>(digest));
+  EXPECT_EQ(encoded.size(), 52u);
+  EXPECT_LE(encoded.size(), 63u);
+}
+
+class Base32Roundtrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base32Roundtrip, EncodeDecode) {
+  std::mt19937_64 rng(GetParam() * 977 + 3);
+  std::vector<std::uint8_t> data(GetParam());
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  const auto decoded = base32_decode(base32_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base32Roundtrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 31, 32, 33, 64));
+
+TEST(Base32, DecodeRejectsInvalid) {
+  EXPECT_FALSE(base32_decode("a").has_value());    // impossible length
+  EXPECT_FALSE(base32_decode("a1").has_value());   // '1' not in alphabet
+  EXPECT_FALSE(base32_decode("a!").has_value());
+  // Nonzero trailing padding bits.
+  EXPECT_FALSE(base32_decode("mz").has_value() && base32_decode("mz")->size() == 2);
+}
+
+TEST(Base32, DecodeAcceptsUppercase) {
+  const auto decoded = base32_decode("MZXW6YTBOI");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::string(decoded->begin(), decoded->end()), "foobar");
+}
+
+// --- HMAC-SHA256 (RFC 4231) ----------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const Sha256Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(key),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("Hi There"), 8));
+  EXPECT_EQ(hex_of(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Sha256Digest mac = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(hex_of(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string message = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Sha256Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(key),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
+  EXPECT_EQ(hex_of(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
+  EXPECT_NE(hmac_sha256("key", "message1"), hmac_sha256("key", "message2"));
+}
+
+// --- Lamport one-time signatures -------------------------------------------
+
+TEST(Lamport, SignVerify) {
+  const LamportKeyPair kp = lamport_keygen(7);
+  const LamportSignature sig = lamport_sign(kp.secret, "hello idicn");
+  EXPECT_TRUE(lamport_verify(kp.pub, "hello idicn", sig));
+}
+
+TEST(Lamport, RejectsWrongMessage) {
+  const LamportKeyPair kp = lamport_keygen(7);
+  const LamportSignature sig = lamport_sign(kp.secret, "hello idicn");
+  EXPECT_FALSE(lamport_verify(kp.pub, "hello idicn!", sig));
+}
+
+TEST(Lamport, RejectsWrongKey) {
+  const LamportKeyPair kp1 = lamport_keygen(7);
+  const LamportKeyPair kp2 = lamport_keygen(8);
+  const LamportSignature sig = lamport_sign(kp1.secret, "msg");
+  EXPECT_FALSE(lamport_verify(kp2.pub, "msg", sig));
+}
+
+TEST(Lamport, RejectsTamperedSignature) {
+  const LamportKeyPair kp = lamport_keygen(9);
+  LamportSignature sig = lamport_sign(kp.secret, "msg");
+  sig.revealed[17][5] ^= 0x01;
+  EXPECT_FALSE(lamport_verify(kp.pub, "msg", sig));
+}
+
+TEST(Lamport, SignatureSerializationRoundtrip) {
+  const LamportKeyPair kp = lamport_keygen(10);
+  const LamportSignature sig = lamport_sign(kp.secret, "roundtrip");
+  const auto bytes = sig.serialize();
+  const auto restored = LamportSignature::deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(lamport_verify(kp.pub, "roundtrip", *restored));
+}
+
+TEST(Lamport, DeserializeRejectsBadSize) {
+  EXPECT_FALSE(LamportSignature::deserialize(std::vector<std::uint8_t>(100)).has_value());
+}
+
+TEST(Lamport, KeygenIsDeterministic) {
+  EXPECT_EQ(lamport_keygen(123).pub, lamport_keygen(123).pub);
+  EXPECT_NE(lamport_keygen(123).pub, lamport_keygen(124).pub);
+}
+
+// --- Merkle signature scheme ------------------------------------------------
+
+TEST(Merkle, SignVerifyManyMessages) {
+  MerkleSigner signer(11, 3);  // 8 one-time keys
+  EXPECT_EQ(signer.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const std::string message = "object-" + std::to_string(i);
+    const MerkleSignature sig = signer.sign(message);
+    EXPECT_TRUE(MerkleSigner::verify(signer.root(), message, sig)) << i;
+  }
+  EXPECT_EQ(signer.remaining(), 0u);
+}
+
+TEST(Merkle, ExhaustionThrows) {
+  MerkleSigner signer(12, 1);  // 2 keys
+  (void)signer.sign("a");
+  (void)signer.sign("b");
+  EXPECT_THROW((void)signer.sign("c"), std::runtime_error);
+}
+
+TEST(Merkle, RejectsWrongRoot) {
+  MerkleSigner signer(13, 2);
+  MerkleSigner other(14, 2);
+  const MerkleSignature sig = signer.sign("msg");
+  EXPECT_FALSE(MerkleSigner::verify(other.root(), "msg", sig));
+}
+
+TEST(Merkle, RejectsWrongMessage) {
+  MerkleSigner signer(15, 2);
+  const MerkleSignature sig = signer.sign("msg");
+  EXPECT_FALSE(MerkleSigner::verify(signer.root(), "other", sig));
+}
+
+TEST(Merkle, RejectsTamperedAuthPath) {
+  MerkleSigner signer(16, 3);
+  MerkleSignature sig = signer.sign("msg");
+  sig.auth_path[1][0] ^= 0x80;
+  EXPECT_FALSE(MerkleSigner::verify(signer.root(), "msg", sig));
+}
+
+TEST(Merkle, RejectsLeafIndexSubstitution) {
+  MerkleSigner signer(17, 3);
+  MerkleSignature sig = signer.sign("msg");
+  sig.leaf_index ^= 1;  // claim the sibling leaf signed it
+  EXPECT_FALSE(MerkleSigner::verify(signer.root(), "msg", sig));
+}
+
+TEST(Merkle, EncodeDecodeRoundtrip) {
+  MerkleSigner signer(18, 3);
+  const MerkleSignature sig = signer.sign("roundtrip me");
+  const auto decoded = MerkleSignature::decode(sig.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->leaf_index, sig.leaf_index);
+  EXPECT_TRUE(MerkleSigner::verify(signer.root(), "roundtrip me", *decoded));
+}
+
+TEST(Merkle, DecodeRejectsGarbage) {
+  EXPECT_FALSE(MerkleSignature::decode("").has_value());
+  EXPECT_FALSE(MerkleSignature::decode("notasig").has_value());
+  EXPECT_FALSE(MerkleSignature::decode("1:abcd:ef01:").has_value());
+  MerkleSigner signer(19, 1);
+  std::string encoded = signer.sign("x").encode();
+  encoded[0] = 'x';  // corrupt the index field
+  EXPECT_FALSE(MerkleSignature::decode(encoded).has_value());
+}
+
+TEST(Merkle, DistinctSignersHaveDistinctRoots) {
+  EXPECT_NE(MerkleSigner(1, 2).root(), MerkleSigner(2, 2).root());
+  EXPECT_EQ(MerkleSigner(3, 2).root(), MerkleSigner(3, 2).root());
+}
+
+}  // namespace

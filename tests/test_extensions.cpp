@@ -1,0 +1,386 @@
+// Tests for the design-space extensions: scoped nearest-replica routing,
+// cache-decision policies (LCD / probabilistic), partial edge deployment
+// (the §4.3 incremental-deployment claim), and flash-crowd workloads (§7's
+// request-flood resilience).
+#include <gtest/gtest.h>
+
+#include "analysis/che_approximation.hpp"
+#include "core/experiment.hpp"
+#include "workload/zipf.hpp"
+#include "topology/pop_topology.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace idicn::core;
+
+struct Fixture {
+  topology::HierarchicalNetwork network{topology::make_abilene(),
+                                        topology::AccessTreeShape(2, 3)};
+  BoundWorkload workload;
+  OriginMap origins;
+  SimulationConfig config;
+
+  Fixture() : workload(make()), origins(network, 3000,
+                                        OriginAssignment::PopulationProportional, 77) {}
+
+  BoundWorkload make() {
+    SyntheticWorkloadSpec spec;
+    spec.request_count = 30'000;
+    spec.object_count = 3'000;
+    spec.alpha = 1.0;
+    spec.seed = 5;
+    return bind_synthetic(network, spec);
+  }
+};
+
+// --- scoped nearest replica -----------------------------------------------
+
+TEST(ScopedNearestReplica, ConservationHolds) {
+  Fixture f;
+  const SimulationMetrics m =
+      run_design(f.network, f.origins, icn_scoped_nr(4.0), f.config, f.workload);
+  EXPECT_EQ(m.cache_hits + m.total_origin_served, m.request_count);
+}
+
+TEST(ScopedNearestReplica, InterpolatesBetweenSpAndNr) {
+  // Radius 0 can never use the scoped replica (all costs > 0 after a local
+  // miss), so it must equal ICN-SP; a huge radius must equal ICN-NR… up to
+  // path-side effects: the scoped design still CHECKS the same caches, so
+  // we assert metric ordering rather than equality.
+  Fixture f;
+  const ComparisonResult cmp = compare_designs(
+      f.network, f.origins,
+      {icn_sp(), icn_scoped_nr(0.0), icn_scoped_nr(3.0), icn_scoped_nr(100.0), icn_nr()},
+      f.config, f.workload);
+  const double sp = cmp.designs[0].improvements.latency_pct;
+  const double scoped0 = cmp.designs[1].improvements.latency_pct;
+  const double scoped3 = cmp.designs[2].improvements.latency_pct;
+  const double scoped_inf = cmp.designs[3].improvements.latency_pct;
+  const double nr = cmp.designs[4].improvements.latency_pct;
+
+  EXPECT_NEAR(scoped0, sp, 0.3);        // radius 0 ≈ shortest path
+  EXPECT_NEAR(scoped_inf, nr, 0.3);     // unbounded radius ≈ nearest replica
+  EXPECT_GE(scoped3 + 0.3, scoped0);    // more scope never hurts much
+  EXPECT_LE(scoped3 - 0.5, scoped_inf);
+}
+
+// --- cache decisions ----------------------------------------------------------
+
+TEST(CacheDecision, AllVariantsConserveRequests) {
+  Fixture f;
+  for (const DesignSpec& design :
+       {icn_sp(), icn_sp_lcd(), icn_sp_prob(0.3), icn_sp_prob(0.0)}) {
+    const SimulationMetrics m =
+        run_design(f.network, f.origins, design, f.config, f.workload);
+    EXPECT_EQ(m.cache_hits + m.total_origin_served, m.request_count) << design.name;
+  }
+}
+
+TEST(CacheDecision, ProbabilisticZeroStillServesFromLeafStore) {
+  // p=0 still stores at the requesting leaf (and refreshes the server), so
+  // leaf hits survive; interior copies only appear via prefill.
+  Fixture f;
+  const SimulationMetrics m =
+      run_design(f.network, f.origins, icn_sp_prob(0.0), f.config, f.workload);
+  EXPECT_GT(m.own_leaf_hits, 0u);
+}
+
+TEST(CacheDecision, LcdReducesInteriorChurnNotCorrectness) {
+  Fixture f;
+  const SimulationMetrics everywhere =
+      run_design(f.network, f.origins, icn_sp(), f.config, f.workload);
+  const SimulationMetrics lcd =
+      run_design(f.network, f.origins, icn_sp_lcd(), f.config, f.workload);
+  // Both designs work; LCD trades interior copies for less churn. At the
+  // warm steady state the two end up within a few percent of each other.
+  EXPECT_GT(lcd.cache_hit_ratio(), 0.5);
+  EXPECT_NEAR(lcd.cache_hit_ratio(), everywhere.cache_hit_ratio(), 0.10);
+}
+
+TEST(CacheDecision, DeterministicProbabilisticRuns) {
+  Fixture f;
+  const SimulationMetrics a =
+      run_design(f.network, f.origins, icn_sp_prob(0.5), f.config, f.workload);
+  const SimulationMetrics b =
+      run_design(f.network, f.origins, icn_sp_prob(0.5), f.config, f.workload);
+  EXPECT_EQ(a.total_hops, b.total_hops);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+}
+
+// --- partial deployment (§4.3) -------------------------------------------------
+
+TEST(PartialDeployment, FractionControlsCacheSites) {
+  Fixture f;
+  Simulator none(f.network, f.origins, edge_partial(0.0), f.config);
+  Simulator all(f.network, f.origins, edge_partial(1.0), f.config);
+  std::size_t none_sites = 0, all_sites = 0;
+  for (topology::GlobalNodeId n = 0; n < f.network.node_count(); ++n) {
+    none_sites += none.is_cache_site(n);
+    all_sites += all.is_cache_site(n);
+  }
+  EXPECT_EQ(none_sites, 0u);
+  EXPECT_EQ(all_sites,
+            static_cast<std::size_t>(f.network.pop_count()) *
+                f.network.tree().leaf_count());
+}
+
+TEST(PartialDeployment, DeployersBenefitRegardlessOfOthers) {
+  // §4.3: "this benefit is independent of deployments (or the lack
+  // thereof) in the rest of the network". Compare a deploying PoP's mean
+  // latency when it deploys alone vs when half the network deploys: it
+  // must improve over no-cache in both, by nearly the same amount.
+  Fixture f;
+
+  // Find a pop deployed at fraction 0.3 (the subset is deterministic).
+  Simulator probe(f.network, f.origins, edge_partial(0.3), f.config);
+  std::optional<topology::PopId> deployed;
+  for (topology::PopId pop = 0; pop < f.network.pop_count(); ++pop) {
+    if (probe.is_cache_site(f.network.leaf(pop, 0))) {
+      deployed = pop;
+      break;
+    }
+  }
+  ASSERT_TRUE(deployed.has_value());
+
+  const SimulationMetrics base =
+      run_design(f.network, f.origins, no_cache(), f.config, f.workload);
+  const SimulationMetrics sparse =
+      run_design(f.network, f.origins, edge_partial(0.3), f.config, f.workload);
+  const SimulationMetrics full =
+      run_design(f.network, f.origins, edge_partial(1.0), f.config, f.workload);
+
+  const double base_latency = base.pop_mean_latency(*deployed);
+  const double sparse_latency = sparse.pop_mean_latency(*deployed);
+  const double full_latency = full.pop_mean_latency(*deployed);
+  EXPECT_LT(sparse_latency, base_latency * 0.8);  // deploying alone pays off
+  // …and deploying alone captures nearly all of what full deployment gives
+  // this pop.
+  EXPECT_NEAR(sparse_latency, full_latency, base_latency * 0.05);
+}
+
+TEST(PartialDeployment, NonDeployersGainNothingAtTheEdge) {
+  Fixture f;
+  Simulator probe(f.network, f.origins, edge_partial(0.3), f.config);
+  std::optional<topology::PopId> bare;
+  for (topology::PopId pop = 0; pop < f.network.pop_count(); ++pop) {
+    if (!probe.is_cache_site(f.network.leaf(pop, 0))) {
+      bare = pop;
+      break;
+    }
+  }
+  ASSERT_TRUE(bare.has_value());
+  const SimulationMetrics base =
+      run_design(f.network, f.origins, no_cache(), f.config, f.workload);
+  const SimulationMetrics sparse =
+      run_design(f.network, f.origins, edge_partial(0.3), f.config, f.workload);
+  // A non-deploying pop sees (almost) the no-cache latency: edge caches
+  // elsewhere cannot serve its requests under shortest-path routing.
+  EXPECT_NEAR(sparse.pop_mean_latency(*bare), base.pop_mean_latency(*bare),
+              base.pop_mean_latency(*bare) * 0.02);
+}
+
+// --- flash crowds (§7) -----------------------------------------------------------
+
+TEST(FlashCrowd, WorkloadShape) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 20'000;
+  base.object_count = 2'000;
+  base.alpha = 1.0;
+  base.seed = 5;
+  FlashCrowdSpec crowd;
+  crowd.start = 0.5;
+  crowd.duration = 0.25;
+  crowd.intensity = 0.8;
+  crowd.hot_objects = 3;
+  const BoundWorkload workload = bind_flash_crowd(f.network, base, crowd);
+
+  EXPECT_EQ(workload.object_count, 2'003u);
+  // Hot objects appear only inside the window.
+  const std::size_t begin = 10'000, end = 15'000;
+  std::size_t hot_in = 0, hot_out = 0;
+  for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+    const bool hot = workload.requests[i].object >= 2'000;
+    if (i >= begin && i < end) {
+      hot_in += hot;
+    } else {
+      hot_out += hot;
+    }
+  }
+  EXPECT_EQ(hot_out, 0u);
+  EXPECT_NEAR(static_cast<double>(hot_in), 0.8 * 5000, 200);
+  // Hot objects sort last in the popularity order (never prefilled).
+  const auto& order = workload.order_for_pop(0);
+  EXPECT_GE(order[order.size() - 1], 2'000u);
+}
+
+TEST(FlashCrowd, EdgeCachingAbsorbsTheFloodAlmostLikeIcn) {
+  // §7: "an edge cache deployment provides much of the same request flood
+  // protection as pervasively deployed ICNs."
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 40'000;
+  base.object_count = 3'000;
+  base.alpha = 1.0;
+  base.seed = 5;
+  FlashCrowdSpec crowd;
+  crowd.intensity = 0.7;
+  crowd.hot_objects = 2;
+  const BoundWorkload workload = bind_flash_crowd(f.network, base, crowd);
+  const OriginMap origins(f.network, workload.object_count,
+                          OriginAssignment::PopulationProportional, 77);
+
+  const auto origin_hits_for = [&](const DesignSpec& design) {
+    const SimulationMetrics m =
+        run_design(f.network, origins, design, f.config, workload);
+    return m.max_origin_served;
+  };
+  const std::uint64_t none = origin_hits_for(no_cache());
+  const std::uint64_t edge_only = origin_hits_for(edge());
+  const std::uint64_t pervasive = origin_hits_for(icn_nr());
+
+  // Caching slashes the flood reaching the hottest origin…
+  EXPECT_LT(edge_only, none / 3);
+  // …pervasive ICN is at least as protective…
+  EXPECT_LE(pervasive, edge_only + 1);
+  // …but EDGE already absorbs most of it: the residual EDGE-vs-ICN exposure
+  // is small relative to the unprotected flood.
+  EXPECT_LT(edge_only - pervasive, none / 4);
+}
+
+TEST(FlashCrowd, InvalidSpecsThrow) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 100;
+  base.object_count = 10;
+  FlashCrowdSpec crowd;
+  crowd.hot_objects = 0;
+  EXPECT_THROW((void)bind_flash_crowd(f.network, base, crowd), std::invalid_argument);
+  crowd.hot_objects = 1;
+  crowd.start = 0.9;
+  crowd.duration = 0.2;
+  EXPECT_THROW((void)bind_flash_crowd(f.network, base, crowd), std::invalid_argument);
+  crowd.start = 0.1;
+  crowd.intensity = 1.5;
+  EXPECT_THROW((void)bind_flash_crowd(f.network, base, crowd), std::invalid_argument);
+}
+
+
+// --- drifting workloads (§7) --------------------------------------------------
+
+TEST(Drift, ZeroChurnMatchesStaticSampling) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 5'000;
+  base.object_count = 500;
+  base.alpha = 1.0;
+  base.seed = 5;
+  DriftSpec drift;
+  drift.period = 1'000;
+  drift.churn_fraction = 0.0;
+  const BoundWorkload drifting = bind_drifting(f.network, base, drift);
+  // With zero churn the mapping is the identity, matching bind_synthetic.
+  const BoundWorkload plain = bind_synthetic(f.network, base);
+  ASSERT_EQ(drifting.requests.size(), plain.requests.size());
+  for (std::size_t i = 0; i < plain.requests.size(); ++i) {
+    EXPECT_EQ(drifting.requests[i].object, plain.requests[i].object) << i;
+  }
+}
+
+TEST(Drift, ChurnChangesTheStream) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 20'000;
+  base.object_count = 1'000;
+  base.alpha = 1.0;
+  base.seed = 5;
+  DriftSpec heavy;
+  heavy.period = 2'000;
+  heavy.churn_fraction = 0.2;
+  const BoundWorkload drifting = bind_drifting(f.network, base, heavy);
+  const BoundWorkload plain = bind_synthetic(f.network, base);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < plain.requests.size(); ++i) {
+    differing += drifting.requests[i].object != plain.requests[i].object;
+  }
+  EXPECT_GT(differing, plain.requests.size() / 10);
+  // The early (pre-first-churn) prefix is identical.
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    EXPECT_EQ(drifting.requests[i].object, plain.requests[i].object);
+  }
+}
+
+TEST(Drift, SimulationConservesAndDegradesHitRatio) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 30'000;
+  base.object_count = 3'000;
+  base.alpha = 1.0;
+  base.seed = 5;
+  DriftSpec fast;
+  fast.period = 1'500;
+  fast.churn_fraction = 0.2;
+  const BoundWorkload drifting = bind_drifting(f.network, base, fast);
+  const OriginMap origins(f.network, base.object_count,
+                          OriginAssignment::PopulationProportional, 77);
+  const SimulationMetrics moving =
+      run_design(f.network, origins, edge(), f.config, drifting);
+  EXPECT_EQ(moving.cache_hits + moving.total_origin_served, moving.request_count);
+
+  const SimulationMetrics still =
+      run_design(f.network, origins, edge(), f.config, f.workload);
+  EXPECT_LT(moving.cache_hit_ratio(), still.cache_hit_ratio());
+}
+
+TEST(Drift, InvalidSpecsThrow) {
+  Fixture f;
+  SyntheticWorkloadSpec base;
+  base.request_count = 100;
+  base.object_count = 10;
+  DriftSpec drift;
+  drift.period = 0;
+  EXPECT_THROW((void)bind_drifting(f.network, base, drift), std::invalid_argument);
+  drift.period = 10;
+  drift.churn_fraction = 1.5;
+  EXPECT_THROW((void)bind_drifting(f.network, base, drift), std::invalid_argument);
+  drift.churn_fraction = 0.1;
+  base.spatial_skew = 0.5;
+  EXPECT_THROW((void)bind_drifting(f.network, base, drift), std::invalid_argument);
+}
+
+// --- simulator vs Che cross-check ----------------------------------------------
+
+TEST(CrossCheck, EdgeLeafHitRatioTracksCheApproximation) {
+  // Uniform budgets, no skew: every leaf is an LRU cache of F·O objects
+  // under (a thinned copy of) the same Zipf stream, so the simulator's
+  // own-leaf hit ratio should track Che's analytic prediction.
+  topology::HierarchicalNetwork network(topology::make_abilene(),
+                                        topology::AccessTreeShape(2, 2));
+  SyntheticWorkloadSpec spec;
+  spec.request_count = 120'000;
+  spec.object_count = 2'000;
+  spec.alpha = 1.0;
+  spec.seed = 5;
+  const BoundWorkload workload = bind_synthetic(network, spec);
+  const OriginMap origins(network, spec.object_count,
+                          OriginAssignment::PopulationProportional, 77);
+  SimulationConfig config;
+  config.split = cache::BudgetSplit::Uniform;
+  config.budget_fraction = 0.05;
+
+  const SimulationMetrics m = run_design(network, origins, edge(), config, workload);
+  const double simulated =
+      static_cast<double>(m.own_leaf_hits) / static_cast<double>(m.request_count);
+
+  const workload::ZipfDistribution zipf(spec.object_count, spec.alpha);
+  std::vector<double> popularity(spec.object_count);
+  for (std::uint32_t rank = 1; rank <= spec.object_count; ++rank) {
+    popularity[rank - 1] = zipf.probability(rank);
+  }
+  const double predicted =
+      analysis::che_lru(popularity, 0.05 * spec.object_count).hit_ratio;
+  EXPECT_NEAR(simulated, predicted, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Name resolution system tests (§6): cryptographically-gated registration,
+// exact and publisher-delegated resolution, the HTTP API, and DNS mirroring.
+#include <gtest/gtest.h>
+
+#include "crypto/hex.hpp"
+#include "idicn/nrs.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace ::idicn::idicn;
+
+struct Publisher {
+  crypto::MerkleSigner signer;
+  std::string id;
+  explicit Publisher(std::uint64_t seed)
+      : signer(seed, 4), id(SelfCertifyingName::publisher_id(signer.root())) {}
+
+  SelfCertifyingName name(const std::string& label) const {
+    return SelfCertifyingName(label, id);
+  }
+};
+
+TEST(Nrs, RegisterAndResolveExact) {
+  NameResolutionSystem nrs;
+  Publisher pub(100);
+  const SelfCertifyingName name = pub.name("obj");
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "rp.example"));
+  EXPECT_EQ(nrs.register_name(name, "rp.example", pub.signer.root(), signature),
+            RegisterResult::Ok);
+  const auto resolution = nrs.resolve(name);
+  EXPECT_TRUE(resolution.found());
+  EXPECT_EQ(resolution.locations, std::vector<std::string>{"rp.example"});
+  EXPECT_EQ(nrs.name_count(), 1u);
+}
+
+TEST(Nrs, DuplicateRegistrationIsIdempotent) {
+  NameResolutionSystem nrs;
+  Publisher pub(101);
+  const SelfCertifyingName name = pub.name("obj");
+  for (int i = 0; i < 2; ++i) {
+    const auto signature = pub.signer.sign(
+        NameResolutionSystem::registration_signing_input(name, "rp"));
+    EXPECT_EQ(nrs.register_name(name, "rp", pub.signer.root(), signature),
+              RegisterResult::Ok);
+  }
+  EXPECT_EQ(nrs.resolve(name).locations.size(), 1u);
+}
+
+TEST(Nrs, MultipleLocationsAccumulate) {
+  NameResolutionSystem nrs;
+  Publisher pub(102);
+  const SelfCertifyingName name = pub.name("obj");
+  for (const std::string location : {"rp1", "rp2"}) {
+    const auto signature = pub.signer.sign(
+        NameResolutionSystem::registration_signing_input(name, location));
+    ASSERT_EQ(nrs.register_name(name, location, pub.signer.root(), signature),
+              RegisterResult::Ok);
+  }
+  EXPECT_EQ(nrs.resolve(name).locations, (std::vector<std::string>{"rp1", "rp2"}));
+}
+
+TEST(Nrs, RejectsForeignKey) {
+  // A key that does not hash to the name's P is rejected outright.
+  NameResolutionSystem nrs;
+  Publisher owner(103);
+  Publisher attacker(104);
+  const SelfCertifyingName name = owner.name("obj");
+  const auto signature = attacker.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "evil"));
+  EXPECT_EQ(nrs.register_name(name, "evil", attacker.signer.root(), signature),
+            RegisterResult::PublisherMismatch);
+  EXPECT_FALSE(nrs.resolve(name).found());
+}
+
+TEST(Nrs, RejectsBadSignature) {
+  NameResolutionSystem nrs;
+  Publisher pub(105);
+  const SelfCertifyingName name = pub.name("obj");
+  // Signature over a different location: must not register this location.
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "somewhere-else"));
+  EXPECT_EQ(nrs.register_name(name, "target", pub.signer.root(), signature),
+            RegisterResult::BadSignature);
+}
+
+TEST(Nrs, PublisherDelegation) {
+  NameResolutionSystem nrs;
+  Publisher pub(106);
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::delegation_signing_input(pub.id, "fine-resolver"));
+  EXPECT_EQ(nrs.register_resolver(pub.id, "fine-resolver", pub.signer.root(), signature),
+            RegisterResult::Ok);
+  // Unknown L.P falls back to the P-level delegation.
+  const auto resolution = nrs.resolve(pub.name("never-registered"));
+  EXPECT_TRUE(resolution.found());
+  EXPECT_TRUE(resolution.locations.empty());
+  EXPECT_EQ(resolution.resolver, "fine-resolver");
+}
+
+TEST(Nrs, MirrorsIntoDns) {
+  net::DnsService dns;
+  NameResolutionSystem nrs(&dns);
+  Publisher pub(107);
+  const SelfCertifyingName name = pub.name("obj");
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "rp"));
+  ASSERT_EQ(nrs.register_name(name, "rp", pub.signer.root(), signature),
+            RegisterResult::Ok);
+  EXPECT_EQ(dns.resolve(name.host()), "rp");
+}
+
+// --- HTTP face -------------------------------------------------------------
+
+net::HttpRequest registration_request(Publisher& pub, const SelfCertifyingName& name,
+                                      const std::string& location) {
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, location));
+  net::HttpRequest request;
+  request.method = "POST";
+  request.target = "/register";
+  request.body = "name=" + name.host() + "&location=" + location + "&publisher-key=" +
+                 crypto::hex_encode(std::span<const std::uint8_t>(pub.signer.root())) +
+                 "&signature=" + signature.encode();
+  return request;
+}
+
+TEST(NrsHttp, RegisterThenResolve) {
+  NameResolutionSystem nrs;
+  Publisher pub(108);
+  const SelfCertifyingName name = pub.name("obj");
+  const net::HttpResponse ack =
+      nrs.handle_http(registration_request(pub, name, "rp.addr"), "rp.addr");
+  EXPECT_EQ(ack.status, 201);
+
+  net::HttpRequest query;
+  query.method = "GET";
+  query.target = "/resolve?name=" + name.host();
+  const net::HttpResponse answer = nrs.handle_http(query, "proxy");
+  EXPECT_EQ(answer.status, 200);
+  EXPECT_NE(answer.body.find("location=rp.addr"), std::string::npos);
+}
+
+TEST(NrsHttp, ResolveUnknownIs404) {
+  NameResolutionSystem nrs;
+  Publisher pub(109);
+  net::HttpRequest query;
+  query.method = "GET";
+  query.target = "/resolve?name=" + pub.name("missing").host();
+  EXPECT_EQ(nrs.handle_http(query, "proxy").status, 404);
+}
+
+TEST(NrsHttp, MalformedRequestsAre400) {
+  NameResolutionSystem nrs;
+  net::HttpRequest query;
+  query.method = "GET";
+  query.target = "/resolve";
+  EXPECT_EQ(nrs.handle_http(query, "x").status, 400);  // missing name
+  query.target = "/resolve?name=www.legacy.com";
+  EXPECT_EQ(nrs.handle_http(query, "x").status, 400);  // not an idicn name
+  net::HttpRequest post;
+  post.method = "POST";
+  post.target = "/register";
+  post.body = "name=x";
+  EXPECT_EQ(nrs.handle_http(post, "x").status, 400);  // missing fields
+  net::HttpRequest other;
+  other.method = "GET";
+  other.target = "/other";
+  EXPECT_EQ(nrs.handle_http(other, "x").status, 404);
+}
+
+TEST(NrsHttp, ForgedRegistrationIs403) {
+  NameResolutionSystem nrs;
+  Publisher owner(110);
+  Publisher attacker(111);
+  const SelfCertifyingName name = owner.name("obj");
+  net::HttpRequest request = registration_request(attacker, name, "evil");
+  EXPECT_EQ(nrs.handle_http(request, "evil").status, 403);
+}
+
+// --- form parsing helpers ------------------------------------------------------
+
+TEST(Forms, ParseForm) {
+  const auto form = parse_form("a=1&b=two&c=");
+  EXPECT_EQ(form.at("a"), "1");
+  EXPECT_EQ(form.at("b"), "two");
+  EXPECT_EQ(form.at("c"), "");
+  EXPECT_TRUE(parse_form("").empty());
+  EXPECT_TRUE(parse_form("novalue").empty());
+}
+
+TEST(Forms, ParseFormLinesPreservesOrderAndDuplicates) {
+  const auto lines = parse_form_lines("location=a\nlocation=b\nresolver=c\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], (std::pair<std::string, std::string>{"location", "a"}));
+  EXPECT_EQ(lines[1], (std::pair<std::string, std::string>{"location", "b"}));
+  EXPECT_EQ(lines[2], (std::pair<std::string, std::string>{"resolver", "c"}));
+}
+
+}  // namespace

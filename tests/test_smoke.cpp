@@ -1,0 +1,45 @@
+// End-to-end smoke test: build a small network, run all representative
+// designs, and check the paper's headline orderings hold qualitatively.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "topology/pop_topology.hpp"
+
+namespace {
+
+using namespace idicn;
+
+TEST(Smoke, AbileneBaselineComparison) {
+  topology::HierarchicalNetwork network(topology::make_abilene(),
+                                        topology::AccessTreeShape(2, 3));
+  core::SyntheticWorkloadSpec spec;
+  spec.request_count = 20'000;
+  spec.object_count = 2'000;
+  spec.alpha = 1.0;
+  spec.seed = 7;
+  const core::BoundWorkload workload = core::bind_synthetic(network, spec);
+
+  core::SimulationConfig config;
+  const core::OriginMap origins(network, spec.object_count,
+                                core::OriginAssignment::PopulationProportional, 11);
+
+  const auto result = core::compare_designs(
+      network, origins,
+      {core::icn_sp(), core::icn_nr(), core::edge(), core::edge_coop(),
+       core::edge_norm()},
+      config, workload);
+
+  ASSERT_EQ(result.designs.size(), 5u);
+  // Everything beats no caching.
+  for (const core::DesignResult& r : result.designs) {
+    EXPECT_GT(r.improvements.latency_pct, 0.0) << r.design.name;
+    EXPECT_GT(r.improvements.origin_load_pct, 0.0) << r.design.name;
+  }
+  // ICN-NR is at least as good as EDGE on latency; the gap is bounded.
+  const auto& nr = result.by_name("ICN-NR");
+  const auto& edge = result.by_name("EDGE");
+  EXPECT_GE(nr.improvements.latency_pct, edge.improvements.latency_pct - 1.0);
+  EXPECT_LT(nr.improvements.latency_pct - edge.improvements.latency_pct, 30.0);
+}
+
+}  // namespace

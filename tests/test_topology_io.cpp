@@ -1,0 +1,84 @@
+// Topology serialization tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/pop_topology.hpp"
+#include "topology/topology_io.hpp"
+
+namespace {
+
+using namespace idicn::topology;
+
+TEST(TopologyIo, RoundtripAbilene) {
+  const Graph original = make_abilene();
+  std::stringstream buffer;
+  write_topology(buffer, original);
+  const Graph restored = read_topology(buffer);
+
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  ASSERT_EQ(restored.link_count(), original.link_count());
+  for (NodeId n = 0; n < original.node_count(); ++n) {
+    EXPECT_EQ(restored.node(n).name, original.node(n).name);
+    EXPECT_DOUBLE_EQ(restored.node(n).population, original.node(n).population);
+  }
+  for (LinkId l = 0; l < original.link_count(); ++l) {
+    EXPECT_EQ(restored.link(l).a, original.link(l).a);
+    EXPECT_EQ(restored.link(l).b, original.link(l).b);
+    EXPECT_DOUBLE_EQ(restored.link(l).weight, original.link(l).weight);
+  }
+}
+
+TEST(TopologyIo, RoundtripGeneratedIsps) {
+  for (const std::string& name : evaluation_topology_names()) {
+    const Graph original = make_topology(name);
+    std::stringstream buffer;
+    write_topology(buffer, original);
+    const Graph restored = read_topology(buffer);
+    EXPECT_EQ(restored.node_count(), original.node_count()) << name;
+    EXPECT_EQ(restored.link_count(), original.link_count()) << name;
+    EXPECT_TRUE(restored.connected()) << name;
+  }
+}
+
+TEST(TopologyIo, ParsesCommentsBlanksAndDefaults) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "node a 1.5\n"
+      "node b 2.5\n"
+      "link a b\n");  // weight defaults to 1
+  const Graph g = read_topology(in);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.link(0).weight, 1.0);
+}
+
+class BadTopologies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadTopologies, Rejected) {
+  std::stringstream in(GetParam());
+  EXPECT_THROW((void)read_topology(in), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadTopologies,
+    ::testing::Values("frob a b\n",                        // unknown keyword
+                      "node a\n",                          // missing population
+                      "node a 1\nnode a 2\n",              // duplicate node
+                      "node a 1\nlink a b\n",              // unknown node
+                      "node a 0\n",                        // non-positive population
+                      "node a 1\nnode b 1\nlink a b -2\n", // bad weight
+                      "node a 1\nlink a a\n"));            // self loop
+
+TEST(TopologyIo, ErrorsCarryLineNumbers) {
+  std::stringstream in("node a 1\nnode b 1\nfrob\n");
+  try {
+    (void)read_topology(in);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace

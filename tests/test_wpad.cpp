@@ -1,0 +1,113 @@
+// WPAD / PAC tests (§6.2): the mini PAC dialect, rule matching, and the
+// DHCP-then-DNS discovery order.
+#include <gtest/gtest.h>
+
+#include "idicn/wpad.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace ::idicn::idicn;
+
+TEST(Pac, ParseAndEvaluate) {
+  const auto pac = PacFile::parse(
+      "# comment line\n"
+      "proxy cache.ad1 for *.idicn.org\n"
+      "proxy video.ad1 for cdn.video.example\n"
+      "default DIRECT\n");
+  ASSERT_TRUE(pac.has_value());
+  EXPECT_EQ(pac->rule_count(), 2u);
+  EXPECT_EQ(pac->find_proxy_for_host("x.y.idicn.org").proxy, "cache.ad1");
+  EXPECT_EQ(pac->find_proxy_for_host("cdn.video.example").proxy, "video.ad1");
+  EXPECT_TRUE(pac->find_proxy_for_host("other.com").direct());
+  // The wildcard needs a real subdomain: "idicn.org" itself is not *.idicn.org.
+  EXPECT_TRUE(pac->find_proxy_for_host("idicn.org").direct());
+}
+
+TEST(Pac, DefaultProxy) {
+  const auto pac = PacFile::parse("default PROXY fallback.ad1\n");
+  ASSERT_TRUE(pac.has_value());
+  EXPECT_EQ(pac->find_proxy_for_host("anything.example").proxy, "fallback.ad1");
+}
+
+TEST(Pac, FirstMatchWins) {
+  const auto pac = PacFile::parse(
+      "proxy first.ad1 for *.example.com\n"
+      "proxy second.ad1 for www.example.com\n");
+  ASSERT_TRUE(pac.has_value());
+  EXPECT_EQ(pac->find_proxy_for_host("www.example.com").proxy, "first.ad1");
+}
+
+TEST(Pac, SerializeRoundtrip) {
+  const PacFile pac = PacFile::idicn_default("cache.ad1");
+  const auto reparsed = PacFile::parse(pac.serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->find_proxy_for_host("a.b.idicn.org").proxy, "cache.ad1");
+  EXPECT_TRUE(reparsed->find_proxy_for_host("plain.com").direct());
+}
+
+class BadPac : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadPac, Rejected) { EXPECT_FALSE(PacFile::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(Cases, BadPac,
+                         ::testing::Values("garbage line\n", "proxy only-two\n",
+                                           "proxy a b c\n", "default\n",
+                                           "default MAYBE\n", "default PROXY\n"));
+
+TEST(Wpad, ServiceServesPac) {
+  WpadService service(PacFile::idicn_default("cache.ad1"));
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/wpad.dat";
+  const net::HttpResponse response = service.handle_http(request, "host");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.get("Content-Type"), "application/x-ns-proxy-autoconfig");
+  EXPECT_TRUE(PacFile::parse(response.body).has_value());
+
+  request.target = "/other";
+  EXPECT_EQ(service.handle_http(request, "host").status, 404);
+}
+
+TEST(Wpad, DhcpTakesPriorityOverDns) {
+  net::SimNet net;
+  net::DnsService dns;
+  WpadService dhcp_one(PacFile::idicn_default("from-dhcp"));
+  WpadService dns_one(PacFile::idicn_default("from-dns"));
+  net.attach("dhcp.pac.host", &dhcp_one);
+  net.attach("dns.pac.host", &dns_one);
+  dns.update("pacserver.corp", "dhcp.pac.host");
+  dns.update("wpad.corp", "dns.pac.host");
+
+  NetworkEnvironment env;
+  env.dhcp_pac_url = "http://pacserver.corp/wpad.dat";
+  env.dns_domain = "corp";
+  const auto pac = discover_pac(net, "client", env, dns);
+  ASSERT_TRUE(pac.has_value());
+  EXPECT_EQ(pac->find_proxy_for_host("a.b.idicn.org").proxy, "from-dhcp");
+}
+
+TEST(Wpad, FallsBackToDnsWhenDhcpUrlDead) {
+  net::SimNet net;
+  net::DnsService dns;
+  WpadService dns_one(PacFile::idicn_default("from-dns"));
+  net.attach("dns.pac.host", &dns_one);
+  dns.update("wpad.corp", "dns.pac.host");
+
+  NetworkEnvironment env;
+  env.dhcp_pac_url = "http://dead.host/wpad.dat";  // does not resolve
+  env.dns_domain = "corp";
+  const auto pac = discover_pac(net, "client", env, dns);
+  ASSERT_TRUE(pac.has_value());
+  EXPECT_EQ(pac->find_proxy_for_host("a.b.idicn.org").proxy, "from-dns");
+}
+
+TEST(Wpad, NothingFoundReturnsNullopt) {
+  net::SimNet net;
+  net::DnsService dns;
+  NetworkEnvironment env;
+  env.dns_domain = "corp";
+  EXPECT_FALSE(discover_pac(net, "client", env, dns).has_value());
+}
+
+}  // namespace
