@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decisions.dir/bench_ablation_decisions.cpp.o"
+  "CMakeFiles/bench_ablation_decisions.dir/bench_ablation_decisions.cpp.o.d"
+  "bench_ablation_decisions"
+  "bench_ablation_decisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

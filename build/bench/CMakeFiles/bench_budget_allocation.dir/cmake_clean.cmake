@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_allocation.dir/bench_budget_allocation.cpp.o"
+  "CMakeFiles/bench_budget_allocation.dir/bench_budget_allocation.cpp.o.d"
+  "bench_budget_allocation"
+  "bench_budget_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_baseline_proportional.dir/bench_fig6_baseline_proportional.cpp.o"
+  "CMakeFiles/bench_fig6_baseline_proportional.dir/bench_fig6_baseline_proportional.cpp.o.d"
+  "bench_fig6_baseline_proportional"
+  "bench_fig6_baseline_proportional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_baseline_proportional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

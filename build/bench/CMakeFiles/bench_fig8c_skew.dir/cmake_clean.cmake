@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_skew.dir/bench_fig8c_skew.cpp.o"
+  "CMakeFiles/bench_fig8c_skew.dir/bench_fig8c_skew.cpp.o.d"
+  "bench_fig8c_skew"
+  "bench_fig8c_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_best_scenario.
+# This may be replaced when dependencies are built.

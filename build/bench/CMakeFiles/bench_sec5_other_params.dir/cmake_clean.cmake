@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_other_params.dir/bench_sec5_other_params.cpp.o"
+  "CMakeFiles/bench_sec5_other_params.dir/bench_sec5_other_params.cpp.o.d"
+  "bench_sec5_other_params"
+  "bench_sec5_other_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_other_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

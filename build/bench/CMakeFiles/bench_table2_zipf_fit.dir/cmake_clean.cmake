@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_zipf_fit.dir/bench_table2_zipf_fit.cpp.o"
+  "CMakeFiles/bench_table2_zipf_fit.dir/bench_table2_zipf_fit.cpp.o.d"
+  "bench_table2_zipf_fit"
+  "bench_table2_zipf_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_zipf_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_trace_vs_synthetic.dir/bench_table3_trace_vs_synthetic.cpp.o"
+  "CMakeFiles/bench_table3_trace_vs_synthetic.dir/bench_table3_trace_vs_synthetic.cpp.o.d"
+  "bench_table3_trace_vs_synthetic"
+  "bench_table3_trace_vs_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_trace_vs_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_arity.dir/bench_table4_arity.cpp.o"
+  "CMakeFiles/bench_table4_arity.dir/bench_table4_arity.cpp.o.d"
+  "bench_table4_arity"
+  "bench_table4_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

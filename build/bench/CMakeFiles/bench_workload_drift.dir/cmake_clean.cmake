@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_drift.dir/bench_workload_drift.cpp.o"
+  "CMakeFiles/bench_workload_drift.dir/bench_workload_drift.cpp.o.d"
+  "bench_workload_drift"
+  "bench_workload_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_sharing.dir/adhoc_sharing.cpp.o"
+  "CMakeFiles/adhoc_sharing.dir/adhoc_sharing.cpp.o.d"
+  "adhoc_sharing"
+  "adhoc_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

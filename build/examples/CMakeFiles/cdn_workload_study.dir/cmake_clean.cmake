@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_workload_study.dir/cdn_workload_study.cpp.o"
+  "CMakeFiles/cdn_workload_study.dir/cdn_workload_study.cpp.o.d"
+  "cdn_workload_study"
+  "cdn_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_demo.dir/idicn_demo.cpp.o"
+  "CMakeFiles/idicn_demo.dir/idicn_demo.cpp.o.d"
+  "idicn_demo"
+  "idicn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

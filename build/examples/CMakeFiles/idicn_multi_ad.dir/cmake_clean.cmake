@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_multi_ad.dir/idicn_multi_ad.cpp.o"
+  "CMakeFiles/idicn_multi_ad.dir/idicn_multi_ad.cpp.o.d"
+  "idicn_multi_ad"
+  "idicn_multi_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_multi_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

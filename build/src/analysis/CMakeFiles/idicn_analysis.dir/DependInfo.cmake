@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/che_approximation.cpp" "src/analysis/CMakeFiles/idicn_analysis.dir/che_approximation.cpp.o" "gcc" "src/analysis/CMakeFiles/idicn_analysis.dir/che_approximation.cpp.o.d"
+  "/root/repo/src/analysis/economics.cpp" "src/analysis/CMakeFiles/idicn_analysis.dir/economics.cpp.o" "gcc" "src/analysis/CMakeFiles/idicn_analysis.dir/economics.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/idicn_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/idicn_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/tree_model.cpp" "src/analysis/CMakeFiles/idicn_analysis.dir/tree_model.cpp.o" "gcc" "src/analysis/CMakeFiles/idicn_analysis.dir/tree_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/idicn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

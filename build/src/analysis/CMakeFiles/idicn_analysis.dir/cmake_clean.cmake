@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_analysis.dir/che_approximation.cpp.o"
+  "CMakeFiles/idicn_analysis.dir/che_approximation.cpp.o.d"
+  "CMakeFiles/idicn_analysis.dir/economics.cpp.o"
+  "CMakeFiles/idicn_analysis.dir/economics.cpp.o.d"
+  "CMakeFiles/idicn_analysis.dir/stats.cpp.o"
+  "CMakeFiles/idicn_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/idicn_analysis.dir/tree_model.cpp.o"
+  "CMakeFiles/idicn_analysis.dir/tree_model.cpp.o.d"
+  "libidicn_analysis.a"
+  "libidicn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/admission.cpp" "src/cache/CMakeFiles/idicn_cache.dir/admission.cpp.o" "gcc" "src/cache/CMakeFiles/idicn_cache.dir/admission.cpp.o.d"
+  "/root/repo/src/cache/budget.cpp" "src/cache/CMakeFiles/idicn_cache.dir/budget.cpp.o" "gcc" "src/cache/CMakeFiles/idicn_cache.dir/budget.cpp.o.d"
+  "/root/repo/src/cache/lfu_cache.cpp" "src/cache/CMakeFiles/idicn_cache.dir/lfu_cache.cpp.o" "gcc" "src/cache/CMakeFiles/idicn_cache.dir/lfu_cache.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/cache/CMakeFiles/idicn_cache.dir/lru_cache.cpp.o" "gcc" "src/cache/CMakeFiles/idicn_cache.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/simple_caches.cpp" "src/cache/CMakeFiles/idicn_cache.dir/simple_caches.cpp.o" "gcc" "src/cache/CMakeFiles/idicn_cache.dir/simple_caches.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/idicn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_cache.dir/admission.cpp.o"
+  "CMakeFiles/idicn_cache.dir/admission.cpp.o.d"
+  "CMakeFiles/idicn_cache.dir/budget.cpp.o"
+  "CMakeFiles/idicn_cache.dir/budget.cpp.o.d"
+  "CMakeFiles/idicn_cache.dir/lfu_cache.cpp.o"
+  "CMakeFiles/idicn_cache.dir/lfu_cache.cpp.o.d"
+  "CMakeFiles/idicn_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/idicn_cache.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/idicn_cache.dir/simple_caches.cpp.o"
+  "CMakeFiles/idicn_cache.dir/simple_caches.cpp.o.d"
+  "libidicn_cache.a"
+  "libidicn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

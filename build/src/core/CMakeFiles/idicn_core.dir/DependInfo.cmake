@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bound_workload.cpp" "src/core/CMakeFiles/idicn_core.dir/bound_workload.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/bound_workload.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/idicn_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/idicn_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/holder_index.cpp" "src/core/CMakeFiles/idicn_core.dir/holder_index.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/holder_index.cpp.o.d"
+  "/root/repo/src/core/origin_map.cpp" "src/core/CMakeFiles/idicn_core.dir/origin_map.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/origin_map.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/idicn_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/idicn_core.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/idicn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/idicn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idicn_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

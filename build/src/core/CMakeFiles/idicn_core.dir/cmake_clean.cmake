@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_core.dir/bound_workload.cpp.o"
+  "CMakeFiles/idicn_core.dir/bound_workload.cpp.o.d"
+  "CMakeFiles/idicn_core.dir/design.cpp.o"
+  "CMakeFiles/idicn_core.dir/design.cpp.o.d"
+  "CMakeFiles/idicn_core.dir/experiment.cpp.o"
+  "CMakeFiles/idicn_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/idicn_core.dir/holder_index.cpp.o"
+  "CMakeFiles/idicn_core.dir/holder_index.cpp.o.d"
+  "CMakeFiles/idicn_core.dir/origin_map.cpp.o"
+  "CMakeFiles/idicn_core.dir/origin_map.cpp.o.d"
+  "CMakeFiles/idicn_core.dir/simulator.cpp.o"
+  "CMakeFiles/idicn_core.dir/simulator.cpp.o.d"
+  "libidicn_core.a"
+  "libidicn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

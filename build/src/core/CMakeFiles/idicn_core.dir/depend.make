@@ -1,0 +1,2 @@
+# Empty dependencies file for idicn_core.
+# This may be replaced when dependencies are built.

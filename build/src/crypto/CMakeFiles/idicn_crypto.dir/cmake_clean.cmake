@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_crypto.dir/base32.cpp.o"
+  "CMakeFiles/idicn_crypto.dir/base32.cpp.o.d"
+  "CMakeFiles/idicn_crypto.dir/hex.cpp.o"
+  "CMakeFiles/idicn_crypto.dir/hex.cpp.o.d"
+  "CMakeFiles/idicn_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/idicn_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/idicn_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/idicn_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/idicn_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/idicn_crypto.dir/sha256.cpp.o.d"
+  "libidicn_crypto.a"
+  "libidicn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

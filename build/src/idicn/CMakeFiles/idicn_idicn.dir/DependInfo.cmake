@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idicn/adhoc.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/adhoc.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/adhoc.cpp.o.d"
+  "/root/repo/src/idicn/client.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/client.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/client.cpp.o.d"
+  "/root/repo/src/idicn/metalink.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/metalink.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/metalink.cpp.o.d"
+  "/root/repo/src/idicn/mobility.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/mobility.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/mobility.cpp.o.d"
+  "/root/repo/src/idicn/name.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/name.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/name.cpp.o.d"
+  "/root/repo/src/idicn/nrs.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/nrs.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/nrs.cpp.o.d"
+  "/root/repo/src/idicn/origin_server.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/origin_server.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/origin_server.cpp.o.d"
+  "/root/repo/src/idicn/proxy.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/proxy.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/proxy.cpp.o.d"
+  "/root/repo/src/idicn/reverse_proxy.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/reverse_proxy.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/reverse_proxy.cpp.o.d"
+  "/root/repo/src/idicn/wpad.cpp" "src/idicn/CMakeFiles/idicn_idicn.dir/wpad.cpp.o" "gcc" "src/idicn/CMakeFiles/idicn_idicn.dir/wpad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/idicn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idicn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

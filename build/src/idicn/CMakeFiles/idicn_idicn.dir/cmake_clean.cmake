@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_idicn.dir/adhoc.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/adhoc.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/client.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/client.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/metalink.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/metalink.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/mobility.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/mobility.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/name.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/name.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/nrs.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/nrs.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/origin_server.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/origin_server.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/proxy.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/proxy.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/reverse_proxy.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/reverse_proxy.cpp.o.d"
+  "CMakeFiles/idicn_idicn.dir/wpad.cpp.o"
+  "CMakeFiles/idicn_idicn.dir/wpad.cpp.o.d"
+  "libidicn_idicn.a"
+  "libidicn_idicn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_idicn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

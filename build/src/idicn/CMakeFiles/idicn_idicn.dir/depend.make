@@ -1,0 +1,2 @@
+# Empty dependencies file for idicn_idicn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/idicn_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/idicn_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/http_message.cpp" "src/net/CMakeFiles/idicn_net.dir/http_message.cpp.o" "gcc" "src/net/CMakeFiles/idicn_net.dir/http_message.cpp.o.d"
+  "/root/repo/src/net/sim_net.cpp" "src/net/CMakeFiles/idicn_net.dir/sim_net.cpp.o" "gcc" "src/net/CMakeFiles/idicn_net.dir/sim_net.cpp.o.d"
+  "/root/repo/src/net/uri.cpp" "src/net/CMakeFiles/idicn_net.dir/uri.cpp.o" "gcc" "src/net/CMakeFiles/idicn_net.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_net.dir/dns.cpp.o"
+  "CMakeFiles/idicn_net.dir/dns.cpp.o.d"
+  "CMakeFiles/idicn_net.dir/http_message.cpp.o"
+  "CMakeFiles/idicn_net.dir/http_message.cpp.o.d"
+  "CMakeFiles/idicn_net.dir/sim_net.cpp.o"
+  "CMakeFiles/idicn_net.dir/sim_net.cpp.o.d"
+  "CMakeFiles/idicn_net.dir/uri.cpp.o"
+  "CMakeFiles/idicn_net.dir/uri.cpp.o.d"
+  "libidicn_net.a"
+  "libidicn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/access_tree.cpp" "src/topology/CMakeFiles/idicn_topology.dir/access_tree.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/access_tree.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/idicn_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/idicn_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/pop_topology.cpp" "src/topology/CMakeFiles/idicn_topology.dir/pop_topology.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/pop_topology.cpp.o.d"
+  "/root/repo/src/topology/rocketfuel_gen.cpp" "src/topology/CMakeFiles/idicn_topology.dir/rocketfuel_gen.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/rocketfuel_gen.cpp.o.d"
+  "/root/repo/src/topology/shortest_path.cpp" "src/topology/CMakeFiles/idicn_topology.dir/shortest_path.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/topology/topology_io.cpp" "src/topology/CMakeFiles/idicn_topology.dir/topology_io.cpp.o" "gcc" "src/topology/CMakeFiles/idicn_topology.dir/topology_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

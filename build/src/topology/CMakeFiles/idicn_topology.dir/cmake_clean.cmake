@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_topology.dir/access_tree.cpp.o"
+  "CMakeFiles/idicn_topology.dir/access_tree.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/graph.cpp.o"
+  "CMakeFiles/idicn_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/network.cpp.o"
+  "CMakeFiles/idicn_topology.dir/network.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/pop_topology.cpp.o"
+  "CMakeFiles/idicn_topology.dir/pop_topology.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/rocketfuel_gen.cpp.o"
+  "CMakeFiles/idicn_topology.dir/rocketfuel_gen.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/shortest_path.cpp.o"
+  "CMakeFiles/idicn_topology.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/idicn_topology.dir/topology_io.cpp.o"
+  "CMakeFiles/idicn_topology.dir/topology_io.cpp.o.d"
+  "libidicn_topology.a"
+  "libidicn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidicn_topology.a"
+)

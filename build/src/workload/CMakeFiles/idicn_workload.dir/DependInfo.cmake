@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/size_model.cpp" "src/workload/CMakeFiles/idicn_workload.dir/size_model.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/size_model.cpp.o.d"
+  "/root/repo/src/workload/spatial_skew.cpp" "src/workload/CMakeFiles/idicn_workload.dir/spatial_skew.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/spatial_skew.cpp.o.d"
+  "/root/repo/src/workload/synthetic_cdn.cpp" "src/workload/CMakeFiles/idicn_workload.dir/synthetic_cdn.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/synthetic_cdn.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/idicn_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/idicn_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/zipf.cpp.o.d"
+  "/root/repo/src/workload/zipf_fit.cpp" "src/workload/CMakeFiles/idicn_workload.dir/zipf_fit.cpp.o" "gcc" "src/workload/CMakeFiles/idicn_workload.dir/zipf_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idicn_workload.dir/size_model.cpp.o"
+  "CMakeFiles/idicn_workload.dir/size_model.cpp.o.d"
+  "CMakeFiles/idicn_workload.dir/spatial_skew.cpp.o"
+  "CMakeFiles/idicn_workload.dir/spatial_skew.cpp.o.d"
+  "CMakeFiles/idicn_workload.dir/synthetic_cdn.cpp.o"
+  "CMakeFiles/idicn_workload.dir/synthetic_cdn.cpp.o.d"
+  "CMakeFiles/idicn_workload.dir/trace.cpp.o"
+  "CMakeFiles/idicn_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/idicn_workload.dir/zipf.cpp.o"
+  "CMakeFiles/idicn_workload.dir/zipf.cpp.o.d"
+  "CMakeFiles/idicn_workload.dir/zipf_fit.cpp.o"
+  "CMakeFiles/idicn_workload.dir/zipf_fit.cpp.o.d"
+  "libidicn_workload.a"
+  "libidicn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idicn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

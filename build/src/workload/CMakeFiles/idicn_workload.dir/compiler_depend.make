@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for idicn_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_tree.dir/test_access_tree.cpp.o"
+  "CMakeFiles/test_access_tree.dir/test_access_tree.cpp.o.d"
+  "test_access_tree"
+  "test_access_tree.pdb"
+  "test_access_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adhoc.dir/test_adhoc.cpp.o"
+  "CMakeFiles/test_adhoc.dir/test_adhoc.cpp.o.d"
+  "test_adhoc"
+  "test_adhoc.pdb"
+  "test_adhoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

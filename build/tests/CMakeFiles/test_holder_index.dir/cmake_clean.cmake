@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_holder_index.dir/test_holder_index.cpp.o"
+  "CMakeFiles/test_holder_index.dir/test_holder_index.cpp.o.d"
+  "test_holder_index"
+  "test_holder_index.pdb"
+  "test_holder_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_holder_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

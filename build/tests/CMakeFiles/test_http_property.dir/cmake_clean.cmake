@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_property.dir/test_http_property.cpp.o"
+  "CMakeFiles/test_http_property.dir/test_http_property.cpp.o.d"
+  "test_http_property"
+  "test_http_property.pdb"
+  "test_http_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

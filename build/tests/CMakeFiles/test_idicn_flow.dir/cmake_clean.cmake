@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idicn_flow.dir/test_idicn_flow.cpp.o"
+  "CMakeFiles/test_idicn_flow.dir/test_idicn_flow.cpp.o.d"
+  "test_idicn_flow"
+  "test_idicn_flow.pdb"
+  "test_idicn_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idicn_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idicn_naming.dir/test_idicn_naming.cpp.o"
+  "CMakeFiles/test_idicn_naming.dir/test_idicn_naming.cpp.o.d"
+  "test_idicn_naming"
+  "test_idicn_naming.pdb"
+  "test_idicn_naming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idicn_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nrs.dir/test_nrs.cpp.o"
+  "CMakeFiles/test_nrs.dir/test_nrs.cpp.o.d"
+  "test_nrs"
+  "test_nrs.pdb"
+  "test_nrs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_cooperation.dir/test_proxy_cooperation.cpp.o"
+  "CMakeFiles/test_proxy_cooperation.dir/test_proxy_cooperation.cpp.o.d"
+  "test_proxy_cooperation"
+  "test_proxy_cooperation.pdb"
+  "test_proxy_cooperation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_cooperation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_proxy_cooperation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tree_model.cpp" "tests/CMakeFiles/test_tree_model.dir/test_tree_model.cpp.o" "gcc" "tests/CMakeFiles/test_tree_model.dir/test_tree_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idicn/CMakeFiles/idicn_idicn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idicn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idicn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/idicn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idicn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/idicn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/idicn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/idicn_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_model.dir/test_tree_model.cpp.o"
+  "CMakeFiles/test_tree_model.dir/test_tree_model.cpp.o.d"
+  "test_tree_model"
+  "test_tree_model.pdb"
+  "test_tree_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wpad.dir/test_wpad.cpp.o"
+  "CMakeFiles/test_wpad.dir/test_wpad.cpp.o.d"
+  "test_wpad"
+  "test_wpad.pdb"
+  "test_wpad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

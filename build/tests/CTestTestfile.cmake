@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_access_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_model[1]_include.cmake")
+include("/root/repo/build/tests/test_holder_index[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_idicn_naming[1]_include.cmake")
+include("/root/repo/build/tests/test_nrs[1]_include.cmake")
+include("/root/repo/build/tests/test_idicn_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_adhoc[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_wpad[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_topology_io[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy_cooperation[1]_include.cmake")
+include("/root/repo/build/tests/test_http_property[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
