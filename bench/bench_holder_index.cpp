@@ -1,0 +1,226 @@
+// Microbench: the nearest-replica hot path (HolderIndex) under churn.
+//
+// Replays one deterministic, pre-generated operation sequence — zipf-skewed
+// nearest() queries, capacity-style bounded candidate walks, and add/remove
+// eviction churn — against BOTH the optimized HolderIndex and the
+// pre-overhaul exhaustive-sort implementation (ReferenceHolderIndex), on an
+// ATT-scale network. Defaults to 10^6 objects at IDICN_BENCH_SCALE=1.0 and
+// scales down with it like every other bench. Both replays fold their serve
+// decisions into a checksum that must match: the speedup is only meaningful
+// if the two indexes return identical answers.
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/holder_index.hpp"
+#include "core/holder_index_reference.hpp"
+
+namespace {
+
+using namespace idicn;
+using core::HolderIndex;
+using core::ReferenceHolderIndex;
+using topology::GlobalNodeId;
+
+enum class OpKind : std::uint8_t { Add, Remove, Nearest, Walk };
+
+struct Op {
+  OpKind kind;
+  std::uint32_t object;
+  GlobalNodeId node;  ///< holder for Add/Remove, arrival leaf for queries
+  double bound;       ///< origin cost bounding queries
+};
+
+struct OpSequence {
+  std::vector<Op> populate;  ///< initial adds (zipf-skewed replica counts)
+  std::vector<Op> churn;     ///< interleaved queries + add/remove churn
+};
+
+// Zipf-ish rank sampler: u^3 concentrates queries on hot (low-rank) objects,
+// mirroring how the simulator hammers popular objects that are replicated in
+// hundreds of caches.
+std::uint32_t hot_rank(std::mt19937_64& rng, std::uint32_t objects) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double x = u(rng);
+  return static_cast<std::uint32_t>(static_cast<double>(objects - 1) * x * x * x);
+}
+
+OpSequence generate_ops(const topology::HierarchicalNetwork& net,
+                        std::uint32_t objects, std::uint64_t churn_ops) {
+  std::mt19937_64 rng(0x401d37);
+  OpSequence seq;
+
+  // Replica counts follow a clamped zipf curve (hot objects are cached in
+  // up to `cap` nodes, the tail in one), averaging a few replicas/object.
+  // A flat (object, node) hash keeps generation linear in the pair count.
+  const double c = 3.0 * static_cast<double>(objects) /
+                   std::log(static_cast<double>(objects) + 2.0);
+  const std::uint32_t cap =
+      std::min<std::uint32_t>(2000, net.node_count() / 2);
+  std::vector<std::vector<GlobalNodeId>> shadow(objects);
+  std::unordered_set<std::uint64_t> members;
+  const auto pair_key = [](std::uint32_t o, GlobalNodeId n) {
+    return (static_cast<std::uint64_t>(o) << 32) | n;
+  };
+  for (std::uint32_t o = 0; o < objects; ++o) {
+    const auto replicas = static_cast<std::uint32_t>(std::min<double>(
+        cap, 1.0 + c / static_cast<double>(o + 1)));
+    for (std::uint32_t i = 0; i < replicas; ++i) {
+      const auto node = static_cast<GlobalNodeId>(rng() % net.node_count());
+      if (!members.insert(pair_key(o, node)).second) continue;
+      shadow[o].push_back(node);
+      seq.populate.push_back(Op{OpKind::Add, o, node, 0.0});
+    }
+  }
+
+  const auto random_leaf = [&]() {
+    return net.leaf(static_cast<topology::PopId>(rng() % net.pop_count()),
+                    static_cast<std::uint32_t>(rng() % net.tree().leaf_count()));
+  };
+
+  // Churn: 70% queries (3:1 nearest:walk, like an NR run with a capacity
+  // phase), 30% eviction churn (paired remove+add keeps population stable).
+  seq.churn.reserve(churn_ops + churn_ops / 3);
+  for (std::uint64_t i = 0; i < churn_ops; ++i) {
+    const std::uint32_t object = hot_rank(rng, objects);
+    const int dice = static_cast<int>(rng() % 10);
+    if (dice < 7) {
+      const GlobalNodeId leaf = random_leaf();
+      // Bound queries by the distance to a random origin pop's root — the
+      // exact bound the simulator passes.
+      const double bound = net.distance(
+          leaf, net.pop_root(static_cast<topology::PopId>(rng() % net.pop_count())));
+      seq.churn.push_back(
+          Op{dice < 5 ? OpKind::Nearest : OpKind::Walk, object, leaf, bound});
+    } else {
+      auto& nodes = shadow[object];
+      if (!nodes.empty()) {
+        const std::size_t pick = rng() % nodes.size();
+        seq.churn.push_back(Op{OpKind::Remove, object, nodes[pick], 0.0});
+        members.erase(pair_key(object, nodes[pick]));
+        nodes[pick] = nodes.back();
+        nodes.pop_back();
+      }
+      const auto node = static_cast<GlobalNodeId>(rng() % net.node_count());
+      if (members.insert(pair_key(object, node)).second) {
+        shadow[object].push_back(node);
+        seq.churn.push_back(Op{OpKind::Add, object, node, 0.0});
+      }
+    }
+  }
+  return seq;
+}
+
+struct Timing {
+  double populate_s = 0.0;
+  double churn_s = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The capacity predicate: the two nearest candidates are "overloaded", the
+// third in bound order serves — forcing a real (but short) ordered walk.
+constexpr int kServeRank = 2;
+
+template <typename Index>
+Timing replay(const topology::HierarchicalNetwork& net, const OpSequence& seq) {
+  Timing t;
+  Index index(net);
+
+  auto start = std::chrono::steady_clock::now();
+  for (const Op& op : seq.populate) index.add(op.object, op.node);
+  t.populate_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  for (const Op& op : seq.churn) {
+    switch (op.kind) {
+      case OpKind::Add:
+        index.add(op.object, op.node);
+        break;
+      case OpKind::Remove:
+        index.remove(op.object, op.node);
+        break;
+      case OpKind::Nearest: {
+        const auto best = index.nearest(op.object, op.node);
+        if (best && best->cost <= op.bound) {
+          t.checksum = t.checksum * 1099511628211ULL + best->node;
+        }
+        break;
+      }
+      case OpKind::Walk: {
+        int rank = 0;
+        if constexpr (std::is_same_v<Index, HolderIndex>) {
+          auto walk = index.walk(op.object, op.node, op.bound);
+          while (const auto c = walk.next()) {
+            if (rank++ == kServeRank) {
+              t.checksum = t.checksum * 1099511628211ULL + c->node;
+              break;
+            }
+          }
+        } else {
+          for (const auto& c : index.candidates_by_cost(op.object, op.node)) {
+            if (c.cost > op.bound) break;
+            if (rank++ == kServeRank) {
+              t.checksum = t.checksum * 1099511628211ULL + c.node;
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  t.churn_s = seconds_since(start);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::bench_scale();
+  const auto objects = static_cast<std::uint32_t>(
+      std::max(20'000.0, 1e6 * scale));
+  const auto churn_ops =
+      static_cast<std::uint64_t>(std::max(100'000.0, 2e6 * scale));
+
+  std::printf("== HolderIndex microbench: nearest-replica churn (ATT, k=2 d=5) ==\n\n");
+  std::printf("objects %" PRIu32 ", churn ops %" PRIu64
+              " (IDICN_BENCH_SCALE=%.3g; 1.0 = 10^6 objects)\n\n",
+              objects, churn_ops, scale);
+
+  const topology::HierarchicalNetwork net = bench::make_network("ATT");
+  const OpSequence seq = generate_ops(net, objects, churn_ops);
+  std::printf("replica pairs: %zu, churn sequence: %zu ops\n\n",
+              seq.populate.size(), seq.churn.size());
+
+  const Timing slow = replay<ReferenceHolderIndex>(net, seq);
+  const Timing fast = replay<HolderIndex>(net, seq);
+
+  const auto rate = [](std::size_t ops, double s) {
+    return s > 0.0 ? static_cast<double>(ops) / s / 1e6 : 0.0;
+  };
+  std::printf("%-26s %14s %14s %10s\n", "phase", "reference", "optimized",
+              "speedup");
+  std::printf("%-26s %11.2f Mops %11.2f Mops %9.2fx\n", "populate (add)",
+              rate(seq.populate.size(), slow.populate_s),
+              rate(seq.populate.size(), fast.populate_s),
+              slow.populate_s / fast.populate_s);
+  std::printf("%-26s %11.2f Mops %11.2f Mops %9.2fx\n",
+              "nearest-replica churn", rate(seq.churn.size(), slow.churn_s),
+              rate(seq.churn.size(), fast.churn_s), slow.churn_s / fast.churn_s);
+  std::printf("\nchecksums: reference %016" PRIx64 ", optimized %016" PRIx64 " — %s\n",
+              slow.checksum, fast.checksum,
+              slow.checksum == fast.checksum ? "identical serve decisions"
+                                             : "MISMATCH (bug!)");
+  return slow.checksum == fast.checksum ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <atomic>
+#include <exception>
 #include <stdexcept>
 #include <thread>
 
@@ -38,19 +39,28 @@ ComparisonResult compare_designs(const topology::HierarchicalNetwork& network,
 
   // The baseline plus each design, as independent work items over shared
   // read-only inputs. A simple atomic work queue keeps ordering
-  // deterministic (results land at fixed indices).
+  // deterministic (results land at fixed indices). A throwing work item
+  // must not unwind out of its worker thread (that would std::terminate
+  // the process): each item's exception is captured at its fixed index and
+  // the first one — by work-item order, so deterministically — is rethrown
+  // on the calling thread after all workers have joined.
   std::atomic<std::size_t> next{0};
   const std::size_t total = designs.size() + 1;
+  std::vector<std::exception_ptr> errors(total);
   const auto worker = [&]() {
     while (true) {
       const std::size_t index = next.fetch_add(1);
       if (index >= total) return;
-      if (index == 0) {
-        result.baseline = run_design(network, origins, no_cache(), config, workload);
-      } else {
-        DesignResult& r = result.designs[index - 1];
-        r.design = designs[index - 1];
-        r.metrics = run_design(network, origins, r.design, config, workload);
+      try {
+        if (index == 0) {
+          result.baseline = run_design(network, origins, no_cache(), config, workload);
+        } else {
+          DesignResult& r = result.designs[index - 1];
+          r.design = designs[index - 1];
+          r.metrics = run_design(network, origins, r.design, config, workload);
+        }
+      } catch (...) {
+        errors[index] = std::current_exception();
       }
     }
   };
@@ -64,6 +74,10 @@ ComparisonResult compare_designs(const topology::HierarchicalNetwork& network,
     pool.reserve(thread_count);
     for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
 
   for (DesignResult& r : result.designs) {

@@ -2,18 +2,37 @@
 //
 // The paper conservatively assumes nearest-replica lookup is free (§3); the
 // simulator therefore maintains an oracle of which caches currently hold
-// each object. For efficiency the index is organized per object as a small
-// per-PoP list of holding tree nodes, so a nearest-copy query costs
-//   O(|own-PoP holders|) + O(#holding PoPs × small-level-scan)
-// rather than a scan over all caches. Insertions and evictions are pushed
-// into the index by the simulator as caches mutate.
+// each object. The index is organized per object as per-PoP holder lists
+// kept sorted by tree index. Complete k-ary trees number nodes in level
+// order, so tree-index order IS level order, and within a remote PoP the
+// cost of reaching a holder (root-descent cost) is monotone in its level:
+// the *first* element of a remote PoP's list is always that PoP's best
+// candidate, and cost-ordered walks can stream candidates lazily instead of
+// materializing and sorting them all. A flat (object, node) hash makes
+// membership checks — and the duplicate/absence checks in add/remove — O(1)
+// instead of a linear scan.
+//
+// Complexities (H = holders of the object, P = PoPs holding it, L = holders
+// in the query's own PoP):
+//   add/remove/holds     O(1) hash + O(log) bucket search (+ small moves)
+//   nearest              O(L + P)            — was O(H)
+//   cost-ordered walk    O(L·log L + k·log P) for k consumed candidates,
+//                        bounded pops pruned up front — was O(H log H) and
+//                        one vector allocation per query.
+//
+// Queries reuse index-owned scratch buffers, so a single HolderIndex must
+// not be queried from multiple threads concurrently (each Simulator owns
+// its index; cross-design parallelism is across simulators).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "core/perf_counters.hpp"
 #include "topology/network.hpp"
 
 namespace idicn::core {
@@ -23,14 +42,15 @@ public:
   explicit HolderIndex(const topology::HierarchicalNetwork& network)
       : network_(&network) {}
 
-  /// Record that `node` now holds `object`. Duplicate inserts are invalid
-  /// (the caller — a cache — already deduplicates).
+  /// Record that `node` now holds `object`. Throws std::logic_error on a
+  /// duplicate insert (the caller — a cache — already deduplicates).
   void add(std::uint32_t object, topology::GlobalNodeId node);
 
-  /// Record that `node` no longer holds `object` (eviction).
+  /// Record that `node` no longer holds `object` (eviction). Throws
+  /// std::logic_error when (object, node) is not tracked.
   void remove(std::uint32_t object, topology::GlobalNodeId node);
 
-  /// True when `node` is recorded as a holder (test/debug aid; O(holders)).
+  /// True when `node` is recorded as a holder. O(1).
   [[nodiscard]] bool holds(std::uint32_t object, topology::GlobalNodeId node) const;
 
   struct Candidate {
@@ -38,33 +58,97 @@ public:
     double cost = 0.0;
   };
 
+  static constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
   /// Nearest replica of `object` to a request arriving at `leaf` under the
   /// network's latency model. Ties break toward the lower global node id.
   /// Returns std::nullopt when no cache holds the object (the caller falls
   /// back to the origin).
+  ///
+  /// `max_cost` is a pruning hint (e.g. the origin cost): PoP buckets whose
+  /// cheapest possible candidate already exceeds it are skipped. The result
+  /// is identical to the unbounded query whenever the true nearest replica
+  /// costs <= max_cost; candidates costing more may still be returned (the
+  /// caller re-checks the bound before serving).
   [[nodiscard]] std::optional<Candidate> nearest(std::uint32_t object,
-                                                 topology::GlobalNodeId leaf) const;
+                                                 topology::GlobalNodeId leaf,
+                                                 double max_cost = kUnbounded) const;
 
-  /// All replicas, sorted by ascending cost from `leaf` (used by the
-  /// serving-capacity variation, which skips overloaded caches).
+  /// Lazy cost-ordered walk over the replicas of one object: next() yields
+  /// candidates in ascending (cost, node) order — the exact order
+  /// candidates_by_cost() would produce — stopping at the first candidate
+  /// whose cost exceeds the walk's bound. State lives in index-owned
+  /// scratch, so at most one walk may be live per index at a time.
+  class Walk {
+  public:
+    /// Next candidate with cost <= max_cost, or std::nullopt when done.
+    [[nodiscard]] std::optional<Candidate> next();
+
+  private:
+    friend class HolderIndex;
+    explicit Walk(const HolderIndex* index) : index_(index) {}
+    const HolderIndex* index_;
+  };
+
+  /// Begin a cost-ordered walk bounded by `max_cost` (inclusive), used by
+  /// the serving-capacity variation, which skips overloaded caches.
+  [[nodiscard]] Walk walk(std::uint32_t object, topology::GlobalNodeId leaf,
+                          double max_cost = kUnbounded) const;
+
+  /// All replicas, sorted by ascending (cost, node) from `leaf`. Kept for
+  /// tests and tools; the hot path streams candidates via walk() instead.
   [[nodiscard]] std::vector<Candidate> candidates_by_cost(
       std::uint32_t object, topology::GlobalNodeId leaf) const;
 
   /// Total (object, node) pairs tracked.
-  [[nodiscard]] std::size_t size() const noexcept { return total_entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return membership_.size(); }
+
+  /// Hot-path counters (zero-valued when the perf layer is compiled out).
+  [[nodiscard]] const PerfCounters& perf() const noexcept { return perf_; }
+  void reset_perf() noexcept { perf_.reset(); }
 
 private:
   struct PopHolders {
     topology::PopId pop = 0;
-    std::vector<topology::TreeIndex> nodes;
+    std::vector<topology::TreeIndex> nodes;  // sorted ascending == level order
   };
   struct ObjectHolders {
-    std::vector<PopHolders> pops;
+    std::vector<PopHolders> pops;  // sorted by pop id
   };
+
+  static std::uint64_t key(std::uint32_t object, topology::GlobalNodeId node) noexcept {
+    return (static_cast<std::uint64_t>(object) << 32) | node;
+  }
+
+  struct HeapEntry {
+    double cost = 0.0;
+    topology::GlobalNodeId node = 0;
+    std::uint32_t lane = 0;
+  };
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b) noexcept;
+
+  [[nodiscard]] std::optional<Candidate> walk_next() const;
+  void heap_push(double cost, topology::GlobalNodeId node, std::uint32_t lane) const;
 
   const topology::HierarchicalNetwork* network_;
   std::unordered_map<std::uint32_t, ObjectHolders> holders_;
-  std::size_t total_entries_ = 0;
+  std::unordered_set<std::uint64_t> membership_;  ///< flat (object, node) keys
+
+  // --- walk scratch (reused across queries; see class comment) ----------
+  static constexpr std::uint32_t kOwnLane = 0xffffffffu;
+  struct Lane {
+    const std::vector<topology::TreeIndex>* nodes = nullptr;  ///< remote lanes
+    double base = 0.0;                ///< leaf-up + core cost to this PoP
+    std::size_t next = 0;             ///< cursor into nodes / own_sorted_
+    topology::GlobalNodeId node_base = 0;  ///< pop * tree node count
+  };
+  mutable std::vector<Lane> lanes_;
+  mutable std::vector<HeapEntry> heap_;      ///< min-heap by (cost, node)
+  mutable std::vector<Candidate> own_sorted_;///< own-PoP candidates, sorted
+  mutable std::size_t own_next_ = 0;
+  mutable double walk_max_cost_ = kUnbounded;
+  mutable bool walk_cut_ = false;  ///< some lane was truncated by the bound
+  mutable PerfCounters perf_;
 };
 
 }  // namespace idicn::core

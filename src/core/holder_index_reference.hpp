@@ -1,0 +1,161 @@
+// The pre-overhaul HolderIndex: vector-of-vectors buckets, linear
+// membership scans, and an exhaustive materialize-and-sort candidate query.
+//
+// Kept verbatim (header-only) as the *oracle* for the optimized index: the
+// regression tests assert that HolderIndex returns byte-identical nearest
+// replicas and candidate orderings, and bench_holder_index measures the
+// speedup against it. Not for production use — every candidates_by_cost
+// call allocates and sorts all holders.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/holder_index.hpp"
+#include "topology/network.hpp"
+
+namespace idicn::core {
+
+class ReferenceHolderIndex {
+public:
+  using Candidate = HolderIndex::Candidate;
+
+  explicit ReferenceHolderIndex(const topology::HierarchicalNetwork& network)
+      : network_(&network) {}
+
+  void add(std::uint32_t object, topology::GlobalNodeId node) {
+    const topology::PopId pop = network_->pop_of(node);
+    const topology::TreeIndex t = network_->tree_index_of(node);
+    ObjectHolders& oh = holders_[object];
+    for (PopHolders& ph : oh.pops) {
+      if (ph.pop == pop) {
+        ph.nodes.push_back(t);
+        ++total_entries_;
+        return;
+      }
+    }
+    oh.pops.push_back(PopHolders{pop, {t}});
+    ++total_entries_;
+  }
+
+  void remove(std::uint32_t object, topology::GlobalNodeId node) {
+    const auto it = holders_.find(object);
+    if (it == holders_.end()) {
+      throw std::logic_error("ReferenceHolderIndex::remove: object not tracked");
+    }
+    const topology::PopId pop = network_->pop_of(node);
+    const topology::TreeIndex t = network_->tree_index_of(node);
+    std::vector<PopHolders>& pops = it->second.pops;
+    for (std::size_t i = 0; i < pops.size(); ++i) {
+      if (pops[i].pop != pop) continue;
+      std::vector<topology::TreeIndex>& nodes = pops[i].nodes;
+      const auto node_it = std::find(nodes.begin(), nodes.end(), t);
+      if (node_it == nodes.end()) break;
+      *node_it = nodes.back();
+      nodes.pop_back();
+      --total_entries_;
+      if (nodes.empty()) {
+        pops[i] = std::move(pops.back());
+        pops.pop_back();
+        if (pops.empty()) holders_.erase(it);
+      }
+      return;
+    }
+    throw std::logic_error("ReferenceHolderIndex::remove: node was not a holder");
+  }
+
+  [[nodiscard]] bool holds(std::uint32_t object, topology::GlobalNodeId node) const {
+    const auto it = holders_.find(object);
+    if (it == holders_.end()) return false;
+    const topology::PopId pop = network_->pop_of(node);
+    const topology::TreeIndex t = network_->tree_index_of(node);
+    for (const PopHolders& ph : it->second.pops) {
+      if (ph.pop != pop) continue;
+      return std::find(ph.nodes.begin(), ph.nodes.end(), t) != ph.nodes.end();
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<Candidate> nearest(std::uint32_t object,
+                                                 topology::GlobalNodeId leaf) const {
+    const auto it = holders_.find(object);
+    if (it == holders_.end()) return std::nullopt;
+
+    const topology::PopId own_pop = network_->pop_of(leaf);
+    const unsigned leaf_level = network_->level_of(leaf);
+    const double leaf_up = network_->root_to_level_cost(leaf_level);
+
+    bool found = false;
+    Candidate best{};
+    const auto consider = [&](topology::GlobalNodeId node, double cost) {
+      if (!found || cost < best.cost || (cost == best.cost && node < best.node)) {
+        best = Candidate{node, cost};
+        found = true;
+      }
+    };
+
+    for (const PopHolders& ph : it->second.pops) {
+      if (ph.pop == own_pop) {
+        for (const topology::TreeIndex t : ph.nodes) {
+          const topology::GlobalNodeId node = network_->global_node(ph.pop, t);
+          consider(node, network_->distance(leaf, node));
+        }
+      } else {
+        const double base = leaf_up + network_->core_cost(own_pop, ph.pop);
+        for (const topology::TreeIndex t : ph.nodes) {
+          const topology::GlobalNodeId node = network_->global_node(ph.pop, t);
+          consider(node,
+                   base + network_->root_to_level_cost(network_->tree().level_of(t)));
+        }
+      }
+    }
+    if (!found) return std::nullopt;
+    return best;
+  }
+
+  [[nodiscard]] std::vector<Candidate> candidates_by_cost(
+      std::uint32_t object, topology::GlobalNodeId leaf) const {
+    std::vector<Candidate> out;
+    const auto it = holders_.find(object);
+    if (it == holders_.end()) return out;
+
+    const topology::PopId own_pop = network_->pop_of(leaf);
+    const double leaf_up = network_->root_to_level_cost(network_->level_of(leaf));
+    for (const PopHolders& ph : it->second.pops) {
+      for (const topology::TreeIndex t : ph.nodes) {
+        const topology::GlobalNodeId node = network_->global_node(ph.pop, t);
+        const double cost =
+            ph.pop == own_pop
+                ? network_->distance(leaf, node)
+                : leaf_up + network_->core_cost(own_pop, ph.pop) +
+                      network_->root_to_level_cost(network_->tree().level_of(t));
+        out.push_back(Candidate{node, cost});
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+      return a.cost < b.cost || (a.cost == b.cost && a.node < b.node);
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_entries_; }
+
+private:
+  struct PopHolders {
+    topology::PopId pop = 0;
+    std::vector<topology::TreeIndex> nodes;
+  };
+  struct ObjectHolders {
+    std::vector<PopHolders> pops;
+  };
+
+  const topology::HierarchicalNetwork* network_;
+  std::unordered_map<std::uint32_t, ObjectHolders> holders_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace idicn::core

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/perf_counters.hpp"
+
 namespace idicn::core {
 
 struct SimulationMetrics {
@@ -48,6 +50,10 @@ struct SimulationMetrics {
   std::uint64_t sibling_hits = 0;    ///< served via scoped sibling cooperation
   std::uint64_t cache_hits = 0;      ///< all cache-served requests
   std::uint64_t capacity_redirects = 0;  ///< serves skipped due to overload
+
+  // Hot-path instrumentation for the run (holder-index walk lengths, memo
+  // hits, …). All-zero when built with -DIDICN_PERF_COUNTERS=OFF.
+  PerfCounters perf;
 
   [[nodiscard]] double mean_latency() const {
     return request_count ? total_latency / static_cast<double>(request_count) : 0.0;

@@ -19,6 +19,18 @@ Simulator::Simulator(const topology::HierarchicalNetwork& network,
       origins_(origins),
       design_(std::move(design)),
       config_(config) {
+  // Reject bad configs before any budget/prefill/replay work happens, so an
+  // invalid run can never mutate cache state or burn a prefill first.
+  if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("Simulator: warmup_fraction must be in [0, 1)");
+  }
+  if (!(config_.budget_fraction > 0.0 && config_.budget_fraction <= 1.0)) {
+    throw std::invalid_argument("Simulator: budget_fraction must be in (0, 1]");
+  }
+  if (config_.capacity_window == 0) {
+    throw std::invalid_argument("Simulator: capacity_window must be > 0");
+  }
+
   const cache::BudgetPlan plan = cache::compute_budget(
       network_, config_.budget_fraction, origins_.object_count(), config_.split);
 
@@ -54,6 +66,16 @@ Simulator::Simulator(const topology::HierarchicalNetwork& network,
 
   if (design_.routing != Routing::ShortestPathToOrigin) {
     holders_.emplace(network_);
+    // Origin-cost memo: leaves all sit at the same tree level, so the
+    // leaf→origin-root distance depends only on the (pop, origin pop) pair.
+    const PopId pops = network_.pop_count();
+    origin_cost_.resize(static_cast<std::size_t>(pops) * pops);
+    for (PopId p = 0; p < pops; ++p) {
+      for (PopId q = 0; q < pops; ++q) {
+        origin_cost_[static_cast<std::size_t>(p) * pops + q] =
+            network_.distance(network_.leaf(p, 0), network_.pop_root(q));
+      }
+    }
   }
   if (config_.serving_capacity) {
     served_in_window_.assign(network_.node_count(), 0);
@@ -181,11 +203,10 @@ Simulator::ServeDecision Simulator::decide_shortest_path(const BoundRequest& req
 
 Simulator::ServeDecision Simulator::decide_nearest_replica(const BoundRequest& request,
                                                            GlobalNodeId leaf_node,
-                                                           GlobalNodeId origin_node) {
-  const double origin_cost = network_.distance(leaf_node, origin_node);
-
+                                                           GlobalNodeId origin_node,
+                                                           double origin_cost) {
   if (!config_.serving_capacity) {
-    const auto best = holders_->nearest(request.object, leaf_node);
+    const auto best = holders_->nearest(request.object, leaf_node, origin_cost);
     if (best && best->cost <= origin_cost) {
       (void)caches_[best->node]->lookup(request.object);
       return ServeDecision{best->node, false, false};
@@ -193,17 +214,20 @@ Simulator::ServeDecision Simulator::decide_nearest_replica(const BoundRequest& r
     return ServeDecision{origin_node, true, false};
   }
 
-  // Capacity-limited: walk replicas by increasing cost; an overloaded cache
-  // passes the request on; the origin absorbs the overflow.
-  for (const HolderIndex::Candidate& candidate :
-       holders_->candidates_by_cost(request.object, leaf_node)) {
-    if (candidate.cost > origin_cost) break;
-    if (!has_serving_capacity(candidate.node)) {
+  // Capacity-limited: stream replicas by increasing cost (the walk prunes
+  // whole PoPs past the origin cost and stops at the bound, instead of
+  // materializing and sorting every holder); an overloaded cache passes the
+  // request on; the origin absorbs the overflow.
+  metrics_.perf.bump(&PerfCounters::sorts_avoided);
+  HolderIndex::Walk candidates =
+      holders_->walk(request.object, leaf_node, origin_cost);
+  while (const auto candidate = candidates.next()) {
+    if (!has_serving_capacity(candidate->node)) {
       ++metrics_.capacity_redirects;
       continue;
     }
-    (void)caches_[candidate.node]->lookup(request.object);
-    return ServeDecision{candidate.node, false, false};
+    (void)caches_[candidate->node]->lookup(request.object);
+    return ServeDecision{candidate->node, false, false};
   }
   return ServeDecision{origin_node, true, false};
 }
@@ -288,10 +312,8 @@ SimulationMetrics Simulator::run(const BoundWorkload& workload) {
   metrics_.pop_latency.assign(network_.pop_count(), 0.0);
   metrics_.pop_requests.assign(network_.pop_count(), 0);
 
+  if (holders_) holders_->reset_perf();
   if (config_.prefill) prefill(workload);
-  if (config_.warmup_fraction < 0.0 || config_.warmup_fraction >= 1.0) {
-    throw std::invalid_argument("Simulator: warmup_fraction must be in [0, 1)");
-  }
   const auto warmup_count = static_cast<std::size_t>(
       config_.warmup_fraction * static_cast<double>(workload.requests.size()));
 
@@ -312,15 +334,17 @@ SimulationMetrics Simulator::run(const BoundWorkload& workload) {
     if (auto local = try_local(request, leaf_node)) {
       decision = *local;
     } else if (design_.routing == Routing::NearestReplica) {
-      decision = decide_nearest_replica(request, leaf_node, origin_node);
+      decision = decide_nearest_replica(request, leaf_node, origin_node,
+                                        origin_cost(request.pop, origin_pop));
     } else if (design_.routing == Routing::ScopedNearestReplica) {
       // §3's intermediate strategy: use the nearest replica only when it is
       // within the scope radius (and no farther than the origin itself);
       // otherwise fall back to the shortest path. An unbounded radius is
       // exactly nearest-replica routing.
-      const auto best = holders_->nearest(request.object, leaf_node);
-      if (best && best->cost <= design_.scoped_radius &&
-          best->cost <= network_.distance(leaf_node, origin_node) &&
+      const double to_origin = origin_cost(request.pop, origin_pop);
+      const auto best = holders_->nearest(request.object, leaf_node,
+                                          std::min(design_.scoped_radius, to_origin));
+      if (best && best->cost <= design_.scoped_radius && best->cost <= to_origin &&
           (!config_.serving_capacity || has_serving_capacity(best->node))) {
         (void)caches_[best->node]->lookup(request.object);
         decision = ServeDecision{best->node, false, false};
@@ -365,8 +389,11 @@ SimulationMetrics Simulator::run(const BoundWorkload& workload) {
       }
       apply_cache_decision(response, request.object, request.size, origin_pop);
     }
+
+    if (request_observer_) request_observer_(request_index);
   }
 
+  if (holders_) metrics_.perf.merge(holders_->perf());
   for (const std::uint64_t transfers : metrics_.link_transfers) {
     metrics_.max_link_transfers = std::max(metrics_.max_link_transfers, transfers);
   }

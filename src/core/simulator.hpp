@@ -14,6 +14,7 @@
 //     (§5 "request serving capacity").
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <random>
@@ -58,6 +59,10 @@ struct SimulationConfig {
 /// cache state is not reusable across workloads.
 class Simulator {
 public:
+  /// Throws std::invalid_argument when `config` is out of range
+  /// (warmup_fraction outside [0, 1), budget_fraction outside (0, 1], or
+  /// capacity_window == 0) — validated here, before any prefill or replay
+  /// work, so a bad config can never burn work or mutate cache state first.
   Simulator(const topology::HierarchicalNetwork& network, const OriginMap& origins,
             DesignSpec design, SimulationConfig config);
 
@@ -73,6 +78,20 @@ public:
     return caches_[node].get();
   }
 
+  /// The replica index, or nullptr for shortest-path-only designs
+  /// (exposed for tests: the consistency suite cross-checks it against a
+  /// brute-force scan of every cache).
+  [[nodiscard]] const HolderIndex* holder_index() const {
+    return holders_ ? &*holders_ : nullptr;
+  }
+
+  /// Test/debug hook: invoked after each request — and all of its cache
+  /// and holder-index mutations — with the request's index in the
+  /// workload. Costs one predicted branch per request when unset.
+  void set_request_observer(std::function<void(std::size_t)> observer) {
+    request_observer_ = std::move(observer);
+  }
+
 private:
   struct ServeDecision {
     topology::GlobalNodeId node = 0;
@@ -85,7 +104,18 @@ private:
                                                    topology::GlobalNodeId origin_node);
   [[nodiscard]] ServeDecision decide_nearest_replica(const BoundRequest& request,
                                                      topology::GlobalNodeId leaf_node,
-                                                     topology::GlobalNodeId origin_node);
+                                                     topology::GlobalNodeId origin_node,
+                                                     double origin_cost);
+
+  /// Memoized distance(leaf of `pop`, root of `origin_pop`): every leaf
+  /// sits at the same level, so the origin cost depends only on the PoP
+  /// pair, and the replica-routing decision loop would otherwise recompute
+  /// the same LCA walk for every request.
+  [[nodiscard]] double origin_cost(topology::PopId pop, topology::PopId origin_pop) {
+    metrics_.perf.bump(&PerfCounters::origin_cost_memo_hits);
+    return origin_cost_[static_cast<std::size_t>(pop) * network_.pop_count() +
+                        origin_pop];
+  }
   /// Store along the response path per the design's CacheDecision.
   void apply_cache_decision(const std::vector<topology::GlobalNodeId>& response,
                             std::uint32_t object, std::uint64_t size,
@@ -113,6 +143,8 @@ private:
 
   std::vector<std::unique_ptr<cache::Cache>> caches_;
   std::optional<HolderIndex> holders_;  ///< engaged for replica routing modes
+  std::vector<double> origin_cost_;  ///< leaf→origin-root cost per PoP pair
+  std::function<void(std::size_t)> request_observer_;  ///< test hook
   std::vector<std::uint32_t> served_in_window_;
   std::uint64_t window_cursor_ = 0;
   std::vector<cache::ObjectId> eviction_scratch_;

@@ -50,6 +50,14 @@ HierarchicalNetwork::HierarchicalNetwork(Graph core, AccessTreeShape tree,
   for (unsigned l = 1; l <= tree_.depth(); ++l) {
     up_cost_[l] = up_cost_[l - 1] + latency_.tree_edge_cost[l - 1];
   }
+  const PopId pops = pop_count();
+  core_cost_.resize(static_cast<std::size_t>(pops) * pops);
+  for (PopId a = 0; a < pops; ++a) {
+    for (PopId b = 0; b < pops; ++b) {
+      core_cost_[static_cast<std::size_t>(a) * pops + b] =
+          static_cast<double>(core_paths_.hop_count(a, b)) * latency_.core_hop_cost;
+    }
+  }
 }
 
 double HierarchicalNetwork::distance(GlobalNodeId from, GlobalNodeId to) const {

@@ -105,9 +105,11 @@ public:
   [[nodiscard]] double root_to_level_cost(unsigned level) const {
     return up_cost_[level];
   }
-  /// Latency-model cost between two pop roots across the core.
+  /// Latency-model cost between two pop roots across the core. Answered
+  /// from a flat matrix precomputed at construction — this sits on the
+  /// nearest-replica hot path (one lookup per candidate PoP per request).
   [[nodiscard]] double core_cost(PopId a, PopId b) const {
-    return static_cast<double>(core_paths_.hop_count(a, b)) * latency_.core_hop_cost;
+    return core_cost_[static_cast<std::size_t>(a) * pop_count() + b];
   }
 
   // --- paths ----------------------------------------------------------
@@ -127,6 +129,7 @@ private:
   LatencyModel latency_;
   AllPairsShortestPaths core_paths_;
   std::vector<double> up_cost_;  // up_cost_[l] = cost from level l up to root
+  std::vector<double> core_cost_;  // pop_count × pop_count core-cost matrix
 };
 
 }  // namespace idicn::topology

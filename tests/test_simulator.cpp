@@ -275,12 +275,36 @@ TEST(Simulator, DeterministicAcrossRuns) {
   EXPECT_EQ(a.origin_served, b.origin_served);
 }
 
-TEST(Simulator, InvalidWarmupFractionThrows) {
+TEST(Simulator, InvalidConfigThrowsAtConstruction) {
+  // Validation happens in the constructor — before prefill or replay can
+  // burn work or mutate cache state on a config that was never runnable.
   Fixture f;
-  SimulationConfig config = f.config;
-  config.warmup_fraction = 1.0;
-  Simulator sim(f.network, f.origins, edge(), config);
-  EXPECT_THROW((void)sim.run(f.workload), std::invalid_argument);
+  SimulationConfig bad_warmup = f.config;
+  bad_warmup.warmup_fraction = 1.0;
+  EXPECT_THROW(Simulator(f.network, f.origins, edge(), bad_warmup),
+               std::invalid_argument);
+  bad_warmup.warmup_fraction = -0.1;
+  EXPECT_THROW(Simulator(f.network, f.origins, edge(), bad_warmup),
+               std::invalid_argument);
+
+  SimulationConfig bad_budget = f.config;
+  bad_budget.budget_fraction = 0.0;
+  EXPECT_THROW(Simulator(f.network, f.origins, edge(), bad_budget),
+               std::invalid_argument);
+  bad_budget.budget_fraction = 1.5;
+  EXPECT_THROW(Simulator(f.network, f.origins, edge(), bad_budget),
+               std::invalid_argument);
+
+  SimulationConfig bad_window = f.config;
+  bad_window.capacity_window = 0;
+  EXPECT_THROW(Simulator(f.network, f.origins, edge(), bad_window),
+               std::invalid_argument);
+
+  // compare_designs surfaces a worker-thread failure as a normal exception
+  // on the calling thread instead of std::terminate.
+  EXPECT_THROW((void)compare_designs(f.network, f.origins, {icn_nr(), edge()},
+                                     bad_window, f.workload),
+               std::invalid_argument);
 }
 
 // --- experiment runner -------------------------------------------------------
