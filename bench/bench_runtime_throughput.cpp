@@ -1,0 +1,202 @@
+// Real-socket runtime throughput benchmark.
+//
+// Deploys the full §6 stack — NRS, origin, reverse proxy, edge proxy —
+// each behind its own runtime::HostServer on real loopback TCP, publishes
+// a small catalog, then drives the edge proxy with closed-loop keep-alive
+// HTTP clients and reports request rate and latency percentiles. The
+// steady-state path is the paper's common case: a proxy cache HIT served
+// straight from memory over one keep-alive connection.
+//
+// Environment knobs:
+//   IDICN_BENCH_RUNTIME_SECONDS  measurement window (default 3; CI uses 1)
+//   IDICN_BENCH_RUNTIME_CLIENTS  closed-loop client threads (default 2)
+//   IDICN_BENCH_RUNTIME_BODY    object body bytes (default 512)
+//
+// The last stdout line is a single JSON object with the results, so CI and
+// scripts can scrape `req_per_s` / `p99_us` without parsing prose.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/perf_counters.hpp"
+#include "idicn/nrs.hpp"
+#include "idicn/origin_server.hpp"
+#include "idicn/proxy.hpp"
+#include "idicn/reverse_proxy.hpp"
+#include "runtime/host_server.hpp"
+#include "runtime/http_client.hpp"
+#include "runtime/socket_net.hpp"
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  if (const char* value = std::getenv(name)) {
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+int main() {
+  using namespace idicn;
+  using namespace ::idicn::idicn;
+  using Clock = std::chrono::steady_clock;
+
+  const long seconds = env_long("IDICN_BENCH_RUNTIME_SECONDS", 3);
+  const long client_count = env_long("IDICN_BENCH_RUNTIME_CLIENTS", 2);
+  const long body_bytes = env_long("IDICN_BENCH_RUNTIME_BODY", 512);
+
+  // --- deploy the socketed stack -----------------------------------------
+  runtime::SocketNet net;
+  net::DnsService dns;
+  crypto::MerkleSigner signer(0xbe9c, 8);  // 256 one-time keys
+  NameResolutionSystem nrs(&dns);
+  OriginServer origin;
+  ReverseProxy reverse_proxy(&net, "rp.pub", "origin.pub", "nrs.consortium",
+                             &signer);
+  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns);
+
+  runtime::HostServer nrs_server(&nrs, "nrs.consortium");
+  runtime::HostServer origin_server(&origin, "origin.pub");
+  runtime::HostServer rp_server(&reverse_proxy, "rp.pub");
+  runtime::HostServer proxy_server(&proxy, "cache.ad1");
+  nrs_server.start();
+  origin_server.start();
+  rp_server.start();
+  proxy_server.start();
+  net.register_endpoint(nrs_server);
+  net.register_endpoint(origin_server);
+  net.register_endpoint(rp_server);
+  net.register_endpoint(proxy_server);
+
+  // Publish a small catalog (each publish costs one-time keys).
+  constexpr int kCatalog = 16;
+  std::vector<std::string> targets;
+  for (int i = 0; i < kCatalog; ++i) {
+    const std::string label = "object-" + std::to_string(i);
+    origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
+    const auto name = reverse_proxy.publish(label);
+    if (!name) {
+      std::fprintf(stderr, "publish failed for %s\n", label.c_str());
+      return 1;
+    }
+    targets.push_back("http://" + name->host() + "/");
+  }
+
+  // Warm the proxy cache so the measured window is the HIT fast path.
+  {
+    runtime::HttpClient warm("127.0.0.1", proxy_server.port());
+    for (const auto& target : targets) {
+      const auto response = warm.get(target);
+      if (!response || response->status != 200) {
+        std::fprintf(stderr, "warmup fetch failed for %s\n", target.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // --- closed-loop load ---------------------------------------------------
+  std::atomic<bool> running{true};
+  std::vector<std::vector<std::uint64_t>> latencies_ns(
+      static_cast<std::size_t>(client_count));
+  std::vector<std::uint64_t> errors(static_cast<std::size_t>(client_count), 0);
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(client_count));
+
+  const auto start = Clock::now();
+  for (long c = 0; c < client_count; ++c) {
+    clients.emplace_back([&, c] {
+      runtime::HttpClient client("127.0.0.1", proxy_server.port());
+      auto& samples = latencies_ns[static_cast<std::size_t>(c)];
+      samples.reserve(1 << 18);
+      std::size_t i = static_cast<std::size_t>(c);
+      while (running.load(std::memory_order_relaxed)) {
+        const auto t0 = Clock::now();
+        const auto response = client.get(targets[i % targets.size()]);
+        const auto t1 = Clock::now();
+        if (!response || response->status != 200) {
+          ++errors[static_cast<std::size_t>(c)];
+          continue;
+        }
+        samples.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  running.store(false);
+  for (auto& thread : clients) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // --- aggregate -----------------------------------------------------------
+  std::vector<std::uint64_t> all;
+  std::uint64_t total_errors = 0;
+  for (const auto& samples : latencies_ns) all.insert(all.end(), samples.begin(), samples.end());
+  for (const auto error_count : errors) total_errors += error_count;
+  std::sort(all.begin(), all.end());
+
+  const double req_per_s = static_cast<double>(all.size()) / elapsed_s;
+  const double p50_us = static_cast<double>(percentile(all, 0.50)) / 1000.0;
+  const double p90_us = static_cast<double>(percentile(all, 0.90)) / 1000.0;
+  const double p99_us = static_cast<double>(percentile(all, 0.99)) / 1000.0;
+  const double max_us = all.empty() ? 0.0 : static_cast<double>(all.back()) / 1000.0;
+
+  const auto proxy_stats = proxy.stats();
+  const auto server_stats = proxy_server.stats();
+
+  std::printf("runtime throughput: %ld client(s), %ld s window, %ld-byte bodies\n",
+              client_count, seconds, body_bytes);
+  std::printf("  backend            epoll-preferred (HostServer default)\n");
+  std::printf("  requests           %zu ok, %llu errors\n", all.size(),
+              static_cast<unsigned long long>(total_errors));
+  std::printf("  throughput         %.0f req/s\n", req_per_s);
+  std::printf("  latency            p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n",
+              p50_us, p90_us, p99_us, max_us);
+  std::printf("  proxy cache        %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(proxy_stats.hits),
+              static_cast<unsigned long long>(proxy_stats.misses));
+  std::printf("  proxy bytes        %llu served, %llu from origin\n",
+              static_cast<unsigned long long>(proxy_stats.bytes_served),
+              static_cast<unsigned long long>(proxy_stats.bytes_from_origin));
+  std::printf("  server sockets     %llu conns, %llu B in, %llu B out\n",
+              static_cast<unsigned long long>(server_stats.connections_accepted),
+              static_cast<unsigned long long>(server_stats.bytes_in),
+              static_cast<unsigned long long>(server_stats.bytes_out));
+#if defined(IDICN_PERF_COUNTERS)
+  std::printf("  perf counters      proxy_bytes_served=%llu proxy_bytes_from_origin=%llu\n",
+              static_cast<unsigned long long>(proxy.perf().proxy_bytes_served),
+              static_cast<unsigned long long>(proxy.perf().proxy_bytes_from_origin));
+#endif
+
+  // Machine-readable result line (last line of stdout).
+  std::printf(
+      "{\"bench\":\"runtime_throughput\",\"clients\":%ld,\"seconds\":%.2f,"
+      "\"requests\":%zu,\"errors\":%llu,\"req_per_s\":%.1f,"
+      "\"p50_us\":%.1f,\"p90_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
+      "\"bytes_served\":%llu}\n",
+      client_count, elapsed_s, all.size(),
+      static_cast<unsigned long long>(total_errors), req_per_s, p50_us, p90_us,
+      p99_us, max_us, static_cast<unsigned long long>(proxy_stats.bytes_served));
+
+  proxy_server.stop();
+  rp_server.stop();
+  origin_server.stop();
+  nrs_server.stop();
+  return total_errors == 0 ? 0 : 1;
+}

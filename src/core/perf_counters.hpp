@@ -33,6 +33,10 @@ struct PerfCounters {
   // --- Simulator decision loop ----------------------------------------
   std::uint64_t origin_cost_memo_hits = 0;  ///< origin distances answered from the memo
 
+  // --- idICN edge proxy (§6) -------------------------------------------
+  std::uint64_t proxy_bytes_served = 0;       ///< body bytes served to clients
+  std::uint64_t proxy_bytes_from_origin = 0;  ///< body bytes fetched upstream
+
   /// Increment `field` by `n`; compiles to nothing when the layer is off.
   inline void bump(std::uint64_t PerfCounters::*field, std::uint64_t n = 1) noexcept {
     if constexpr (kPerfCountersEnabled) this->*field += n;
@@ -49,6 +53,8 @@ struct PerfCounters {
     early_exits += other.early_exits;
     sorts_avoided += other.sorts_avoided;
     origin_cost_memo_hits += other.origin_cost_memo_hits;
+    proxy_bytes_served += other.proxy_bytes_served;
+    proxy_bytes_from_origin += other.proxy_bytes_from_origin;
   }
 
   void reset() noexcept { *this = PerfCounters{}; }

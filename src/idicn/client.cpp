@@ -4,7 +4,7 @@
 
 namespace idicn::idicn {
 
-Client::Client(net::SimNet* net, net::Address self, const net::DnsService* dns,
+Client::Client(net::Transport* net, net::Address self, const net::DnsService* dns,
                Options options)
     : net_(net), self_(std::move(self)), dns_(dns), options_(options) {}
 
@@ -29,6 +29,8 @@ Client::FetchResult Client::get(const std::string& url) {
   net::HttpRequest request;
   request.method = "GET";
   request.headers.set("Host", uri->host);
+  // End-to-end verification needs the proof headers; ask for them.
+  if (options_.verify_end_to_end) request.headers.set(kWantMetadataHeader, "1");
 
   ++requests_sent_;
   if (!decision.direct()) {

@@ -16,6 +16,7 @@
 #include "idicn/wpad.hpp"
 #include "net/dns.hpp"
 #include "net/sim_net.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::idicn {
 
@@ -25,9 +26,9 @@ public:
     bool verify_end_to_end = false;  ///< verify signatures at the client too
   };
 
-  Client(net::SimNet* net, net::Address self, const net::DnsService* dns,
+  Client(net::Transport* net, net::Address self, const net::DnsService* dns,
          Options options);
-  Client(net::SimNet* net, net::Address self, const net::DnsService* dns)
+  Client(net::Transport* net, net::Address self, const net::DnsService* dns)
       : Client(net, std::move(self), dns, Options{}) {}
 
   /// Step 1: WPAD discovery. Returns true when a PAC was found and parsed.
@@ -52,7 +53,7 @@ public:
   [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
 
 private:
-  net::SimNet* net_;
+  net::Transport* net_;
   net::Address self_;
   const net::DnsService* dns_;
   Options options_;

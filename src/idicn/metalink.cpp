@@ -22,13 +22,15 @@ std::string ContentMetadata::signing_input() const {
          crypto::hex_encode(std::span<const std::uint8_t>(digest)) + "\n";
 }
 
-void ContentMetadata::apply_to(net::HeaderMap& headers) const {
+void ContentMetadata::apply_to(net::HeaderMap& headers, bool include_proof) const {
   headers.set("X-IdICN-Name", name.host());
   headers.set("X-IdICN-Digest",
               "sha-256=" + crypto::hex_encode(std::span<const std::uint8_t>(digest)));
-  headers.set("X-IdICN-Publisher",
-              crypto::hex_encode(std::span<const std::uint8_t>(publisher_key)));
-  headers.set("X-IdICN-Signature", signature.encode());
+  if (include_proof) {
+    headers.set("X-IdICN-Publisher",
+                crypto::hex_encode(std::span<const std::uint8_t>(publisher_key)));
+    headers.set("X-IdICN-Signature", signature.encode());
+  }
   headers.remove("Link");
   for (const std::string& mirror : mirrors) {
     headers.add("Link", "<" + mirror + ">; rel=duplicate");

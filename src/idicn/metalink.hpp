@@ -25,6 +25,13 @@
 
 namespace idicn::idicn {
 
+/// Request header a caller sets (any value) to receive the full
+/// verification proof in the response. Proxies set it on every upstream
+/// fetch (they always verify); end clients set it only when configured for
+/// end-to-end verification. Plain browsers never send it, so the §6 common
+/// case — a cache HIT to a trusting client — stays small on the wire.
+inline constexpr const char* kWantMetadataHeader = "X-IdICN-Want-Metadata";
+
 struct ContentMetadata {
   SelfCertifyingName name;
   crypto::Sha256Digest digest{};      ///< SHA-256 of the content bytes
@@ -36,8 +43,12 @@ struct ContentMetadata {
   /// a valid signature for one object cannot be replayed for another.
   [[nodiscard]] std::string signing_input() const;
 
-  /// Attach to / extract from HTTP headers.
-  void apply_to(net::HeaderMap& headers) const;
+  /// Attach to / extract from HTTP headers. `include_proof` controls the
+  /// expensive proof fields (publisher key + hash-based signature, tens of
+  /// kilobytes); without them only the name, digest, and mirrors ride
+  /// along — enough for an integrity hint, not for verification. Callers
+  /// that verify must request the proof (see kWantMetadataHeader).
+  void apply_to(net::HeaderMap& headers, bool include_proof = true) const;
   [[nodiscard]] static std::optional<ContentMetadata> from_headers(
       const net::HeaderMap& headers);
 };

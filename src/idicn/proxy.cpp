@@ -5,7 +5,7 @@
 
 namespace idicn::idicn {
 
-Proxy::Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+Proxy::Proxy(net::Transport* net, net::Address self, net::Address nrs,
              const net::DnsService* dns, Options options)
     : net_(net),
       self_(std::move(self)),
@@ -46,9 +46,16 @@ void Proxy::cache_store(const std::string& host, Entry entry) {
   entries_.emplace(host, std::move(entry));
 }
 
-net::HttpResponse Proxy::serve_entry(const std::string& host, Entry& entry, bool hit) {
+net::HttpResponse Proxy::serve_entry(const std::string& host, Entry& entry, bool hit,
+                                     bool full_metadata) {
+  stats_.bytes_served += entry.body.size();
+  perf_.bump(&core::PerfCounters::proxy_bytes_served, entry.body.size());
   net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
-  if (entry.metadata) entry.metadata->apply_to(response.headers);
+  // The multi-kilobyte proof (publisher key + one-time signature) is
+  // attached only when the caller asked for it: verifying clients and
+  // fetching proxies send kWantMetadataHeader, plain browsers trust this
+  // proxy's own verification and get the cheap name+digest hint.
+  if (entry.metadata) entry.metadata->apply_to(response.headers, full_metadata);
   if (!entry.etag.empty()) response.headers.set("ETag", entry.etag);
   response.headers.set("X-Cache", hit ? "HIT" : "MISS");
   response.headers.set("Via", self_);
@@ -62,8 +69,11 @@ std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& na
   fetch.method = "GET";
   fetch.target = "/";
   fetch.headers.set("Host", name.host());
+  fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
   const net::HttpResponse response = net_->send(self_, location, fetch);
   if (!response.ok()) return std::nullopt;
+  stats_.bytes_from_origin += response.body.size();
+  perf_.bump(&core::PerfCounters::proxy_bytes_from_origin, response.body.size());
 
   Entry entry;
   entry.body = response.body;
@@ -109,6 +119,7 @@ std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& na
     query.target = "http://" + name.host() + "/";
     query.headers.set("Host", name.host());
     query.headers.set(kIcpQueryHeader, "1");
+    query.headers.set(kWantMetadataHeader, "1");
     const net::HttpResponse response = net_->send(self_, peer, query);
     if (!response.ok()) continue;
 
@@ -137,6 +148,9 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
                                      const net::HttpRequest& request) {
   const std::string host = name.host();
   const bool peer_query = request.headers.contains(kIcpQueryHeader);
+  // Peer proxies re-verify what they pull, so they always get the proof.
+  const bool full_metadata =
+      peer_query || request.headers.contains(kWantMetadataHeader);
 
   // Step 7 fast path: fresh cached copy (stale entries try a cheap
   // conditional refresh before a full refetch).
@@ -146,12 +160,12 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
         net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
     if (fresh) {
       ++stats_.hits;
-      return serve_entry(host, cached->second, true);
+      return serve_entry(host, cached->second, true, full_metadata);
     }
     ++stats_.expired;
     if (!peer_query && revalidate(host, cached->second)) {
       ++stats_.hits;
-      return serve_entry(host, cached->second, true);
+      return serve_entry(host, cached->second, true, full_metadata);
     }
   }
   // Cooperative queries are strictly cache-only: never trigger a fetch.
@@ -161,7 +175,7 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
   // Scoped cooperation first: a sibling proxy may already hold the object.
   if (auto entry = fetch_from_peers(name)) {
     cache_store(host, std::move(*entry));
-    return serve_entry(host, entries_.find(host)->second, false);
+    return serve_entry(host, entries_.find(host)->second, false, full_metadata);
   }
 
   // Step 3: resolve the name, following at most one P-delegation hop.
@@ -188,7 +202,7 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
     auto entry = fetch_and_verify(name, location);
     if (!entry) continue;
     cache_store(host, std::move(*entry));
-    return serve_entry(host, entries_.find(host)->second, false);
+    return serve_entry(host, entries_.find(host)->second, false, full_metadata);
   }
   return net::make_response(502, "no location provided authentic content");
 }

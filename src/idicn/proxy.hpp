@@ -21,10 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "core/perf_counters.hpp"
 #include "idicn/metalink.hpp"
 #include "idicn/name.hpp"
 #include "net/dns.hpp"
 #include "net/sim_net.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::idicn {
 
@@ -36,9 +38,9 @@ public:
     bool verify = true;  ///< authenticate content before caching/serving
   };
 
-  Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+  Proxy(net::Transport* net, net::Address self, net::Address nrs,
         const net::DnsService* dns, Options options);
-  Proxy(net::SimNet* net, net::Address self, net::Address nrs,
+  Proxy(net::Transport* net, net::Address self, net::Address nrs,
         const net::DnsService* dns)
       : Proxy(net, std::move(self), std::move(nrs), dns, Options{}) {}
 
@@ -52,6 +54,8 @@ public:
     std::uint64_t peer_hits = 0;           ///< served via cooperating proxies
     std::uint64_t revalidations = 0;       ///< conditional refreshes attempted
     std::uint64_t revalidated_304 = 0;     ///< …answered Not Modified
+    std::uint64_t bytes_served = 0;        ///< response body bytes to clients (goodput)
+    std::uint64_t bytes_from_origin = 0;   ///< body bytes fetched upstream on misses
   };
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
@@ -60,6 +64,9 @@ public:
   void add_peer(net::Address peer) { peers_.push_back(std::move(peer)); }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Hot-path counters (byte throughput mirrors of Stats); zero-valued when
+  /// the perf-counter layer is compiled out.
+  [[nodiscard]] const core::PerfCounters& perf() const noexcept { return perf_; }
   [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return used_bytes_; }
   [[nodiscard]] std::size_t cached_objects() const noexcept { return entries_.size(); }
   [[nodiscard]] bool is_cached(const std::string& host) const {
@@ -94,17 +101,19 @@ private:
   std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
                                         const net::Address& location);
 
-  net::HttpResponse serve_entry(const std::string& host, Entry& entry, bool hit);
+  net::HttpResponse serve_entry(const std::string& host, Entry& entry, bool hit,
+                                bool full_metadata);
   void cache_store(const std::string& host, Entry entry);
   void touch(const std::string& host);
   void evict_until_fits(std::uint64_t incoming);
 
-  net::SimNet* net_;
+  net::Transport* net_;
   net::Address self_;
   net::Address nrs_;
   const net::DnsService* dns_;
   Options options_;
   Stats stats_;
+  core::PerfCounters perf_;
 
   std::map<std::string, Entry> entries_;  // host → entry
   std::list<std::string> lru_;            // front = most recent

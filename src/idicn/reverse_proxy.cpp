@@ -6,7 +6,7 @@
 
 namespace idicn::idicn {
 
-ReverseProxy::ReverseProxy(net::SimNet* net, net::Address self, net::Address origin,
+ReverseProxy::ReverseProxy(net::Transport* net, net::Address self, net::Address origin,
                            net::Address nrs, crypto::MerkleSigner* signer)
     : net_(net),
       self_(std::move(self)),

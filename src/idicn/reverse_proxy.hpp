@@ -17,6 +17,7 @@
 #include "idicn/metalink.hpp"
 #include "idicn/name.hpp"
 #include "net/sim_net.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::idicn {
 
@@ -25,7 +26,7 @@ public:
   /// `signer` is the publisher's long-lived key (kept at the reverse proxy,
   /// which generates signatures per the paper). Non-owning pointers must
   /// outlive the proxy.
-  ReverseProxy(net::SimNet* net, net::Address self, net::Address origin,
+  ReverseProxy(net::Transport* net, net::Address self, net::Address origin,
                net::Address nrs, crypto::MerkleSigner* signer);
 
   /// The publisher id (P) this proxy publishes under.
@@ -56,7 +57,7 @@ private:
   /// Sign and remember metadata for (label, body); returns the entry.
   Entry& admit(const std::string& label, std::string body, std::string content_type);
 
-  net::SimNet* net_;
+  net::Transport* net_;
   net::Address self_;
   net::Address origin_;
   net::Address nrs_;

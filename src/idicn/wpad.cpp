@@ -84,7 +84,7 @@ net::HttpResponse WpadService::handle_http(const net::HttpRequest& request,
                             "application/x-ns-proxy-autoconfig");
 }
 
-std::optional<PacFile> discover_pac(net::SimNet& net, const net::Address& self,
+std::optional<PacFile> discover_pac(net::Transport& net, const net::Address& self,
                                     const NetworkEnvironment& env,
                                     const net::DnsService& dns) {
   // Candidate PAC URLs: DHCP option 252 first, then DNS wpad.<domain>.

@@ -21,6 +21,7 @@
 
 #include "net/dns.hpp"
 #include "net/sim_net.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::idicn {
 
@@ -81,7 +82,7 @@ struct NetworkEnvironment {
 
 /// Run WPAD discovery: DHCP first, DNS second; fetch and parse the PAC.
 /// Returns std::nullopt when no PAC can be located (client goes DIRECT).
-[[nodiscard]] std::optional<PacFile> discover_pac(net::SimNet& net,
+[[nodiscard]] std::optional<PacFile> discover_pac(net::Transport& net,
                                                   const net::Address& self,
                                                   const NetworkEnvironment& env,
                                                   const net::DnsService& dns);

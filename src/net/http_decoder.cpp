@@ -1,0 +1,159 @@
+#include "net/http_decoder.hpp"
+
+#include "net/http_internal.hpp"
+
+namespace idicn::net {
+
+namespace {
+constexpr std::string_view kHeaderEnd = "\r\n\r\n";
+}  // namespace
+
+void HttpDecoder::set_error(std::string message, int status) {
+  error_ = std::move(message);
+  error_status_ = status;
+}
+
+const std::string& HttpDecoder::error() const {
+  static const std::string kNone;
+  return error_ ? *error_ : kNone;
+}
+
+int HttpDecoder::suggested_status() const { return error_ ? error_status_ : 200; }
+
+HttpDecoder::State HttpDecoder::state() const {
+  if (error_) return State::Error;
+  if (in_body_) return State::Body;
+  // Start line is complete once the in-flight prefix contains a CRLF.
+  return buffer_.find("\r\n", pos_) == std::string::npos ? State::StartLine
+                                                         : State::Headers;
+}
+
+void HttpDecoder::reset() {
+  buffer_.clear();
+  pos_ = scan_ = 0;
+  in_body_ = false;
+  body_start_ = content_length_ = 0;
+  requests_.clear();
+  responses_.clear();
+  error_.reset();
+  error_status_ = 400;
+}
+
+void HttpDecoder::feed(std::string_view bytes) {
+  if (error_) return;
+  buffer_.append(bytes);
+  decode();
+}
+
+bool HttpDecoder::finish_header_block(std::size_t terminator) {
+  // Header block: [pos_, terminator + 2) — line-structured, each line
+  // CRLF-terminated (the blank line at `terminator` ends it).
+  ParseError parse_error;
+  std::string_view block(buffer_.data() + pos_, terminator + 2 - pos_);
+
+  const std::size_t eol = block.find("\r\n");
+  const std::string_view start_line = block.substr(0, eol);
+  HeaderMap* headers = nullptr;
+  if (mode_ == Mode::Request) {
+    pending_request_ = HttpRequest{};
+    pending_request_.headers = HeaderMap{};
+    if (!detail::parse_request_line(start_line, pending_request_, &parse_error)) {
+      set_error(parse_error.message, 400);
+      return false;
+    }
+    headers = &pending_request_.headers;
+  } else {
+    pending_response_ = HttpResponse{};
+    pending_response_.headers = HeaderMap{};
+    if (!detail::parse_status_line(start_line, pending_response_, &parse_error)) {
+      set_error(parse_error.message, 400);
+      return false;
+    }
+    headers = &pending_response_.headers;
+  }
+
+  block.remove_prefix(eol + 2);
+  while (!block.empty()) {
+    const std::size_t line_end = block.find("\r\n");
+    const std::string_view line = block.substr(0, line_end);
+    if (line.empty()) break;  // blank line: end of headers
+    if (!detail::parse_header_line(line, *headers, &parse_error)) {
+      set_error(parse_error.message, 400);
+      return false;
+    }
+    block.remove_prefix(line_end + 2);
+  }
+
+  if (!detail::parse_content_length(*headers, content_length_, &parse_error)) {
+    set_error(parse_error.message, 400);
+    return false;
+  }
+  if (content_length_ > limits_.max_body_bytes) {
+    set_error("body exceeds limit", 400);
+    return false;
+  }
+  in_body_ = true;
+  body_start_ = terminator + 4;
+  return true;
+}
+
+void HttpDecoder::decode() {
+  while (!error_) {
+    if (!in_body_) {
+      // Search for the CRLFCRLF terminator, resuming where the last scan
+      // stopped (minus 3 so a terminator split across feeds is found).
+      const std::size_t from = scan_ > pos_ + 3 ? scan_ - 3 : pos_;
+      const std::size_t terminator = buffer_.find(kHeaderEnd, from);
+      scan_ = buffer_.size();
+      if (terminator == std::string::npos) {
+        if (buffer_.size() - pos_ > limits_.max_header_bytes) {
+          set_error("header block exceeds limit", 431);
+        }
+        return;  // need more bytes
+      }
+      if (terminator + 4 - pos_ > limits_.max_header_bytes) {
+        set_error("header block exceeds limit", 431);
+        return;
+      }
+      if (!finish_header_block(terminator)) return;
+    }
+
+    if (buffer_.size() - body_start_ < content_length_) return;  // need more bytes
+
+    const std::string_view body(buffer_.data() + body_start_, content_length_);
+    if (mode_ == Mode::Request) {
+      pending_request_.body.assign(body);
+      requests_.push_back(std::move(pending_request_));
+    } else {
+      pending_response_.body.assign(body);
+      responses_.push_back(std::move(pending_response_));
+    }
+
+    // Advance past the consumed message; compact the buffer once the dead
+    // prefix dominates so long-lived keep-alive connections stay O(1).
+    pos_ = body_start_ + content_length_;
+    scan_ = pos_;
+    in_body_ = false;
+    body_start_ = content_length_ = 0;
+    if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+      buffer_.erase(0, pos_);
+      pos_ = scan_ = 0;
+    }
+  }
+}
+
+std::optional<HttpRequest> HttpDecoder::next_request() {
+  if (requests_.empty()) return std::nullopt;
+  HttpRequest out = std::move(requests_.front());
+  requests_.pop_front();
+  return out;
+}
+
+std::optional<HttpResponse> HttpDecoder::next_response() {
+  if (responses_.empty()) return std::nullopt;
+  HttpResponse out = std::move(responses_.front());
+  responses_.pop_front();
+  return out;
+}
+
+}  // namespace idicn::net

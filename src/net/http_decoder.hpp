@@ -1,0 +1,109 @@
+// Incremental HTTP/1.1 decoder for the real-traffic runtime.
+//
+// parse_request/parse_response (http_message.hpp) require one *complete*
+// message per buffer — fine for the message-oriented SimNet, useless on a
+// TCP stream where bytes arrive in arbitrary fragments and keep-alive
+// connections carry many messages back to back. HttpDecoder is the
+// stream-oriented counterpart: feed() appends whatever bytes the socket
+// produced, next_request()/next_response() pop complete messages as they
+// become available. It accepts byte-at-a-time delivery, keep-alive reuse,
+// and pipelined messages (several complete messages in one feed), and
+// shares the start-line/header grammar with the complete-message parsers
+// (net/http_internal.hpp), so the two parse paths cannot drift.
+//
+// Decoder states (per message, then back to StartLine):
+//   StartLine  — waiting for the first CRLF (request/status line);
+//   Headers    — start line seen, waiting for the CRLFCRLF terminator;
+//   Body       — headers parsed, waiting for Content-Length body bytes;
+//   Error      — malformed input or a limit exceeded; terminal until
+//                reset(). error() says why, suggested_status() maps it to
+//                the 4xx a server should answer before closing.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/http_message.hpp"
+
+namespace idicn::net {
+
+class HttpDecoder {
+public:
+  enum class Mode { Request, Response };
+  enum class State { StartLine, Headers, Body, Error };
+
+  /// Hard ceilings; exceeding one is a decode error, not silent truncation.
+  struct Limits {
+    std::size_t max_header_bytes = 64 * 1024;      ///< start line + headers + CRLFCRLF
+    std::size_t max_body_bytes = 64u * 1024 * 1024;
+  };
+
+  explicit HttpDecoder(Mode mode);
+  HttpDecoder(Mode mode, Limits limits);
+
+  /// Append stream bytes and decode as many complete messages as they
+  /// finish. Safe to call with any fragmentation, including one byte at a
+  /// time and multiple pipelined messages at once. No-op after an error.
+  void feed(std::string_view bytes);
+
+  /// Pop the next complete message (FIFO). Mode::Request decoders yield
+  /// requests, Mode::Response decoders responses; the other accessor
+  /// always returns nullopt.
+  [[nodiscard]] std::optional<HttpRequest> next_request();
+  [[nodiscard]] std::optional<HttpResponse> next_response();
+
+  /// Complete messages decoded but not yet popped.
+  [[nodiscard]] std::size_t ready() const noexcept {
+    return requests_.size() + responses_.size();
+  }
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] bool failed() const noexcept { return error_.has_value(); }
+  [[nodiscard]] const std::string& error() const;
+  /// Status a server should answer with on failed(): 431 for oversized
+  /// headers, 413 semantics folded to 400 here (the prototype's status
+  /// set), 400 for grammar errors.
+  [[nodiscard]] int suggested_status() const;
+
+  /// Bytes buffered but not yet consumed by a complete message (a partial
+  /// message in flight; 0 means the stream is on a message boundary).
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+  /// Forget buffered bytes, queued messages, and any error.
+  void reset();
+
+private:
+  void decode();
+  bool finish_header_block(std::size_t terminator);  ///< false ⇒ error set
+  void set_error(std::string message, int status);
+
+  Mode mode_;
+  Limits limits_;
+  std::string buffer_;
+  std::size_t pos_ = 0;    ///< start of the in-flight message
+  std::size_t scan_ = 0;   ///< high-water mark of the CRLFCRLF search
+  // Set once the in-flight message's header block is parsed:
+  bool in_body_ = false;
+  std::size_t body_start_ = 0;
+  std::size_t content_length_ = 0;
+  HttpRequest pending_request_;
+  HttpResponse pending_response_;
+
+  std::deque<HttpRequest> requests_;
+  std::deque<HttpResponse> responses_;
+  std::optional<std::string> error_;
+  int error_status_ = 400;
+};
+
+// Out of line: Limits' default member initializers only become usable once
+// the enclosing class is complete.
+inline HttpDecoder::HttpDecoder(Mode mode) : HttpDecoder(mode, Limits{}) {}
+inline HttpDecoder::HttpDecoder(Mode mode, Limits limits)
+    : mode_(mode), limits_(limits) {}
+
+}  // namespace idicn::net

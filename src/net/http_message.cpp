@@ -1,47 +1,15 @@
 #include "net/http_message.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
+
+#include "net/http_internal.hpp"
 
 namespace idicn::net {
 namespace {
 
-bool iequals(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool is_token_char(char c) {
-  // RFC 7230 tchar.
-  static constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
-  return std::isalnum(static_cast<unsigned char>(c)) ||
-         kExtra.find(c) != std::string_view::npos;
-}
-
-bool valid_header_name(std::string_view name) {
-  return !name.empty() && std::all_of(name.begin(), name.end(), is_token_char);
-}
-
-std::string_view trim_ows(std::string_view text) {
-  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
-    text.remove_prefix(1);
-  }
-  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
-    text.remove_suffix(1);
-  }
-  return text;
-}
-
-void fail(ParseError* error, std::string message) {
-  if (error != nullptr) error->message = std::move(message);
-}
+using detail::fail;
+using detail::iequals;
+using detail::valid_header_name;
 
 /// Parse the header block (after the start line) and the body; returns
 /// false on malformed input.
@@ -56,29 +24,11 @@ bool parse_fields_and_body(std::string_view text, HeaderMap& headers, std::strin
     const std::string_view line = text.substr(0, eol);
     text.remove_prefix(eol + 2);
     if (line.empty()) break;  // end of headers
-
-    const std::size_t colon = line.find(':');
-    if (colon == std::string_view::npos) {
-      fail(error, "header field missing ':'");
-      return false;
-    }
-    const std::string_view name = line.substr(0, colon);
-    if (!valid_header_name(name)) {
-      fail(error, "invalid header field name");
-      return false;
-    }
-    headers.add(std::string(name), std::string(trim_ows(line.substr(colon + 1))));
+    if (!detail::parse_header_line(line, headers, error)) return false;
   }
 
   std::size_t content_length = 0;
-  if (const auto value = headers.get("Content-Length")) {
-    const auto [ptr, ec] =
-        std::from_chars(value->data(), value->data() + value->size(), content_length);
-    if (ec != std::errc() || ptr != value->data() + value->size()) {
-      fail(error, "invalid Content-Length");
-      return false;
-    }
-  }
+  if (!detail::parse_content_length(headers, content_length, error)) return false;
   if (text.size() != content_length) {
     fail(error, "body length does not match Content-Length");
     return false;
@@ -89,8 +39,13 @@ bool parse_fields_and_body(std::string_view text, HeaderMap& headers, std::strin
 
 }  // namespace
 
+std::string sanitize_header_value(std::string value) {
+  std::erase_if(value, [](char c) { return c == '\r' || c == '\n' || c == '\0'; });
+  return value;
+}
+
 void HeaderMap::add(std::string name, std::string value) {
-  fields_.emplace_back(std::move(name), std::move(value));
+  fields_.emplace_back(std::move(name), sanitize_header_value(std::move(value)));
 }
 
 void HeaderMap::set(std::string name, std::string value) {
@@ -121,11 +76,29 @@ bool HeaderMap::contains(std::string_view name) const {
   return get(name).has_value();
 }
 
-std::string HttpRequest::serialize() const {
-  std::string out = method + " " + target + " " + version + "\r\n";
+namespace {
+
+/// Emit the header block. Field *values* were sanitized on insertion; a
+/// field whose *name* is not an RFC 7230 token (which could only arise
+/// programmatically — parsing rejects such names) is dropped rather than
+/// serialized, so a name like "X-Evil: a\r\nInjected" can never split the
+/// message on a real socket.
+void serialize_fields(const HeaderMap& headers, std::string& out) {
   for (const auto& [name, value] : headers.fields()) {
+    if (!valid_header_name(name)) continue;
     out += name + ": " + value + "\r\n";
   }
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  // Start-line components get the same CR/LF/NUL guard as header values:
+  // a hostile label or target must not be able to split the request.
+  std::string out = sanitize_header_value(method) + " " +
+                    sanitize_header_value(target) + " " +
+                    sanitize_header_value(version) + "\r\n";
+  serialize_fields(headers, out);
   if (!headers.contains("Content-Length") && !body.empty()) {
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
@@ -135,10 +108,9 @@ std::string HttpRequest::serialize() const {
 }
 
 std::string HttpResponse::serialize() const {
-  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
-  for (const auto& [name, value] : headers.fields()) {
-    out += name + ": " + value + "\r\n";
-  }
+  std::string out = sanitize_header_value(version) + " " + std::to_string(status) +
+                    " " + sanitize_header_value(reason) + "\r\n";
+  serialize_fields(headers, out);
   if (!headers.contains("Content-Length")) {
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
@@ -153,31 +125,8 @@ std::optional<HttpRequest> parse_request(std::string_view text, ParseError* erro
     fail(error, "request line missing CRLF");
     return std::nullopt;
   }
-  const std::string_view line = text.substr(0, eol);
-
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
-  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
-      line.find(' ', sp2 + 1) != std::string_view::npos) {
-    fail(error, "malformed request line");
-    return std::nullopt;
-  }
-
   HttpRequest request;
-  request.method = std::string(line.substr(0, sp1));
-  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
-  request.version = std::string(line.substr(sp2 + 1));
-  if (request.method.empty() ||
-      !std::all_of(request.method.begin(), request.method.end(), is_token_char)) {
-    fail(error, "invalid method");
-    return std::nullopt;
-  }
-  if (request.target.empty()) {
-    fail(error, "empty request target");
-    return std::nullopt;
-  }
-  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
-    fail(error, "unsupported HTTP version");
+  if (!detail::parse_request_line(text.substr(0, eol), request, error)) {
     return std::nullopt;
   }
   if (!parse_fields_and_body(text.substr(eol + 2), request.headers, request.body,
@@ -193,33 +142,10 @@ std::optional<HttpResponse> parse_response(std::string_view text, ParseError* er
     fail(error, "status line missing CRLF");
     return std::nullopt;
   }
-  const std::string_view line = text.substr(0, eol);
-
-  const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) {
-    fail(error, "malformed status line");
-    return std::nullopt;
-  }
-  const std::size_t sp2 = line.find(' ', sp1 + 1);
-
   HttpResponse response;
-  response.version = std::string(line.substr(0, sp1));
-  if (response.version != "HTTP/1.1" && response.version != "HTTP/1.0") {
-    fail(error, "unsupported HTTP version");
+  if (!detail::parse_status_line(text.substr(0, eol), response, error)) {
     return std::nullopt;
   }
-  const std::string_view code_text =
-      line.substr(sp1 + 1, sp2 == std::string_view::npos ? sp2 : sp2 - sp1 - 1);
-  if (code_text.size() != 3 ||
-      !std::all_of(code_text.begin(), code_text.end(),
-                   [](char c) { return c >= '0' && c <= '9'; })) {
-    fail(error, "invalid status code");
-    return std::nullopt;
-  }
-  response.status = (code_text[0] - '0') * 100 + (code_text[1] - '0') * 10 +
-                    (code_text[2] - '0');
-  response.reason =
-      sp2 == std::string_view::npos ? std::string() : std::string(line.substr(sp2 + 1));
   if (!parse_fields_and_body(text.substr(eol + 2), response.headers, response.body,
                              error)) {
     return std::nullopt;
@@ -239,7 +165,9 @@ std::string_view default_reason(int status) {
     case 400: return "Bad Request";
     case 403: return "Forbidden";
     case 404: return "Not Found";
+    case 408: return "Request Timeout";
     case 416: return "Range Not Satisfiable";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";

@@ -17,8 +17,16 @@
 
 namespace idicn::net {
 
+/// Strip CR/LF/NUL from a header value (or start-line component) so that
+/// attacker-influenced strings can never split an HTTP message on the wire
+/// (response-splitting / header-injection guard). Applied automatically by
+/// HeaderMap::add/set and by the serializers.
+[[nodiscard]] std::string sanitize_header_value(std::string value);
+
 /// Ordered header list preserving insertion order; name lookups are
-/// case-insensitive (RFC 7230 §3.2).
+/// case-insensitive (RFC 7230 §3.2). Values are sanitized on insertion
+/// (see sanitize_header_value); serialization additionally drops fields
+/// whose name is not an RFC 7230 token.
 class HeaderMap {
 public:
   void add(std::string name, std::string value);

@@ -16,10 +16,9 @@
 #include <vector>
 
 #include "net/http_message.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::net {
-
-using Address = std::string;
 
 /// Anything that can answer HTTP requests on the simulated network.
 class SimHost {
@@ -31,7 +30,7 @@ public:
   virtual HttpResponse handle_http(const HttpRequest& request, const Address& from) = 0;
 };
 
-class SimNet {
+class SimNet : public Transport {
 public:
   /// Attach `host` (non-owning) at `address`. Throws std::invalid_argument
   /// if the address is taken.
@@ -45,7 +44,8 @@ public:
   /// Deliver `request` to `to`. Unknown or unreachable destinations yield
   /// 504 Gateway Timeout. Each delivery advances the clock by the link
   /// latency and the response trip by the same amount.
-  HttpResponse send(const Address& from, const Address& to, const HttpRequest& request);
+  HttpResponse send(const Address& from, const Address& to,
+                    const HttpRequest& request) override;
 
   // --- multicast groups (Zeroconf / mDNS substrate) --------------------
   void join_group(const std::string& group, const Address& member);
@@ -56,7 +56,7 @@ public:
   /// Deliver to every reachable group member (except `from`); collect the
   /// responses in member order.
   std::vector<HttpResponse> multicast(const Address& from, const std::string& group,
-                                      const HttpRequest& request);
+                                      const HttpRequest& request) override;
 
   // --- clock & accounting ----------------------------------------------
   /// Default per-message one-way latency (virtual milliseconds).
@@ -64,7 +64,7 @@ public:
   /// Per-destination override (e.g. the origin is far, the proxy is near).
   void set_latency_ms(const Address& to, std::uint64_t ms) { latency_override_[to] = ms; }
 
-  [[nodiscard]] std::uint64_t now_ms() const noexcept { return clock_ms_; }
+  [[nodiscard]] std::uint64_t now_ms() const noexcept override { return clock_ms_; }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 

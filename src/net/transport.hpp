@@ -1,0 +1,45 @@
+// Abstract message transport for the idICN application layer.
+//
+// The §6 hosts (proxy, reverse proxy, client, NRS) speak request/response
+// HTTP to named peers. Historically they were bound directly to the
+// in-process SimNet; extracting this interface lets the same unmodified
+// host classes run over either transport:
+//   * net::SimNet        — deterministic in-process delivery, virtual clock
+//                          (simulation and unit tests);
+//   * runtime::SocketNet — real non-blocking TCP to runtime::HostServer
+//                          endpoints, wall clock (the serving runtime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http_message.hpp"
+
+namespace idicn::net {
+
+using Address = std::string;
+
+/// Synchronous request/response transport keyed by string addresses.
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Deliver `request` to `to` and return the response. Unreachable or
+  /// unknown destinations yield a synthesized 504 Gateway Timeout — the
+  /// caller never sees a transport exception.
+  virtual HttpResponse send(const Address& from, const Address& to,
+                            const HttpRequest& request) = 0;
+
+  /// Deliver to every reachable member of `group` (except `from`) and
+  /// collect the responses. Transports without multicast return {}.
+  virtual std::vector<HttpResponse> multicast(const Address& from,
+                                              const std::string& group,
+                                              const HttpRequest& request) = 0;
+
+  /// Monotonic milliseconds: the virtual clock on SimNet, a steady wall
+  /// clock on socket transports. Used for cache freshness decisions.
+  [[nodiscard]] virtual std::uint64_t now_ms() const = 0;
+};
+
+}  // namespace idicn::net

@@ -1,0 +1,77 @@
+// Single-threaded event loop: readiness dispatch (epoll or poll backend) +
+// timer wheel + cross-thread task posting via a self-pipe.
+//
+// One EventLoop per worker thread; all watch/update/unwatch/add_timer
+// calls must come from the loop thread (or before run()), while post() and
+// stop() are safe from any thread. Handlers run inline on the loop thread
+// and must not block — the runtime's contract is the paper's prototype
+// contract: one proxy worker is one single-threaded process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/poller.hpp"
+#include "runtime/timer_wheel.hpp"
+
+namespace idicn::runtime {
+
+class EventLoop {
+public:
+  /// Called with the fd's readiness; `error` implies the peer hung up or
+  /// the fd failed — the handler should unwatch and close.
+  using IoHandler = std::function<void(bool readable, bool writable, bool error)>;
+
+  explicit EventLoop(PollerBackend backend = PollerBackend::Auto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- fd readiness (loop thread only) ---------------------------------
+  bool watch(int fd, bool want_read, bool want_write, IoHandler handler);
+  bool update(int fd, bool want_read, bool want_write);
+  void unwatch(int fd);
+
+  // --- timers (loop thread only) ---------------------------------------
+  TimerWheel::TimerId add_timer(std::uint64_t delay_ms,
+                                TimerWheel::Callback callback);
+  bool cancel_timer(TimerWheel::TimerId id);
+
+  // --- cross-thread ----------------------------------------------------
+  /// Queue `task` for execution on the loop thread; wakes the loop.
+  void post(std::function<void()> task);
+  /// Ask run() to return after the current iteration; safe from any thread.
+  void stop();
+
+  /// Dispatch events until stop(). Runs on the calling thread.
+  void run();
+  /// One poll + dispatch iteration (for tests and manual pumping).
+  void run_once(int timeout_ms);
+
+  /// Milliseconds on the steady clock (process-relative).
+  [[nodiscard]] std::uint64_t now_ms() const;
+  [[nodiscard]] const char* backend_name() const { return poller_->name(); }
+
+private:
+  void drain_tasks();
+  void wake();
+  [[nodiscard]] int next_timeout_ms(int cap_ms) const;
+
+  std::unique_ptr<Poller> poller_;
+  TimerWheel timers_;
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+  std::atomic<bool> stopping_{false};
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+  std::vector<Ready> ready_;  ///< scratch for wait(), reused across iterations
+};
+
+}  // namespace idicn::runtime

@@ -1,0 +1,265 @@
+#include "runtime/host_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace idicn::runtime {
+namespace {
+
+std::string peer_name(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+HostServer::HostServer(net::SimHost* host, std::string address, Options options)
+    : host_(host), address_(std::move(address)), options_(options) {
+  if (host_ == nullptr) throw std::invalid_argument("HostServer: null host");
+}
+
+HostServer::~HostServer() { stop(); }
+
+std::uint16_t HostServer::start(std::uint16_t port) {
+  if (thread_.joinable()) throw std::runtime_error("HostServer: already started");
+
+  std::string error;
+  std::uint16_t bound = 0;
+  const int fd = listen_tcp(port, &bound, &error);
+  if (fd < 0) throw std::runtime_error("HostServer[" + address_ + "]: " + error);
+  listener_.reset(fd);
+  port_ = bound;
+
+  loop_ = std::make_unique<EventLoop>(options_.backend);
+  loop_->watch(listener_.get(), true, false,
+               [this](bool readable, bool, bool) {
+                 if (readable) on_accept();
+               });
+  thread_ = std::thread([this] { loop_->run(); });
+  return port_;
+}
+
+void HostServer::stop() {
+  if (!thread_.joinable()) return;
+  loop_->stop();
+  thread_.join();
+  // Tear down on the (now stopped) loop's structures from this thread.
+  for (auto& [fd, conn] : connections_) {
+    loop_->unwatch(fd);
+    (void)conn;
+  }
+  connections_.clear();
+  loop_->unwatch(listener_.get());
+  listener_.reset();
+  loop_.reset();
+}
+
+HostServer::Stats HostServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void HostServer::on_accept() {
+  while (true) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int fd = ::accept(listener_.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (connections_.size() >= options_.max_connections) {
+      const std::string reply =
+          net::make_response(503, "server at connection capacity").serialize();
+      (void)!::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+
+    auto conn = std::make_unique<Connection>(fd, peer_name(addr),
+                                             options_.decoder_limits);
+    conn->last_activity_ms = loop_->now_ms();
+    arm_timer(*conn);
+    loop_->watch(fd, true, false, [this, fd](bool readable, bool writable, bool error) {
+      on_connection_event(fd, readable, writable, error);
+    });
+    connections_.emplace(fd, std::move(conn));
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void HostServer::arm_timer(Connection& conn) {
+  // Lazy deadline check: fire at the nearest possible deadline and
+  // recompute; reads just bump last_activity_ms without timer churn.
+  const std::uint64_t delay =
+      std::min(options_.idle_timeout_ms, options_.request_timeout_ms);
+  const int fd = conn.fd.get();
+  conn.timer = loop_->add_timer(delay, [this, fd] { check_deadlines(fd); });
+}
+
+void HostServer::check_deadlines(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.closing) {  // already draining towards close; stop waiting for it
+    close_connection(fd);
+    return;
+  }
+  const std::uint64_t now = loop_->now_ms();
+
+  const bool mid_request = conn.decoder.buffered_bytes() > 0;
+  const bool request_expired =
+      mid_request && now - conn.message_start_ms >= options_.request_timeout_ms;
+  const bool idle_expired = now - conn.last_activity_ms >= options_.idle_timeout_ms;
+
+  if (request_expired || idle_expired) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.timeouts;
+    }
+    if (request_expired) {
+      conn.out += net::make_response(408, "request timed out").serialize();
+    }
+    conn.closing = true;
+    flush(conn);  // may close the connection
+    if (connections_.count(fd) != 0) arm_timer(conn);
+    return;
+  }
+  arm_timer(conn);
+}
+
+void HostServer::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_->cancel_timer(it->second->timer);
+  loop_->unwatch(fd);
+  connections_.erase(it);  // ScopedFd closes
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.connections_closed;
+}
+
+void HostServer::serve_decoded(Connection& conn) {
+  // Drain every pipelined request in arrival order.
+  while (auto request = conn.decoder.next_request()) {
+    net::HttpResponse response;
+    try {
+      response = host_->handle_http(*request, conn.peer);
+    } catch (const std::exception& e) {
+      response = net::make_response(500, std::string("handler error: ") + e.what());
+    }
+    const bool peer_wants_close =
+        [&] {
+          const auto connection = request->headers.get("Connection");
+          if (connection) return *connection == "close" || *connection == "Close";
+          return request->version == "HTTP/1.0";
+        }();
+    if (peer_wants_close) {
+      response.headers.set("Connection", "close");
+      conn.closing = true;
+    }
+    conn.out += response.serialize();
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests_served;
+    }
+    if (conn.closing) break;
+  }
+
+  if (conn.decoder.failed()) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.decode_errors;
+    }
+    conn.out += net::make_response(conn.decoder.suggested_status(),
+                                   "malformed request: " + conn.decoder.error())
+                    .serialize();
+    conn.closing = true;
+  }
+}
+
+void HostServer::flush(Connection& conn) {
+  const int fd = conn.fd.get();
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Backpressure: park the rest until the socket drains.
+        if (!conn.write_armed) {
+          conn.write_armed = true;
+          loop_->update(fd, !conn.closing, true);
+        }
+        return;
+      }
+      close_connection(fd);
+      return;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_out += static_cast<std::uint64_t>(n);
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  if (conn.closing) {
+    close_connection(fd);
+    return;
+  }
+  if (conn.write_armed) {
+    conn.write_armed = false;
+    loop_->update(fd, true, false);
+  }
+}
+
+void HostServer::on_connection_event(int fd, bool readable, bool writable,
+                                     bool error) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (error) {
+    close_connection(fd);
+    return;
+  }
+
+  if (readable) {
+    char buffer[16 * 1024];
+    while (true) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n == 0) {  // orderly shutdown by the peer
+        close_connection(fd);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_connection(fd);
+        return;
+      }
+      const std::uint64_t now = loop_->now_ms();
+      if (conn.decoder.buffered_bytes() == 0) conn.message_start_ms = now;
+      conn.last_activity_ms = now;
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_in += static_cast<std::uint64_t>(n);
+      }
+      conn.decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+    serve_decoded(conn);
+  }
+
+  if (writable || !conn.out.empty()) flush(conn);
+}
+
+}  // namespace idicn::runtime

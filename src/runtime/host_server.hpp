@@ -1,0 +1,119 @@
+// SimHost → real-socket adapter.
+//
+// HostServer takes any net::SimHost (Proxy, NameResolutionSystem,
+// OriginServer, ReverseProxy, …) and serves it over real loopback TCP:
+// a non-blocking listener on its own event-loop thread, per-connection
+// incremental decoding (net::HttpDecoder), keep-alive and pipelined
+// requests, write backpressure, and timer-wheel idle/request timeouts.
+// The hosted class is completely unchanged — handle_http() sees the same
+// (request, from) it saw on SimNet, with `from` the peer's ip:port.
+//
+// Threading: one HostServer = one worker thread = one event loop; the
+// hosted SimHost's handle_http runs only on that thread. A hosted Proxy
+// whose upstream transport is a SocketNet will block its worker during
+// upstream fetches — the same synchronous semantics the §6 prototype has
+// on SimNet, just over real sockets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/http_decoder.hpp"
+#include "net/sim_net.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/tcp.hpp"
+
+namespace idicn::runtime {
+
+class HostServer {
+public:
+  struct Options {
+    std::uint64_t idle_timeout_ms = 30'000;    ///< close quiet keep-alive conns
+    std::uint64_t request_timeout_ms = 10'000; ///< partial request must finish
+    std::size_t max_connections = 1024;        ///< accepted conns beyond: 503+close
+    net::HttpDecoder::Limits decoder_limits;
+    PollerBackend backend = PollerBackend::Auto;
+  };
+
+  /// `host` (non-owning) must outlive the server; `address` is the logical
+  /// name shown to the hosted SimHost and in diagnostics.
+  HostServer(net::SimHost* host, std::string address);
+  HostServer(net::SimHost* host, std::string address, Options options);
+  ~HostServer();
+
+  HostServer(const HostServer&) = delete;
+  HostServer& operator=(const HostServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the worker thread, and
+  /// return the bound port. Throws std::runtime_error when binding fails.
+  std::uint16_t start(std::uint16_t port = 0);
+  /// Stop the loop, close all connections, join the worker. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t requests_served = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t timeouts = 0;              ///< idle + request deadline closes
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Connection {
+    ScopedFd fd;
+    std::string peer;                ///< "ip:port", passed as `from`
+    net::HttpDecoder decoder;
+    std::string out;                 ///< bytes awaiting the socket
+    std::size_t out_offset = 0;
+    bool closing = false;            ///< close once `out` drains
+    bool write_armed = false;        ///< poller is watching writability
+    std::uint64_t last_activity_ms = 0;
+    std::uint64_t message_start_ms = 0;  ///< first byte of in-flight request
+    TimerWheel::TimerId timer = 0;
+
+    explicit Connection(int fd_in, std::string peer_in,
+                        const net::HttpDecoder::Limits& limits)
+        : fd(fd_in),
+          peer(std::move(peer_in)),
+          decoder(net::HttpDecoder::Mode::Request, limits) {}
+  };
+
+  void on_accept();
+  void on_connection_event(int fd, bool readable, bool writable, bool error);
+  void serve_decoded(Connection& conn);
+  void flush(Connection& conn);
+  void arm_timer(Connection& conn);
+  void check_deadlines(int fd);
+  void close_connection(int fd);
+
+  net::SimHost* host_;
+  std::string address_;
+  Options options_;
+  std::unique_ptr<EventLoop> loop_;
+  ScopedFd listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+// Out of line: Options' default member initializers only become usable once
+// the enclosing class is complete.
+inline HostServer::HostServer(net::SimHost* host, std::string address)
+    : HostServer(host, std::move(address), Options{}) {}
+
+}  // namespace idicn::runtime

@@ -1,0 +1,66 @@
+// Blocking HTTP/1.1 client for one endpoint: keep-alive connection reuse,
+// incremental response decoding, send/receive timeouts. This is the
+// caller-side counterpart of HostServer — load generators, examples, and
+// SocketNet all speak through it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/http_decoder.hpp"
+#include "net/http_message.hpp"
+#include "runtime/tcp.hpp"
+
+namespace idicn::runtime {
+
+class HttpClient {
+public:
+  struct Options {
+    int connect_timeout_ms = 5'000;
+    int io_timeout_ms = 10'000;
+  };
+
+  HttpClient(std::string host, std::uint16_t port);
+  HttpClient(std::string host, std::uint16_t port, Options options);
+
+  /// One round trip. Reconnects transparently (once) when a reused
+  /// keep-alive connection turns out to be dead — the standard race with a
+  /// server-side idle close. nullopt on failure (reason in `error`).
+  std::optional<net::HttpResponse> request(const net::HttpRequest& request,
+                                           std::string* error = nullptr);
+
+  /// Convenience GET (absolute-form or origin-form target).
+  std::optional<net::HttpResponse> get(const std::string& target,
+                                       std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+  void close();
+
+  [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }
+  [[nodiscard]] const std::string& host() const noexcept { return host_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+private:
+  bool ensure_connected(std::string* error);
+  /// Write the full buffer; false on error/timeout.
+  bool write_all(const std::string& bytes, std::string* error);
+  /// Read until one response decodes; nullopt on error/timeout/EOF.
+  std::optional<net::HttpResponse> read_response(std::string* error);
+  std::optional<net::HttpResponse> round_trip(const std::string& wire,
+                                              std::string* error);
+
+  std::string host_;
+  std::uint16_t port_;
+  Options options_;
+  ScopedFd fd_;
+  net::HttpDecoder decoder_{net::HttpDecoder::Mode::Response};
+  std::uint64_t requests_sent_ = 0;
+};
+
+// Out of line: Options' default member initializers only become usable once
+// the enclosing class is complete.
+inline HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : HttpClient(std::move(host), port, Options{}) {}
+
+}  // namespace idicn::runtime

@@ -1,0 +1,43 @@
+// Readiness notification backends for the event loop.
+//
+// Linux builds get an epoll(7) backend (level-triggered, one syscall per
+// wait regardless of fd count); every POSIX build gets a poll(2) fallback.
+// make_poller(Auto) prefers epoll when compiled in; tests pin Poll
+// explicitly so the fallback stays exercised on every platform.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace idicn::runtime {
+
+/// One ready fd from a wait() call.
+struct Ready {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< EPOLLERR/EPOLLHUP-class condition
+};
+
+class Poller {
+public:
+  virtual ~Poller() = default;
+
+  virtual bool add(int fd, bool want_read, bool want_write) = 0;
+  virtual bool modify(int fd, bool want_read, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+
+  /// Block up to `timeout_ms` (-1 = forever, 0 = poll) and append ready
+  /// fds to `out`. Returns the number appended, 0 on timeout, -1 on error.
+  virtual int wait(int timeout_ms, std::vector<Ready>& out) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+enum class PollerBackend { Auto, Epoll, Poll };
+
+/// Create a poller; Auto prefers epoll where available. Returns nullptr
+/// only when Epoll is requested explicitly on a platform without it.
+std::unique_ptr<Poller> make_poller(PollerBackend backend = PollerBackend::Auto);
+
+}  // namespace idicn::runtime

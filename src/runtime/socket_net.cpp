@@ -1,0 +1,116 @@
+#include "runtime/socket_net.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "runtime/host_server.hpp"
+
+namespace idicn::runtime {
+
+SocketNet::SocketNet(HttpClient::Options client_options)
+    : client_options_(client_options) {}
+
+void SocketNet::register_endpoint(const net::Address& address, std::string host,
+                                  std::uint16_t port) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Endpoint& endpoint = endpoints_[address];
+  endpoint.host = std::move(host);
+  endpoint.port = port;
+  endpoint.idle.clear();
+}
+
+void SocketNet::register_endpoint(const HostServer& server) {
+  register_endpoint(server.address(), "127.0.0.1", server.port());
+}
+
+void SocketNet::unregister_endpoint(const net::Address& address) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.erase(address);
+}
+
+void SocketNet::join_group(const net::Address& address, const std::string& group) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& members = groups_[group];
+  if (std::find(members.begin(), members.end(), address) == members.end()) {
+    members.push_back(address);
+  }
+}
+
+std::unique_ptr<HttpClient> SocketNet::borrow(const net::Address& to) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return nullptr;
+  Endpoint& endpoint = it->second;
+  if (!endpoint.idle.empty()) {
+    auto client = std::move(endpoint.idle.back());
+    endpoint.idle.pop_back();
+    return client;
+  }
+  ++stats_.connections_opened;
+  return std::make_unique<HttpClient>(endpoint.host, endpoint.port,
+                                      client_options_);
+}
+
+void SocketNet::give_back(const net::Address& to,
+                          std::unique_ptr<HttpClient> client) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(to);
+  // Drop the connection when the endpoint moved while we were using it.
+  if (it == endpoints_.end() || it->second.port != client->port()) return;
+  it->second.idle.push_back(std::move(client));
+}
+
+net::HttpResponse SocketNet::send(const net::Address& from, const net::Address& to,
+                                  const net::HttpRequest& request) {
+  (void)from;  // the TCP peer address is what the receiving server reports
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests_sent;
+  }
+  auto client = borrow(to);
+  if (client == nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.send_failures;
+    return net::make_response(504, "unknown destination: " + to);
+  }
+  std::string error;
+  auto response = client->request(request, &error);
+  if (!response) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.send_failures;
+    return net::make_response(504, "upstream " + to + " unreachable: " + error);
+  }
+  give_back(to, std::move(client));
+  return *response;
+}
+
+std::vector<net::HttpResponse> SocketNet::multicast(const net::Address& from,
+                                                    const std::string& group,
+                                                    const net::HttpRequest& request) {
+  std::vector<net::Address> members;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = groups_.find(group);
+    if (it != groups_.end()) members = it->second;
+  }
+  std::vector<net::HttpResponse> responses;
+  for (const auto& member : members) {
+    if (member == from) continue;
+    responses.push_back(send(from, member, request));
+  }
+  return responses;
+}
+
+std::uint64_t SocketNet::now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SocketNet::Stats SocketNet::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace idicn::runtime

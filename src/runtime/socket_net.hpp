@@ -1,0 +1,86 @@
+// Real-socket net::Transport.
+//
+// SocketNet maps logical idICN addresses ("proxy0", "nrs.idicn.org", …) to
+// TCP endpoints (always 127.0.0.1:<port> in this prototype) and carries
+// Transport::send() over blocking keep-alive HttpClients. Existing hosts
+// built against net::Transport — Proxy, ReverseProxy, Client, the NRS —
+// run over it unmodified.
+//
+// Connections are pooled per destination: send() borrows a client from the
+// destination's pool (or dials a fresh one), performs the round trip, and
+// returns the client on success. Concurrent senders to the same destination
+// therefore get independent connections instead of serializing.
+//
+// Failure semantics match SimNet: an unknown or unreachable destination
+// yields a synthesized 504 Gateway Timeout, never an exception.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "runtime/http_client.hpp"
+
+namespace idicn::runtime {
+
+class HostServer;
+
+class SocketNet final : public net::Transport {
+public:
+  explicit SocketNet(HttpClient::Options client_options = {});
+  ~SocketNet() override = default;
+
+  SocketNet(const SocketNet&) = delete;
+  SocketNet& operator=(const SocketNet&) = delete;
+
+  /// Map `address` to host:port. Re-registering replaces the endpoint and
+  /// drops its pooled connections.
+  void register_endpoint(const net::Address& address, std::string host,
+                         std::uint16_t port);
+  /// Convenience: register a started HostServer under its own address.
+  void register_endpoint(const HostServer& server);
+  /// Forget `address`; subsequent sends to it synthesize 504.
+  void unregister_endpoint(const net::Address& address);
+
+  /// Add `address` to `group` for multicast fan-out (idempotent).
+  void join_group(const net::Address& address, const std::string& group);
+
+  // net::Transport
+  net::HttpResponse send(const net::Address& from, const net::Address& to,
+                         const net::HttpRequest& request) override;
+  std::vector<net::HttpResponse> multicast(const net::Address& from,
+                                           const std::string& group,
+                                           const net::HttpRequest& request) override;
+  [[nodiscard]] std::uint64_t now_ms() const override;
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t send_failures = 0;  ///< unknown endpoint or socket error
+    std::uint64_t connections_opened = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::vector<std::unique_ptr<HttpClient>> idle;  ///< pooled connections
+  };
+
+  /// Borrow a pooled (or freshly dialed) client for `to`; nullptr when the
+  /// address is unknown.
+  std::unique_ptr<HttpClient> borrow(const net::Address& to);
+  void give_back(const net::Address& to, std::unique_ptr<HttpClient> client);
+
+  HttpClient::Options client_options_;
+  mutable std::mutex mutex_;
+  std::map<net::Address, Endpoint> endpoints_;
+  std::map<std::string, std::vector<net::Address>> groups_;
+  Stats stats_;
+};
+
+}  // namespace idicn::runtime

@@ -1,0 +1,131 @@
+#include "runtime/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace idicn::runtime {
+namespace {
+
+void set_error(std::string* error, const char* where) {
+  if (error != nullptr) *error = std::string(where) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+bool set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind");
+    return -1;
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    set_error(error, "listen");
+    return -1;
+  }
+  if (!set_nonblocking(fd.get())) {
+    set_error(error, "fcntl");
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      set_error(error, "getsockname");
+      return -1;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd.release();
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms,
+                std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "unsupported address (IPv4 literal expected): " + host;
+    return -1;
+  }
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return -1;
+  }
+  // Connect non-blocking so the timeout is enforceable, then flip back.
+  if (!set_nonblocking(fd.get())) {
+    set_error(error, "fcntl");
+    return -1;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      set_error(error, "connect");
+      return -1;
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      if (error != nullptr) *error = "connect timeout to " + host;
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      if (error != nullptr) {
+        *error = std::string("connect: ") + std::strerror(soerr != 0 ? soerr : errno);
+      }
+      return -1;
+    }
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    set_error(error, "fcntl");
+    return -1;
+  }
+  return fd.release();
+}
+
+}  // namespace idicn::runtime

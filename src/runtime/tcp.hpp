@@ -1,0 +1,54 @@
+// Thin POSIX TCP helpers for the runtime: RAII fds, non-blocking setup,
+// loopback listeners with ephemeral-port support, and blocking connects
+// with timeouts. Everything returns errors by value — the runtime treats
+// socket failures as data, not exceptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace idicn::runtime {
+
+/// Move-only owning file descriptor.
+class ScopedFd {
+public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+private:
+  int fd_ = -1;
+};
+
+bool set_nonblocking(int fd);
+bool set_nodelay(int fd);
+/// SO_RCVTIMEO + SO_SNDTIMEO for blocking sockets.
+bool set_io_timeout(int fd, int timeout_ms);
+
+/// Create a listening TCP socket bound to 127.0.0.1:`port` (0 = kernel
+/// picks an ephemeral port). On success returns the fd (non-blocking,
+/// SO_REUSEADDR) and stores the bound port; on failure returns -1 and
+/// stores a reason in `error` when non-null.
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error);
+
+/// Blocking connect to `host`:`port` with a timeout; the returned fd is in
+/// blocking mode. -1 on failure (reason in `error` when non-null).
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms,
+                std::string* error);
+
+}  // namespace idicn::runtime

@@ -1,0 +1,73 @@
+// Hashed timer wheel for per-connection timeouts.
+//
+// The runtime needs thousands of coarse timers (idle/request deadlines)
+// with O(1) schedule and cancel — a std::priority_queue would pay O(log n)
+// per operation and cannot cancel cheaply. Classic hashed wheel: time is
+// quantized into ticks, each tick hashes to one of `slots` buckets, an
+// entry due t ticks out is stored in bucket (current + t) % slots with a
+// `rounds` counter for deadlines beyond one revolution. advance_to() fires
+// due callbacks in deadline order within a tick's bucket.
+//
+// Timer firing is *lazy*: accuracy is one tick (default 10 ms), which is
+// exactly right for socket timeouts and lets callers reschedule by simply
+// letting the timer fire and re-checking the deadline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace idicn::runtime {
+
+class TimerWheel {
+public:
+  using TimerId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  explicit TimerWheel(std::uint64_t tick_ms = 10, std::size_t slots = 512,
+                      std::uint64_t start_ms = 0);
+
+  /// Arm a one-shot timer `delay_ms` from the wheel's current time.
+  TimerId schedule(std::uint64_t delay_ms, Callback callback);
+
+  /// Disarm; false when the id already fired or was cancelled.
+  bool cancel(TimerId id);
+
+  /// Advance the wheel to `now_ms`, firing every timer whose deadline has
+  /// passed. Callbacks may schedule() new timers (fired on a later call if
+  /// already due — never re-entrantly within the same advance).
+  void advance_to(std::uint64_t now_ms);
+
+  /// Earliest pending deadline (absolute ms), for poll timeouts.
+  [[nodiscard]] std::optional<std::uint64_t> next_deadline_ms() const;
+
+  [[nodiscard]] std::size_t pending() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t now_ms() const noexcept { return now_ms_; }
+  [[nodiscard]] std::uint64_t tick_ms() const noexcept { return tick_ms_; }
+
+private:
+  struct Entry {
+    TimerId id = 0;
+    std::uint64_t deadline_ms = 0;
+    std::uint64_t rounds = 0;  ///< full revolutions still to wait
+    Callback callback;
+  };
+  using Bucket = std::list<Entry>;
+
+  Bucket& bucket_for(std::uint64_t deadline_ms, std::uint64_t& rounds);
+
+  std::uint64_t tick_ms_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t now_ms_;
+  std::uint64_t current_tick_;
+  TimerId next_id_ = 1;
+  // id → bucket position for O(1) cancel; deadlines for next_deadline_ms.
+  std::unordered_map<TimerId, std::pair<std::size_t, Bucket::iterator>> entries_;
+  std::multiset<std::uint64_t> deadlines_;
+};
+
+}  // namespace idicn::runtime

@@ -4,6 +4,8 @@
 
 #include "crypto/hex.hpp"
 #include "idicn/nrs.hpp"
+#include "idicn/proxy.hpp"
+#include "net/sim_net.hpp"
 
 namespace {
 
@@ -177,6 +179,83 @@ TEST(NrsHttp, ForgedRegistrationIs403) {
   const SelfCertifyingName name = owner.name("obj");
   net::HttpRequest request = registration_request(attacker, name, "evil");
   EXPECT_EQ(nrs.handle_http(request, "evil").status, 403);
+}
+
+// --- failure paths through the resolving proxy -----------------------------
+
+TEST(NrsFailure, DelegationDeadEndIs404AtProxy) {
+  // The consortium NRS delegates P to a fine-grained resolver that has
+  // never heard of the name: resolution must dead-end cleanly in a 404,
+  // not loop or crash.
+  net::SimNet net;
+  net::DnsService dns;
+  NameResolutionSystem consortium(&dns);
+  NameResolutionSystem fine_resolver;  // knows nothing
+  Proxy proxy(&net, "cache", "consortium", &dns);
+  net.attach("consortium", &consortium);
+  net.attach("fine.resolver", &fine_resolver);
+  net.attach("cache", &proxy);
+
+  Publisher pub(300);
+  const auto delegation = pub.signer.sign(
+      NameResolutionSystem::delegation_signing_input(pub.id, "fine.resolver"));
+  ASSERT_EQ(consortium.register_resolver(pub.id, "fine.resolver",
+                                         pub.signer.root(), delegation),
+            RegisterResult::Ok);
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "http://" + pub.name("nowhere").host() + "/";
+  EXPECT_EQ(proxy.handle_http(request, "client").status, 404);
+}
+
+TEST(NrsFailure, ReRegistrationWithMismatchedKeyKeepsOriginal) {
+  // An attacker re-registers an already-registered name under their own
+  // key: PublisherMismatch at the API, 403 over HTTP, and the authentic
+  // location must survive untouched.
+  NameResolutionSystem nrs;
+  Publisher owner(301);
+  Publisher attacker(302);
+  const SelfCertifyingName name = owner.name("obj");
+  const auto genuine = owner.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "rp.real"));
+  ASSERT_EQ(nrs.register_name(name, "rp.real", owner.signer.root(), genuine),
+            RegisterResult::Ok);
+
+  const auto forged = attacker.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "rp.evil"));
+  EXPECT_EQ(nrs.register_name(name, "rp.evil", attacker.signer.root(), forged),
+            RegisterResult::PublisherMismatch);
+  EXPECT_EQ(nrs.handle_http(registration_request(attacker, name, "rp.evil"),
+                            "rp.evil")
+                .status,
+            403);
+  EXPECT_EQ(nrs.resolve(name).locations, std::vector<std::string>{"rp.real"});
+}
+
+TEST(NrsFailure, DetachedLocationIs502AtProxy) {
+  // The NRS resolves the name, but the registered replica has left the
+  // network: the fetch times out (504 inside the transport) and the proxy
+  // reports a clean 502 upstream failure.
+  net::SimNet net;
+  net::DnsService dns;
+  NameResolutionSystem nrs(&dns);
+  Proxy proxy(&net, "cache", "nrs", &dns);
+  net.attach("nrs", &nrs);
+  net.attach("cache", &proxy);
+
+  Publisher pub(303);
+  const SelfCertifyingName name = pub.name("gone");
+  const auto signature = pub.signer.sign(
+      NameResolutionSystem::registration_signing_input(name, "gone.host"));
+  ASSERT_EQ(nrs.register_name(name, "gone.host", pub.signer.root(), signature),
+            RegisterResult::Ok);  // gone.host is never attached
+
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "http://" + name.host() + "/";
+  EXPECT_EQ(proxy.handle_http(request, "client").status, 502);
+  EXPECT_FALSE(proxy.is_cached(name.host()));
 }
 
 // --- form parsing helpers ------------------------------------------------------

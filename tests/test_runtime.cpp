@@ -1,0 +1,521 @@
+// Runtime building blocks: timer wheel, poller backends, event loop,
+// HttpClient ↔ HostServer over real loopback TCP.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_message.hpp"
+#include "net/sim_net.hpp"
+#include "runtime/event_loop.hpp"
+#include "runtime/host_server.hpp"
+#include "runtime/http_client.hpp"
+#include "runtime/poller.hpp"
+#include "runtime/socket_net.hpp"
+#include "runtime/tcp.hpp"
+#include "runtime/timer_wheel.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace idicn::runtime;
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel(10, 64, 0);
+  int fired = 0;
+  wheel.schedule(50, [&] { ++fired; });
+  wheel.advance_to(40);
+  EXPECT_EQ(fired, 0);
+  wheel.advance_to(50);
+  EXPECT_EQ(fired, 1);
+  wheel.advance_to(1000);
+  EXPECT_EQ(fired, 1);  // one-shot
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const auto id = wheel.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  wheel.advance_to(100);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, LongDelayBeyondOneRevolution) {
+  // 10 ms ticks × 16 slots = 160 ms per revolution; 1 s needs rounds > 0.
+  TimerWheel wheel(10, 16, 0);
+  int fired = 0;
+  wheel.schedule(1000, [&] { ++fired; });
+  wheel.advance_to(990);
+  EXPECT_EQ(fired, 0);
+  wheel.advance_to(1000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, ManyTimersFireInDeadlineOrder) {
+  TimerWheel wheel(10, 8, 0);
+  std::vector<int> order;
+  wheel.schedule(30, [&] { order.push_back(30); });
+  wheel.schedule(10, [&] { order.push_back(10); });
+  wheel.schedule(90, [&] { order.push_back(90); });  // same slot as 10 on 8 slots
+  wheel.schedule(20, [&] { order.push_back(20); });
+  wheel.advance_to(200);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30, 90}));
+}
+
+TEST(TimerWheel, NextDeadlineTracksSchedulingAndCancel) {
+  TimerWheel wheel(10, 64, 0);
+  EXPECT_FALSE(wheel.next_deadline_ms().has_value());
+  const auto a = wheel.schedule(100, [] {});
+  wheel.schedule(300, [] {});
+  ASSERT_TRUE(wheel.next_deadline_ms().has_value());
+  EXPECT_EQ(*wheel.next_deadline_ms(), 100u);
+  wheel.cancel(a);
+  EXPECT_EQ(*wheel.next_deadline_ms(), 300u);
+}
+
+TEST(TimerWheel, CallbackMayScheduleMore) {
+  TimerWheel wheel(10, 32, 0);
+  int fired = 0;
+  wheel.schedule(10, [&] {
+    ++fired;
+    wheel.schedule(10, [&] { ++fired; });
+  });
+  wheel.advance_to(10);
+  EXPECT_EQ(fired, 1);
+  wheel.advance_to(30);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheel, ZeroDelayFiresWithinOneTick) {
+  // Accuracy is one tick: a zero-delay timer fires as soon as the clock
+  // crosses the next tick boundary, never re-entrantly at schedule time.
+  TimerWheel wheel(10, 32, 5);
+  int fired = 0;
+  wheel.schedule(0, [&] { ++fired; });
+  wheel.advance_to(5);  // clock has not moved: nothing fires
+  EXPECT_EQ(fired, 0);
+  wheel.advance_to(10);
+  EXPECT_EQ(fired, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Poller backends
+
+class PollerBackends : public ::testing::TestWithParam<PollerBackend> {};
+
+TEST_P(PollerBackends, PipeReadiness) {
+  auto poller = make_poller(GetParam());
+  ASSERT_NE(poller, nullptr);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ScopedFd read_end(fds[0]), write_end(fds[1]);
+  ASSERT_TRUE(poller->add(read_end.get(), true, false));
+
+  std::vector<Ready> ready;
+  EXPECT_EQ(poller->wait(0, ready), 0);  // nothing to read yet
+
+  ASSERT_EQ(::write(write_end.get(), "x", 1), 1);
+  ready.clear();
+  ASSERT_EQ(poller->wait(1000, ready), 1);
+  EXPECT_EQ(ready[0].fd, read_end.get());
+  EXPECT_TRUE(ready[0].readable);
+
+  poller->remove(read_end.get());
+  ready.clear();
+  EXPECT_EQ(poller->wait(0, ready), 0);
+}
+
+TEST_P(PollerBackends, ModifySwitchesInterest) {
+  auto poller = make_poller(GetParam());
+  ASSERT_NE(poller, nullptr);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ScopedFd read_end(fds[0]), write_end(fds[1]);
+  ASSERT_EQ(::write(write_end.get(), "x", 1), 1);
+
+  // Watch for writability only: readable data must not surface.
+  ASSERT_TRUE(poller->add(read_end.get(), false, true));
+  std::vector<Ready> ready;
+  (void)poller->wait(0, ready);
+  for (const auto& event : ready) EXPECT_FALSE(event.readable);
+
+  ASSERT_TRUE(poller->modify(read_end.get(), true, false));
+  ready.clear();
+  ASSERT_EQ(poller->wait(1000, ready), 1);
+  EXPECT_TRUE(ready[0].readable);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PollerBackends,
+                         ::testing::Values(PollerBackend::Auto,
+                                           PollerBackend::Poll),
+                         [](const auto& info) {
+                           return info.param == PollerBackend::Poll ? "Poll"
+                                                                    : "Auto";
+                         });
+
+#if defined(__linux__)
+TEST(Poller, EpollAvailableOnLinux) {
+  auto poller = make_poller(PollerBackend::Epoll);
+  ASSERT_NE(poller, nullptr);
+  EXPECT_STREQ(poller->name(), "epoll");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+TEST(EventLoop, TimerFiresAndStopsLoop) {
+  EventLoop loop(PollerBackend::Poll);
+  bool fired = false;
+  loop.add_timer(20, [&] {
+    fired = true;
+    loop.stop();
+  });
+  loop.run();  // returns once the timer stopped it
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, PostFromAnotherThreadWakesLoop) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    loop.post([&] {
+      ran = true;
+      loop.stop();
+    });
+  });
+  loop.run();
+  poster.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, DispatchesPipeEvents) {
+  EventLoop loop(PollerBackend::Poll);
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ScopedFd read_end(fds[0]), write_end(fds[1]);
+  set_nonblocking(read_end.get());
+
+  std::string received;
+  loop.watch(read_end.get(), true, false, [&](bool readable, bool, bool) {
+    if (!readable) return;
+    char buffer[64];
+    const ssize_t n = ::read(read_end.get(), buffer, sizeof(buffer));
+    if (n > 0) received.assign(buffer, static_cast<std::size_t>(n));
+    loop.stop();
+  });
+  ASSERT_EQ(::write(write_end.get(), "ping", 4), 4);
+  loop.run();
+  EXPECT_EQ(received, "ping");
+  loop.unwatch(read_end.get());
+}
+
+TEST(EventLoop, CancelTimerBeforeFire) {
+  EventLoop loop;
+  bool fired = false;
+  const auto id = loop.add_timer(10, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel_timer(id));
+  loop.add_timer(30, [&] { loop.stop(); });
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+// ---------------------------------------------------------------------------
+// HostServer + HttpClient over real sockets
+
+/// Minimal SimHost: echoes the target and counts requests.
+class EchoHost : public net::SimHost {
+public:
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& from) override {
+    ++requests_;
+    last_from_ = from;
+    if (request.target == "/boom") throw std::runtime_error("kaboom");
+    return net::make_response(200, "echo:" + request.target);
+  }
+  int requests_ = 0;
+  std::string last_from_;
+};
+
+TEST(HostServer, ServesSimHostOverTcp) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(server.running());
+
+  HttpClient client("127.0.0.1", port);
+  std::string error;
+  const auto response = client.get("/hello", &error);
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "echo:/hello");
+  // The adapter reports the TCP peer as the SimNet `from` address.
+  EXPECT_NE(host.last_from_.find("127.0.0.1:"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().requests_served, 1u);
+}
+
+TEST(HostServer, KeepAliveReusesOneConnection) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  HttpClient client("127.0.0.1", port);
+  for (int i = 0; i < 50; ++i) {
+    const auto response = client.get("/r" + std::to_string(i));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->body, "echo:/r" + std::to_string(i));
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().requests_served, 50u);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+}
+
+TEST(HostServer, PipelinedRequestsAnsweredInOrder) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+
+  // Raw socket: write three requests back to back, then read three
+  // responses — proves the server decodes and answers a pipeline.
+  const int fd = connect_tcp("127.0.0.1", port, 2000, nullptr);
+  ASSERT_GE(fd, 0);
+  ScopedFd sock(fd);
+  set_io_timeout(sock.get(), 5000);
+  std::string wire;
+  for (int i = 0; i < 3; ++i) {
+    net::HttpRequest request;
+    request.target = "/p" + std::to_string(i);
+    wire += request.serialize();
+  }
+  ASSERT_EQ(::send(sock.get(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  net::HttpDecoder decoder(net::HttpDecoder::Mode::Response);
+  std::vector<net::HttpResponse> responses;
+  char buffer[4096];
+  while (responses.size() < 3) {
+    const ssize_t n = ::recv(sock.get(), buffer, sizeof(buffer), 0);
+    ASSERT_GT(n, 0) << "socket closed or timed out before all responses";
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    while (auto response = decoder.next_response()) {
+      responses.push_back(std::move(*response));
+    }
+  }
+  EXPECT_EQ(responses[0].body, "echo:/p0");
+  EXPECT_EQ(responses[1].body, "echo:/p1");
+  EXPECT_EQ(responses[2].body, "echo:/p2");
+  server.stop();
+}
+
+TEST(HostServer, MalformedRequestGets400AndClose) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  const int fd = connect_tcp("127.0.0.1", port, 2000, nullptr);
+  ASSERT_GE(fd, 0);
+  ScopedFd sock(fd);
+  set_io_timeout(sock.get(), 5000);
+  const std::string junk = "THIS IS NOT HTTP\r\n\r\n";
+  ASSERT_EQ(::send(sock.get(), junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+
+  net::HttpDecoder decoder(net::HttpDecoder::Mode::Response);
+  char buffer[4096];
+  std::optional<net::HttpResponse> response;
+  while (!response) {
+    const ssize_t n = ::recv(sock.get(), buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    response = decoder.next_response();
+  }
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 400);
+  // Server closes after the error response.
+  const ssize_t n = ::recv(sock.get(), buffer, sizeof(buffer), 0);
+  EXPECT_EQ(n, 0);
+  server.stop();
+  EXPECT_EQ(server.stats().decode_errors, 1u);
+}
+
+TEST(HostServer, HandlerExceptionBecomes500) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  HttpClient client("127.0.0.1", port);
+  const auto response = client.get("/boom");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 500);
+  server.stop();
+}
+
+TEST(HostServer, ConnectionCloseHeaderIsHonored) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  HttpClient client("127.0.0.1", port);
+  net::HttpRequest request;
+  request.target = "/bye";
+  request.headers.set("Connection", "close");
+  const auto response = client.request(request);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->headers.get("Connection"), "close");
+  EXPECT_FALSE(client.connected());  // client dropped the connection too
+  server.stop();
+}
+
+TEST(HostServer, RequestTimeoutAnswers408) {
+  EchoHost host;
+  HostServer::Options options;
+  options.request_timeout_ms = 60;
+  options.idle_timeout_ms = 10'000;
+  HostServer server(&host, "echo.test", options);
+  const std::uint16_t port = server.start();
+  const int fd = connect_tcp("127.0.0.1", port, 2000, nullptr);
+  ASSERT_GE(fd, 0);
+  ScopedFd sock(fd);
+  set_io_timeout(sock.get(), 5000);
+  // Half a request, then silence: the server must 408 and close.
+  const std::string partial = "GET /slow HTTP/1.1\r\nHos";
+  ASSERT_EQ(::send(sock.get(), partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+
+  net::HttpDecoder decoder(net::HttpDecoder::Mode::Response);
+  char buffer[4096];
+  std::optional<net::HttpResponse> response;
+  while (!response) {
+    const ssize_t n = ::recv(sock.get(), buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    response = decoder.next_response();
+  }
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 408);
+  server.stop();
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+TEST(HostServer, PollBackendServesToo) {
+  EchoHost host;
+  HostServer::Options options;
+  options.backend = PollerBackend::Poll;
+  HostServer server(&host, "echo.test", options);
+  const std::uint16_t port = server.start();
+  HttpClient client("127.0.0.1", port);
+  const auto response = client.get("/via-poll");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "echo:/via-poll");
+  server.stop();
+}
+
+TEST(HttpClient, ReconnectsAfterServerRestart) {
+  EchoHost host;
+  HostServer server(&host, "echo.test");
+  const std::uint16_t port = server.start();
+  HttpClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.get("/one").has_value());
+  server.stop();
+
+  // Same port, fresh server: the pooled connection is dead and the client
+  // must transparently redial (the keep-alive race path).
+  EchoHost host2;
+  HostServer server2(&host2, "echo.test");
+  ASSERT_EQ(server2.start(port), port);
+  const auto response = client.get("/two");
+  ASSERT_TRUE(response.has_value()) << "client did not recover";
+  EXPECT_EQ(response->body, "echo:/two");
+  server2.stop();
+}
+
+TEST(HttpClient, ConnectFailureReportsError) {
+  // Port 1 on loopback: nothing listens there.
+  HttpClient client("127.0.0.1", 1, HttpClient::Options{200, 200});
+  std::string error;
+  const auto response = client.get("/", &error);
+  EXPECT_FALSE(response.has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(client.connected());
+}
+
+// ---------------------------------------------------------------------------
+// SocketNet as a net::Transport
+
+TEST(SocketNet, SendRoundTripsAndPoolsConnections) {
+  EchoHost host;
+  HostServer server(&host, "echo.svc");
+  server.start();
+
+  SocketNet socket_net;
+  socket_net.register_endpoint(server);
+  net::HttpRequest request;
+  request.target = "/x";
+  for (int i = 0; i < 5; ++i) {
+    const auto response = socket_net.send("caller", "echo.svc", request);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "echo:/x");
+  }
+  EXPECT_EQ(socket_net.stats().requests_sent, 5u);
+  EXPECT_EQ(socket_net.stats().connections_opened, 1u);  // pooled + keep-alive
+  server.stop();
+}
+
+TEST(SocketNet, UnknownDestinationIs504) {
+  SocketNet socket_net;
+  net::HttpRequest request;
+  const auto response = socket_net.send("a", "no.such.host", request);
+  EXPECT_EQ(response.status, 504);
+  EXPECT_EQ(socket_net.stats().send_failures, 1u);
+}
+
+TEST(SocketNet, DeadEndpointIs504) {
+  SocketNet socket_net(HttpClient::Options{200, 200});
+  socket_net.register_endpoint("dead.svc", "127.0.0.1", 1);
+  net::HttpRequest request;
+  const auto response = socket_net.send("a", "dead.svc", request);
+  EXPECT_EQ(response.status, 504);
+}
+
+TEST(SocketNet, MulticastFansOutToGroup) {
+  EchoHost host_a, host_b;
+  HostServer server_a(&host_a, "a.svc"), server_b(&host_b, "b.svc");
+  server_a.start();
+  server_b.start();
+  SocketNet socket_net;
+  socket_net.register_endpoint(server_a);
+  socket_net.register_endpoint(server_b);
+  socket_net.join_group("a.svc", "neighbors");
+  socket_net.join_group("b.svc", "neighbors");
+
+  net::HttpRequest request;
+  request.target = "/probe";
+  // Sender is a member: excluded from its own fan-out.
+  const auto responses = socket_net.multicast("a.svc", "neighbors", request);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].body, "echo:/probe");
+  EXPECT_EQ(host_a.requests_, 0);
+  EXPECT_EQ(host_b.requests_, 1);
+  server_a.stop();
+  server_b.stop();
+}
+
+TEST(SocketNet, NowMsAdvances) {
+  SocketNet socket_net;
+  const auto t0 = socket_net.now_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(socket_net.now_ms(), t0 + 4);
+}
+
+}  // namespace
