@@ -16,6 +16,7 @@
 // scripts can scrape `req_per_s` / `p99_us` without parsing prose.
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "core/perf_counters.hpp"
+#include "core/sync.hpp"
 #include "idicn/nrs.hpp"
 #include "idicn/origin_server.hpp"
 #include "idicn/proxy.hpp"
@@ -87,8 +89,13 @@ int main() {
   std::vector<std::string> targets;
   for (int i = 0; i < kCatalog; ++i) {
     const std::string label = "object-" + std::to_string(i);
-    origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
-    const auto name = reverse_proxy.publish(label);
+    // The origin and reverse proxy belong to their worker threads while
+    // their servers run: publish through run_on_loop, not directly.
+    origin_server.run_on_loop([&] {
+      origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
+    });
+    std::optional<SelfCertifyingName> name;
+    rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
     if (!name) {
       std::fprintf(stderr, "publish failed for %s\n", label.c_str());
       return 1;
@@ -113,7 +120,7 @@ int main() {
   std::vector<std::vector<std::uint64_t>> latencies_ns(
       static_cast<std::size_t>(client_count));
   std::vector<std::uint64_t> errors(static_cast<std::size_t>(client_count), 0);
-  std::vector<std::thread> clients;
+  std::vector<core::sync::Thread> clients;
   clients.reserve(static_cast<std::size_t>(client_count));
 
   const auto start = Clock::now();
@@ -144,6 +151,14 @@ int main() {
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
+  // Stop the stack before sampling counters: stats() snapshots are safe
+  // live, but proxy.perf() is owner-thread-only (plain hot-path counters)
+  // and must not be read until the worker has been joined.
+  proxy_server.stop();
+  rp_server.stop();
+  origin_server.stop();
+  nrs_server.stop();
+
   // --- aggregate -----------------------------------------------------------
   std::vector<std::uint64_t> all;
   std::uint64_t total_errors = 0;
@@ -169,20 +184,20 @@ int main() {
   std::printf("  latency            p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n",
               p50_us, p90_us, p99_us, max_us);
   std::printf("  proxy cache        %llu hits, %llu misses\n",
-              static_cast<unsigned long long>(proxy_stats.hits),
-              static_cast<unsigned long long>(proxy_stats.misses));
+              static_cast<unsigned long long>(proxy_stats.hits.value()),
+              static_cast<unsigned long long>(proxy_stats.misses.value()));
   std::printf("  proxy bytes        %llu served, %llu from origin\n",
-              static_cast<unsigned long long>(proxy_stats.bytes_served),
-              static_cast<unsigned long long>(proxy_stats.bytes_from_origin));
+              static_cast<unsigned long long>(proxy_stats.bytes_served.value()),
+              static_cast<unsigned long long>(proxy_stats.bytes_from_origin.value()));
   std::printf("  server sockets     %llu conns, %llu B in, %llu B out\n",
               static_cast<unsigned long long>(server_stats.connections_accepted),
               static_cast<unsigned long long>(server_stats.bytes_in),
               static_cast<unsigned long long>(server_stats.bytes_out));
-#if defined(IDICN_PERF_COUNTERS)
-  std::printf("  perf counters      proxy_bytes_served=%llu proxy_bytes_from_origin=%llu\n",
-              static_cast<unsigned long long>(proxy.perf().proxy_bytes_served),
-              static_cast<unsigned long long>(proxy.perf().proxy_bytes_from_origin));
-#endif
+  if constexpr (core::kPerfCountersEnabled) {
+    std::printf("  perf counters      proxy_bytes_served=%llu proxy_bytes_from_origin=%llu\n",
+                static_cast<unsigned long long>(proxy.perf().proxy_bytes_served),
+                static_cast<unsigned long long>(proxy.perf().proxy_bytes_from_origin));
+  }
 
   // Machine-readable result line (last line of stdout).
   std::printf(
@@ -192,11 +207,8 @@ int main() {
       "\"bytes_served\":%llu}\n",
       client_count, elapsed_s, all.size(),
       static_cast<unsigned long long>(total_errors), req_per_s, p50_us, p90_us,
-      p99_us, max_us, static_cast<unsigned long long>(proxy_stats.bytes_served));
+      p99_us, max_us,
+      static_cast<unsigned long long>(proxy_stats.bytes_served.value()));
 
-  proxy_server.stop();
-  rp_server.stop();
-  origin_server.stop();
-  nrs_server.stop();
   return total_errors == 0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,8 +73,11 @@ int main(int argc, char** argv) {
   };
   std::vector<std::string> hosts;
   for (const auto& object : catalog) {
-    origin.put(object.label, object.body);
-    const auto name = reverse_proxy.publish(object.label);
+    // The servers are live: the origin and reverse proxy belong to their
+    // worker threads, so publish on those threads via run_on_loop.
+    origin_server.run_on_loop([&] { origin.put(object.label, object.body); });
+    std::optional<SelfCertifyingName> name;
+    rp_server.run_on_loop([&] { name = reverse_proxy.publish(object.label); });
     if (!name) {
       std::fprintf(stderr, "publish failed for %s\n", object.label);
       return 1;

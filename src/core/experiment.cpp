@@ -3,7 +3,8 @@
 #include <atomic>
 #include <exception>
 #include <stdexcept>
-#include <thread>
+
+#include "core/sync.hpp"
 
 namespace idicn::core {
 
@@ -31,7 +32,7 @@ ComparisonResult compare_designs(const topology::HierarchicalNetwork& network,
                                  const BoundWorkload& workload,
                                  unsigned max_parallelism) {
   if (max_parallelism == 0) {
-    max_parallelism = std::max(1u, std::thread::hardware_concurrency());
+    max_parallelism = std::max(1u, sync::Thread::hardware_concurrency());
   }
 
   ComparisonResult result;
@@ -70,10 +71,10 @@ ComparisonResult compare_designs(const topology::HierarchicalNetwork& network,
   if (thread_count <= 1) {
     worker();
   } else {
-    std::vector<std::thread> pool;
+    std::vector<sync::Thread> pool;
     pool.reserve(thread_count);
     for (unsigned i = 0; i < thread_count; ++i) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    for (sync::Thread& t : pool) t.join();
   }
 
   for (const std::exception_ptr& error : errors) {

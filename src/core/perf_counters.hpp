@@ -8,6 +8,22 @@
 // it on; configure with -DIDICN_PERF_COUNTERS=OFF for peak-speed builds):
 // every bump() inlines to nothing, and the struct degenerates to inert
 // zero-valued fields, so instrumented call sites are zero-cost.
+//
+// Threading contract (see DESIGN.md §"Threading model"): a PerfCounters
+// instance is owned by exactly one thread — the thread running the
+// simulator, holder index, or hosted proxy that bumps it. The fields are
+// deliberately plain integers, not atomics: turning every hot-path bump
+// into a `lock add` would tax the very paths PR 1 optimized. Cross-thread
+// aggregation happens only after the owning thread has been joined
+// (compare_designs merges per-worker metrics after the pool joins; the
+// runtime bench reads proxy.perf() after HostServer::stop()). Counters
+// that genuinely need live cross-thread sampling belong in an observer
+// Stats struct built on core::sync::RelaxedCounter instead (Proxy::Stats
+// mirrors the byte counters that way).
+//
+// The IDICN_PERF_COUNTERS macro must not leak outside this header
+// (enforced by tools/lint/idicn_lint.py) — code that needs to branch on
+// the toggle uses `if constexpr (core::kPerfCountersEnabled)`.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,233 @@
+// Annotated synchronization primitives: concurrency correctness as a
+// compile-time contract.
+//
+// Every lock in this repository goes through the wrappers below instead of
+// <mutex>/<thread> directly (enforced by tools/lint/idicn_lint.py). The
+// wrappers carry Clang thread-safety capability annotations, so a Clang
+// build with -Wthread-safety turns the locking discipline into compiler
+// errors: a field marked IDICN_GUARDED_BY(mutex_) cannot be touched without
+// holding mutex_, a method marked IDICN_REQUIRES(role_) cannot be called
+// from code that has not established the thread role. Under GCC (or any
+// non-Clang compiler) every annotation expands to nothing and the wrappers
+// are zero-overhead shims over the standard primitives.
+//
+// Two kinds of capability are used:
+//   * Mutex — a classic lock; protects data across threads.
+//   * ThreadRole — an *assertion* capability modelling "runs on thread T"
+//     (the event-loop ownership discipline). It is never locked; code that
+//     must run on the owning thread calls assert_held(), which acquires the
+//     capability for the static analysis and, in debug builds, aborts at
+//     runtime when called from the wrong thread.
+//
+// See DESIGN.md §"Threading model" for which state is guarded by what.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+// --- Clang thread-safety annotation macros (no-ops elsewhere) -------------
+#if defined(__clang__)
+#define IDICN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IDICN_THREAD_ANNOTATION(x)
+#endif
+
+#define IDICN_CAPABILITY(x) IDICN_THREAD_ANNOTATION(capability(x))
+#define IDICN_SCOPED_CAPABILITY IDICN_THREAD_ANNOTATION(scoped_lockable)
+#define IDICN_GUARDED_BY(x) IDICN_THREAD_ANNOTATION(guarded_by(x))
+#define IDICN_PT_GUARDED_BY(x) IDICN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define IDICN_REQUIRES(...) \
+  IDICN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IDICN_ACQUIRE(...) \
+  IDICN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IDICN_TRY_ACQUIRE(...) \
+  IDICN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IDICN_RELEASE(...) \
+  IDICN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IDICN_EXCLUDES(...) IDICN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IDICN_ASSERT_CAPABILITY(...) \
+  IDICN_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define IDICN_RETURN_CAPABILITY(x) IDICN_THREAD_ANNOTATION(lock_returned(x))
+#define IDICN_NO_THREAD_SAFETY_ANALYSIS \
+  IDICN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace idicn::core::sync {
+
+/// Annotated std::mutex. Prefer MutexLock for scoped acquisition; lock()
+/// and unlock() exist for CondVar and for the rare manual pairing.
+class IDICN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IDICN_ACQUIRE() { mutex_.lock(); }
+  void unlock() IDICN_RELEASE() { mutex_.unlock(); }
+  bool try_lock() IDICN_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex — the annotated std::lock_guard.
+class IDICN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) IDICN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() IDICN_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex (the annotated
+/// std::condition_variable). Callers must hold the mutex across wait().
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, and re-acquire before returning.
+  void wait(Mutex& mutex) IDICN_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  /// wait() until `predicate()` is true (re-checked under the mutex).
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) IDICN_REQUIRES(mutex) {
+    cv_.wait(mutex, std::move(predicate));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// An assertion capability modelling single-thread ownership: "this state
+/// belongs to thread T". bind() claims the role for the calling thread
+/// (typically at the top of the owning thread's main function), unbind()
+/// releases it. assert_held() is the static + runtime gate: the analysis
+/// treats the capability as held for the rest of the scope, and debug
+/// builds abort when the caller is neither the owner nor running while the
+/// role is unbound (setup/teardown windows are legal from any thread).
+class IDICN_CAPABILITY("thread role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void bind() noexcept {
+    owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  }
+  void unbind() noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+  /// True when bound to any thread (i.e. the owner is currently running).
+  [[nodiscard]] bool bound() const noexcept {
+    return owner_.load(std::memory_order_acquire) != std::thread::id{};
+  }
+
+  /// Debug-assert the calling thread may touch role-owned state, and
+  /// acquire the capability for the thread-safety analysis.
+  void assert_held() const noexcept IDICN_ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    const std::thread::id owner = owner_.load(std::memory_order_acquire);
+    assert((owner == std::thread::id{} ||
+            owner == std::this_thread::get_id()) &&
+           "called off its owning thread");
+#endif
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+/// Join-on-destruction thread (the annotated std::thread): a Thread that
+/// goes out of scope joinable joins instead of calling std::terminate.
+class Thread {
+ public:
+  Thread() noexcept = default;
+
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : thread_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  Thread(Thread&& other) noexcept = default;
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      if (thread_.joinable()) thread_.join();
+      thread_ = std::move(other.thread_);
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ~Thread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] bool joinable() const noexcept { return thread_.joinable(); }
+  void join() { thread_.join(); }
+  [[nodiscard]] std::thread::id get_id() const noexcept {
+    return thread_.get_id();
+  }
+
+  static unsigned hardware_concurrency() noexcept {
+    return std::thread::hardware_concurrency();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+/// Monotonically increasing counter safe to bump on one thread while other
+/// threads read it: all operations are relaxed atomics. Used for observer
+/// statistics (e.g. Proxy::Stats) that benches and tests sample while the
+/// owning worker thread is live. Relaxed ordering is deliberate — readers
+/// get *some* recent value, never a torn or data-racing one; counters are
+/// independent, so no inter-counter consistency is promised.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() noexcept = default;
+  // Intentionally implicit: counters initialize and compare like the plain
+  // integers they replace.
+  RelaxedCounter(std::uint64_t value) noexcept : value_(value) {}  // NOLINT
+  RelaxedCounter(const RelaxedCounter& other) noexcept
+      : value_(other.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  RelaxedCounter& operator++() noexcept { return *this += 1; }
+  RelaxedCounter& operator+=(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return value(); }  // NOLINT
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace idicn::core::sync

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/perf_counters.hpp"
+#include "core/sync.hpp"
 #include "idicn/metalink.hpp"
 #include "idicn/name.hpp"
 #include "net/dns.hpp"
@@ -44,18 +45,23 @@ public:
         const net::DnsService* dns)
       : Proxy(net, std::move(self), std::move(nrs), dns, Options{}) {}
 
+  /// Observer counters. Written only by the thread driving handle_http
+  /// (the HostServer worker in the socket runtime), but sampled by bench
+  /// and test threads while the proxy is live — hence relaxed atomics, not
+  /// plain integers (TSan-clean cross-thread reads, no ordering promised
+  /// between counters).
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t expired = 0;             ///< stale entries refreshed
-    std::uint64_t verification_failures = 0;
-    std::uint64_t legacy_forwards = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t peer_hits = 0;           ///< served via cooperating proxies
-    std::uint64_t revalidations = 0;       ///< conditional refreshes attempted
-    std::uint64_t revalidated_304 = 0;     ///< …answered Not Modified
-    std::uint64_t bytes_served = 0;        ///< response body bytes to clients (goodput)
-    std::uint64_t bytes_from_origin = 0;   ///< body bytes fetched upstream on misses
+    core::sync::RelaxedCounter hits;
+    core::sync::RelaxedCounter misses;
+    core::sync::RelaxedCounter expired;             ///< stale entries refreshed
+    core::sync::RelaxedCounter verification_failures;
+    core::sync::RelaxedCounter legacy_forwards;
+    core::sync::RelaxedCounter evictions;
+    core::sync::RelaxedCounter peer_hits;           ///< served via cooperating proxies
+    core::sync::RelaxedCounter revalidations;       ///< conditional refreshes attempted
+    core::sync::RelaxedCounter revalidated_304;     ///< …answered Not Modified
+    core::sync::RelaxedCounter bytes_served;        ///< response body bytes to clients (goodput)
+    core::sync::RelaxedCounter bytes_from_origin;   ///< body bytes fetched upstream on misses
   };
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
@@ -65,7 +71,9 @@ public:
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Hot-path counters (byte throughput mirrors of Stats); zero-valued when
-  /// the perf-counter layer is compiled out.
+  /// the perf-counter layer is compiled out. Owner-thread-only: read it
+  /// from the serving thread or after the hosting server has stopped —
+  /// live cross-thread sampling goes through stats() (relaxed atomics).
   [[nodiscard]] const core::PerfCounters& perf() const noexcept { return perf_; }
   [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return used_bytes_; }
   [[nodiscard]] std::size_t cached_objects() const noexcept { return entries_.size(); }

@@ -3,31 +3,43 @@
 namespace idicn::net {
 
 void DnsService::update(const std::string& name, const std::string& address) {
+  const core::sync::MutexLock lock(mutex_);
   Record& r = records_[name];
   r.address = address;
   r.serial = next_serial_++;
 }
 
-void DnsService::remove(const std::string& name) { records_.erase(name); }
+void DnsService::remove(const std::string& name) {
+  const core::sync::MutexLock lock(mutex_);
+  records_.erase(name);
+}
 
-std::optional<std::string> DnsService::resolve(const std::string& name) const {
+std::optional<std::string> DnsService::resolve_locked(
+    const std::string& name) const {
   const auto it = records_.find(name);
   if (it == records_.end()) return std::nullopt;
   return it->second.address;
 }
 
+std::optional<std::string> DnsService::resolve(const std::string& name) const {
+  const core::sync::MutexLock lock(mutex_);
+  return resolve_locked(name);
+}
+
 std::optional<std::string> DnsService::resolve_with_wildcards(
     const std::string& name) const {
-  if (auto exact = resolve(name)) return exact;
+  const core::sync::MutexLock lock(mutex_);
+  if (auto exact = resolve_locked(name)) return exact;
   std::string domain = parent_domain(name);
   while (!domain.empty()) {
-    if (auto wildcard = resolve("*." + domain)) return wildcard;
+    if (auto wildcard = resolve_locked("*." + domain)) return wildcard;
     domain = parent_domain(domain);
   }
   return std::nullopt;
 }
 
 std::optional<DnsService::Record> DnsService::record(const std::string& name) const {
+  const core::sync::MutexLock lock(mutex_);
   const auto it = records_.find(name);
   if (it == records_.end()) return std::nullopt;
   return it->second;

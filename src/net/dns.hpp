@@ -9,7 +9,11 @@
 //     DHCP first and DNS second, §6.2).
 //
 // DnsService is an in-memory authoritative server with a monotonically
-// increasing serial per record so tests can observe update ordering.
+// increasing serial per record so tests can observe update ordering. One
+// instance is shared across worker threads in the socket runtime (the NRS
+// mirrors registrations into it while edge proxies resolve legacy hosts),
+// so it is internally synchronized — every operation takes the record
+// mutex.
 // Multicast DNS (ad hoc mode) lives in idicn/adhoc.hpp on top of SimNet
 // multicast groups.
 #pragma once
@@ -19,6 +23,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace idicn::net {
 
@@ -44,11 +50,20 @@ public:
       const std::string& name) const;
 
   [[nodiscard]] std::optional<Record> record(const std::string& name) const;
-  [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t record_count() const {
+    const core::sync::MutexLock lock(mutex_);
+    return records_.size();
+  }
 
 private:
-  std::map<std::string, Record> records_;
-  std::uint64_t next_serial_ = 1;
+  /// Exact-match lookup with the mutex already held (the wildcard walk
+  /// re-probes several names under one acquisition).
+  [[nodiscard]] std::optional<std::string> resolve_locked(
+      const std::string& name) const IDICN_REQUIRES(mutex_);
+
+  mutable core::sync::Mutex mutex_;
+  std::map<std::string, Record> records_ IDICN_GUARDED_BY(mutex_);
+  std::uint64_t next_serial_ IDICN_GUARDED_BY(mutex_) = 1;
 };
 
 /// Drop the leftmost label: "a.b.c" → "b.c"; "" for single labels.

@@ -33,6 +33,7 @@ EventLoop::~EventLoop() {
 }
 
 bool EventLoop::watch(int fd, bool want_read, bool want_write, IoHandler handler) {
+  assert_on_loop_thread();
   if (handlers_.count(fd) != 0) return false;
   if (!poller_->add(fd, want_read, want_write)) return false;
   handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
@@ -40,25 +41,31 @@ bool EventLoop::watch(int fd, bool want_read, bool want_write, IoHandler handler
 }
 
 bool EventLoop::update(int fd, bool want_read, bool want_write) {
+  assert_on_loop_thread();
   if (handlers_.count(fd) == 0) return false;
   return poller_->modify(fd, want_read, want_write);
 }
 
 void EventLoop::unwatch(int fd) {
+  assert_on_loop_thread();
   if (handlers_.erase(fd) != 0) poller_->remove(fd);
 }
 
 TimerWheel::TimerId EventLoop::add_timer(std::uint64_t delay_ms,
                                          TimerWheel::Callback callback) {
+  assert_on_loop_thread();
   timers_.advance_to(now_ms());
   return timers_.schedule(delay_ms, std::move(callback));
 }
 
-bool EventLoop::cancel_timer(TimerWheel::TimerId id) { return timers_.cancel(id); }
+bool EventLoop::cancel_timer(TimerWheel::TimerId id) {
+  assert_on_loop_thread();
+  return timers_.cancel(id);
+}
 
 void EventLoop::post(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    const core::sync::MutexLock lock(tasks_mutex_);
     tasks_.push_back(std::move(task));
   }
   wake();
@@ -77,7 +84,7 @@ void EventLoop::wake() {
 void EventLoop::drain_tasks() {
   std::vector<std::function<void()>> tasks;
   {
-    const std::lock_guard<std::mutex> lock(tasks_mutex_);
+    const core::sync::MutexLock lock(tasks_mutex_);
     tasks.swap(tasks_);
   }
   for (auto& task : tasks) task();
@@ -100,6 +107,7 @@ int EventLoop::next_timeout_ms(int cap_ms) const {
 }
 
 void EventLoop::run_once(int timeout_ms) {
+  assert_on_loop_thread();
   ready_.clear();
   poller_->wait(next_timeout_ms(timeout_ms), ready_);
   // Look handlers up per event: an earlier handler in this batch may have
@@ -115,10 +123,13 @@ void EventLoop::run_once(int timeout_ms) {
 }
 
 void EventLoop::run() {
+  loop_role_.bind();  // the calling thread owns loop state until return
+  assert_on_loop_thread();
   while (!stopping_.load(std::memory_order_acquire)) {
     run_once(1000);
   }
   stopping_.store(false, std::memory_order_release);  // allow re-run
+  loop_role_.unbind();
 }
 
 }  // namespace idicn::runtime

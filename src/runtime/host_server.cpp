@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
 #include <stdexcept>
 
@@ -39,9 +40,14 @@ std::uint16_t HostServer::start(std::uint16_t port) {
   loop_ = std::make_unique<EventLoop>(options_.backend);
   loop_->watch(listener_.get(), true, false,
                [this](bool readable, bool, bool) {
+                 loop_role_.assert_held();
                  if (readable) on_accept();
                });
-  thread_ = std::thread([this] { loop_->run(); });
+  thread_ = core::sync::Thread([this] {
+    loop_role_.bind();  // the worker owns the hosted SimHost + connections
+    loop_->run();
+    loop_role_.unbind();
+  });
   return port_;
 }
 
@@ -49,7 +55,9 @@ void HostServer::stop() {
   if (!thread_.joinable()) return;
   loop_->stop();
   thread_.join();
-  // Tear down on the (now stopped) loop's structures from this thread.
+  // The worker unbound the role on exit; re-claim its state from this
+  // thread and tear down on the (now stopped) loop's structures.
+  loop_role_.assert_held();
   for (auto& [fd, conn] : connections_) {
     loop_->unwatch(fd);
     (void)conn;
@@ -60,8 +68,31 @@ void HostServer::stop() {
   loop_.reset();
 }
 
+void HostServer::run_on_loop(const std::function<void()>& fn) {
+  if (!thread_.joinable()) {
+    // Not running: the caller owns all state, run inline.
+    loop_role_.assert_held();
+    fn();
+    return;
+  }
+  // Posting to our own loop and waiting would deadlock.
+  assert(thread_.get_id() != std::this_thread::get_id() &&
+         "run_on_loop called from the worker thread");
+  core::sync::Mutex mutex;
+  core::sync::CondVar done_cv;
+  bool done = false;
+  loop_->post([&] {
+    fn();
+    const core::sync::MutexLock lock(mutex);
+    done = true;
+    done_cv.notify_one();
+  });
+  core::sync::MutexLock lock(mutex);
+  done_cv.wait(mutex, [&] { return done; });
+}
+
 HostServer::Stats HostServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const core::sync::MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -79,7 +110,7 @@ void HostServer::on_accept() {
           net::make_response(503, "server at connection capacity").serialize();
       (void)!::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
       ::close(fd);
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.connections_rejected;
       continue;
     }
@@ -91,10 +122,11 @@ void HostServer::on_accept() {
     conn->last_activity_ms = loop_->now_ms();
     arm_timer(*conn);
     loop_->watch(fd, true, false, [this, fd](bool readable, bool writable, bool error) {
+      loop_role_.assert_held();
       on_connection_event(fd, readable, writable, error);
     });
     connections_.emplace(fd, std::move(conn));
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const core::sync::MutexLock lock(stats_mutex_);
     ++stats_.connections_accepted;
   }
 }
@@ -105,7 +137,10 @@ void HostServer::arm_timer(Connection& conn) {
   const std::uint64_t delay =
       std::min(options_.idle_timeout_ms, options_.request_timeout_ms);
   const int fd = conn.fd.get();
-  conn.timer = loop_->add_timer(delay, [this, fd] { check_deadlines(fd); });
+  conn.timer = loop_->add_timer(delay, [this, fd] {
+    loop_role_.assert_held();
+    check_deadlines(fd);
+  });
 }
 
 void HostServer::check_deadlines(int fd) {
@@ -125,7 +160,7 @@ void HostServer::check_deadlines(int fd) {
 
   if (request_expired || idle_expired) {
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.timeouts;
     }
     if (request_expired) {
@@ -145,7 +180,7 @@ void HostServer::close_connection(int fd) {
   loop_->cancel_timer(it->second->timer);
   loop_->unwatch(fd);
   connections_.erase(it);  // ScopedFd closes
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const core::sync::MutexLock lock(stats_mutex_);
   ++stats_.connections_closed;
 }
 
@@ -170,7 +205,7 @@ void HostServer::serve_decoded(Connection& conn) {
     }
     conn.out += response.serialize();
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.requests_served;
     }
     if (conn.closing) break;
@@ -178,7 +213,7 @@ void HostServer::serve_decoded(Connection& conn) {
 
   if (conn.decoder.failed()) {
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.decode_errors;
     }
     conn.out += net::make_response(conn.decoder.suggested_status(),
@@ -207,7 +242,7 @@ void HostServer::flush(Connection& conn) {
       return;
     }
     conn.out_offset += static_cast<std::size_t>(n);
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const core::sync::MutexLock lock(stats_mutex_);
     stats_.bytes_out += static_cast<std::uint64_t>(n);
   }
   conn.out.clear();
@@ -251,7 +286,7 @@ void HostServer::on_connection_event(int fd, bool readable, bool writable,
       if (conn.decoder.buffered_bytes() == 0) conn.message_start_ms = now;
       conn.last_activity_ms = now;
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const core::sync::MutexLock lock(stats_mutex_);
         stats_.bytes_in += static_cast<std::uint64_t>(n);
       }
       conn.decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));

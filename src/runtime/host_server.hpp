@@ -9,19 +9,25 @@
 // (request, from) it saw on SimNet, with `from` the peer's ip:port.
 //
 // Threading: one HostServer = one worker thread = one event loop; the
-// hosted SimHost's handle_http runs only on that thread. A hosted Proxy
-// whose upstream transport is a SocketNet will block its worker during
-// upstream fetches — the same synchronous semantics the §6 prototype has
-// on SimNet, just over real sockets.
+// hosted SimHost's handle_http runs only on that thread, and while the
+// server runs, the hosted object and all connection state belong to it
+// (IDICN_GUARDED_BY(loop_role_); see DESIGN.md §"Threading model"). Other
+// threads interact through three safe doors: stats() (mutex-guarded
+// snapshot), stop() (joins the worker first), and run_on_loop() (executes
+// a closure on the worker and waits — use it to mutate or inspect the
+// hosted SimHost while the server is live). A hosted Proxy whose upstream
+// transport is a SocketNet will block its worker during upstream fetches —
+// the same synchronous semantics the §6 prototype has on SimNet, just over
+// real sockets.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
+#include "core/sync.hpp"
 #include "net/http_decoder.hpp"
 #include "net/sim_net.hpp"
 #include "runtime/event_loop.hpp"
@@ -30,7 +36,7 @@
 namespace idicn::runtime {
 
 class HostServer {
-public:
+ public:
   struct Options {
     std::uint64_t idle_timeout_ms = 30'000;    ///< close quiet keep-alive conns
     std::uint64_t request_timeout_ms = 10'000; ///< partial request must finish
@@ -54,6 +60,13 @@ public:
   /// Stop the loop, close all connections, join the worker. Idempotent.
   void stop();
 
+  /// Execute `fn` on the worker thread and wait for it to finish. The only
+  /// sanctioned way to touch the hosted SimHost (publish content, register
+  /// names, read its counters) from another thread while the server is
+  /// running. When the server is not running, `fn` runs inline — the caller
+  /// owns all state then. Must not be called from the worker itself.
+  void run_on_loop(const std::function<void()>& fn);
+
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] const std::string& address() const noexcept { return address_; }
   [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
@@ -68,9 +81,9 @@ public:
     std::uint64_t decode_errors = 0;
     std::uint64_t timeouts = 0;              ///< idle + request deadline closes
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const IDICN_EXCLUDES(stats_mutex_);
 
-private:
+ private:
   struct Connection {
     ScopedFd fd;
     std::string peer;                ///< "ip:port", passed as `from`
@@ -90,25 +103,34 @@ private:
           decoder(net::HttpDecoder::Mode::Request, limits) {}
   };
 
-  void on_accept();
-  void on_connection_event(int fd, bool readable, bool writable, bool error);
-  void serve_decoded(Connection& conn);
-  void flush(Connection& conn);
-  void arm_timer(Connection& conn);
-  void check_deadlines(int fd);
-  void close_connection(int fd);
+  void on_accept() IDICN_REQUIRES(loop_role_);
+  void on_connection_event(int fd, bool readable, bool writable, bool error)
+      IDICN_REQUIRES(loop_role_);
+  void serve_decoded(Connection& conn) IDICN_REQUIRES(loop_role_);
+  void flush(Connection& conn) IDICN_REQUIRES(loop_role_);
+  void arm_timer(Connection& conn) IDICN_REQUIRES(loop_role_);
+  void check_deadlines(int fd) IDICN_REQUIRES(loop_role_);
+  void close_connection(int fd) IDICN_REQUIRES(loop_role_);
 
-  net::SimHost* host_;
+  /// Owns the hosted SimHost and all connection state while the worker
+  /// runs; bound by the worker thread body, re-claimed by stop() after the
+  /// join (an unbound role is free for any thread).
+  core::sync::ThreadRole loop_role_;
+
+  net::SimHost* host_;  ///< loop-thread-owned while running (see loop_role_)
   std::string address_;
   Options options_;
+  /// Created by start() before the worker exists, destroyed by stop()
+  /// after the join; the pointer itself is never touched concurrently.
   std::unique_ptr<EventLoop> loop_;
-  ScopedFd listener_;
-  std::uint16_t port_ = 0;
-  std::thread thread_;
-  std::map<int, std::unique_ptr<Connection>> connections_;
+  ScopedFd listener_;       ///< written by start()/stop() only
+  std::uint16_t port_ = 0;  ///< written by start() before the worker exists
+  core::sync::Thread thread_;
+  std::map<int, std::unique_ptr<Connection>> connections_
+      IDICN_GUARDED_BY(loop_role_);
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable core::sync::Mutex stats_mutex_;
+  Stats stats_ IDICN_GUARDED_BY(stats_mutex_);
 };
 
 // Out of line: Options' default member initializers only become usable once

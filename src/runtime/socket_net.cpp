@@ -12,7 +12,7 @@ SocketNet::SocketNet(HttpClient::Options client_options)
 
 void SocketNet::register_endpoint(const net::Address& address, std::string host,
                                   std::uint16_t port) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   Endpoint& endpoint = endpoints_[address];
   endpoint.host = std::move(host);
   endpoint.port = port;
@@ -24,12 +24,12 @@ void SocketNet::register_endpoint(const HostServer& server) {
 }
 
 void SocketNet::unregister_endpoint(const net::Address& address) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   endpoints_.erase(address);
 }
 
 void SocketNet::join_group(const net::Address& address, const std::string& group) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   auto& members = groups_[group];
   if (std::find(members.begin(), members.end(), address) == members.end()) {
     members.push_back(address);
@@ -37,7 +37,7 @@ void SocketNet::join_group(const net::Address& address, const std::string& group
 }
 
 std::unique_ptr<HttpClient> SocketNet::borrow(const net::Address& to) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) return nullptr;
   Endpoint& endpoint = it->second;
@@ -53,7 +53,7 @@ std::unique_ptr<HttpClient> SocketNet::borrow(const net::Address& to) {
 
 void SocketNet::give_back(const net::Address& to,
                           std::unique_ptr<HttpClient> client) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   const auto it = endpoints_.find(to);
   // Drop the connection when the endpoint moved while we were using it.
   if (it == endpoints_.end() || it->second.port != client->port()) return;
@@ -64,19 +64,19 @@ net::HttpResponse SocketNet::send(const net::Address& from, const net::Address& 
                                   const net::HttpRequest& request) {
   (void)from;  // the TCP peer address is what the receiving server reports
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::sync::MutexLock lock(mutex_);
     ++stats_.requests_sent;
   }
   auto client = borrow(to);
   if (client == nullptr) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::sync::MutexLock lock(mutex_);
     ++stats_.send_failures;
     return net::make_response(504, "unknown destination: " + to);
   }
   std::string error;
   auto response = client->request(request, &error);
   if (!response) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::sync::MutexLock lock(mutex_);
     ++stats_.send_failures;
     return net::make_response(504, "upstream " + to + " unreachable: " + error);
   }
@@ -89,7 +89,7 @@ std::vector<net::HttpResponse> SocketNet::multicast(const net::Address& from,
                                                     const net::HttpRequest& request) {
   std::vector<net::Address> members;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::sync::MutexLock lock(mutex_);
     const auto it = groups_.find(group);
     if (it != groups_.end()) members = it->second;
   }
@@ -109,7 +109,7 @@ std::uint64_t SocketNet::now_ms() const {
 }
 
 SocketNet::Stats SocketNet::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::sync::MutexLock lock(mutex_);
   return stats_;
 }
 

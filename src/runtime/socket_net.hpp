@@ -18,10 +18,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "net/transport.hpp"
 #include "runtime/http_client.hpp"
 
@@ -62,7 +62,7 @@ public:
     std::uint64_t send_failures = 0;  ///< unknown endpoint or socket error
     std::uint64_t connections_opened = 0;
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const IDICN_EXCLUDES(mutex_);
 
 private:
   struct Endpoint {
@@ -72,15 +72,18 @@ private:
   };
 
   /// Borrow a pooled (or freshly dialed) client for `to`; nullptr when the
-  /// address is unknown.
-  std::unique_ptr<HttpClient> borrow(const net::Address& to);
-  void give_back(const net::Address& to, std::unique_ptr<HttpClient> client);
+  /// address is unknown. Ownership of the client transfers to the caller —
+  /// the mutex hand-off is what makes pooled connections safe to pass
+  /// between sender threads.
+  std::unique_ptr<HttpClient> borrow(const net::Address& to) IDICN_EXCLUDES(mutex_);
+  void give_back(const net::Address& to, std::unique_ptr<HttpClient> client)
+      IDICN_EXCLUDES(mutex_);
 
   HttpClient::Options client_options_;
-  mutable std::mutex mutex_;
-  std::map<net::Address, Endpoint> endpoints_;
-  std::map<std::string, std::vector<net::Address>> groups_;
-  Stats stats_;
+  mutable core::sync::Mutex mutex_;
+  std::map<net::Address, Endpoint> endpoints_ IDICN_GUARDED_BY(mutex_);
+  std::map<std::string, std::vector<net::Address>> groups_ IDICN_GUARDED_BY(mutex_);
+  Stats stats_ IDICN_GUARDED_BY(mutex_);
 };
 
 }  // namespace idicn::runtime

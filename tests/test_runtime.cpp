@@ -7,9 +7,9 @@
 
 #include <atomic>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "net/http_message.hpp"
 #include "net/sim_net.hpp"
 #include "runtime/event_loop.hpp"
@@ -189,7 +189,7 @@ TEST(EventLoop, TimerFiresAndStopsLoop) {
 TEST(EventLoop, PostFromAnotherThreadWakesLoop) {
   EventLoop loop;
   std::atomic<bool> ran{false};
-  std::thread poster([&] {
+  core::sync::Thread poster([&] {
     loop.post([&] {
       ran = true;
       loop.stop();
@@ -199,6 +199,63 @@ TEST(EventLoop, PostFromAnotherThreadWakesLoop) {
   poster.join();
   EXPECT_TRUE(ran);
 }
+
+TEST(EventLoop, MultiProducerPostStressWithShutdownRace) {
+  // N producer threads race M posts each against the loop draining them,
+  // with a stop() fired mid-stream from yet another thread — the exact
+  // cross-thread hand-off TSan is pointed at in CI. Tasks posted after
+  // stop() must survive in the queue, not be lost or double-run.
+  EventLoop loop;
+  constexpr int kProducers = 4;
+  constexpr int kPostsPerProducer = 500;
+  constexpr int kTotal = kProducers * kPostsPerProducer;
+  std::atomic<int> executed{0};
+  {
+    std::vector<core::sync::Thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kPostsPerProducer; ++i) {
+          loop.post([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+    core::sync::Thread stopper([&] {
+      // Shut down while producers are (likely) still posting.
+      while (executed.load(std::memory_order_relaxed) < kTotal / 2) {
+        std::this_thread::yield();
+      }
+      loop.stop();
+    });
+    loop.run();
+  }  // all producers + the stopper joined here
+  EXPECT_GE(executed.load(), kTotal / 2);
+
+  // Drain whatever was posted after the stop: every task must run exactly
+  // once across both run() invocations.
+  loop.post([&] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(executed.load(), kTotal);
+}
+
+#ifndef NDEBUG
+TEST(EventLoopDeathTest, LoopOnlyMethodOffThreadAsserts) {
+  // While the loop runs on a worker, loop-thread-only methods called from
+  // another thread must trip the debug ownership assertion.
+  // Portable across gtest versions (GTEST_FLAG_SET is too new for some).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EventLoop loop;
+  std::atomic<bool> started{false};
+  loop.post([&] { started.store(true); });
+  core::sync::Thread runner([&] { loop.run(); });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_DEATH(loop.unwatch(42), "owning thread");
+  EXPECT_DEATH(loop.add_timer(10, [] {}), "owning thread");
+  loop.stop();
+}
+#endif
 
 TEST(EventLoop, DispatchesPipeEvents) {
   EventLoop loop(PollerBackend::Poll);
@@ -234,7 +291,10 @@ TEST(EventLoop, CancelTimerBeforeFire) {
 // ---------------------------------------------------------------------------
 // HostServer + HttpClient over real sockets
 
-/// Minimal SimHost: echoes the target and counts requests.
+/// Minimal SimHost: echoes the target and counts requests. The counter is
+/// a relaxed atomic because tests sample it while the worker thread is
+/// still serving; last_from_ is loop-thread-owned — read it only after
+/// stop() (or via run_on_loop).
 class EchoHost : public net::SimHost {
 public:
   net::HttpResponse handle_http(const net::HttpRequest& request,
@@ -244,7 +304,7 @@ public:
     if (request.target == "/boom") throw std::runtime_error("kaboom");
     return net::make_response(200, "echo:" + request.target);
   }
-  int requests_ = 0;
+  core::sync::RelaxedCounter requests_;
   std::string last_from_;
 };
 
@@ -261,10 +321,11 @@ TEST(HostServer, ServesSimHostOverTcp) {
   ASSERT_TRUE(response.has_value()) << error;
   EXPECT_EQ(response->status, 200);
   EXPECT_EQ(response->body, "echo:/hello");
-  // The adapter reports the TCP peer as the SimNet `from` address.
-  EXPECT_NE(host.last_from_.find("127.0.0.1:"), std::string::npos);
 
   server.stop();
+  // The adapter reports the TCP peer as the SimNet `from` address
+  // (last_from_ is worker-owned: read after the join).
+  EXPECT_NE(host.last_from_.find("127.0.0.1:"), std::string::npos);
   EXPECT_FALSE(server.running());
   EXPECT_EQ(server.stats().requests_served, 1u);
 }
@@ -505,8 +566,8 @@ TEST(SocketNet, MulticastFansOutToGroup) {
   const auto responses = socket_net.multicast("a.svc", "neighbors", request);
   ASSERT_EQ(responses.size(), 1u);
   EXPECT_EQ(responses[0].body, "echo:/probe");
-  EXPECT_EQ(host_a.requests_, 0);
-  EXPECT_EQ(host_b.requests_, 1);
+  EXPECT_EQ(host_a.requests_, 0u);
+  EXPECT_EQ(host_b.requests_, 1u);
   server_a.stop();
   server_b.stop();
 }

@@ -5,8 +5,10 @@
 // are the exact ones the simulator uses — unmodified.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 
+#include "core/sync.hpp"
 #include "crypto/lamport.hpp"
 #include "idicn/name.hpp"
 #include "idicn/nrs.hpp"
@@ -59,8 +61,11 @@ struct SocketDeployment {
   }
 
   SelfCertifyingName publish(const std::string& label, const std::string& body) {
-    origin.put(label, body);
-    const auto name = reverse_proxy.publish(label);
+    // The origin and reverse proxy are owned by their worker threads while
+    // the servers run: mutate them on those threads, not from the test.
+    origin_server.run_on_loop([&] { origin.put(label, body); });
+    std::optional<SelfCertifyingName> name;
+    rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
     EXPECT_TRUE(name.has_value());
     return *name;
   }
@@ -113,7 +118,7 @@ TEST(RuntimeE2e, VerificationFailureFallsBackToAuthenticReplica) {
       ++hits_;
       return net::make_response(200, "tampered bytes");
     }
-    int hits_ = 0;
+    core::sync::RelaxedCounter hits_;  ///< sampled while the server runs
   } tamper;
   runtime::HostServer tamper_server(&tamper, "tamper.host");
   tamper_server.start();
@@ -126,8 +131,12 @@ TEST(RuntimeE2e, VerificationFailureFallsBackToAuthenticReplica) {
       "report", SelfCertifyingName::publisher_id(d.signer.root()));
   const auto signature = d.signer.sign(
       NameResolutionSystem::registration_signing_input(name, "tamper.host"));
-  ASSERT_EQ(d.nrs.register_name(name, "tamper.host", d.signer.root(), signature),
-            RegisterResult::Ok);
+  RegisterResult registered = RegisterResult::BadSignature;
+  d.nrs_server.run_on_loop([&] {
+    registered = d.nrs.register_name(name, "tamper.host", d.signer.root(),
+                                     signature);
+  });
+  ASSERT_EQ(registered, RegisterResult::Ok);
   const SelfCertifyingName published = d.publish("report", "authentic report");
   ASSERT_EQ(published.host(), name.host());
 
@@ -136,7 +145,7 @@ TEST(RuntimeE2e, VerificationFailureFallsBackToAuthenticReplica) {
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, 200);
   EXPECT_EQ(response->body, "authentic report");  // fell back past the tamperer
-  EXPECT_EQ(tamper.hits_, 1);
+  EXPECT_EQ(tamper.hits_, 1u);
   EXPECT_GE(d.proxy.stats().verification_failures, 1u);
   tamper_server.stop();
 }

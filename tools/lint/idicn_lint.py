@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Project-specific concurrency lint (AST-free, stdlib-only).
+
+Enforces the repo's threading contract (DESIGN.md, "Threading model")
+where clang-tidy and -Wthread-safety cannot: rules about *which files*
+may use which primitives. Runs as a ctest (`idicn_lint`) and in the CI
+`lint` job; exits non-zero with file:line diagnostics on any violation.
+
+Rules
+  raw-sync     std::mutex / std::condition_variable / lock_guard /
+               unique_lock / scoped_lock / shared_mutex /
+               recursive_mutex — and the <mutex> / <condition_variable>
+               / <shared_mutex> includes — only in src/core/sync.hpp.
+               Everything else uses the annotated wrappers so Clang
+               thread-safety analysis sees every acquisition.
+  raw-thread   std::thread (the type, not std::thread::id or
+               std::this_thread) only in src/core/sync.hpp; everyone
+               else uses core::sync::Thread (join-on-destruction).
+  loop-blocking  No sleeps, process spawns, or synchronous connect/HTTP
+               helpers inside the event-loop implementation files —
+               callbacks run on the loop thread and a blocked loop
+               stalls every connection it owns.
+  perf-macro   The IDICN_PERF_COUNTERS token stays inside
+               src/core/perf_counters.hpp; code branches on the toggle
+               via `if constexpr (core::kPerfCountersEnabled)` so the
+               zero-cost contract cannot be broken by a stray #ifdef.
+  iostream-in-src  No std::cout/cerr/clog in library code (src/);
+               libraries report through return values and exceptions,
+               binaries (bench/, examples/, tools/) own the terminal.
+
+Comments and string literals are stripped before matching, so prose
+mentioning std::mutex is fine; code using it is not.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# Directories holding first-party C++ sources.
+SCAN_DIRS = ("src", "tests", "bench", "examples", "fuzz")
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+SYNC_HEADER = Path("src/core/sync.hpp")
+PERF_HEADER = Path("src/core/perf_counters.hpp")
+
+# Event-loop implementation files: their code runs on the loop thread.
+LOOP_FILES = {
+    Path("src/runtime/event_loop.cpp"),
+    Path("src/runtime/event_loop.hpp"),
+    Path("src/runtime/host_server.cpp"),
+    Path("src/runtime/poller.cpp"),
+    Path("src/runtime/timer_wheel.cpp"),
+}
+
+RAW_SYNC = re.compile(
+    r"std::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+SYNC_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+# std::thread the type — but not std::thread::id / std::this_thread.
+RAW_THREAD = re.compile(r"std::thread\b(?!\s*::)")
+LOOP_BLOCKING = re.compile(
+    r"\b(?:sleep_for|sleep_until|usleep|nanosleep|system|popen"
+    r"|connect_tcp|HttpClient)\s*\(|\bHttpClient\b"
+)
+PERF_MACRO = re.compile(r"\bIDICN_PERF_COUNTERS\b")
+IOSTREAM_PRINT = re.compile(r"std::(?:cout|cerr|clog)\b")
+
+_STRIP = re.compile(
+    r'"(?:\\.|[^"\\])*"'      # string literals
+    r"|'(?:\\.|[^'\\])*'"     # char literals (digit separators strip harmlessly)
+    r"|//[^\n]*"              # line comments
+    r"|/\*.*?\*/",            # block comments
+    re.S,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments/strings, preserving newlines for line numbers."""
+    return _STRIP.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+
+
+def check_file(rel: Path, text: str) -> list[str]:
+    findings: list[str] = []
+    code = strip_comments_and_strings(text)
+
+    def report(line_index: int, rule: str, message: str) -> None:
+        findings.append(f"{rel}:{line_index + 1}: [{rule}] {message}")
+
+    for i, line in enumerate(code.splitlines()):
+        if rel != SYNC_HEADER:
+            if RAW_SYNC.search(line) or SYNC_INCLUDE.search(line):
+                report(i, "raw-sync",
+                       "raw standard sync primitive; use the annotated "
+                       "wrappers in core/sync.hpp (Mutex, MutexLock, CondVar)")
+            if RAW_THREAD.search(line):
+                report(i, "raw-thread",
+                       "raw std::thread; use core::sync::Thread "
+                       "(join-on-destruction, annotation-friendly)")
+        if rel in LOOP_FILES and LOOP_BLOCKING.search(line):
+            report(i, "loop-blocking",
+                   "blocking call in event-loop code; loop callbacks must "
+                   "not sleep, spawn, or issue synchronous network I/O")
+        if rel != PERF_HEADER and PERF_MACRO.search(line):
+            report(i, "perf-macro",
+                   "IDICN_PERF_COUNTERS must not leak outside "
+                   "core/perf_counters.hpp; branch on "
+                   "`if constexpr (core::kPerfCountersEnabled)` instead")
+        if rel.parts[0] == "src" and IOSTREAM_PRINT.search(line):
+            report(i, "iostream-in-src",
+                   "no std::cout/cerr/clog in library code; report through "
+                   "return values/exceptions, let binaries own the terminal")
+    return findings
+
+
+def main() -> int:
+    findings: list[str] = []
+    scanned = 0
+    for top in SCAN_DIRS:
+        base = REPO_ROOT / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            scanned += 1
+            findings.extend(check_file(rel, path.read_text(encoding="utf-8")))
+
+    if findings:
+        print("\n".join(findings))
+        print(f"\nidicn_lint: {len(findings)} violation(s) "
+              f"in {scanned} files", file=sys.stderr)
+        return 1
+    print(f"idicn_lint: OK ({scanned} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the project clang-tidy gate (.clang-tidy, WarningsAsErrors) over
+# every first-party translation unit in the compilation database.
+#
+# Usage:  tools/lint/run_clang_tidy.sh [build-dir]
+#
+#   build-dir   directory holding compile_commands.json (default: build/;
+#               the top-level CMakeLists exports the database by default
+#               and symlinks it to the repo root).
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy executable to use (default: clang-tidy). CI
+#               pins a concrete major version so local drift cannot make
+#               the gate flap.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '${TIDY}' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${BUILD_DIR}/compile_commands.json missing;" >&2
+  echo "  configure first: cmake -B '${BUILD_DIR}' -S '${ROOT}'" >&2
+  exit 2
+fi
+
+# First-party translation units only — gtest/benchmark internals are not
+# ours to lint. Headers are pulled in via HeaderFilterRegex.
+mapfile -t FILES < <(cd "${ROOT}" && git ls-files \
+  'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' 'fuzz/*.cpp')
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${TIDY} over ${#FILES[@]} translation units" >&2
+status=0
+for file in "${FILES[@]}"; do
+  # --quiet suppresses the "N warnings generated" chatter; findings still
+  # print and (via WarningsAsErrors) fail the run.
+  if ! "${TIDY}" --quiet -p "${BUILD_DIR}" "${ROOT}/${file}"; then
+    status=1
+    echo "run_clang_tidy: FAILED ${file}" >&2
+  fi
+done
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "run_clang_tidy: violations found (see above)" >&2
+else
+  echo "run_clang_tidy: clean" >&2
+fi
+exit "${status}"
