@@ -1,25 +1,38 @@
 // Real-socket runtime throughput benchmark.
 //
 // Deploys the full §6 stack — NRS, origin, reverse proxy, edge proxy —
-// each behind its own runtime::HostServer on real loopback TCP, publishes
-// a small catalog, then drives the edge proxy with closed-loop keep-alive
+// each behind its own runtime server on real loopback TCP, publishes a
+// small catalog, then drives the edge proxy with closed-loop keep-alive
 // HTTP clients and reports request rate and latency percentiles. The
 // steady-state path is the paper's common case: a proxy cache HIT served
 // straight from memory over one keep-alive connection.
 //
-// Environment knobs:
-//   IDICN_BENCH_RUNTIME_SECONDS  measurement window (default 3; CI uses 1)
-//   IDICN_BENCH_RUNTIME_CLIENTS  closed-loop client threads (default 2)
-//   IDICN_BENCH_RUNTIME_BODY    object body bytes (default 512)
+// Multi-reactor scaling (PR 4): with `--workers N` (or
+// IDICN_BENCH_WORKERS=N) the proxy runs behind an N-worker
+// runtime::ServerGroup; the bench measures a 1-worker window first and
+// then the N-worker window against the same warmed proxy, reporting
+// per-worker request rates and the scaling efficiency
+// req_per_s(N) / (N * req_per_s(1)).
 //
-// The last stdout line is a single JSON object with the results, so CI and
-// scripts can scrape `req_per_s` / `p99_us` without parsing prose.
+// Knobs (flag wins over env):
+//   --workers N / IDICN_BENCH_WORKERS   proxy reactor threads (default 1)
+//   IDICN_BENCH_RUNTIME_SECONDS  measurement window (default 3; CI uses 1)
+//   IDICN_BENCH_RUNTIME_CLIENTS  closed-loop client threads
+//                                (default max(2, workers))
+//   IDICN_BENCH_RUNTIME_BODY    object body bytes (default 512)
+//   IDICN_BENCH_OUT             JSON artifact path (default
+//                               BENCH_runtime.json in the cwd)
+//
+// The last stdout line is a single JSON object with the results — the
+// same object written to the artifact file — so CI and scripts can scrape
+// `req_per_s` / `p99_us` / `scaling_efficiency` without parsing prose.
 #include <algorithm>
 #include <atomic>
-#include <optional>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +49,10 @@
 
 namespace {
 
+using namespace idicn;
+using namespace ::idicn::idicn;
+using Clock = std::chrono::steady_clock;
+
 long env_long(const char* name, long fallback) {
   if (const char* value = std::getenv(name)) {
     const long parsed = std::strtol(value, nullptr, 10);
@@ -50,72 +67,41 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
   return sorted[rank];
 }
 
-}  // namespace
+/// One measured window: `workers` reactors serving `client_count`
+/// closed-loop keep-alive clients for ~`seconds`.
+struct WindowResult {
+  std::size_t workers = 1;
+  bool used_reuseport = false;
+  double elapsed_s = 0.0;
+  std::size_t requests = 0;
+  std::uint64_t errors = 0;
+  double req_per_s = 0.0;
+  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, max_us = 0.0;
+  std::vector<double> per_worker_req_per_s;
+  runtime::HostServer::Stats server_stats;
+};
 
-int main() {
-  using namespace idicn;
-  using namespace ::idicn::idicn;
-  using Clock = std::chrono::steady_clock;
-
-  const long seconds = env_long("IDICN_BENCH_RUNTIME_SECONDS", 3);
-  const long client_count = env_long("IDICN_BENCH_RUNTIME_CLIENTS", 2);
-  const long body_bytes = env_long("IDICN_BENCH_RUNTIME_BODY", 512);
-
-  // --- deploy the socketed stack -----------------------------------------
-  runtime::SocketNet net;
-  net::DnsService dns;
-  crypto::MerkleSigner signer(0xbe9c, 8);  // 256 one-time keys
-  NameResolutionSystem nrs(&dns);
-  OriginServer origin;
-  ReverseProxy reverse_proxy(&net, "rp.pub", "origin.pub", "nrs.consortium",
-                             &signer);
-  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns);
-
-  runtime::HostServer nrs_server(&nrs, "nrs.consortium");
-  runtime::HostServer origin_server(&origin, "origin.pub");
-  runtime::HostServer rp_server(&reverse_proxy, "rp.pub");
-  runtime::HostServer proxy_server(&proxy, "cache.ad1");
-  nrs_server.start();
-  origin_server.start();
-  rp_server.start();
+WindowResult run_window(Proxy& proxy, runtime::SocketNet& net,
+                        std::size_t workers, long client_count, long seconds,
+                        const std::vector<std::string>& targets) {
+  runtime::HostServer::Options options;
+  options.workers = workers;
+  runtime::HostServer proxy_server(&proxy, "cache.ad1", options);
   proxy_server.start();
-  net.register_endpoint(nrs_server);
-  net.register_endpoint(origin_server);
-  net.register_endpoint(rp_server);
   net.register_endpoint(proxy_server);
 
-  // Publish a small catalog (each publish costs one-time keys).
-  constexpr int kCatalog = 16;
-  std::vector<std::string> targets;
-  for (int i = 0; i < kCatalog; ++i) {
-    const std::string label = "object-" + std::to_string(i);
-    // The origin and reverse proxy belong to their worker threads while
-    // their servers run: publish through run_on_loop, not directly.
-    origin_server.run_on_loop([&] {
-      origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
-    });
-    std::optional<SelfCertifyingName> name;
-    rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
-    if (!name) {
-      std::fprintf(stderr, "publish failed for %s\n", label.c_str());
-      return 1;
-    }
-    targets.push_back("http://" + name->host() + "/");
-  }
-
-  // Warm the proxy cache so the measured window is the HIT fast path.
+  // (Re)warm so the window measures the HIT fast path only.
   {
     runtime::HttpClient warm("127.0.0.1", proxy_server.port());
     for (const auto& target : targets) {
       const auto response = warm.get(target);
       if (!response || response->status != 200) {
         std::fprintf(stderr, "warmup fetch failed for %s\n", target.c_str());
-        return 1;
+        std::exit(1);
       }
     }
   }
 
-  // --- closed-loop load ---------------------------------------------------
   std::atomic<bool> running{true};
   std::vector<std::vector<std::uint64_t>> latencies_ns(
       static_cast<std::size_t>(client_count));
@@ -151,38 +137,142 @@ int main() {
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
 
-  // Stop the stack before sampling counters: stats() snapshots are safe
-  // live, but proxy.perf() is owner-thread-only (plain hot-path counters)
-  // and must not be read until the worker has been joined.
+  WindowResult result;
+  result.workers = proxy_server.worker_count();
+  result.used_reuseport = proxy_server.using_reuseport();
+  result.elapsed_s = elapsed_s;
+
+  std::vector<std::uint64_t> all;
+  for (const auto& samples : latencies_ns) {
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  for (const auto error_count : errors) result.errors += error_count;
+  std::sort(all.begin(), all.end());
+  result.requests = all.size();
+  result.req_per_s = static_cast<double>(all.size()) / elapsed_s;
+  result.p50_us = static_cast<double>(percentile(all, 0.50)) / 1000.0;
+  result.p90_us = static_cast<double>(percentile(all, 0.90)) / 1000.0;
+  result.p99_us = static_cast<double>(percentile(all, 0.99)) / 1000.0;
+  result.max_us = all.empty() ? 0.0 : static_cast<double>(all.back()) / 1000.0;
+
+  // Per-worker request rates (worker_stats snapshots survive stop()).
   proxy_server.stop();
+  for (std::size_t w = 0; w < result.workers; ++w) {
+    result.per_worker_req_per_s.push_back(
+        static_cast<double>(proxy_server.worker_stats(w).requests_served) /
+        elapsed_s);
+  }
+  result.server_stats = proxy_server.stats();
+  return result;
+}
+
+void print_window(const WindowResult& w) {
+  std::printf("  [%zu worker%s, %s]\n", w.workers, w.workers == 1 ? "" : "s",
+              w.used_reuseport ? "SO_REUSEPORT" : "single-acceptor");
+  std::printf("    requests         %zu ok, %llu errors in %.2f s\n",
+              w.requests, static_cast<unsigned long long>(w.errors),
+              w.elapsed_s);
+  std::printf("    throughput       %.0f req/s\n", w.req_per_s);
+  std::printf("    latency          p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n",
+              w.p50_us, w.p90_us, w.p99_us, w.max_us);
+  std::printf("    per-worker req/s ");
+  for (std::size_t i = 0; i < w.per_worker_req_per_s.size(); ++i) {
+    std::printf("%s%.0f", i == 0 ? "" : ", ", w.per_worker_req_per_s[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers =
+      static_cast<std::size_t>(env_long("IDICN_BENCH_WORKERS", 1));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed > 0) workers = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const long seconds = env_long("IDICN_BENCH_RUNTIME_SECONDS", 3);
+  const long client_count = env_long("IDICN_BENCH_RUNTIME_CLIENTS",
+                                     std::max<long>(2, static_cast<long>(workers)));
+  const long body_bytes = env_long("IDICN_BENCH_RUNTIME_BODY", 512);
+
+  // --- deploy the socketed stack -----------------------------------------
+  runtime::SocketNet net;
+  net::DnsService dns;
+  crypto::MerkleSigner signer(0xbe9c, 8);  // 256 one-time keys
+  NameResolutionSystem nrs(&dns);
+  OriginServer origin;
+  ReverseProxy reverse_proxy(&net, "rp.pub", "origin.pub", "nrs.consortium",
+                             &signer);
+  Proxy::Options proxy_options;
+  proxy_options.cache_shards = workers;  // one lock stripe per reactor
+  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns, proxy_options);
+
+  runtime::HostServer nrs_server(&nrs, "nrs.consortium");
+  runtime::HostServer origin_server(&origin, "origin.pub");
+  runtime::HostServer rp_server(&reverse_proxy, "rp.pub");
+  nrs_server.start();
+  origin_server.start();
+  rp_server.start();
+  net.register_endpoint(nrs_server);
+  net.register_endpoint(origin_server);
+  net.register_endpoint(rp_server);
+
+  // Publish a small catalog (each publish costs one-time keys).
+  constexpr int kCatalog = 16;
+  std::vector<std::string> targets;
+  for (int i = 0; i < kCatalog; ++i) {
+    const std::string label = "object-" + std::to_string(i);
+    // The origin and reverse proxy belong to their worker threads while
+    // their servers run: publish through run_on_loop, not directly.
+    origin_server.run_on_loop([&] {
+      origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
+    });
+    std::optional<SelfCertifyingName> name;
+    rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
+    if (!name) {
+      std::fprintf(stderr, "publish failed for %s\n", label.c_str());
+      return 1;
+    }
+    targets.push_back("http://" + name->host() + "/");
+  }
+
+  // --- measured windows ---------------------------------------------------
+  // With workers > 1: a 1-worker baseline window first, then the N-worker
+  // window against the same warmed proxy, so the comparison isolates the
+  // reactor count.
+  std::printf("runtime throughput: %ld client(s), %ld s window, %ld-byte bodies, %zu worker(s)\n",
+              client_count, seconds, body_bytes, workers);
+  std::optional<WindowResult> baseline;
+  if (workers > 1) {
+    baseline = run_window(proxy, net, 1, client_count, seconds, targets);
+    print_window(*baseline);
+  }
+  const WindowResult measured =
+      run_window(proxy, net, workers, client_count, seconds, targets);
+  print_window(measured);
+
+  const double scaling_efficiency =
+      baseline && baseline->req_per_s > 0.0
+          ? measured.req_per_s /
+                (static_cast<double>(workers) * baseline->req_per_s)
+          : 1.0;
+  if (baseline) {
+    std::printf("  scaling            %.2fx over 1 worker (efficiency %.2f)\n",
+                measured.req_per_s / baseline->req_per_s, scaling_efficiency);
+  }
+
   rp_server.stop();
   origin_server.stop();
   nrs_server.stop();
 
-  // --- aggregate -----------------------------------------------------------
-  std::vector<std::uint64_t> all;
-  std::uint64_t total_errors = 0;
-  for (const auto& samples : latencies_ns) all.insert(all.end(), samples.begin(), samples.end());
-  for (const auto error_count : errors) total_errors += error_count;
-  std::sort(all.begin(), all.end());
-
-  const double req_per_s = static_cast<double>(all.size()) / elapsed_s;
-  const double p50_us = static_cast<double>(percentile(all, 0.50)) / 1000.0;
-  const double p90_us = static_cast<double>(percentile(all, 0.90)) / 1000.0;
-  const double p99_us = static_cast<double>(percentile(all, 0.99)) / 1000.0;
-  const double max_us = all.empty() ? 0.0 : static_cast<double>(all.back()) / 1000.0;
-
-  const auto proxy_stats = proxy.stats();
-  const auto server_stats = proxy_server.stats();
-
-  std::printf("runtime throughput: %ld client(s), %ld s window, %ld-byte bodies\n",
-              client_count, seconds, body_bytes);
-  std::printf("  backend            epoll-preferred (HostServer default)\n");
-  std::printf("  requests           %zu ok, %llu errors\n", all.size(),
-              static_cast<unsigned long long>(total_errors));
-  std::printf("  throughput         %.0f req/s\n", req_per_s);
-  std::printf("  latency            p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n",
-              p50_us, p90_us, p99_us, max_us);
+  const auto& proxy_stats = proxy.stats();
   std::printf("  proxy cache        %llu hits, %llu misses\n",
               static_cast<unsigned long long>(proxy_stats.hits.value()),
               static_cast<unsigned long long>(proxy_stats.misses.value()));
@@ -190,25 +280,55 @@ int main() {
               static_cast<unsigned long long>(proxy_stats.bytes_served.value()),
               static_cast<unsigned long long>(proxy_stats.bytes_from_origin.value()));
   std::printf("  server sockets     %llu conns, %llu B in, %llu B out\n",
-              static_cast<unsigned long long>(server_stats.connections_accepted),
-              static_cast<unsigned long long>(server_stats.bytes_in),
-              static_cast<unsigned long long>(server_stats.bytes_out));
+              static_cast<unsigned long long>(measured.server_stats.connections_accepted),
+              static_cast<unsigned long long>(measured.server_stats.bytes_in),
+              static_cast<unsigned long long>(measured.server_stats.bytes_out));
   if constexpr (core::kPerfCountersEnabled) {
+    // perf() merges the per-shard counters under their locks — safe here
+    // and safe live.
     std::printf("  perf counters      proxy_bytes_served=%llu proxy_bytes_from_origin=%llu\n",
                 static_cast<unsigned long long>(proxy.perf().proxy_bytes_served),
                 static_cast<unsigned long long>(proxy.perf().proxy_bytes_from_origin));
   }
 
-  // Machine-readable result line (last line of stdout).
-  std::printf(
-      "{\"bench\":\"runtime_throughput\",\"clients\":%ld,\"seconds\":%.2f,"
-      "\"requests\":%zu,\"errors\":%llu,\"req_per_s\":%.1f,"
+  // Machine-readable result (last stdout line + the JSON artifact).
+  std::string per_worker_json = "[";
+  for (std::size_t i = 0; i < measured.per_worker_req_per_s.size(); ++i) {
+    char item[32];
+    std::snprintf(item, sizeof(item), "%s%.1f", i == 0 ? "" : ",",
+                  measured.per_worker_req_per_s[i]);
+    per_worker_json += item;
+  }
+  per_worker_json += "]";
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"runtime_throughput\",\"workers\":%zu,\"reuseport\":%s,"
+      "\"clients\":%ld,\"seconds\":%.2f,\"requests\":%zu,\"errors\":%llu,"
+      "\"req_per_s\":%.1f,\"single_worker_req_per_s\":%.1f,"
+      "\"scaling_efficiency\":%.3f,\"per_worker_req_per_s\":%s,"
       "\"p50_us\":%.1f,\"p90_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
-      "\"bytes_served\":%llu}\n",
-      client_count, elapsed_s, all.size(),
-      static_cast<unsigned long long>(total_errors), req_per_s, p50_us, p90_us,
-      p99_us, max_us,
+      "\"bytes_served\":%llu}",
+      measured.workers, measured.used_reuseport ? "true" : "false",
+      client_count, measured.elapsed_s, measured.requests,
+      static_cast<unsigned long long>(measured.errors + (baseline ? baseline->errors : 0)),
+      measured.req_per_s,
+      baseline ? baseline->req_per_s : measured.req_per_s, scaling_efficiency,
+      per_worker_json.c_str(), measured.p50_us, measured.p90_us,
+      measured.p99_us, measured.max_us,
       static_cast<unsigned long long>(proxy_stats.bytes_served.value()));
+  std::printf("%s\n", json);
 
+  const char* out_path = std::getenv("IDICN_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_runtime.json";
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(out, "%s\n", json);
+    std::fclose(out);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+  }
+
+  const std::uint64_t total_errors =
+      measured.errors + (baseline ? baseline->errors : 0);
   return total_errors == 0 ? 0 : 1;
 }

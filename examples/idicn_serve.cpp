@@ -3,9 +3,16 @@
 // Boots a complete single-AD idICN deployment in one process — consortium
 // NRS, publisher origin + reverse proxy, and an AD edge proxy — each on
 // its own loopback port behind a runtime::HostServer, publishes a few
-// demo objects, and prints ready-to-paste curl commands. Ctrl-C to stop.
+// demo objects, and prints ready-to-paste curl commands.
 //
-// Usage: idicn_serve [proxy_port]   (default 8642; 0 = ephemeral)
+// The edge proxy runs `workers` reactor threads (multi-reactor
+// ServerGroup with a matching number of content-store lock stripes).
+// SIGINT/SIGTERM triggers an ordered graceful shutdown: stop accepting,
+// drain in-flight requests (bounded grace period), stop the workers.
+//
+// Usage: idicn_serve [proxy_port] [workers]
+//   proxy_port  default 8642; 0 = ephemeral
+//   workers     default $IDICN_SERVE_WORKERS or 1
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -33,6 +40,15 @@ int main(int argc, char** argv) {
 
   std::uint16_t proxy_port = 8642;
   if (argc > 1) proxy_port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  std::size_t workers = 1;
+  if (const char* env = std::getenv("IDICN_SERVE_WORKERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) workers = static_cast<std::size_t>(parsed);
+  }
+  if (argc > 2) {
+    const int parsed = std::atoi(argv[2]);
+    if (parsed > 0) workers = static_cast<std::size_t>(parsed);
+  }
 
   runtime::SocketNet net;
   net::DnsService dns;
@@ -41,12 +57,17 @@ int main(int argc, char** argv) {
   OriginServer origin;
   ReverseProxy reverse_proxy(&net, "rp.pub", "origin.pub", "nrs.consortium",
                              &signer);
-  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns);
+  Proxy::Options proxy_options;
+  proxy_options.cache_shards = workers;  // one lock stripe per reactor
+  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns, proxy_options);
+
+  runtime::HostServer::Options server_options;
+  server_options.workers = workers;
 
   runtime::HostServer nrs_server(&nrs, "nrs.consortium");
   runtime::HostServer origin_server(&origin, "origin.pub");
   runtime::HostServer rp_server(&reverse_proxy, "rp.pub");
-  runtime::HostServer proxy_server(&proxy, "cache.ad1");
+  runtime::HostServer proxy_server(&proxy, "cache.ad1", server_options);
   try {
     nrs_server.start();
     origin_server.start();
@@ -89,8 +110,12 @@ int main(int argc, char** argv) {
   std::printf("  NRS            127.0.0.1:%u\n", nrs_server.port());
   std::printf("  origin server  127.0.0.1:%u\n", origin_server.port());
   std::printf("  reverse proxy  127.0.0.1:%u\n", rp_server.port());
-  std::printf("  edge proxy     127.0.0.1:%u   <- point your client here\n\n",
+  std::printf("  edge proxy     127.0.0.1:%u   <- point your client here\n",
               proxy_server.port());
+  std::printf("                 %zu worker(s), %s\n\n",
+              proxy_server.worker_count(),
+              proxy_server.using_reuseport() ? "SO_REUSEPORT"
+                                             : "single acceptor");
   std::printf("Fetch by self-certifying name through the proxy:\n");
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     std::printf("  curl -x http://127.0.0.1:%u \"http://%s/\"   # %s\n",
@@ -111,13 +136,20 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
 
-  const auto stats = proxy_server.stats();
-  std::printf("\nshutting down: %llu connections, %llu requests served\n",
-              static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.requests_served));
+  // Ordered graceful shutdown (ServerGroup::stop): each server stops
+  // accepting, drains in-flight requests up to its drain deadline, then
+  // stops and joins its workers — front of the chain first so upstream
+  // servers stay reachable while the proxy drains.
+  std::printf("\ndraining in-flight requests...\n");
+  std::fflush(stdout);
   proxy_server.stop();
   rp_server.stop();
   origin_server.stop();
   nrs_server.stop();
+
+  const auto stats = proxy_server.stats();
+  std::printf("shut down cleanly: %llu connections, %llu requests served\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests_served));
   return 0;
 }

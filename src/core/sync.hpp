@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -104,6 +105,16 @@ class CondVar {
   template <typename Predicate>
   void wait(Mutex& mutex, Predicate predicate) IDICN_REQUIRES(mutex) {
     cv_.wait(mutex, std::move(predicate));
+  }
+
+  /// wait() until `predicate()` is true or `timeout_ms` elapsed; returns
+  /// the final predicate value. The deadline door for bounded shutdown
+  /// waits (e.g. ServerGroup's connection drain).
+  template <typename Predicate>
+  bool wait_for(Mutex& mutex, std::uint64_t timeout_ms, Predicate predicate)
+      IDICN_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, std::chrono::milliseconds(timeout_ms),
+                        std::move(predicate));
   }
 
   void notify_one() noexcept { cv_.notify_one(); }
@@ -192,10 +203,11 @@ class Thread {
   std::thread thread_;
 };
 
-/// Monotonically increasing counter safe to bump on one thread while other
-/// threads read it: all operations are relaxed atomics. Used for observer
-/// statistics (e.g. Proxy::Stats) that benches and tests sample while the
-/// owning worker thread is live. Relaxed ordering is deliberate — readers
+/// Counter safe to bump on any thread while other threads read it: all
+/// operations are relaxed atomics. Used for observer statistics (e.g.
+/// Proxy::Stats) that benches and tests sample while the owning worker
+/// threads are live, and for live gauges (ServerWorker's active-connection
+/// count) that go up and down. Relaxed ordering is deliberate — readers
 /// get *some* recent value, never a torn or data-racing one; counters are
 /// independent, so no inter-counter consistency is promised.
 class RelaxedCounter {
@@ -218,6 +230,11 @@ class RelaxedCounter {
   RelaxedCounter& operator++() noexcept { return *this += 1; }
   RelaxedCounter& operator+=(std::uint64_t n) noexcept {
     value_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator--() noexcept { return *this -= 1; }
+  RelaxedCounter& operator-=(std::uint64_t n) noexcept {
+    value_.fetch_sub(n, std::memory_order_relaxed);
     return *this;
   }
 

@@ -82,9 +82,13 @@ RegisterResult NameResolutionSystem::register_name(
                                     signature)) {
     return RegisterResult::BadSignature;
   }
-  std::vector<std::string>& locations = names_[name.flat()];
-  if (std::find(locations.begin(), locations.end(), location) == locations.end()) {
-    locations.push_back(location);
+  {
+    const core::sync::MutexLock lock(mutex_);
+    std::vector<std::string>& locations = names_[name.flat()];
+    if (std::find(locations.begin(), locations.end(), location) ==
+        locations.end()) {
+      locations.push_back(location);
+    }
   }
   if (dns_ != nullptr) dns_->update(name.host(), location);
   return RegisterResult::Ok;
@@ -101,6 +105,7 @@ RegisterResult NameResolutionSystem::register_resolver(
           publisher_key, delegation_signing_input(publisher, resolver), signature)) {
     return RegisterResult::BadSignature;
   }
+  const core::sync::MutexLock lock(mutex_);
   delegations_[publisher] = resolver;
   return RegisterResult::Ok;
 }
@@ -108,6 +113,7 @@ RegisterResult NameResolutionSystem::register_resolver(
 NameResolutionSystem::Resolution NameResolutionSystem::resolve(
     const SelfCertifyingName& name) const {
   Resolution resolution;
+  const core::sync::MutexLock lock(mutex_);
   const auto exact = names_.find(name.flat());
   if (exact != names_.end()) {
     resolution.locations = exact->second;

@@ -12,6 +12,12 @@
 //   POST /register            name=…&location=…&publisher-key=…&signature=…
 //   POST /register-resolver   publisher=…&resolver=…&publisher-key=…&signature=…
 //   GET  /resolve?name=<host> → "location=<addr>" lines | "resolver=<addr>" | 404
+//
+// Threading: registrations and resolutions may arrive concurrently from
+// any number of runtime::ServerGroup workers — the registry maps are
+// guarded by one internal mutex (resolution volume is tiny next to proxy
+// traffic; a single lock is plenty). DNS mirroring goes through the
+// already-thread-safe net::DnsService.
 #pragma once
 
 #include <map>
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "crypto/lamport.hpp"
 #include "idicn/name.hpp"
 #include "net/dns.hpp"
@@ -63,15 +70,21 @@ public:
   };
   [[nodiscard]] Resolution resolve(const SelfCertifyingName& name) const;
 
-  [[nodiscard]] std::size_t name_count() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t name_count() const {
+    const core::sync::MutexLock lock(mutex_);
+    return names_.size();
+  }
 
   // --- HTTP face ----------------------------------------------------------
   net::HttpResponse handle_http(const net::HttpRequest& request,
                                 const net::Address& from) override;
 
 private:
-  std::map<std::string, std::vector<std::string>> names_;  // flat L.P → locations
-  std::map<std::string, std::string> delegations_;         // P → resolver address
+  mutable core::sync::Mutex mutex_;
+  std::map<std::string, std::vector<std::string>> names_
+      IDICN_GUARDED_BY(mutex_);  // flat L.P → locations
+  std::map<std::string, std::string> delegations_
+      IDICN_GUARDED_BY(mutex_);  // P → resolver address
   net::DnsService* dns_;
 };
 

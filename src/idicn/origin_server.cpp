@@ -7,12 +7,16 @@ namespace idicn::idicn {
 
 void OriginServer::put(const std::string& label, std::string body,
                        std::string content_type) {
+  const core::sync::MutexLock lock(mutex_);
   items_[label] = Item{std::move(body), std::move(content_type)};
 }
 
-const OriginServer::Item* OriginServer::find(const std::string& label) const {
+std::optional<OriginServer::Item> OriginServer::find(
+    const std::string& label) const {
+  const core::sync::MutexLock lock(mutex_);
   const auto it = items_.find(label);
-  return it == items_.end() ? nullptr : &it->second;
+  if (it == items_.end()) return std::nullopt;
+  return it->second;
 }
 
 net::HttpResponse OriginServer::handle_http(const net::HttpRequest& request,
@@ -25,8 +29,8 @@ net::HttpResponse OriginServer::handle_http(const net::HttpRequest& request,
   const auto params = parse_form(uri->query);
   const auto it = params.find("label");
   if (it == params.end()) return net::make_response(400, "missing label");
-  const Item* item = find(it->second);
-  if (item == nullptr) return net::make_response(404, "no such content");
+  const auto item = find(it->second);
+  if (!item) return net::make_response(404, "no such content");
   ++requests_served_;
   return net::make_response(200, item->body, item->content_type);
 }

@@ -4,11 +4,17 @@
 // reverse proxy. Publication flows *through* the reverse proxy (step P1):
 // the origin stores the bytes and asks the reverse proxy to sign and
 // register the name.
+//
+// Threading: safe under concurrent runtime::ServerGroup workers — the item
+// store sits behind one mutex (find() hands out copies, not pointers into
+// the guarded map) and the request counter is a relaxed atomic.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
+#include "core/sync.hpp"
 #include "net/sim_net.hpp"
 
 namespace idicn::idicn {
@@ -24,10 +30,15 @@ public:
   void put(const std::string& label, std::string body,
            std::string content_type = "text/plain");
 
-  [[nodiscard]] const Item* find(const std::string& label) const;
-  [[nodiscard]] std::size_t item_count() const noexcept { return items_.size(); }
+  /// A copy of the item (a pointer into the store would dangle once a
+  /// concurrent put() replaces it); std::nullopt when absent.
+  [[nodiscard]] std::optional<Item> find(const std::string& label) const;
+  [[nodiscard]] std::size_t item_count() const {
+    const core::sync::MutexLock lock(mutex_);
+    return items_.size();
+  }
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
-    return requests_served_;
+    return requests_served_.value();
   }
 
   /// HTTP face: GET /content?label=<L>.
@@ -35,8 +46,9 @@ public:
                                 const net::Address& from) override;
 
 private:
-  std::map<std::string, Item> items_;
-  std::uint64_t requests_served_ = 0;
+  mutable core::sync::Mutex mutex_;
+  std::map<std::string, Item> items_ IDICN_GUARDED_BY(mutex_);
+  core::sync::RelaxedCounter requests_served_;
 };
 
 }  // namespace idicn::idicn

@@ -1,5 +1,8 @@
 #include "idicn/proxy.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "idicn/nrs.hpp"
 #include "net/uri.hpp"
 
@@ -11,45 +14,100 @@ Proxy::Proxy(net::Transport* net, net::Address self, net::Address nrs,
       self_(std::move(self)),
       nrs_(std::move(nrs)),
       dns_(dns),
-      options_(options) {}
-
-void Proxy::touch(const std::string& host) {
-  const auto it = entries_.find(host);
-  lru_.erase(it->second.lru_position);
-  lru_.push_front(host);
-  it->second.lru_position = lru_.begin();
+      options_(options) {
+  const std::size_t count = std::max<std::size_t>(1, options_.cache_shards);
+  const std::uint64_t base = options_.capacity_bytes / count;
+  const std::uint64_t remainder = options_.capacity_bytes % count;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<CacheShard>();
+    shard->capacity_bytes = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
-void Proxy::evict_until_fits(std::uint64_t incoming) {
-  while (!lru_.empty() && used_bytes_ + incoming > options_.capacity_bytes) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    const auto it = entries_.find(victim);
-    used_bytes_ -= it->second.body.size();
-    entries_.erase(it);
+Proxy::CacheShard& Proxy::shard_for(const std::string& host) {
+  return *shards_[std::hash<std::string>{}(host) % shards_.size()];
+}
+
+const Proxy::CacheShard& Proxy::shard_for(const std::string& host) const {
+  return *shards_[std::hash<std::string>{}(host) % shards_.size()];
+}
+
+core::PerfCounters Proxy::perf() const {
+  core::PerfCounters merged;
+  for (const auto& shard : shards_) {
+    const core::sync::MutexLock lock(shard->mutex);
+    merged.merge(shard->perf);
+  }
+  return merged;
+}
+
+std::uint64_t Proxy::cached_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const core::sync::MutexLock lock(shard->mutex);
+    total += shard->used_bytes;
+  }
+  return total;
+}
+
+std::size_t Proxy::cached_objects() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const core::sync::MutexLock lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+bool Proxy::is_cached(const std::string& host) const {
+  const CacheShard& shard = shard_for(host);
+  const core::sync::MutexLock lock(shard.mutex);
+  return shard.entries.find(host) != shard.entries.end();
+}
+
+void Proxy::touch(CacheShard& shard, const std::string& host) {
+  const auto it = shard.entries.find(host);
+  shard.lru.erase(it->second.lru_position);
+  shard.lru.push_front(host);
+  it->second.lru_position = shard.lru.begin();
+}
+
+void Proxy::evict_until_fits(CacheShard& shard, std::uint64_t incoming) {
+  while (!shard.lru.empty() &&
+         shard.used_bytes + incoming > shard.capacity_bytes) {
+    const std::string victim = shard.lru.back();
+    shard.lru.pop_back();
+    const auto it = shard.entries.find(victim);
+    shard.used_bytes -= it->second.body.size();
+    shard.entries.erase(it);
     ++stats_.evictions;
   }
 }
 
-void Proxy::cache_store(const std::string& host, Entry entry) {
-  if (entry.body.size() > options_.capacity_bytes) return;  // too large to cache
-  const auto existing = entries_.find(host);
-  if (existing != entries_.end()) {
-    used_bytes_ -= existing->second.body.size();
-    lru_.erase(existing->second.lru_position);
-    entries_.erase(existing);
+bool Proxy::cache_store(CacheShard& shard, const std::string& host,
+                        Entry& entry) {
+  if (entry.body.size() > shard.capacity_bytes) return false;  // too large
+  const auto existing = shard.entries.find(host);
+  if (existing != shard.entries.end()) {
+    shard.used_bytes -= existing->second.body.size();
+    shard.lru.erase(existing->second.lru_position);
+    shard.entries.erase(existing);
   }
-  evict_until_fits(entry.body.size());
-  used_bytes_ += entry.body.size();
-  lru_.push_front(host);
-  entry.lru_position = lru_.begin();
-  entries_.emplace(host, std::move(entry));
+  evict_until_fits(shard, entry.body.size());
+  shard.used_bytes += entry.body.size();
+  shard.lru.push_front(host);
+  entry.lru_position = shard.lru.begin();
+  shard.entries.emplace(host, std::move(entry));
+  return true;
 }
 
-net::HttpResponse Proxy::serve_entry(const std::string& host, Entry& entry, bool hit,
+net::HttpResponse Proxy::serve_entry(CacheShard& shard, const std::string& host,
+                                     Entry& entry, bool hit,
                                      bool full_metadata) {
   stats_.bytes_served += entry.body.size();
-  perf_.bump(&core::PerfCounters::proxy_bytes_served, entry.body.size());
+  shard.perf.bump(&core::PerfCounters::proxy_bytes_served, entry.body.size());
   net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
   // The multi-kilobyte proof (publisher key + one-time signature) is
   // attached only when the caller asked for it: verifying clients and
@@ -59,8 +117,20 @@ net::HttpResponse Proxy::serve_entry(const std::string& host, Entry& entry, bool
   if (!entry.etag.empty()) response.headers.set("ETag", entry.etag);
   response.headers.set("X-Cache", hit ? "HIT" : "MISS");
   response.headers.set("Via", self_);
-  if (hit) touch(host);
+  if (hit) touch(shard, host);
   return response;
+}
+
+net::HttpResponse Proxy::store_and_serve(CacheShard& shard,
+                                         const std::string& host, Entry entry,
+                                         bool full_metadata) {
+  const core::sync::MutexLock lock(shard.mutex);
+  if (!cache_store(shard, host, entry)) {
+    // Larger than the shard's slice: serve the fetched copy uncached.
+    return serve_entry(shard, host, entry, false, full_metadata);
+  }
+  return serve_entry(shard, host, shard.entries.find(host)->second, false,
+                     full_metadata);
 }
 
 std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
@@ -73,7 +143,12 @@ std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& na
   const net::HttpResponse response = net_->send(self_, location, fetch);
   if (!response.ok()) return std::nullopt;
   stats_.bytes_from_origin += response.body.size();
-  perf_.bump(&core::PerfCounters::proxy_bytes_from_origin, response.body.size());
+  {
+    CacheShard& shard = shard_for(name.host());
+    const core::sync::MutexLock lock(shard.mutex);
+    shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin,
+                    response.body.size());
+  }
 
   Entry entry;
   entry.body = response.body;
@@ -97,18 +172,18 @@ std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& na
   return entry;
 }
 
-bool Proxy::revalidate(const std::string& host, Entry& entry) {
-  if (entry.etag.empty() || entry.fetched_from.empty()) return false;
+bool Proxy::revalidate(const std::string& host, const std::string& etag,
+                       const net::Address& fetched_from) {
+  if (etag.empty() || fetched_from.empty()) return false;
   ++stats_.revalidations;
   net::HttpRequest conditional;
   conditional.method = "GET";
   conditional.target = "/";
   conditional.headers.set("Host", host);
-  conditional.headers.set("If-None-Match", entry.etag);
-  const net::HttpResponse response = net_->send(self_, entry.fetched_from, conditional);
+  conditional.headers.set("If-None-Match", etag);
+  const net::HttpResponse response = net_->send(self_, fetched_from, conditional);
   if (response.status != 304) return false;
   ++stats_.revalidated_304;
-  entry.stored_at_ms = net_->now_ms();  // fresh again, body unchanged
   return true;
 }
 
@@ -152,20 +227,42 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
   const bool full_metadata =
       peer_query || request.headers.contains(kWantMetadataHeader);
 
-  // Step 7 fast path: fresh cached copy (stale entries try a cheap
-  // conditional refresh before a full refetch).
-  const auto cached = entries_.find(host);
-  if (cached != entries_.end()) {
-    const bool fresh =
-        net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
-    if (fresh) {
-      ++stats_.hits;
-      return serve_entry(host, cached->second, true, full_metadata);
+  CacheShard& shard = shard_for(host);
+
+  // Step 7 fast path under the shard lock: fresh cached copy. A stale
+  // entry only donates its validators here — the conditional refresh is
+  // network I/O and must run with the lock dropped so sibling requests on
+  // this shard keep flowing.
+  bool stale = false;
+  std::string stale_etag;
+  net::Address stale_fetched_from;
+  {
+    const core::sync::MutexLock lock(shard.mutex);
+    const auto cached = shard.entries.find(host);
+    if (cached != shard.entries.end()) {
+      const bool fresh =
+          net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
+      if (fresh) {
+        ++stats_.hits;
+        return serve_entry(shard, host, cached->second, true, full_metadata);
+      }
+      ++stats_.expired;
+      stale = true;
+      stale_etag = cached->second.etag;
+      stale_fetched_from = cached->second.fetched_from;
     }
-    ++stats_.expired;
-    if (!peer_query && revalidate(host, cached->second)) {
+  }
+  if (stale && !peer_query &&
+      revalidate(host, stale_etag, stale_fetched_from)) {
+    // 304: the body is still authentic. Re-lock and renew — unless a
+    // concurrent worker evicted the entry meanwhile, in which case fall
+    // through to a full refetch.
+    const core::sync::MutexLock lock(shard.mutex);
+    const auto renewed = shard.entries.find(host);
+    if (renewed != shard.entries.end()) {
+      renewed->second.stored_at_ms = net_->now_ms();  // fresh again
       ++stats_.hits;
-      return serve_entry(host, cached->second, true, full_metadata);
+      return serve_entry(shard, host, renewed->second, true, full_metadata);
     }
   }
   // Cooperative queries are strictly cache-only: never trigger a fetch.
@@ -174,8 +271,7 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
 
   // Scoped cooperation first: a sibling proxy may already hold the object.
   if (auto entry = fetch_from_peers(name)) {
-    cache_store(host, std::move(*entry));
-    return serve_entry(host, entries_.find(host)->second, false, full_metadata);
+    return store_and_serve(shard, host, std::move(*entry), full_metadata);
   }
 
   // Step 3: resolve the name, following at most one P-delegation hop.
@@ -201,8 +297,7 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
   for (const net::Address& location : locations) {
     auto entry = fetch_and_verify(name, location);
     if (!entry) continue;
-    cache_store(host, std::move(*entry));
-    return serve_entry(host, entries_.find(host)->second, false, full_metadata);
+    return store_and_serve(shard, host, std::move(*entry), full_metadata);
   }
   return net::make_response(502, "no location provided authentic content");
 }

@@ -12,11 +12,26 @@
 //     idICN leaves the existing web intact.
 // Verification failures are never cached or served; the proxy falls back
 // to the next known location and answers 502 when none verifies.
+//
+// Threading: handle_http is safe to call from any number of
+// runtime::ServerGroup workers concurrently. The content store is striped
+// across Options::cache_shards shards (host-hashed, each a private
+// entries-map + LRU list + byte budget behind its own Mutex, the same
+// layout cache::ShardedCache gives the simulator policies); shard locks
+// are never held across network I/O — a stale hit snapshots its
+// validators, revalidates unlocked, then re-locks to renew. Counters:
+// Stats is relaxed-atomic (live sampling from anywhere), PerfCounters are
+// per-shard plain integers bumped under the shard lock and merged by
+// perf(). add_peer() is setup-time only — call it before serving starts.
+// cache_shards=1 (the default) keeps hit/eviction behavior byte-identical
+// to the single-threaded PR-3 proxy; with S shards each shard caches its
+// slice of the host space in capacity_bytes/S.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +52,7 @@ public:
     std::uint64_t capacity_bytes = 1 << 20;
     std::uint64_t freshness_ms = 3'600'000;  ///< cached copies stay fresh this long
     bool verify = true;  ///< authenticate content before caching/serving
+    std::size_t cache_shards = 1;  ///< content-store lock stripes (≥ 1)
   };
 
   Proxy(net::Transport* net, net::Address self, net::Address nrs,
@@ -45,11 +61,10 @@ public:
         const net::DnsService* dns)
       : Proxy(net, std::move(self), std::move(nrs), dns, Options{}) {}
 
-  /// Observer counters. Written only by the thread driving handle_http
-  /// (the HostServer worker in the socket runtime), but sampled by bench
-  /// and test threads while the proxy is live — hence relaxed atomics, not
-  /// plain integers (TSan-clean cross-thread reads, no ordering promised
-  /// between counters).
+  /// Observer counters. Bumped by whichever worker thread is driving
+  /// handle_http and sampled by bench and test threads while the proxy is
+  /// live — hence relaxed atomics, not plain integers (TSan-clean
+  /// cross-thread reads, no ordering promised between counters).
   struct Stats {
     core::sync::RelaxedCounter hits;
     core::sync::RelaxedCounter misses;
@@ -66,20 +81,19 @@ public:
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
   /// miss, peers are asked — cache-only, no recursive fetch — before the
-  /// name is resolved upstream.
+  /// name is resolved upstream. Setup-time only (not guarded): call before
+  /// the hosting server starts serving.
   void add_peer(net::Address peer) { peers_.push_back(std::move(peer)); }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  /// Hot-path counters (byte throughput mirrors of Stats); zero-valued when
-  /// the perf-counter layer is compiled out. Owner-thread-only: read it
-  /// from the serving thread or after the hosting server has stopped —
-  /// live cross-thread sampling goes through stats() (relaxed atomics).
-  [[nodiscard]] const core::PerfCounters& perf() const noexcept { return perf_; }
-  [[nodiscard]] std::uint64_t cached_bytes() const noexcept { return used_bytes_; }
-  [[nodiscard]] std::size_t cached_objects() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool is_cached(const std::string& host) const {
-    return entries_.find(host) != entries_.end();
-  }
+  /// Hot-path counters (byte throughput mirrors of Stats); zero-valued
+  /// when the perf-counter layer is compiled out. Returns a merged
+  /// snapshot of the per-shard counters (each shard locked in turn), safe
+  /// from any thread while workers serve.
+  [[nodiscard]] core::PerfCounters perf() const;
+  [[nodiscard]] std::uint64_t cached_bytes() const;
+  [[nodiscard]] std::size_t cached_objects() const;
+  [[nodiscard]] bool is_cached(const std::string& host) const;
 
   net::HttpResponse handle_http(const net::HttpRequest& request,
                                 const net::Address& from) override;
@@ -95,13 +109,30 @@ private:
     std::list<std::string>::iterator lru_position;
   };
 
+  /// One lock stripe of the content store: a private host→entry map, LRU
+  /// list, and byte budget. All serving state is guarded by `mutex`; the
+  /// capacity slice is immutable after construction.
+  struct CacheShard {
+    mutable core::sync::Mutex mutex;
+    std::map<std::string, Entry> entries IDICN_GUARDED_BY(mutex);
+    std::list<std::string> lru IDICN_GUARDED_BY(mutex);  ///< front = most recent
+    std::uint64_t used_bytes IDICN_GUARDED_BY(mutex) = 0;
+    core::PerfCounters perf IDICN_GUARDED_BY(mutex);
+    std::uint64_t capacity_bytes = 0;  ///< this shard's slice; construction-time
+  };
+
+  [[nodiscard]] CacheShard& shard_for(const std::string& host);
+  [[nodiscard]] const CacheShard& shard_for(const std::string& host) const;
+
   net::HttpResponse serve_idicn(const SelfCertifyingName& name,
                                 const net::HttpRequest& request);
   net::HttpResponse serve_legacy(const std::string& host,
                                  const net::HttpRequest& request);
 
-  /// Conditional refresh of a stale entry; true when a 304 renewed it.
-  bool revalidate(const std::string& host, Entry& entry);
+  /// Conditional refresh against snapshotted validators (no shard lock —
+  /// this is network I/O); true when a 304 says the body is still good.
+  bool revalidate(const std::string& host, const std::string& etag,
+                  const net::Address& fetched_from);
   /// Ask cooperating peers (cache-only); nullopt when no peer has it.
   std::optional<Entry> fetch_from_peers(const SelfCertifyingName& name);
 
@@ -109,11 +140,24 @@ private:
   std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
                                         const net::Address& location);
 
-  net::HttpResponse serve_entry(const std::string& host, Entry& entry, bool hit,
-                                bool full_metadata);
-  void cache_store(const std::string& host, Entry entry);
-  void touch(const std::string& host);
-  void evict_until_fits(std::uint64_t incoming);
+  /// Admit a fetched entry into `shard` (evicting as needed) and serve it.
+  /// An entry too large for the shard's slice is served without being
+  /// admitted.
+  net::HttpResponse store_and_serve(CacheShard& shard, const std::string& host,
+                                    Entry entry, bool full_metadata)
+      IDICN_EXCLUDES(shard.mutex);
+
+  net::HttpResponse serve_entry(CacheShard& shard, const std::string& host,
+                                Entry& entry, bool hit, bool full_metadata)
+      IDICN_REQUIRES(shard.mutex);
+  /// True when admitted (entry moved into the shard); false when the body
+  /// exceeds the shard's capacity slice (entry untouched).
+  bool cache_store(CacheShard& shard, const std::string& host, Entry& entry)
+      IDICN_REQUIRES(shard.mutex);
+  void touch(CacheShard& shard, const std::string& host)
+      IDICN_REQUIRES(shard.mutex);
+  void evict_until_fits(CacheShard& shard, std::uint64_t incoming)
+      IDICN_REQUIRES(shard.mutex);
 
   net::Transport* net_;
   net::Address self_;
@@ -121,12 +165,11 @@ private:
   const net::DnsService* dns_;
   Options options_;
   Stats stats_;
-  core::PerfCounters perf_;
 
-  std::map<std::string, Entry> entries_;  // host → entry
-  std::list<std::string> lru_;            // front = most recent
-  std::uint64_t used_bytes_ = 0;
-  std::vector<net::Address> peers_;
+  /// Sized by the constructor, never resized: the vector and each shard's
+  /// identity are immutable; only guarded shard innards mutate.
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::vector<net::Address> peers_;  ///< setup-time only (see add_peer)
 };
 
 /// The request header marking a cache-only cooperative query (a proxy must

@@ -12,18 +12,15 @@ ReverseProxy::ReverseProxy(net::Transport* net, net::Address self, net::Address 
       self_(std::move(self)),
       origin_(std::move(origin)),
       nrs_(std::move(nrs)),
+      publisher_id_(SelfCertifyingName::publisher_id(signer->root())),
       signer_(signer) {}
-
-std::string ReverseProxy::publisher_id() const {
-  return SelfCertifyingName::publisher_id(signer_->root());
-}
 
 ReverseProxy::Entry& ReverseProxy::admit(const std::string& label, std::string body,
                                          std::string content_type) {
   Entry entry;
   entry.body = std::move(body);
   entry.content_type = std::move(content_type);
-  entry.metadata.name = SelfCertifyingName(label, publisher_id());
+  entry.metadata.name = SelfCertifyingName(label, publisher_id_);
   entry.metadata.digest = crypto::Sha256::hash(entry.body);
   entry.metadata.publisher_key = signer_->root();
   entry.metadata.signature = signer_->sign(entry.metadata.signing_input());
@@ -34,9 +31,13 @@ ReverseProxy::Entry& ReverseProxy::admit(const std::string& label, std::string b
 std::optional<SelfCertifyingName> ReverseProxy::publish(const std::string& label) {
   // A publish consumes two one-time signatures (content + registration);
   // refuse cleanly when the publisher's key is exhausted.
-  if (signer_->remaining() < 2) return std::nullopt;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    if (signer_->remaining() < 2) return std::nullopt;
+  }
 
-  // Step P1: pull the authoritative bytes from the origin.
+  // Step P1: pull the authoritative bytes from the origin (no lock across
+  // network I/O).
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/content?label=" + label;
@@ -44,62 +45,42 @@ std::optional<SelfCertifyingName> ReverseProxy::publish(const std::string& label
   if (!from_origin.ok()) return std::nullopt;
   ++origin_fetches_;
 
-  const Entry& entry =
-      admit(label, from_origin.body,
-            from_origin.headers.get("Content-Type").value_or("text/plain"));
+  std::optional<SelfCertifyingName> name;
+  crypto::MerkleSignature registration;
+  std::string key_hex;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    // Re-check: a concurrent publish/admission may have spent the budget
+    // while the fetch was in flight.
+    if (signer_->remaining() < 2) return std::nullopt;
+    const Entry& entry =
+        admit(label, from_origin.body,
+              from_origin.headers.get("Content-Type").value_or("text/plain"));
+    name = entry.metadata.name;
+    // Step P2 signature: the NRS checks nothing but cryptographic
+    // correctness.
+    registration = signer_->sign(
+        NameResolutionSystem::registration_signing_input(*name, self_));
+    key_hex = crypto::hex_encode(std::span<const std::uint8_t>(signer_->root()));
+  }
 
-  // Step P2: register the name with the resolution system; the NRS checks
-  // nothing but cryptographic correctness.
-  const crypto::MerkleSignature registration = signer_->sign(
-      NameResolutionSystem::registration_signing_input(entry.metadata.name, self_));
   net::HttpRequest reg;
   reg.method = "POST";
   reg.target = "/register";
-  reg.body = "name=" + entry.metadata.name.host() + "&location=" + self_ +
-             "&publisher-key=" +
-             crypto::hex_encode(std::span<const std::uint8_t>(signer_->root())) +
+  reg.body = "name=" + name->host() + "&location=" + self_ +
+             "&publisher-key=" + key_hex +
              "&signature=" + registration.encode();
   reg.headers.set("Content-Length", std::to_string(reg.body.size()));
   const net::HttpResponse ack = net_->send(self_, nrs_, reg);
   if (!ack.ok()) return std::nullopt;
-  return entry.metadata.name;
+  return name;
 }
 
-net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
-                                            const net::Address& /*from*/) {
-  if (request.method != "GET") return net::make_response(404, "no such endpoint");
-  const auto host = request.headers.get("Host");
-  if (!host) return net::make_response(400, "missing Host");
-  const auto name = SelfCertifyingName::parse_host(*host);
-  if (!name) return net::make_response(400, "not an idicn name");
-  if (name->publisher() != publisher_id()) {
-    return net::make_response(403, "wrong publisher");
-  }
-
-  auto it = entries_.find(name->label());
-  if (it == entries_.end()) {
-    // On-demand admission needs a fresh one-time signature.
-    if (signer_->remaining() == 0) {
-      return net::make_response(503, "publisher signing key exhausted");
-    }
-    // Step 5: route the request to the origin server.
-    net::HttpRequest fetch;
-    fetch.method = "GET";
-    fetch.target = "/content?label=" + name->label();
-    const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
-    if (!from_origin.ok()) return net::make_response(404, "no such content");
-    ++origin_fetches_;
-    admit(name->label(), from_origin.body,
-          from_origin.headers.get("Content-Type").value_or("text/plain"));
-    it = entries_.find(name->label());
-  } else {
-    ++cache_hits_;
-  }
-
+net::HttpResponse ReverseProxy::respond(const Entry& entry,
+                                        const net::HttpRequest& request) const {
   // Step 6: respond with the content plus verification metadata. The ETag
   // is the content digest, enabling cheap conditional revalidation by
   // downstream caches.
-  const Entry& entry = it->second;
   const std::string etag =
       "\"" + crypto::hex_encode(std::span<const std::uint8_t>(entry.metadata.digest)) +
       "\"";
@@ -113,6 +94,55 @@ net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
   entry.metadata.apply_to(response.headers);
   response.headers.set("ETag", etag);
   return response;
+}
+
+net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
+                                            const net::Address& /*from*/) {
+  if (request.method != "GET") return net::make_response(404, "no such endpoint");
+  const auto host = request.headers.get("Host");
+  if (!host) return net::make_response(400, "missing Host");
+  const auto name = SelfCertifyingName::parse_host(*host);
+  if (!name) return net::make_response(400, "not an idicn name");
+  if (name->publisher() != publisher_id_) {
+    return net::make_response(403, "wrong publisher");
+  }
+
+  // Fast path: already signed and cached.
+  {
+    const core::sync::MutexLock lock(mutex_);
+    const auto it = entries_.find(name->label());
+    if (it != entries_.end()) {
+      ++cache_hits_;
+      return respond(it->second, request);
+    }
+    // On-demand admission needs a fresh one-time signature.
+    if (signer_->remaining() == 0) {
+      return net::make_response(503, "publisher signing key exhausted");
+    }
+  }
+
+  // Step 5: route the request to the origin server — with the lock
+  // dropped, so sibling workers keep serving while the fetch is in flight.
+  net::HttpRequest fetch;
+  fetch.method = "GET";
+  fetch.target = "/content?label=" + name->label();
+  const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+  if (!from_origin.ok()) return net::make_response(404, "no such content");
+  ++origin_fetches_;
+
+  const core::sync::MutexLock lock(mutex_);
+  auto it = entries_.find(name->label());
+  if (it == entries_.end()) {
+    // Still missing — we are the admitting worker.
+    if (signer_->remaining() == 0) {
+      return net::make_response(503, "publisher signing key exhausted");
+    }
+    admit(name->label(), from_origin.body,
+          from_origin.headers.get("Content-Type").value_or("text/plain"));
+    it = entries_.find(name->label());
+  }
+  // (A sibling admitted it while we fetched: serve theirs, drop our copy.)
+  return respond(it->second, request);
 }
 
 }  // namespace idicn::idicn

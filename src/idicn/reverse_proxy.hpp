@@ -7,12 +7,21 @@
 //   * serves content requests by name, attaching the Metalink-style
 //     metadata headers; on a local miss it fetches from the origin
 //     (step 5) and caches the result.
+//
+// Threading: handle_http is safe under concurrent runtime::ServerGroup
+// workers. One mutex guards the signed-entry map AND the MerkleSigner —
+// sign() consumes one-time keys, so signing must be serialized — but is
+// never held across network I/O: a miss fetches from the origin unlocked,
+// then re-checks under the lock (a sibling worker may have admitted the
+// label meanwhile, in which case the extra fetch is discarded). The hit /
+// fetch counters are relaxed atomics, sampleable from any thread.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
 
+#include "core/sync.hpp"
 #include "crypto/lamport.hpp"
 #include "idicn/metalink.hpp"
 #include "idicn/name.hpp"
@@ -29,8 +38,11 @@ public:
   ReverseProxy(net::Transport* net, net::Address self, net::Address origin,
                net::Address nrs, crypto::MerkleSigner* signer);
 
-  /// The publisher id (P) this proxy publishes under.
-  [[nodiscard]] std::string publisher_id() const;
+  /// The publisher id (P) this proxy publishes under (computed once at
+  /// construction — the signer's Merkle root is immutable).
+  [[nodiscard]] const std::string& publisher_id() const noexcept {
+    return publisher_id_;
+  }
 
   /// Publish content already held at the origin under `label` (step P1):
   /// fetch it, sign it, register the name (step P2). Returns the full
@@ -38,9 +50,11 @@ public:
   /// or registration is refused.
   std::optional<SelfCertifyingName> publish(const std::string& label);
 
-  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_hits_.value();
+  }
   [[nodiscard]] std::uint64_t origin_fetches() const noexcept {
-    return origin_fetches_;
+    return origin_fetches_.value();
   }
 
   /// HTTP face: GET with Host: <L>.<P>.idicn.org (any path).
@@ -55,16 +69,26 @@ private:
   };
 
   /// Sign and remember metadata for (label, body); returns the entry.
-  Entry& admit(const std::string& label, std::string body, std::string content_type);
+  Entry& admit(const std::string& label, std::string body,
+               std::string content_type) IDICN_REQUIRES(mutex_);
+  /// Build the 200 (or conditional 304) answer for a signed entry.
+  [[nodiscard]] net::HttpResponse respond(const Entry& entry,
+                                          const net::HttpRequest& request) const
+      IDICN_REQUIRES(mutex_);
 
   net::Transport* net_;
   net::Address self_;
   net::Address origin_;
   net::Address nrs_;
-  crypto::MerkleSigner* signer_;
-  std::map<std::string, Entry> entries_;  // label → signed content
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t origin_fetches_ = 0;
+  std::string publisher_id_;  ///< construction-time, immutable
+  /// Guards the entry map and the signer's one-time-key state; never held
+  /// across net_->send().
+  mutable core::sync::Mutex mutex_;
+  crypto::MerkleSigner* signer_ IDICN_PT_GUARDED_BY(mutex_);
+  std::map<std::string, Entry> entries_
+      IDICN_GUARDED_BY(mutex_);  // label → signed content
+  core::sync::RelaxedCounter cache_hits_;
+  core::sync::RelaxedCounter origin_fetches_;
 };
 
 }  // namespace idicn::idicn

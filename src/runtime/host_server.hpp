@@ -1,141 +1,34 @@
-// SimHost → real-socket adapter.
+// SimHost → real-socket adapter (single-reactor spelling).
 //
 // HostServer takes any net::SimHost (Proxy, NameResolutionSystem,
-// OriginServer, ReverseProxy, …) and serves it over real loopback TCP:
-// a non-blocking listener on its own event-loop thread, per-connection
-// incremental decoding (net::HttpDecoder), keep-alive and pipelined
-// requests, write backpressure, and timer-wheel idle/request timeouts.
-// The hosted class is completely unchanged — handle_http() sees the same
-// (request, from) it saw on SimNet, with `from` the peer's ip:port.
-//
-// Threading: one HostServer = one worker thread = one event loop; the
-// hosted SimHost's handle_http runs only on that thread, and while the
-// server runs, the hosted object and all connection state belong to it
-// (IDICN_GUARDED_BY(loop_role_); see DESIGN.md §"Threading model"). Other
-// threads interact through three safe doors: stats() (mutex-guarded
-// snapshot), stop() (joins the worker first), and run_on_loop() (executes
-// a closure on the worker and waits — use it to mutate or inspect the
-// hosted SimHost while the server is live). A hosted Proxy whose upstream
-// transport is a SocketNet will block its worker during upstream fetches —
-// the same synchronous semantics the §6 prototype has on SimNet, just over
-// real sockets.
+// OriginServer, ReverseProxy, …) and serves it over real loopback TCP.
+// Since PR 4 it is a thin shell over runtime::ServerGroup — the N-worker
+// multi-reactor — fixed at the group's defaults (one worker unless
+// Options::workers says otherwise). Everything HostServer historically
+// promised (keep-alive, pipelining, backpressure, idle/request timeouts,
+// per-connection single-thread ownership) now lives in server_group.cpp;
+// see server_group.hpp for the threading contract.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
-#include <string>
-
-#include "core/sync.hpp"
-#include "net/http_decoder.hpp"
-#include "net/sim_net.hpp"
-#include "runtime/event_loop.hpp"
-#include "runtime/tcp.hpp"
+#include "runtime/server_group.hpp"
 
 namespace idicn::runtime {
 
-class HostServer {
+class HostServer : public ServerGroup {
  public:
-  struct Options {
-    std::uint64_t idle_timeout_ms = 30'000;    ///< close quiet keep-alive conns
-    std::uint64_t request_timeout_ms = 10'000; ///< partial request must finish
-    std::size_t max_connections = 1024;        ///< accepted conns beyond: 503+close
-    net::HttpDecoder::Limits decoder_limits;
-    PollerBackend backend = PollerBackend::Auto;
-  };
+  using Options = ServerGroup::Options;
+  using Stats = ServerGroup::Stats;
 
-  /// `host` (non-owning) must outlive the server; `address` is the logical
-  /// name shown to the hosted SimHost and in diagnostics.
-  HostServer(net::SimHost* host, std::string address);
-  HostServer(net::SimHost* host, std::string address, Options options);
-  ~HostServer();
+  HostServer(net::SimHost* host, std::string address)
+      : ServerGroup(host, std::move(address)) {}
+  HostServer(net::SimHost* host, std::string address, Options options)
+      : ServerGroup(host, std::move(address), options) {}
 
-  HostServer(const HostServer&) = delete;
-  HostServer& operator=(const HostServer&) = delete;
-
-  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the worker thread, and
-  /// return the bound port. Throws std::runtime_error when binding fails.
-  std::uint16_t start(std::uint16_t port = 0);
-  /// Stop the loop, close all connections, join the worker. Idempotent.
-  void stop();
-
-  /// Execute `fn` on the worker thread and wait for it to finish. The only
-  /// sanctioned way to touch the hosted SimHost (publish content, register
-  /// names, read its counters) from another thread while the server is
-  /// running. When the server is not running, `fn` runs inline — the caller
-  /// owns all state then. Must not be called from the worker itself.
-  void run_on_loop(const std::function<void()>& fn);
-
-  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
-  [[nodiscard]] const std::string& address() const noexcept { return address_; }
-  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
-
-  struct Stats {
-    std::uint64_t connections_accepted = 0;
-    std::uint64_t connections_closed = 0;
-    std::uint64_t connections_rejected = 0;  ///< over max_connections
-    std::uint64_t requests_served = 0;
-    std::uint64_t bytes_in = 0;
-    std::uint64_t bytes_out = 0;
-    std::uint64_t decode_errors = 0;
-    std::uint64_t timeouts = 0;              ///< idle + request deadline closes
-  };
-  [[nodiscard]] Stats stats() const IDICN_EXCLUDES(stats_mutex_);
-
- private:
-  struct Connection {
-    ScopedFd fd;
-    std::string peer;                ///< "ip:port", passed as `from`
-    net::HttpDecoder decoder;
-    std::string out;                 ///< bytes awaiting the socket
-    std::size_t out_offset = 0;
-    bool closing = false;            ///< close once `out` drains
-    bool write_armed = false;        ///< poller is watching writability
-    std::uint64_t last_activity_ms = 0;
-    std::uint64_t message_start_ms = 0;  ///< first byte of in-flight request
-    TimerWheel::TimerId timer = 0;
-
-    explicit Connection(int fd_in, std::string peer_in,
-                        const net::HttpDecoder::Limits& limits)
-        : fd(fd_in),
-          peer(std::move(peer_in)),
-          decoder(net::HttpDecoder::Mode::Request, limits) {}
-  };
-
-  void on_accept() IDICN_REQUIRES(loop_role_);
-  void on_connection_event(int fd, bool readable, bool writable, bool error)
-      IDICN_REQUIRES(loop_role_);
-  void serve_decoded(Connection& conn) IDICN_REQUIRES(loop_role_);
-  void flush(Connection& conn) IDICN_REQUIRES(loop_role_);
-  void arm_timer(Connection& conn) IDICN_REQUIRES(loop_role_);
-  void check_deadlines(int fd) IDICN_REQUIRES(loop_role_);
-  void close_connection(int fd) IDICN_REQUIRES(loop_role_);
-
-  /// Owns the hosted SimHost and all connection state while the worker
-  /// runs; bound by the worker thread body, re-claimed by stop() after the
-  /// join (an unbound role is free for any thread).
-  core::sync::ThreadRole loop_role_;
-
-  net::SimHost* host_;  ///< loop-thread-owned while running (see loop_role_)
-  std::string address_;
-  Options options_;
-  /// Created by start() before the worker exists, destroyed by stop()
-  /// after the join; the pointer itself is never touched concurrently.
-  std::unique_ptr<EventLoop> loop_;
-  ScopedFd listener_;       ///< written by start()/stop() only
-  std::uint16_t port_ = 0;  ///< written by start() before the worker exists
-  core::sync::Thread thread_;
-  std::map<int, std::unique_ptr<Connection>> connections_
-      IDICN_GUARDED_BY(loop_role_);
-
-  mutable core::sync::Mutex stats_mutex_;
-  Stats stats_ IDICN_GUARDED_BY(stats_mutex_);
+  /// Historic name for the cross-thread door: execute `fn` with exclusive
+  /// access to the hosted SimHost and wait. With one worker this is
+  /// exactly the old post-and-wait semantics; with several it parks the
+  /// whole group (run_on_all_workers).
+  void run_on_loop(const std::function<void()>& fn) { run_on_all_workers(fn); }
 };
-
-// Out of line: Options' default member initializers only become usable once
-// the enclosing class is complete.
-inline HostServer::HostServer(net::SimHost* host, std::string address)
-    : HostServer(host, std::move(address), Options{}) {}
 
 }  // namespace idicn::runtime

@@ -1,0 +1,656 @@
+#include "runtime/server_group.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <stdexcept>
+
+#include "runtime/event_loop.hpp"
+#include "runtime/tcp.hpp"
+
+namespace idicn::runtime {
+namespace {
+
+std::string peer_name(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+void accumulate(ServerGroup::Stats& total, const ServerGroup::Stats& part) {
+  total.connections_accepted += part.connections_accepted;
+  total.connections_closed += part.connections_closed;
+  total.connections_rejected += part.connections_rejected;
+  total.requests_served += part.requests_served;
+  total.bytes_in += part.bytes_in;
+  total.bytes_out += part.bytes_out;
+  total.decode_errors += part.decode_errors;
+  total.timeouts += part.timeouts;
+}
+
+}  // namespace
+
+// One reactor: an EventLoop thread owning a connection table and (in
+// SO_REUSEPORT mode) its own listener. The hosted SimHost is shared across
+// workers — everything else here is single-worker-owned, guarded by this
+// worker's loop_role_. Lifecycle methods (start / stop_accepting /
+// begin_drain / shutdown) are driven by the ServerGroup's controlling
+// thread in that order.
+class ServerWorker {
+ public:
+  ServerWorker(net::SimHost* host, const ServerGroup::Options& options,
+               ServerGroup* group)
+      : host_(host), options_(options), group_(group) {}
+  ~ServerWorker() { shutdown(); }
+
+  ServerWorker(const ServerWorker&) = delete;
+  ServerWorker& operator=(const ServerWorker&) = delete;
+
+  /// Install this worker's listener before start(). `dispatch_round_robin`
+  /// switches the accept handler from "adopt locally" (SO_REUSEPORT mode)
+  /// to "hand off via the group's round-robin cursor" (fallback mode,
+  /// worker 0 only).
+  void set_listener(ScopedFd listener, bool dispatch_round_robin) {
+    loop_role_.assert_held();  // pre-start: the role is unbound
+    listener_ = std::move(listener);
+    dispatch_round_robin_ = dispatch_round_robin;
+  }
+
+  void start() {
+    loop_role_.assert_held();  // pre-start: the role is unbound
+    loop_ = std::make_unique<EventLoop>(options_.backend);
+    if (listener_.valid()) {
+      loop_->watch(listener_.get(), true, false,
+                   [this](bool readable, bool, bool) {
+                     loop_role_.assert_held();
+                     if (readable) on_accept();
+                   });
+    }
+    thread_ = core::sync::Thread([this] {
+      loop_role_.bind();  // the worker owns its connections (+ shared host)
+      loop_->run();
+      loop_role_.unbind();
+    });
+  }
+
+  /// Stop() phase 1: close the listener (post-and-wait, so no accept
+  /// handler is mid-flight once this returns). No-op for listenerless
+  /// fallback workers.
+  void stop_accepting() {
+    run_and_wait([this] {
+      loop_role_.assert_held();
+      if (listener_.valid()) {
+        loop_->unwatch(listener_.get());
+        listener_.reset();
+      }
+    });
+  }
+
+  /// Stop() phase 2 kickoff: close idle keep-alive connections now and
+  /// mark the rest to close as soon as their buffered requests are
+  /// answered (serve_decoded / flush consult draining_).
+  void begin_drain() {
+    loop_->post([this] {
+      loop_role_.assert_held();
+      draining_ = true;
+      std::vector<int> idle;
+      for (auto& [fd, conn] : connections_) {
+        const bool mid_request = conn->decoder.buffered_bytes() > 0;
+        if (!mid_request && conn->out.empty()) {
+          idle.push_back(fd);
+        } else {
+          conn->closing = true;
+        }
+      }
+      for (const int fd : idle) close_connection(fd);
+    });
+  }
+
+  /// Stop() phase 3: stop the loop, join, force-close drain stragglers.
+  /// Idempotent.
+  void shutdown() {
+    if (!thread_.joinable()) return;
+    loop_->stop();
+    thread_.join();
+    // The worker unbound the role on exit; re-claim its state from this
+    // thread and tear down on the (now stopped) loop's structures.
+    loop_role_.assert_held();
+    for (auto& [fd, conn] : connections_) {
+      loop_->unwatch(fd);
+      (void)conn;
+    }
+    connections_.clear();
+    active_ = 0;
+    if (listener_.valid()) {
+      loop_->unwatch(listener_.get());
+      listener_.reset();
+    }
+    loop_.reset();
+  }
+
+  /// Queue a task on this worker's loop (rendezvous door for the group).
+  void post(std::function<void()> task) { loop_->post(std::move(task)); }
+
+  /// Post `fn` to the loop and block until it ran. Must not be called from
+  /// this worker's own thread.
+  void run_and_wait(const std::function<void()>& fn) {
+    if (!thread_.joinable()) {
+      loop_role_.assert_held();  // not running: the caller owns all state
+      fn();
+      return;
+    }
+    assert(thread_.get_id() != std::this_thread::get_id() &&
+           "run_and_wait called from the worker thread");
+    core::sync::Mutex mutex;
+    core::sync::CondVar done_cv;
+    bool done = false;
+    loop_->post([&] {
+      fn();
+      const core::sync::MutexLock lock(mutex);
+      done = true;
+      done_cv.notify_one();
+    });
+    const core::sync::MutexLock lock(mutex);
+    while (!done) done_cv.wait(mutex);
+  }
+
+  /// Take ownership of an accepted fd from any thread (the fallback
+  /// dispatch path). Cross-thread handoffs wrap the fd in a shared
+  /// ScopedFd so it still closes if the loop stops before running the
+  /// task.
+  void adopt_from_any_thread(int fd, std::string peer) {
+    if (thread_.get_id() == std::this_thread::get_id()) {
+      loop_role_.assert_held();
+      adopt_connection(ScopedFd(fd), std::move(peer));
+      return;
+    }
+    auto guard = std::make_shared<ScopedFd>(fd);
+    loop_->post([this, guard, peer = std::move(peer)]() mutable {
+      loop_role_.assert_held();
+      adopt_connection(std::move(*guard), std::move(peer));
+    });
+  }
+
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return active_.value();
+  }
+  [[nodiscard]] std::thread::id thread_id() const noexcept {
+    return thread_.get_id();
+  }
+
+  [[nodiscard]] ServerGroup::Stats stats() const IDICN_EXCLUDES(stats_mutex_) {
+    const core::sync::MutexLock lock(stats_mutex_);
+    return stats_;
+  }
+
+ private:
+  struct Connection {
+    ScopedFd fd;
+    std::string peer;                ///< "ip:port", passed as `from`
+    net::HttpDecoder decoder;
+    std::string out;                 ///< bytes awaiting the socket
+    std::size_t out_offset = 0;
+    bool closing = false;            ///< close once `out` drains
+    bool write_armed = false;        ///< poller is watching writability
+    std::uint64_t last_activity_ms = 0;
+    std::uint64_t message_start_ms = 0;  ///< first byte of in-flight request
+    TimerWheel::TimerId timer = 0;
+
+    Connection(ScopedFd fd_in, std::string peer_in,
+               const net::HttpDecoder::Limits& limits)
+        : fd(std::move(fd_in)),
+          peer(std::move(peer_in)),
+          decoder(net::HttpDecoder::Mode::Request, limits) {}
+  };
+
+  void on_accept() IDICN_REQUIRES(loop_role_) {
+    while (true) {
+      sockaddr_in addr{};
+      socklen_t len = sizeof(addr);
+      const int fd = ::accept(listener_.get(),
+                              reinterpret_cast<sockaddr*>(&addr), &len);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        return;  // transient accept failure; the listener stays armed
+      }
+      if (dispatch_round_robin_) {
+        group_->dispatch_accepted(fd, peer_name(addr));
+      } else {
+        adopt_connection(ScopedFd(fd), peer_name(addr));
+      }
+    }
+  }
+
+  void adopt_connection(ScopedFd fd, std::string peer)
+      IDICN_REQUIRES(loop_role_) {
+    if (draining_) return;  // shutting down: refuse, ScopedFd closes
+    if (connections_.size() >= options_.max_connections) {
+      const std::string reply =
+          net::make_response(503, "server at connection capacity").serialize();
+      (void)!::send(fd.get(), reply.data(), reply.size(), MSG_NOSIGNAL);
+      const core::sync::MutexLock lock(stats_mutex_);
+      ++stats_.connections_rejected;
+      return;  // ScopedFd closes
+    }
+    set_nonblocking(fd.get());
+    set_nodelay(fd.get());
+
+    const int raw = fd.get();
+    auto conn = std::make_unique<Connection>(std::move(fd), std::move(peer),
+                                             options_.decoder_limits);
+    conn->last_activity_ms = loop_->now_ms();
+    arm_timer(*conn);
+    loop_->watch(raw, true, false,
+                 [this, raw](bool readable, bool writable, bool error) {
+                   loop_role_.assert_held();
+                   on_connection_event(raw, readable, writable, error);
+                 });
+    connections_.emplace(raw, std::move(conn));
+    ++active_;
+    const core::sync::MutexLock lock(stats_mutex_);
+    ++stats_.connections_accepted;
+  }
+
+  void arm_timer(Connection& conn) IDICN_REQUIRES(loop_role_) {
+    // Lazy deadline check: fire at the nearest possible deadline and
+    // recompute; reads just bump last_activity_ms without timer churn.
+    const std::uint64_t delay =
+        std::min(options_.idle_timeout_ms, options_.request_timeout_ms);
+    const int fd = conn.fd.get();
+    conn.timer = loop_->add_timer(delay, [this, fd] {
+      loop_role_.assert_held();
+      check_deadlines(fd);
+    });
+  }
+
+  void check_deadlines(int fd) IDICN_REQUIRES(loop_role_) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = *it->second;
+    if (conn.closing) {  // already draining towards close; stop waiting
+      close_connection(fd);
+      return;
+    }
+    const std::uint64_t now = loop_->now_ms();
+
+    const bool mid_request = conn.decoder.buffered_bytes() > 0;
+    const bool request_expired =
+        mid_request &&
+        now - conn.message_start_ms >= options_.request_timeout_ms;
+    const bool idle_expired =
+        now - conn.last_activity_ms >= options_.idle_timeout_ms;
+
+    if (request_expired || idle_expired) {
+      {
+        const core::sync::MutexLock lock(stats_mutex_);
+        ++stats_.timeouts;
+      }
+      if (request_expired) {
+        conn.out += net::make_response(408, "request timed out").serialize();
+      }
+      conn.closing = true;
+      flush(conn);  // may close the connection
+      if (connections_.count(fd) != 0) arm_timer(conn);
+      return;
+    }
+    arm_timer(conn);
+  }
+
+  void close_connection(int fd) IDICN_REQUIRES(loop_role_) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    loop_->cancel_timer(it->second->timer);
+    loop_->unwatch(fd);
+    connections_.erase(it);  // ScopedFd closes
+    --active_;
+    {
+      const core::sync::MutexLock lock(stats_mutex_);
+      ++stats_.connections_closed;
+    }
+    group_->notify_connection_closed();  // a drain wait may be pending
+  }
+
+  void serve_decoded(Connection& conn) IDICN_REQUIRES(loop_role_) {
+    // Drain every pipelined request in arrival order.
+    while (auto request = conn.decoder.next_request()) {
+      net::HttpResponse response;
+      try {
+        response = host_->handle_http(*request, conn.peer);
+      } catch (const std::exception& e) {
+        response =
+            net::make_response(500, std::string("handler error: ") + e.what());
+      }
+      const bool peer_wants_close = [&] {
+        const auto connection = request->headers.get("Connection");
+        if (connection) return *connection == "close" || *connection == "Close";
+        return request->version == "HTTP/1.0";
+      }();
+      if (peer_wants_close) {
+        response.headers.set("Connection", "close");
+        conn.closing = true;
+      }
+      conn.out += response.serialize();
+      {
+        const core::sync::MutexLock lock(stats_mutex_);
+        ++stats_.requests_served;
+      }
+      if (conn.closing) break;
+    }
+    // A draining worker closes each connection once its buffered requests
+    // are answered — further keep-alive traffic would outlive the window.
+    if (draining_) conn.closing = true;
+
+    if (conn.decoder.failed()) {
+      {
+        const core::sync::MutexLock lock(stats_mutex_);
+        ++stats_.decode_errors;
+      }
+      conn.out += net::make_response(conn.decoder.suggested_status(),
+                                     "malformed request: " +
+                                         conn.decoder.error())
+                      .serialize();
+      conn.closing = true;
+    }
+  }
+
+  void flush(Connection& conn) IDICN_REQUIRES(loop_role_) {
+    const int fd = conn.fd.get();
+    while (conn.out_offset < conn.out.size()) {
+      const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // Backpressure: park the rest until the socket drains.
+          if (!conn.write_armed) {
+            conn.write_armed = true;
+            loop_->update(fd, !conn.closing, true);
+          }
+          return;
+        }
+        close_connection(fd);
+        return;
+      }
+      conn.out_offset += static_cast<std::size_t>(n);
+      const core::sync::MutexLock lock(stats_mutex_);
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+    }
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.closing) {
+      close_connection(fd);
+      return;
+    }
+    if (conn.write_armed) {
+      conn.write_armed = false;
+      loop_->update(fd, true, false);
+    }
+  }
+
+  void on_connection_event(int fd, bool readable, bool writable, bool error)
+      IDICN_REQUIRES(loop_role_) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = *it->second;
+
+    if (error) {
+      close_connection(fd);
+      return;
+    }
+
+    if (readable) {
+      char buffer[16 * 1024];
+      while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n == 0) {  // orderly shutdown by the peer
+          close_connection(fd);
+          return;
+        }
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          close_connection(fd);
+          return;
+        }
+        const std::uint64_t now = loop_->now_ms();
+        if (conn.decoder.buffered_bytes() == 0) conn.message_start_ms = now;
+        conn.last_activity_ms = now;
+        {
+          const core::sync::MutexLock lock(stats_mutex_);
+          stats_.bytes_in += static_cast<std::uint64_t>(n);
+        }
+        conn.decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+      }
+      serve_decoded(conn);
+    }
+
+    if (writable || !conn.out.empty()) flush(conn);
+  }
+
+  /// Owns this worker's connection state while its thread runs; bound by
+  /// the worker thread body, re-claimed by shutdown() after the join.
+  core::sync::ThreadRole loop_role_;
+
+  net::SimHost* host_;  ///< shared across workers; thread-safe handle_http
+  const ServerGroup::Options& options_;  ///< owned by the ServerGroup
+  ServerGroup* group_;                   ///< owns this worker
+  /// Created by start() before the thread exists, destroyed by shutdown()
+  /// after the join; the pointer itself is never touched concurrently.
+  std::unique_ptr<EventLoop> loop_;
+  ScopedFd listener_ IDICN_GUARDED_BY(loop_role_);
+  bool dispatch_round_robin_ IDICN_GUARDED_BY(loop_role_) = false;
+  bool draining_ IDICN_GUARDED_BY(loop_role_) = false;
+  core::sync::Thread thread_;
+  std::map<int, std::unique_ptr<Connection>> connections_
+      IDICN_GUARDED_BY(loop_role_);
+  /// Live connection gauge sampled by the group's drain wait.
+  core::sync::RelaxedCounter active_;
+
+  mutable core::sync::Mutex stats_mutex_;
+  ServerGroup::Stats stats_ IDICN_GUARDED_BY(stats_mutex_);
+};
+
+ServerGroup::ServerGroup(net::SimHost* host, std::string address)
+    : ServerGroup(host, std::move(address), Options{}) {}
+
+ServerGroup::ServerGroup(net::SimHost* host, std::string address,
+                         Options options)
+    : host_(host), address_(std::move(address)), options_(options) {
+  if (host_ == nullptr) throw std::invalid_argument("ServerGroup: null host");
+}
+
+ServerGroup::~ServerGroup() { stop(); }
+
+std::uint16_t ServerGroup::start(std::uint16_t port) {
+  if (!workers_.empty()) {
+    throw std::runtime_error("ServerGroup: already started");
+  }
+  const std::size_t worker_total = std::max<std::size_t>(1, options_.workers);
+
+  // Preferred path: one SO_REUSEPORT listener per worker, all bound to the
+  // same port — the kernel spreads accepted connections across them. Any
+  // bind failure falls back to the portable single-acceptor layout.
+  std::vector<ScopedFd> listeners;
+  std::uint16_t bound = 0;
+  std::string error;
+  reuseport_active_ = false;
+  if (worker_total > 1 && options_.reuseport && reuseport_supported()) {
+    ListenOptions listen_options;
+    listen_options.reuseport = true;
+    bool all_bound = true;
+    for (std::size_t i = 0; i < worker_total; ++i) {
+      // The first bind resolves an ephemeral request; siblings join it.
+      const std::uint16_t request = listeners.empty() ? port : bound;
+      const int fd = listen_tcp(request, &bound, &error, listen_options);
+      if (fd < 0) {
+        all_bound = false;
+        break;
+      }
+      listeners.emplace_back(fd);
+    }
+    if (all_bound) {
+      reuseport_active_ = true;
+    } else {
+      listeners.clear();
+      bound = 0;
+    }
+  }
+  if (!reuseport_active_) {
+    const int fd = listen_tcp(port, &bound, &error);
+    if (fd < 0) {
+      throw std::runtime_error("ServerGroup[" + address_ + "]: " + error);
+    }
+    listeners.emplace_back(fd);
+  }
+  port_ = bound;
+
+  for (std::size_t i = 0; i < worker_total; ++i) {
+    workers_.push_back(
+        std::make_unique<ServerWorker>(host_, options_, this));
+  }
+  if (reuseport_active_) {
+    for (std::size_t i = 0; i < worker_total; ++i) {
+      workers_[i]->set_listener(std::move(listeners[i]),
+                                /*dispatch_round_robin=*/false);
+    }
+  } else {
+    // Single acceptor on worker 0; with more than one worker it
+    // round-robins accepted fds across the group (including itself).
+    workers_[0]->set_listener(std::move(listeners[0]),
+                              /*dispatch_round_robin=*/worker_total > 1);
+  }
+  for (auto& worker : workers_) worker->start();
+  return port_;
+}
+
+void ServerGroup::stop() {
+  if (workers_.empty()) return;
+  // 1. Stop accepting: every listener closes before any drain begins.
+  for (auto& worker : workers_) worker->stop_accepting();
+  // 2. Drain: idle connections close immediately, in-flight requests get
+  //    up to drain_timeout_ms; each close signals drain_cv_.
+  for (auto& worker : workers_) worker->begin_drain();
+  {
+    const core::sync::MutexLock lock(drain_mutex_);
+    drain_cv_.wait_for(drain_mutex_, options_.drain_timeout_ms,
+                       [this] { return total_active_connections() == 0; });
+  }
+  // 3. Join every worker; stragglers past the deadline are force-closed.
+  for (auto& worker : workers_) worker->shutdown();
+  {
+    const core::sync::MutexLock lock(lifecycle_mutex_);
+    retired_worker_stats_.clear();
+    for (auto& worker : workers_) {
+      const Stats part = worker->stats();
+      accumulate(retired_total_, part);
+      retired_worker_stats_.push_back(part);
+    }
+    workers_.clear();
+  }
+  next_worker_.store(0, std::memory_order_relaxed);
+}
+
+void ServerGroup::run_on_all_workers(const std::function<void()>& fn) {
+  if (workers_.empty()) {
+    fn();  // not running: the caller owns all state
+    return;
+  }
+#ifndef NDEBUG
+  for (const auto& worker : workers_) {
+    assert(worker->thread_id() != std::this_thread::get_id() &&
+           "run_on_all_workers called from a worker thread");
+  }
+#endif
+  struct Rendezvous {
+    core::sync::Mutex mutex;
+    core::sync::CondVar cv;
+    std::size_t parked IDICN_GUARDED_BY(mutex) = 0;
+    bool resume IDICN_GUARDED_BY(mutex) = false;
+  };
+  // Heap-held and shared with every worker task: the last worker to wake
+  // may still touch the mutex after this function has already returned.
+  auto rendezvous = std::make_shared<Rendezvous>();
+  const std::size_t worker_total = workers_.size();
+  for (auto& worker : workers_) {
+    worker->post([rendezvous] {
+      const core::sync::MutexLock lock(rendezvous->mutex);
+      ++rendezvous->parked;
+      rendezvous->cv.notify_all();
+      while (!rendezvous->resume) rendezvous->cv.wait(rendezvous->mutex);
+    });
+  }
+  {
+    const core::sync::MutexLock lock(rendezvous->mutex);
+    while (rendezvous->parked != worker_total) {
+      rendezvous->cv.wait(rendezvous->mutex);
+    }
+  }
+  // Every worker is parked: this thread has exclusive access to the host.
+  const auto release = [&rendezvous] {
+    {
+      const core::sync::MutexLock lock(rendezvous->mutex);
+      rendezvous->resume = true;
+    }
+    rendezvous->cv.notify_all();
+  };
+  try {
+    fn();
+  } catch (...) {
+    release();
+    throw;
+  }
+  release();
+}
+
+std::size_t ServerGroup::worker_count() const noexcept {
+  if (!workers_.empty()) return workers_.size();
+  return std::max<std::size_t>(1, options_.workers);
+}
+
+ServerGroup::Stats ServerGroup::stats() const {
+  const core::sync::MutexLock lock(lifecycle_mutex_);
+  Stats total = retired_total_;
+  for (const auto& worker : workers_) accumulate(total, worker->stats());
+  return total;
+}
+
+ServerGroup::Stats ServerGroup::worker_stats(std::size_t worker) const {
+  const core::sync::MutexLock lock(lifecycle_mutex_);
+  if (!workers_.empty()) {
+    if (worker >= workers_.size()) {
+      throw std::out_of_range("ServerGroup::worker_stats: no such worker");
+    }
+    return workers_[worker]->stats();
+  }
+  // Stopped: answer from the last run's retirement snapshot.
+  if (worker >= retired_worker_stats_.size()) {
+    throw std::out_of_range("ServerGroup::worker_stats: no such worker");
+  }
+  return retired_worker_stats_[worker];
+}
+
+void ServerGroup::dispatch_accepted(int fd, std::string peer) {
+  const std::size_t target =
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  workers_[target]->adopt_from_any_thread(fd, std::move(peer));
+}
+
+void ServerGroup::notify_connection_closed() {
+  // Taken-and-dropped so a concurrent drain wait cannot miss the signal
+  // between its predicate check and its sleep.
+  const core::sync::MutexLock lock(drain_mutex_);
+  drain_cv_.notify_all();
+}
+
+std::size_t ServerGroup::total_active_connections() const {
+  std::size_t total = 0;
+  for (const auto& worker : workers_) total += worker->active_connections();
+  return total;
+}
+
+}  // namespace idicn::runtime

@@ -1,0 +1,144 @@
+// Multi-reactor SimHost server: N event-loop workers behind one port.
+//
+// ServerGroup generalizes the PR-2 one-reactor-per-server HostServer to an
+// N-worker multi-reactor. Each worker owns its own EventLoop + Poller and
+// its own connection table; the kernel (SO_REUSEPORT, one listening socket
+// per worker bound to the same port) load-balances accepted connections
+// across workers, so accept/decode/serve scales with cores instead of
+// being pinned to one thread. Where SO_REUSEPORT is unavailable — or when
+// the group runs a single worker — a lone acceptor on worker 0 round-robins
+// accepted fds to the other workers through EventLoop::post() (the
+// portability fallback, unit-tested by forcing `Options::reuseport=false`).
+//
+// Threading (DESIGN.md §"Multi-reactor runtime"): per-connection state is
+// owned by exactly one worker (IDICN_GUARDED_BY its loop role), but the
+// hosted net::SimHost is now *shared by all workers* — its handle_http must
+// be thread-safe when `workers > 1` (Proxy/NRS/OriginServer/ReverseProxy
+// are; see their headers). Other threads interact through four doors:
+//   * stats() / worker_stats(i)    — mutex-guarded snapshots, safe live;
+//   * run_on_all_workers(fn)       — stop-the-world door replacing
+//     HostServer::run_on_loop(): every worker parks at a rendezvous, `fn`
+//     runs with exclusive access to the hosted SimHost, then all workers
+//     resume. Use it to publish content or inspect host state while the
+//     group serves traffic;
+//   * stop()                       — ordered, idempotent shutdown:
+//     stop accepting → drain in-flight requests (bounded by
+//     Options::drain_timeout_ms; idle keep-alive connections close
+//     immediately) → stop and join every worker;
+//   * EventLoop-level post() via the workers (internal).
+// Lifecycle calls (start/stop/run_on_all_workers) must come from one
+// controlling thread at a time — exactly the contract HostServer had.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "net/http_decoder.hpp"
+#include "net/sim_net.hpp"
+#include "runtime/poller.hpp"
+
+namespace idicn::runtime {
+
+class ServerWorker;
+
+class ServerGroup {
+ public:
+  struct Options {
+    std::uint64_t idle_timeout_ms = 30'000;     ///< close quiet keep-alive conns
+    std::uint64_t request_timeout_ms = 10'000;  ///< partial request must finish
+    std::size_t max_connections = 1024;         ///< per worker; beyond: 503+close
+    net::HttpDecoder::Limits decoder_limits;
+    PollerBackend backend = PollerBackend::Auto;
+    std::size_t workers = 1;      ///< reactor threads (0 is clamped to 1)
+    bool reuseport = true;        ///< try SO_REUSEPORT when workers > 1
+    std::uint64_t drain_timeout_ms = 5'000;  ///< stop(): in-flight grace period
+  };
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t requests_served = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t timeouts = 0;              ///< idle + request deadline closes
+  };
+
+  /// `host` (non-owning) must outlive the group and must be thread-safe
+  /// when `options.workers > 1` — every worker calls handle_http on it.
+  ServerGroup(net::SimHost* host, std::string address);
+  ServerGroup(net::SimHost* host, std::string address, Options options);
+  ~ServerGroup();
+
+  ServerGroup(const ServerGroup&) = delete;
+  ServerGroup& operator=(const ServerGroup&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) across all workers, start the
+  /// worker threads, and return the bound port. Throws std::runtime_error
+  /// when binding fails.
+  std::uint16_t start(std::uint16_t port = 0);
+
+  /// Ordered, idempotent shutdown: close every listener (no new
+  /// connections), give in-flight requests up to Options::drain_timeout_ms
+  /// to finish (idle keep-alive connections close immediately), then stop
+  /// every loop and join every worker.
+  void stop() IDICN_EXCLUDES(drain_mutex_);
+
+  /// Execute `fn` once with every worker parked at a barrier — exclusive
+  /// access to the hosted SimHost while the group is live (the
+  /// generalization of HostServer::run_on_loop). When the group is not
+  /// running, `fn` runs inline. Must not be called from a worker thread.
+  void run_on_all_workers(const std::function<void()>& fn);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& address() const noexcept { return address_; }
+  [[nodiscard]] bool running() const noexcept { return !workers_.empty(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept;
+  /// True when each worker accepts on its own SO_REUSEPORT listener (vs
+  /// the single-acceptor round-robin fallback).
+  [[nodiscard]] bool using_reuseport() const noexcept { return reuseport_active_; }
+
+  /// Aggregate across workers (safe while serving).
+  [[nodiscard]] Stats stats() const;
+  /// One worker's counters (for per-worker throughput / balance reports).
+  [[nodiscard]] Stats worker_stats(std::size_t worker) const;
+
+ private:
+  friend class ServerWorker;
+
+  /// Fallback accept path: worker 0 hands the accepted fd to the next
+  /// worker round-robin (possibly itself).
+  void dispatch_accepted(int fd, std::string peer);
+  /// Worker connection teardown signal — wakes a drain wait in stop().
+  void notify_connection_closed() IDICN_EXCLUDES(drain_mutex_);
+  [[nodiscard]] std::size_t total_active_connections() const;
+
+  net::SimHost* host_;  ///< shared by all workers; thread-safe when workers > 1
+  std::string address_;
+  Options options_;
+  /// Created by start() before any worker thread exists, destroyed by
+  /// stop() after every join; never mutated while workers run (worker
+  /// threads read it lock-free in the dispatch path).
+  std::vector<std::unique_ptr<ServerWorker>> workers_;
+  std::uint16_t port_ = 0;        ///< written by start() before workers exist
+  bool reuseport_active_ = false; ///< written by start() before workers exist
+  std::atomic<std::size_t> next_worker_{0};  ///< round-robin dispatch cursor
+
+  mutable core::sync::Mutex drain_mutex_;
+  core::sync::CondVar drain_cv_;  ///< signalled on every connection close
+
+  /// Counters survive stop() (HostServer always kept its totals): stop()
+  /// folds each retiring worker in here under lifecycle_mutex_, which also
+  /// orders stats() snapshots against that retirement.
+  mutable core::sync::Mutex lifecycle_mutex_;
+  Stats retired_total_ IDICN_GUARDED_BY(lifecycle_mutex_);
+  std::vector<Stats> retired_worker_stats_ IDICN_GUARDED_BY(lifecycle_mutex_);
+};
+
+}  // namespace idicn::runtime

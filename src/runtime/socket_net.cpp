@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
-#include "runtime/host_server.hpp"
+#include "runtime/server_group.hpp"
 
 namespace idicn::runtime {
 
@@ -19,7 +19,7 @@ void SocketNet::register_endpoint(const net::Address& address, std::string host,
   endpoint.idle.clear();
 }
 
-void SocketNet::register_endpoint(const HostServer& server) {
+void SocketNet::register_endpoint(const ServerGroup& server) {
   register_endpoint(server.address(), "127.0.0.1", server.port());
 }
 

@@ -27,7 +27,7 @@
 
 namespace idicn::runtime {
 
-class HostServer;
+class ServerGroup;
 
 class SocketNet final : public net::Transport {
 public:
@@ -41,8 +41,9 @@ public:
   /// drops its pooled connections.
   void register_endpoint(const net::Address& address, std::string host,
                          std::uint16_t port);
-  /// Convenience: register a started HostServer under its own address.
-  void register_endpoint(const HostServer& server);
+  /// Convenience: register a started ServerGroup (or HostServer) under its
+  /// own address.
+  void register_endpoint(const ServerGroup& server);
   /// Forget `address`; subsequent sends to it synthesize 504.
   void unregister_endpoint(const net::Address& address);
 

@@ -43,7 +43,20 @@ bool set_io_timeout(int fd, int timeout_ms) {
          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
 }
 
-int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error) {
+bool reuseport_supported() {
+#if defined(SO_REUSEPORT)
+  ScopedFd probe(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!probe.valid()) return false;
+  const int one = 1;
+  return ::setsockopt(probe.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                      sizeof(one)) == 0;
+#else
+  return false;
+#endif
+}
+
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error,
+               const ListenOptions& options) {
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     set_error(error, "socket");
@@ -51,6 +64,17 @@ int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuseport) {
+#if defined(SO_REUSEPORT)
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      set_error(error, "setsockopt(SO_REUSEPORT)");
+      return -1;
+    }
+#else
+    if (error != nullptr) *error = "SO_REUSEPORT not supported on this platform";
+    return -1;
+#endif
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;

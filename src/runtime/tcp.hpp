@@ -40,11 +40,25 @@ bool set_nodelay(int fd);
 /// SO_RCVTIMEO + SO_SNDTIMEO for blocking sockets.
 bool set_io_timeout(int fd, int timeout_ms);
 
+/// Extra listener behavior for listen_tcp().
+struct ListenOptions {
+  /// Set SO_REUSEPORT before bind so several sockets (one per reactor
+  /// worker) can share one port and let the kernel load-balance accepted
+  /// connections across them. Binding fails with an error when the
+  /// platform lacks the option (probe with reuseport_supported()).
+  bool reuseport = false;
+};
+
+/// True when this platform can set SO_REUSEPORT on a TCP socket (probed
+/// once per call on a throwaway socket — callers cache the answer).
+[[nodiscard]] bool reuseport_supported();
+
 /// Create a listening TCP socket bound to 127.0.0.1:`port` (0 = kernel
 /// picks an ephemeral port). On success returns the fd (non-blocking,
 /// SO_REUSEADDR) and stores the bound port; on failure returns -1 and
 /// stores a reason in `error` when non-null.
-int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error);
+int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error,
+               const ListenOptions& options = {});
 
 /// Blocking connect to `host`:`port` with a timeout; the returned fd is in
 /// blocking mode. -1 on failure (reason in `error` when non-null).

@@ -5,8 +5,13 @@
 // are the exact ones the simulator uses — unmodified.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/sync.hpp"
 #include "crypto/lamport.hpp"
@@ -15,18 +20,22 @@
 #include "idicn/origin_server.hpp"
 #include "idicn/proxy.hpp"
 #include "idicn/reverse_proxy.hpp"
+#include "net/http_decoder.hpp"
 #include "net/http_message.hpp"
 #include "runtime/host_server.hpp"
 #include "runtime/http_client.hpp"
 #include "runtime/socket_net.hpp"
+#include "runtime/tcp.hpp"
 
 namespace {
 
 using namespace idicn;
 using namespace ::idicn::idicn;
 
-/// The single-AD deployment of test_idicn_flow, but socketed: four worker
-/// threads, four TCP ports, one SocketNet carrying the upstream mesh.
+/// The single-AD deployment of test_idicn_flow, but socketed: one server
+/// per host, real TCP ports, one SocketNet carrying the upstream mesh.
+/// `proxy_workers` > 1 turns the edge proxy into a multi-reactor
+/// ServerGroup (with a matching number of content-store lock stripes).
 struct SocketDeployment {
   runtime::SocketNet net;
   net::DnsService dns;
@@ -35,14 +44,23 @@ struct SocketDeployment {
   OriginServer origin;
   ReverseProxy reverse_proxy{&net, "rp.pub", "origin.pub", "nrs.consortium",
                              &signer};
-  Proxy proxy{&net, "cache.ad1", "nrs.consortium", &dns};
+  Proxy proxy;
 
   runtime::HostServer nrs_server{&nrs, "nrs.consortium"};
   runtime::HostServer origin_server{&origin, "origin.pub"};
   runtime::HostServer rp_server{&reverse_proxy, "rp.pub"};
-  runtime::HostServer proxy_server{&proxy, "cache.ad1"};
+  runtime::HostServer proxy_server;
 
-  SocketDeployment() {
+  static runtime::HostServer::Options worker_options(std::size_t workers) {
+    runtime::HostServer::Options options;
+    options.workers = workers;
+    return options;
+  }
+
+  explicit SocketDeployment(std::size_t proxy_workers = 1)
+      : proxy{&net, "cache.ad1", "nrs.consortium", &dns,
+              Proxy::Options{.cache_shards = proxy_workers}},
+        proxy_server{&proxy, "cache.ad1", worker_options(proxy_workers)} {
     nrs_server.start();
     origin_server.start();
     rp_server.start();
@@ -174,6 +192,130 @@ TEST(RuntimeE2e, ManyRequestsOneConnectionStaysConsistent) {
   EXPECT_EQ(d.proxy_server.stats().connections_accepted, 1u);
   EXPECT_EQ(d.proxy_server.stats().requests_served, 100u);
   EXPECT_EQ(d.proxy.stats().hits, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reactor proxy (PR 4): M keep-alive client threads vs N workers
+
+std::size_t e2e_proxy_workers() {
+  if (const char* env = std::getenv("IDICN_E2E_PROXY_WORKERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 4;
+}
+
+TEST(RuntimeE2e, MultiWorkerProxyServesConcurrentKeepAliveClients) {
+  const std::size_t workers = e2e_proxy_workers();
+  SocketDeployment d(workers);
+  ASSERT_EQ(d.proxy_server.worker_count(), workers);
+  // publish() goes through run_on_loop — the all-workers rendezvous — so
+  // this also exercises the exclusivity door at full worker count.
+  const SelfCertifyingName alpha = d.publish("alpha", "body-alpha");
+  const SelfCertifyingName beta = d.publish("beta", "body-beta");
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 50;
+  std::atomic<int> failures{0};
+  {
+    std::vector<core::sync::Thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        runtime::HttpClient browser("127.0.0.1", d.proxy_server.port());
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const bool even = (i + c) % 2 == 0;
+          const SelfCertifyingName& name = even ? alpha : beta;
+          const std::string expected = even ? "body-alpha" : "body-beta";
+          const auto response = browser.get("http://" + name.host() + "/");
+          if (!response || response->status != 200 ||
+              response->body != expected) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+  }  // all clients joined
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(d.proxy_server.stats().requests_served, kTotal);
+  EXPECT_EQ(d.proxy_server.stats().connections_accepted,
+            static_cast<std::uint64_t>(kClients));
+  // Every request is either a hit or a miss; racing first fetches may
+  // produce a few extra misses (the documented double-fetch window), but
+  // the steady state must be overwhelmingly hits.
+  const std::uint64_t hits = d.proxy.stats().hits.value();
+  const std::uint64_t misses = d.proxy.stats().misses.value();
+  EXPECT_EQ(hits + misses, kTotal);
+  EXPECT_GE(misses, 2u);  // two distinct objects
+  EXPECT_GE(hits, kTotal - 2u * kClients);
+  EXPECT_EQ(d.proxy.stats().verification_failures, 0u);
+}
+
+TEST(RuntimeE2e, MultiWorkerProxyAnswersPipelinedBurstsInOrder) {
+  const std::size_t workers = e2e_proxy_workers();
+  SocketDeployment d(workers);
+  const SelfCertifyingName name = d.publish("burst", "pipelined-body");
+  const std::string target = "http://" + name.host() + "/";
+
+  // Two raw-socket clients, each firing bursts of 8 back-to-back requests
+  // and demanding 8 in-order responses — pipelining across a sharded
+  // server must stay per-connection FIFO (each connection lives on
+  // exactly one worker).
+  constexpr int kThreads = 2;
+  constexpr int kBursts = 5;
+  constexpr int kDepth = 8;
+  std::atomic<int> failures{0};
+  {
+    std::vector<core::sync::Thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        const int fd =
+            runtime::connect_tcp("127.0.0.1", d.proxy_server.port(), 2000,
+                                 nullptr);
+        if (fd < 0) {
+          failures.fetch_add(kBursts * kDepth);
+          return;
+        }
+        runtime::ScopedFd sock(fd);
+        runtime::set_io_timeout(sock.get(), 10'000);
+        net::HttpRequest request;
+        request.target = target;
+        std::string wire;
+        for (int i = 0; i < kDepth; ++i) wire += request.serialize();
+
+        net::HttpDecoder decoder(net::HttpDecoder::Mode::Response);
+        char buffer[4096];
+        for (int burst = 0; burst < kBursts; ++burst) {
+          if (::send(sock.get(), wire.data(), wire.size(), 0) !=
+              static_cast<ssize_t>(wire.size())) {
+            failures.fetch_add(kDepth);
+            continue;
+          }
+          int answered = 0;
+          while (answered < kDepth) {
+            const ssize_t n = ::recv(sock.get(), buffer, sizeof(buffer), 0);
+            if (n <= 0) break;
+            decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+            while (const auto response = decoder.next_response()) {
+              if (response->status != 200 ||
+                  response->body != "pipelined-body") {
+                failures.fetch_add(1);
+              }
+              ++answered;
+            }
+          }
+          if (answered != kDepth) failures.fetch_add(kDepth - answered);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(d.proxy_server.stats().requests_served,
+            static_cast<std::uint64_t>(kThreads) * kBursts * kDepth);
 }
 
 }  // namespace

@@ -1,0 +1,329 @@
+// runtime::ServerGroup multi-reactor suite: the SO_REUSEPORT path, the
+// single-acceptor round-robin fallback (forced via Options::reuseport =
+// false, per the PR-4 satellite), ordered/idempotent stop with graceful
+// drain, and the run_on_all_workers exclusivity door. Everything runs over
+// real loopback TCP and is part of the sanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "net/http_message.hpp"
+#include "net/sim_net.hpp"
+#include "runtime/http_client.hpp"
+#include "runtime/server_group.hpp"
+#include "runtime/tcp.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace idicn::runtime;
+
+/// Echoes the target; counters are relaxed atomics because tests sample
+/// them while workers serve.
+class EchoHost : public net::SimHost {
+public:
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address&) override {
+    ++requests_;
+    return net::make_response(200, "echo:" + request.target);
+  }
+  core::sync::RelaxedCounter requests_;
+};
+
+// ---------------------------------------------------------------------------
+// Fallback path (forced): one acceptor round-robins fds to the workers
+
+TEST(ServerGroup, ForcedFallbackRoundRobinsConnectionsAcrossWorkers) {
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 3;
+  options.reuseport = false;  // force the portability fallback
+  ServerGroup group(&host, "echo.test", options);
+  const std::uint16_t port = group.start();
+  ASSERT_GT(port, 0);
+  EXPECT_FALSE(group.using_reuseport());
+  EXPECT_EQ(group.worker_count(), 3u);
+
+  // Six sequential connections (each completes a request before the next
+  // dials, so accept order is the connect order): the dispatch cursor
+  // must land two connections on every worker.
+  for (int i = 0; i < 6; ++i) {
+    HttpClient client("127.0.0.1", port);
+    const auto response = client.get("/conn" + std::to_string(i));
+    ASSERT_TRUE(response.has_value()) << "connection " << i;
+    EXPECT_EQ(response->body, "echo:/conn" + std::to_string(i));
+  }
+
+  group.stop();
+  EXPECT_EQ(group.stats().requests_served, 6u);
+  EXPECT_EQ(group.stats().connections_accepted, 6u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(group.worker_stats(w).connections_accepted, 2u)
+        << "worker " << w << " did not get its round-robin share";
+    EXPECT_EQ(group.worker_stats(w).requests_served, 2u) << "worker " << w;
+  }
+}
+
+TEST(ServerGroup, SingleWorkerNeverUsesReuseport) {
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 0;  // clamped to 1
+  ServerGroup group(&host, "echo.test", options);
+  group.start();
+  EXPECT_EQ(group.worker_count(), 1u);
+  EXPECT_FALSE(group.using_reuseport());  // no point sharding one acceptor
+  HttpClient client("127.0.0.1", group.port());
+  const auto response = client.get("/solo");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body, "echo:/solo");
+  group.stop();
+}
+
+// ---------------------------------------------------------------------------
+// SO_REUSEPORT path (kernel-balanced; skipped where unsupported)
+
+TEST(ServerGroup, ReuseportListenersShareOnePort) {
+  if (!reuseport_supported()) {
+    GTEST_SKIP() << "SO_REUSEPORT not supported on this platform";
+  }
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 2;
+  ServerGroup group(&host, "echo.test", options);
+  const std::uint16_t port = group.start();
+  EXPECT_TRUE(group.using_reuseport());
+
+  // The kernel picks the worker per connection — assert aggregate
+  // correctness, not the (hash-dependent) distribution.
+  constexpr int kConnections = 8;
+  constexpr int kRequestsPer = 5;
+  for (int c = 0; c < kConnections; ++c) {
+    HttpClient client("127.0.0.1", port);
+    for (int r = 0; r < kRequestsPer; ++r) {
+      const auto response = client.get("/r");
+      ASSERT_TRUE(response.has_value());
+      ASSERT_EQ(response->status, 200);
+    }
+  }
+  group.stop();
+  EXPECT_EQ(group.stats().connections_accepted,
+            static_cast<std::uint64_t>(kConnections));
+  EXPECT_EQ(group.stats().requests_served,
+            static_cast<std::uint64_t>(kConnections * kRequestsPer));
+}
+
+// ---------------------------------------------------------------------------
+// Ordered, idempotent stop
+
+TEST(ServerGroup, StopIsIdempotentAndPreservesCounters) {
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 2;
+  options.reuseport = false;
+  ServerGroup group(&host, "echo.test", options);
+  group.start();
+  {
+    HttpClient client("127.0.0.1", group.port());
+    ASSERT_TRUE(client.get("/one").has_value());
+    ASSERT_TRUE(client.get("/two").has_value());
+  }
+  group.stop();
+  EXPECT_FALSE(group.running());
+  const auto after_first = group.stats();
+  EXPECT_EQ(after_first.requests_served, 2u);
+
+  group.stop();  // second stop: no-op, counters untouched
+  EXPECT_EQ(group.stats().requests_served, after_first.requests_served);
+  EXPECT_EQ(group.stats().connections_accepted,
+            after_first.connections_accepted);
+  // Per-worker snapshots survive retirement too.
+  EXPECT_EQ(group.worker_stats(0).requests_served +
+                group.worker_stats(1).requests_served,
+            2u);
+}
+
+TEST(ServerGroup, StopWithoutStartIsNoOp) {
+  EchoHost host;
+  ServerGroup group(&host, "echo.test");
+  EXPECT_FALSE(group.running());
+  group.stop();
+  EXPECT_FALSE(group.running());
+  EXPECT_EQ(group.stats().requests_served, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+
+/// Blocks inside handle_http until released — an in-flight request the
+/// drain phase must wait for.
+class SlowHost : public net::SimHost {
+public:
+  net::HttpResponse handle_http(const net::HttpRequest&,
+                                const net::Address&) override {
+    core::sync::MutexLock lock(mutex_);
+    entered_ = true;
+    cv_.notify_all();
+    while (!release_) cv_.wait(mutex_);
+    return net::make_response(200, "slow-done");
+  }
+  void wait_entered() {
+    core::sync::MutexLock lock(mutex_);
+    while (!entered_) cv_.wait(mutex_);
+  }
+  void release() {
+    core::sync::MutexLock lock(mutex_);
+    release_ = true;
+    cv_.notify_all();
+  }
+
+private:
+  core::sync::Mutex mutex_;
+  core::sync::CondVar cv_;
+  bool entered_ IDICN_GUARDED_BY(mutex_) = false;
+  bool release_ IDICN_GUARDED_BY(mutex_) = false;
+};
+
+TEST(ServerGroup, StopDrainsInFlightRequestBeforeJoining) {
+  SlowHost host;
+  ServerGroup::Options options;
+  options.workers = 2;
+  options.reuseport = false;
+  ServerGroup group(&host, "slow.test", options);
+  const std::uint16_t port = group.start();
+
+  std::atomic<bool> got_response{false};
+  core::sync::Thread client_thread([&] {
+    HttpClient client("127.0.0.1", port, HttpClient::Options{2000, 10'000});
+    const auto response = client.get("/slow");
+    if (response && response->status == 200 && response->body == "slow-done") {
+      got_response.store(true);
+    }
+  });
+  host.wait_entered();
+
+  // Release the handler shortly after stop() begins tearing down: the
+  // in-flight request must still complete and reach the client.
+  core::sync::Thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    host.release();
+  });
+  group.stop();
+  client_thread.join();
+  releaser.join();
+
+  EXPECT_TRUE(got_response.load()) << "drain dropped an in-flight request";
+  EXPECT_EQ(group.stats().requests_served, 1u);
+  EXPECT_FALSE(group.running());
+}
+
+TEST(ServerGroup, DrainDeadlineForceClosesStalledConnection) {
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 2;
+  options.reuseport = false;
+  options.drain_timeout_ms = 100;      // short deadline under test
+  options.request_timeout_ms = 60'000; // so only the drain deadline fires
+  options.idle_timeout_ms = 60'000;
+  ServerGroup group(&host, "echo.test", options);
+  const std::uint16_t port = group.start();
+
+  // Half a request, then silence: the connection is in-flight (buffered
+  // bytes) and will never finish.
+  const int fd = connect_tcp("127.0.0.1", port, 2000, nullptr);
+  ASSERT_GE(fd, 0);
+  ScopedFd sock(fd);
+  const std::string partial = "GET /stalled HTTP/1.1\r\nHos";
+  ASSERT_EQ(::send(sock.get(), partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  while (group.stats().connections_accepted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  group.stop();  // drain cannot finish; the deadline must force-close
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 3000) << "stop() ignored the drain deadline";
+  EXPECT_FALSE(group.running());
+  EXPECT_EQ(group.stats().connections_accepted, 1u);
+
+  // The server side is gone: the socket reports EOF (or reset).
+  set_io_timeout(sock.get(), 2000);
+  char buffer[64];
+  EXPECT_LE(::recv(sock.get(), buffer, sizeof(buffer), 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// run_on_all_workers: exclusive access to shared host state
+
+/// Handler reads a plain (non-atomic) string that run_on_all_workers
+/// rewrites while traffic flows — the rendezvous must make that safe
+/// (TSan checks the ordering; the test checks atomicity of the swap).
+class GreetingHost : public net::SimHost {
+public:
+  net::HttpResponse handle_http(const net::HttpRequest&,
+                                const net::Address&) override {
+    ++requests_;
+    return net::make_response(200, greeting_);
+  }
+  std::string greeting_ = "v0";  ///< mutate only via run_on_all_workers
+  core::sync::RelaxedCounter requests_;
+};
+
+TEST(ServerGroup, RunOnAllWorkersGetsExclusiveAccessWhileServing) {
+  GreetingHost host;
+  ServerGroup::Options options;
+  options.workers = 3;
+  options.reuseport = false;
+  ServerGroup group(&host, "greet.test", options);
+  const std::uint16_t port = group.start();
+
+  std::atomic<bool> running{true};
+  std::atomic<int> bad_bodies{0};
+  std::vector<core::sync::Thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      HttpClient client("127.0.0.1", port);
+      while (running.load(std::memory_order_relaxed)) {
+        const auto response = client.get("/greet");
+        if (!response || response->status != 200 ||
+            response->body.size() < 2 || response->body[0] != 'v') {
+          bad_bodies.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Ten generations of a non-atomic mutation, interleaved with live
+  // traffic: every parked-workers window must be exclusive.
+  for (int generation = 1; generation <= 10; ++generation) {
+    group.run_on_all_workers(
+        [&] { host.greeting_ = "v" + std::to_string(generation); });
+  }
+
+  running.store(false);
+  clients.clear();  // joins via Thread's destructor
+  group.stop();
+  EXPECT_EQ(bad_bodies.load(), 0);
+  EXPECT_EQ(host.greeting_, "v10");
+  EXPECT_GT(group.stats().requests_served, 0u);
+}
+
+TEST(ServerGroup, RunOnAllWorkersRunsInlineWhenStopped) {
+  EchoHost host;
+  ServerGroup group(&host, "echo.test");
+  bool ran = false;
+  group.run_on_all_workers([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace

@@ -27,6 +27,14 @@ Rules
   iostream-in-src  No std::cout/cerr/clog in library code (src/);
                libraries report through return values and exceptions,
                binaries (bench/, examples/, tools/) own the terminal.
+  unguarded-sync  In the concurrent layers (src/runtime/, src/cache/)
+               every declared core::sync::Mutex / ThreadRole must be
+               referenced by at least one thread-safety annotation
+               (IDICN_GUARDED_BY / IDICN_PT_GUARDED_BY / IDICN_REQUIRES
+               / IDICN_EXCLUDES / IDICN_ASSERT_CAPABILITY) in the same
+               file — a capability nothing is annotated against guards
+               nothing the analysis can see, i.e. un-annotated mutable
+               shared state.
 
 Comments and string literals are stripped before matching, so prose
 mentioning std::mutex is fine; code using it is not.
@@ -51,10 +59,13 @@ PERF_HEADER = Path("src/core/perf_counters.hpp")
 LOOP_FILES = {
     Path("src/runtime/event_loop.cpp"),
     Path("src/runtime/event_loop.hpp"),
-    Path("src/runtime/host_server.cpp"),
+    Path("src/runtime/server_group.cpp"),
     Path("src/runtime/poller.cpp"),
     Path("src/runtime/timer_wheel.cpp"),
 }
+
+# Concurrent layers where every sync capability must be annotated against.
+GUARDED_DIRS = ("src/runtime", "src/cache")
 
 RAW_SYNC = re.compile(
     r"std::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex"
@@ -72,6 +83,17 @@ LOOP_BLOCKING = re.compile(
 )
 PERF_MACRO = re.compile(r"\bIDICN_PERF_COUNTERS\b")
 IOSTREAM_PRINT = re.compile(r"std::(?:cout|cerr|clog)\b")
+# A Mutex/ThreadRole declaration (member or local; not a reference,
+# pointer, or parameter — those alias a capability declared elsewhere).
+SYNC_DECL = re.compile(
+    r"\b(?:core::sync::)?(?:Mutex|ThreadRole)\s+(\w+)\s*(?:;|\{)"
+)
+# Identifiers referenced inside any thread-safety annotation's argument
+# list (qualified references like shard.mutex contribute every token).
+SYNC_ANNOTATION = re.compile(
+    r"\bIDICN_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES"
+    r"|ASSERT_CAPABILITY)\s*\(([^)]*)\)"
+)
 
 _STRIP = re.compile(
     r'"(?:\\.|[^"\\])*"'      # string literals
@@ -117,6 +139,21 @@ def check_file(rel: Path, text: str) -> list[str]:
             report(i, "iostream-in-src",
                    "no std::cout/cerr/clog in library code; report through "
                    "return values/exceptions, let binaries own the terminal")
+
+    if str(rel.parent).replace("\\", "/") in GUARDED_DIRS:
+        annotated: set[str] = set()
+        for match in SYNC_ANNOTATION.finditer(code):
+            annotated.update(re.findall(r"\w+", match.group(1)))
+        for i, line in enumerate(code.splitlines()):
+            for decl in SYNC_DECL.finditer(line):
+                if decl.group(1) not in annotated:
+                    report(i, "unguarded-sync",
+                           f"'{decl.group(1)}' is never named by an "
+                           "IDICN_GUARDED_BY / IDICN_PT_GUARDED_BY / "
+                           "IDICN_REQUIRES / IDICN_EXCLUDES / "
+                           "IDICN_ASSERT_CAPABILITY annotation in this "
+                           "file; un-annotated mutable shared state is "
+                           "invisible to -Wthread-safety")
     return findings
 
 
