@@ -283,6 +283,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(measured.server_stats.connections_accepted),
               static_cast<unsigned long long>(measured.server_stats.bytes_in),
               static_cast<unsigned long long>(measured.server_stats.bytes_out));
+  // All four should be 0 in a clean run: the bench exercises the hit path
+  // with breakers armed but no faults, so this doubles as a sanity check
+  // that fault tolerance costs nothing when nothing fails.
+  std::printf("  fault tolerance    %llu retries, %llu fast-fails, "
+              "%llu stale, %llu upstream errors\n",
+              static_cast<unsigned long long>(net.stats().retries),
+              static_cast<unsigned long long>(net.stats().breaker_fast_fails),
+              static_cast<unsigned long long>(proxy_stats.stale_served.value()),
+              static_cast<unsigned long long>(proxy_stats.upstream_errors.value()));
   if constexpr (core::kPerfCountersEnabled) {
     // perf() merges the per-shard counters under their locks — safe here
     // and safe live.
@@ -308,7 +317,9 @@ int main(int argc, char** argv) {
       "\"req_per_s\":%.1f,\"single_worker_req_per_s\":%.1f,"
       "\"scaling_efficiency\":%.3f,\"per_worker_req_per_s\":%s,"
       "\"p50_us\":%.1f,\"p90_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
-      "\"bytes_served\":%llu}",
+      "\"bytes_served\":%llu,"
+      "\"retries\":%llu,\"breaker_fast_fails\":%llu,"
+      "\"stale_served\":%llu,\"upstream_errors\":%llu}",
       measured.workers, measured.used_reuseport ? "true" : "false",
       client_count, measured.elapsed_s, measured.requests,
       static_cast<unsigned long long>(measured.errors + (baseline ? baseline->errors : 0)),
@@ -316,7 +327,11 @@ int main(int argc, char** argv) {
       baseline ? baseline->req_per_s : measured.req_per_s, scaling_efficiency,
       per_worker_json.c_str(), measured.p50_us, measured.p90_us,
       measured.p99_us, measured.max_us,
-      static_cast<unsigned long long>(proxy_stats.bytes_served.value()));
+      static_cast<unsigned long long>(proxy_stats.bytes_served.value()),
+      static_cast<unsigned long long>(net.stats().retries),
+      static_cast<unsigned long long>(net.stats().breaker_fast_fails),
+      static_cast<unsigned long long>(proxy_stats.stale_served.value()),
+      static_cast<unsigned long long>(proxy_stats.upstream_errors.value()));
   std::printf("%s\n", json);
 
   const char* out_path = std::getenv("IDICN_BENCH_OUT");

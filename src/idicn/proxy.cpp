@@ -134,14 +134,20 @@ net::HttpResponse Proxy::store_and_serve(CacheShard& shard,
 }
 
 std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
-                                                    const net::Address& location) {
+                                                    const net::Address& location,
+                                                    bool* transport_failure) {
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/";
   fetch.headers.set("Host", name.host());
   fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
   const net::HttpResponse response = net_->send(self_, location, fetch);
-  if (!response.ok()) return std::nullopt;
+  if (!response.ok()) {
+    if (transport_failure != nullptr && response.status >= 500) {
+      *transport_failure = true;
+    }
+    return std::nullopt;
+  }
   stats_.bytes_from_origin += response.body.size();
   {
     CacheShard& shard = shard_for(name.host());
@@ -219,6 +225,22 @@ std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& na
   return std::nullopt;
 }
 
+std::optional<net::HttpResponse> Proxy::serve_stale(CacheShard& shard,
+                                                    const std::string& host,
+                                                    bool full_metadata) {
+  const core::sync::MutexLock lock(shard.mutex);
+  const auto cached = shard.entries.find(host);
+  if (cached == shard.entries.end()) return std::nullopt;  // evicted meanwhile
+  ++stats_.stale_served;
+  net::HttpResponse response =
+      serve_entry(shard, host, cached->second, true, full_metadata);
+  // RFC 7234 §5.5.1 stale warning plus an explicit idICN marker so clients
+  // (and the chaos harness) can tell degraded service from a fresh hit.
+  response.headers.set("Warning", "110 - \"Response is Stale\"");
+  response.headers.set("X-IdICN-Stale", "1");
+  return response;
+}
+
 net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
                                      const net::HttpRequest& request) {
   const std::string host = name.host();
@@ -274,7 +296,11 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
     return store_and_serve(shard, host, std::move(*entry), full_metadata);
   }
 
-  // Step 3: resolve the name, following at most one P-delegation hop.
+  // Step 3: resolve the name, following at most one P-delegation hop. A
+  // resolver that *errors* (unreachable NRS, 5xx) is an upstream failure
+  // eligible for degradation; a resolver that cleanly answers "no such
+  // name" is not.
+  bool resolve_failed = false;
   std::vector<std::string> locations;
   net::Address resolver = nrs_;
   for (int hop = 0; hop < 2 && locations.empty(); ++hop) {
@@ -282,7 +308,10 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
     query.method = "GET";
     query.target = "/resolve?name=" + host;
     const net::HttpResponse answer = net_->send(self_, resolver, query);
-    if (!answer.ok()) break;
+    if (!answer.ok()) {
+      resolve_failed = answer.status >= 500;
+      break;
+    }
     std::optional<net::Address> delegate;
     for (const auto& [key, value] : parse_form_lines(answer.body)) {
       if (key == "location") locations.push_back(value);
@@ -291,13 +320,41 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
     if (!locations.empty() || !delegate) break;
     resolver = *delegate;
   }
-  if (locations.empty()) return net::make_response(404, "name did not resolve");
+  if (locations.empty()) {
+    if (!resolve_failed) return net::make_response(404, "name did not resolve");
+    // NRS outage. With an expired copy in hand we still know where it came
+    // from — sidestep resolution and refetch directly (origin may be fine).
+    if (stale && !stale_fetched_from.empty()) {
+      if (auto entry = fetch_and_verify(name, stale_fetched_from)) {
+        return store_and_serve(shard, host, std::move(*entry), full_metadata);
+      }
+    }
+    ++stats_.upstream_errors;
+    if (stale) {
+      if (auto degraded = serve_stale(shard, host, full_metadata)) {
+        return *degraded;
+      }
+    }
+    return net::make_response(504, "name resolution unavailable");
+  }
 
   // Step 4: fetch from the first location that yields authentic content.
+  bool fetch_failed = false;
   for (const net::Address& location : locations) {
-    auto entry = fetch_and_verify(name, location);
+    auto entry = fetch_and_verify(name, location, &fetch_failed);
     if (!entry) continue;
     return store_and_serve(shard, host, std::move(*entry), full_metadata);
+  }
+  if (fetch_failed) {
+    // At least one location failed at the transport layer (vs content that
+    // merely failed verification): degrade to the expired copy if we hold
+    // one rather than surfacing the error.
+    ++stats_.upstream_errors;
+    if (stale) {
+      if (auto degraded = serve_stale(shard, host, full_metadata)) {
+        return *degraded;
+      }
+    }
   }
   return net::make_response(502, "no location provided authentic content");
 }

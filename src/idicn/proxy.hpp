@@ -13,6 +13,15 @@
 // Verification failures are never cached or served; the proxy falls back
 // to the next known location and answers 502 when none verifies.
 //
+// Degradation (DESIGN.md §"Failure model & degradation"): when every
+// upstream path fails at the transport/HTTP layer — NRS unreachable, all
+// locations down — the proxy first tries a direct refetch from wherever the
+// expired copy originally came from (sidestepping a dead NRS), and failing
+// that serves the verified-but-expired entry with `Warning: 110` and
+// `X-IdICN-Stale: 1` rather than erroring (serve-stale-on-error). Clean
+// negatives (NRS says the name does not exist, content fails verification)
+// never serve stale.
+//
 // Threading: handle_http is safe to call from any number of
 // runtime::ServerGroup workers concurrently. The content store is striped
 // across Options::cache_shards shards (host-hashed, each a private
@@ -77,6 +86,8 @@ public:
     core::sync::RelaxedCounter revalidated_304;     ///< …answered Not Modified
     core::sync::RelaxedCounter bytes_served;        ///< response body bytes to clients (goodput)
     core::sync::RelaxedCounter bytes_from_origin;   ///< body bytes fetched upstream on misses
+    core::sync::RelaxedCounter stale_served;        ///< expired entries served on upstream failure
+    core::sync::RelaxedCounter upstream_errors;     ///< exhausted upstream paths (transport/5xx)
   };
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
@@ -137,8 +148,22 @@ private:
   std::optional<Entry> fetch_from_peers(const SelfCertifyingName& name);
 
   /// Fetch `name` from `location` and verify; std::nullopt on any failure.
+  /// When `transport_failure` is non-null it is set to true if the fetch
+  /// failed at the transport/HTTP layer (unreachable, 5xx) — as opposed to
+  /// a clean negative or a verification failure — so the caller can decide
+  /// whether serve-stale degradation applies.
   std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
-                                        const net::Address& location);
+                                        const net::Address& location,
+                                        bool* transport_failure = nullptr);
+
+  /// Serve-stale-on-error (RFC 5861 flavor): re-lock the shard and serve
+  /// the expired-but-verified entry with `Warning: 110` + `X-IdICN-Stale`.
+  /// nullopt when the entry was evicted meanwhile. The entry's freshness is
+  /// NOT renewed — the next request tries upstream again.
+  std::optional<net::HttpResponse> serve_stale(CacheShard& shard,
+                                               const std::string& host,
+                                               bool full_metadata)
+      IDICN_EXCLUDES(shard.mutex);
 
   /// Admit a fetched entry into `shard` (evicting as needed) and serve it.
   /// An entry too large for the shard's slice is served without being

@@ -1,0 +1,156 @@
+#include "net/fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace idicn::net {
+
+FaultInjector::FaultInjector(Transport* inner, Options options)
+    : inner_(inner), options_(options), rng_(options.seed) {}
+
+std::uint64_t FaultInjector::add_rule(Rule rule) {
+  const core::sync::MutexLock lock(mutex_);
+  const std::uint64_t id = next_rule_id_++;
+  rules_.push_back(StoredRule{id, /*enabled=*/true, std::move(rule)});
+  return id;
+}
+
+void FaultInjector::remove_rule(std::uint64_t id) {
+  const core::sync::MutexLock lock(mutex_);
+  std::erase_if(rules_, [id](const StoredRule& r) { return r.id == id; });
+}
+
+void FaultInjector::set_enabled(std::uint64_t id, bool enabled) {
+  const core::sync::MutexLock lock(mutex_);
+  for (auto& stored : rules_) {
+    if (stored.id == id) stored.enabled = enabled;
+  }
+}
+
+void FaultInjector::clear_rules() {
+  const core::sync::MutexLock lock(mutex_);
+  rules_.clear();
+}
+
+void FaultInjector::set_latency_hook(std::function<void(std::uint64_t)> hook) {
+  latency_hook_ = std::move(hook);
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  const core::sync::MutexLock lock(mutex_);
+  return stats_;
+}
+
+FaultInjector::Decision FaultInjector::decide(const Address& to) {
+  const core::sync::MutexLock lock(mutex_);
+  const std::uint64_t send_index = stats_.sends++;
+  for (const auto& stored : rules_) {
+    if (!stored.enabled) continue;
+    const Rule& rule = stored.rule;
+    if (rule.to != "*" && rule.to != to) continue;
+    if (send_index < rule.after_sends || send_index >= rule.until_sends) {
+      continue;
+    }
+    if (rule.probability < 1.0 &&
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng_) >=
+            rule.probability) {
+      continue;
+    }
+    switch (rule.kind) {
+      case FaultKind::Drop: ++stats_.drops; break;
+      case FaultKind::BlackHole: ++stats_.black_holes; break;
+      case FaultKind::Reset: ++stats_.resets; break;
+      case FaultKind::Latency: ++stats_.delays; break;
+      case FaultKind::TruncateBody: ++stats_.truncations; break;
+      case FaultKind::CorruptBody: ++stats_.corruptions; break;
+    }
+    return Decision{true, rule};
+  }
+  return Decision{};
+}
+
+void FaultInjector::stall(std::uint64_t delay_ms) const {
+  if (delay_ms == 0) return;
+  if (latency_hook_) {
+    latency_hook_(delay_ms);
+    return;
+  }
+  // Blocking on purpose: a slow upstream stalls SocketNet's blocking
+  // HttpClient exactly like this (SimNet callers install a latency hook).
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+void FaultInjector::mutate_body(const Rule& rule, HttpResponse& response) {
+  if (rule.kind == FaultKind::TruncateBody) {
+    response.body.resize(std::min(rule.truncate_at, response.body.size()));
+  } else if (!response.body.empty()) {
+    response.body[response.body.size() / 2] ^= '\x5a';
+  }
+  // Keep the message parseable: the *content* is wrong, not the framing —
+  // idICN verification, not the HTTP decoder, must catch it.
+  response.headers.set("Content-Length",
+                       std::to_string(response.body.size()));
+}
+
+HttpResponse FaultInjector::send(const Address& from, const Address& to,
+                                 const HttpRequest& request) {
+  const Decision decision = decide(to);
+  if (!decision.fire) return inner_->send(from, to, request);
+  switch (decision.rule.kind) {
+    case FaultKind::Drop:
+      return make_response(504, "fault injected: destination " + to +
+                                    " dropped");
+    case FaultKind::BlackHole:
+      stall(decision.rule.latency_ms);
+      return make_response(504, "fault injected: destination " + to +
+                                    " black-holed");
+    case FaultKind::Reset:
+      return make_response(504, "fault injected: connection to " + to +
+                                    " reset by peer");
+    case FaultKind::Latency: {
+      stall(decision.rule.latency_ms);
+      return inner_->send(from, to, request);
+    }
+    case FaultKind::TruncateBody:
+    case FaultKind::CorruptBody: {
+      HttpResponse response = inner_->send(from, to, request);
+      if (response.ok()) mutate_body(decision.rule, response);
+      return response;
+    }
+  }
+  return inner_->send(from, to, request);  // unreachable
+}
+
+std::vector<HttpResponse> FaultInjector::multicast(const Address& group_from,
+                                                   const std::string& group,
+                                                   const HttpRequest& request) {
+  const Decision decision = decide(group);
+  if (!decision.fire) return inner_->multicast(group_from, group, request);
+  switch (decision.rule.kind) {
+    case FaultKind::Drop:
+    case FaultKind::BlackHole:
+    case FaultKind::Reset:
+      if (decision.rule.kind == FaultKind::BlackHole) {
+        stall(decision.rule.latency_ms);
+      }
+      return {};  // the whole group is unreachable
+    case FaultKind::Latency:
+      stall(decision.rule.latency_ms);
+      return inner_->multicast(group_from, group, request);
+    case FaultKind::TruncateBody:
+    case FaultKind::CorruptBody: {
+      auto responses = inner_->multicast(group_from, group, request);
+      for (auto& response : responses) {
+        if (response.ok()) mutate_body(decision.rule, response);
+      }
+      return responses;
+    }
+  }
+  return inner_->multicast(group_from, group, request);  // unreachable
+}
+
+std::uint64_t FaultInjector::now_ms() const { return inner_->now_ms(); }
+
+}  // namespace idicn::net

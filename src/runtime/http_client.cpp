@@ -20,6 +20,16 @@ void set_error(std::string* error, std::string message) {
 HttpClient::HttpClient(std::string host, std::uint16_t port, Options options)
     : host_(std::move(host)), port_(port), options_(options) {}
 
+bool HttpClient::stale_connection() const noexcept {
+  if (!fd_.valid()) return false;
+  char probe = 0;
+  const ssize_t n =
+      ::recv(fd_.get(), &probe, sizeof(probe), MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;  // peer FIN while pooled
+  if (n > 0) return true;   // unsolicited bytes (stale response / garbage)
+  return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
 void HttpClient::close() {
   fd_.reset();
   decoder_.reset();

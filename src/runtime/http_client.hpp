@@ -35,6 +35,14 @@ public:
                                        std::string* error = nullptr);
 
   [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+
+  /// True when a kept-alive connection is no longer safely reusable: the
+  /// peer closed it (EOF pending), it errored, or unsolicited bytes arrived
+  /// while it sat idle (e.g. a server deadline response raced our reuse —
+  /// those bytes would otherwise decode as the answer to the *next*
+  /// request). A disconnected client is not stale: it dials fresh.
+  [[nodiscard]] bool stale_connection() const noexcept;
+
   void close();
 
   [[nodiscard]] std::uint64_t requests_sent() const noexcept { return requests_sent_; }

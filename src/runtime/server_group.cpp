@@ -230,8 +230,11 @@ class ServerWorker {
       IDICN_REQUIRES(loop_role_) {
     if (draining_) return;  // shutting down: refuse, ScopedFd closes
     if (connections_.size() >= options_.max_connections) {
-      const std::string reply =
-          net::make_response(503, "server at connection capacity").serialize();
+      net::HttpResponse rejection =
+          net::make_response(503, "server at connection capacity");
+      rejection.headers.set("Retry-After",
+                            std::to_string(options_.retry_after_s));
+      const std::string reply = rejection.serialize();
       (void)!::send(fd.get(), reply.data(), reply.size(), MSG_NOSIGNAL);
       const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.connections_rejected;

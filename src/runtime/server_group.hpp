@@ -52,6 +52,9 @@ class ServerGroup {
     std::uint64_t idle_timeout_ms = 30'000;     ///< close quiet keep-alive conns
     std::uint64_t request_timeout_ms = 10'000;  ///< partial request must finish
     std::size_t max_connections = 1024;         ///< per worker; beyond: 503+close
+    /// Retry-After hint (seconds) on over-capacity 503s, so well-behaved
+    /// clients back off instead of hammering a saturated worker.
+    unsigned retry_after_s = 1;
     net::HttpDecoder::Limits decoder_limits;
     PollerBackend backend = PollerBackend::Auto;
     std::size_t workers = 1;      ///< reactor threads (0 is clamped to 1)

@@ -6,9 +6,20 @@
 #include "runtime/server_group.hpp"
 
 namespace idicn::runtime {
+namespace {
 
-SocketNet::SocketNet(HttpClient::Options client_options)
-    : client_options_(client_options) {}
+/// Retry-After is expressed in whole seconds (RFC 7231 §7.1.3); round up so
+/// a compliant client never retries into a still-open breaker.
+std::string retry_after_seconds(std::uint64_t retry_after_ms) {
+  return std::to_string((retry_after_ms + 999) / 1000);
+}
+
+}  // namespace
+
+SocketNet::SocketNet(Options options)
+    : options_(options),
+      retry_policy_(options.retry),
+      retry_budget_(options.budget) {}
 
 void SocketNet::register_endpoint(const net::Address& address, std::string host,
                                   std::uint16_t port) {
@@ -26,6 +37,7 @@ void SocketNet::register_endpoint(const ServerGroup& server) {
 void SocketNet::unregister_endpoint(const net::Address& address) {
   const core::sync::MutexLock lock(mutex_);
   endpoints_.erase(address);
+  breakers_.erase(address);
 }
 
 void SocketNet::join_group(const net::Address& address, const std::string& group) {
@@ -41,14 +53,21 @@ std::unique_ptr<HttpClient> SocketNet::borrow(const net::Address& to) {
   const auto it = endpoints_.find(to);
   if (it == endpoints_.end()) return nullptr;
   Endpoint& endpoint = it->second;
-  if (!endpoint.idle.empty()) {
+  while (!endpoint.idle.empty()) {
     auto client = std::move(endpoint.idle.back());
     endpoint.idle.pop_back();
+    // The peer may have closed (or written into) this connection while it
+    // sat pooled — reusing it would either fail the round trip or, worse,
+    // decode stale buffered bytes as the next response. Probe and discard.
+    if (client->stale_connection()) {
+      ++stats_.stale_pool_drops;
+      continue;
+    }
     return client;
   }
   ++stats_.connections_opened;
   return std::make_unique<HttpClient>(endpoint.host, endpoint.port,
-                                      client_options_);
+                                      options_.client);
 }
 
 void SocketNet::give_back(const net::Address& to,
@@ -60,28 +79,94 @@ void SocketNet::give_back(const net::Address& to,
   it->second.idle.push_back(std::move(client));
 }
 
+std::shared_ptr<CircuitBreaker> SocketNet::breaker_for(const net::Address& to) {
+  const core::sync::MutexLock lock(mutex_);
+  auto& breaker = breakers_[to];
+  if (breaker == nullptr) {
+    breaker = std::make_shared<CircuitBreaker>(options_.breaker);
+  }
+  return breaker;
+}
+
+std::optional<net::HttpResponse> SocketNet::attempt(
+    const net::Address& to, const net::HttpRequest& request,
+    std::string* error) {
+  auto client = borrow(to);
+  if (client == nullptr) {
+    *error = "unknown destination";
+    return std::nullopt;
+  }
+  auto response = client->request(request, error);
+  if (!response) return std::nullopt;
+  give_back(to, std::move(client));
+  return response;
+}
+
 net::HttpResponse SocketNet::send(const net::Address& from, const net::Address& to,
                                   const net::HttpRequest& request) {
   (void)from;  // the TCP peer address is what the receiving server reports
   {
     const core::sync::MutexLock lock(mutex_);
     ++stats_.requests_sent;
+    // Unknown destinations are a wiring error, not upstream ill health:
+    // fail immediately, no breaker accounting, no retries.
+    if (endpoints_.find(to) == endpoints_.end()) {
+      ++stats_.send_failures;
+      return net::make_response(504, "unknown destination: " + to);
+    }
   }
-  auto client = borrow(to);
-  if (client == nullptr) {
-    const core::sync::MutexLock lock(mutex_);
-    ++stats_.send_failures;
-    return net::make_response(504, "unknown destination: " + to);
+
+  std::shared_ptr<CircuitBreaker> breaker;
+  if (options_.enable_breakers) {
+    breaker = breaker_for(to);
+    if (!breaker->allow(now_ms())) {
+      const std::uint64_t wait_ms = breaker->retry_after_ms(now_ms());
+      {
+        const core::sync::MutexLock lock(mutex_);
+        ++stats_.breaker_fast_fails;
+        ++stats_.send_failures;
+      }
+      auto response =
+          net::make_response(503, "circuit open for " + to + "; fast-fail");
+      response.headers.set("Retry-After", retry_after_seconds(wait_ms));
+      return response;
+    }
   }
+
+  retry_budget_.on_attempt();
+  const std::uint64_t started_ms = now_ms();
+  const int max_attempts =
+      options_.enable_retries ? std::max(1, options_.retry.max_attempts) : 1;
   std::string error;
-  auto response = client->request(request, &error);
-  if (!response) {
+  for (int attempt = 1;; ++attempt) {
+    auto response = this->attempt(to, request, &error);
+    if (response) {
+      if (breaker != nullptr) breaker->record_success(now_ms());
+      return *response;
+    }
+    if (breaker != nullptr) breaker->record_failure(now_ms());
+    if (attempt >= max_attempts) break;
+    // A breaker that opened on this failure wins over further retries —
+    // the destination is down, stop dialing. (Observer only: allow() could
+    // reserve a half-open probe slot we might never report an outcome for.)
+    if (breaker != nullptr &&
+        breaker->state(now_ms()) == CircuitBreaker::State::Open) {
+      break;
+    }
+    const std::uint64_t delay_ms = retry_policy_.backoff_delay_ms(attempt);
+    if (!retry_policy_.within_deadline(now_ms() - started_ms, delay_ms)) break;
+    if (!retry_budget_.try_spend()) break;
+    {
+      const core::sync::MutexLock lock(mutex_);
+      ++stats_.retries;
+    }
+    RetryPolicy::sleep(delay_ms);
+  }
+  {
     const core::sync::MutexLock lock(mutex_);
     ++stats_.send_failures;
-    return net::make_response(504, "upstream " + to + " unreachable: " + error);
   }
-  give_back(to, std::move(client));
-  return *response;
+  return net::make_response(504, "upstream " + to + " unreachable: " + error);
 }
 
 std::vector<net::HttpResponse> SocketNet::multicast(const net::Address& from,
@@ -111,6 +196,17 @@ std::uint64_t SocketNet::now_ms() const {
 SocketNet::Stats SocketNet::stats() const {
   const core::sync::MutexLock lock(mutex_);
   return stats_;
+}
+
+CircuitBreaker::State SocketNet::breaker_state(const net::Address& to) const {
+  std::shared_ptr<CircuitBreaker> breaker;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    const auto it = breakers_.find(to);
+    if (it == breakers_.end()) return CircuitBreaker::State::Closed;
+    breaker = it->second;
+  }
+  return breaker->state(now_ms());
 }
 
 }  // namespace idicn::runtime

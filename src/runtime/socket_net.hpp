@@ -9,10 +9,23 @@
 // Connections are pooled per destination: send() borrows a client from the
 // destination's pool (or dials a fresh one), performs the round trip, and
 // returns the client on success. Concurrent senders to the same destination
-// therefore get independent connections instead of serializing.
+// therefore get independent connections instead of serializing. Pooled
+// connections the peer closed while idle are detected on borrow (a
+// zero-byte MSG_PEEK probe) and discarded rather than surfacing a spurious
+// failure or replaying a stale buffered response.
 //
 // Failure semantics match SimNet: an unknown or unreachable destination
-// yields a synthesized 504 Gateway Timeout, never an exception.
+// yields a synthesized 504 Gateway Timeout, never an exception. On top of
+// that sits the fault-tolerance layer (DESIGN.md §"Failure model &
+// degradation"):
+//   * transport failures are retried with RetryPolicy's full-jitter capped
+//     exponential backoff, bounded per send by max_attempts and the overall
+//     deadline (each try's connect/IO timeouts are the per-try deadline),
+//     and globally by a RetryBudget so retries cannot amplify overload;
+//   * every destination gets a CircuitBreaker — after
+//     `failure_threshold` consecutive transport failures the breaker opens
+//     and sends fast-fail with a synthesized 503 + Retry-After instead of
+//     burning the connect timeout, then half-opens and probes its way back.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include "core/sync.hpp"
 #include "net/transport.hpp"
 #include "runtime/http_client.hpp"
+#include "runtime/retry.hpp"
 
 namespace idicn::runtime {
 
@@ -31,7 +45,20 @@ class ServerGroup;
 
 class SocketNet final : public net::Transport {
 public:
-  explicit SocketNet(HttpClient::Options client_options = {});
+  struct Options {
+    HttpClient::Options client;
+    /// Retry transport failures with backoff (off ⇒ one attempt per send).
+    bool enable_retries = true;
+    /// Fast-fail via per-destination circuit breakers.
+    bool enable_breakers = true;
+    RetryPolicy::Options retry;
+    RetryBudget::Options budget;
+    CircuitBreaker::Options breaker;
+  };
+
+  SocketNet();
+  explicit SocketNet(HttpClient::Options client_options);
+  explicit SocketNet(Options options);
   ~SocketNet() override = default;
 
   SocketNet(const SocketNet&) = delete;
@@ -44,7 +71,8 @@ public:
   /// Convenience: register a started ServerGroup (or HostServer) under its
   /// own address.
   void register_endpoint(const ServerGroup& server);
-  /// Forget `address`; subsequent sends to it synthesize 504.
+  /// Forget `address`; subsequent sends to it synthesize 504. Also forgets
+  /// the destination's breaker state.
   void unregister_endpoint(const net::Address& address);
 
   /// Add `address` to `group` for multicast fan-out (idempotent).
@@ -62,8 +90,16 @@ public:
     std::uint64_t requests_sent = 0;
     std::uint64_t send_failures = 0;  ///< unknown endpoint or socket error
     std::uint64_t connections_opened = 0;
+    std::uint64_t retries = 0;             ///< backoff-delayed re-attempts
+    std::uint64_t breaker_fast_fails = 0;  ///< 503s from an open breaker
+    std::uint64_t stale_pool_drops = 0;    ///< dead pooled fds discarded
   };
   [[nodiscard]] Stats stats() const IDICN_EXCLUDES(mutex_);
+
+  /// Observer view of a destination's breaker (Closed when the destination
+  /// has no breaker yet or breakers are disabled).
+  [[nodiscard]] CircuitBreaker::State breaker_state(const net::Address& to) const
+      IDICN_EXCLUDES(mutex_);
 
 private:
   struct Endpoint {
@@ -73,18 +109,45 @@ private:
   };
 
   /// Borrow a pooled (or freshly dialed) client for `to`; nullptr when the
-  /// address is unknown. Ownership of the client transfers to the caller —
-  /// the mutex hand-off is what makes pooled connections safe to pass
-  /// between sender threads.
+  /// address is unknown. Pooled clients whose connection went stale while
+  /// idle are discarded here. Ownership of the client transfers to the
+  /// caller — the mutex hand-off is what makes pooled connections safe to
+  /// pass between sender threads.
   std::unique_ptr<HttpClient> borrow(const net::Address& to) IDICN_EXCLUDES(mutex_);
   void give_back(const net::Address& to, std::unique_ptr<HttpClient> client)
       IDICN_EXCLUDES(mutex_);
 
-  HttpClient::Options client_options_;
+  /// The destination's breaker, created on first use (shared_ptr so callers
+  /// operate on it outside the map lock; CircuitBreaker is thread-safe).
+  std::shared_ptr<CircuitBreaker> breaker_for(const net::Address& to)
+      IDICN_EXCLUDES(mutex_);
+
+  /// One borrow → round trip → give_back attempt. On failure the reason is
+  /// left in `error` and nullopt returned.
+  std::optional<net::HttpResponse> attempt(const net::Address& to,
+                                           const net::HttpRequest& request,
+                                           std::string* error)
+      IDICN_EXCLUDES(mutex_);
+
+  Options options_;
+  RetryPolicy retry_policy_;
+  RetryBudget retry_budget_;
   mutable core::sync::Mutex mutex_;
   std::map<net::Address, Endpoint> endpoints_ IDICN_GUARDED_BY(mutex_);
   std::map<std::string, std::vector<net::Address>> groups_ IDICN_GUARDED_BY(mutex_);
+  std::map<net::Address, std::shared_ptr<CircuitBreaker>> breakers_
+      IDICN_GUARDED_BY(mutex_);
   Stats stats_ IDICN_GUARDED_BY(mutex_);
 };
+
+// Out of line: Options' default member initializers only become usable once
+// SocketNet is a complete type.
+inline SocketNet::SocketNet() : SocketNet(Options{}) {}
+inline SocketNet::SocketNet(HttpClient::Options client_options)
+    : SocketNet([&] {
+        Options options;
+        options.client = client_options;
+        return options;
+      }()) {}
 
 }  // namespace idicn::runtime

@@ -40,7 +40,12 @@ TimerWheel::TimerId TimerWheel::schedule(std::uint64_t delay_ms, Callback callba
 
 bool TimerWheel::cancel(TimerId id) {
   const auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
+  if (it == entries_.end()) {
+    // Mid-advance: the timer may be extracted and awaiting its callback. A
+    // cancel must still win (a close handler disarming its sibling timer
+    // due the same tick), so disarm it in flight.
+    return in_flight_.erase(id) == 1;
+  }
   const auto [slot, position] = it->second;
   deadlines_.erase(deadlines_.find(position->deadline_ms));
   buckets_[slot].erase(position);
@@ -71,6 +76,7 @@ void TimerWheel::advance_to(std::uint64_t now_ms) {
       }
       entries_.erase(it->id);
       deadlines_.erase(deadlines_.find(it->deadline_ms));
+      in_flight_.insert(it->id);
       due.push_back(std::move(*it));
       it = bucket.erase(it);
     }
@@ -78,9 +84,17 @@ void TimerWheel::advance_to(std::uint64_t now_ms) {
   current_tick_ = target_tick;
   now_ms_ = now_ms;
 
-  std::sort(due.begin(), due.end(),
-            [](const Entry& a, const Entry& b) { return a.deadline_ms < b.deadline_ms; });
-  for (Entry& entry : due) entry.callback();
+  // Deadline order; ids (monotonic per schedule()) break ties so same-tick
+  // timers fire in schedule order — deterministic, and a timer scheduled
+  // first can cancel a later sibling before it runs.
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.deadline_ms != b.deadline_ms ? a.deadline_ms < b.deadline_ms
+                                          : a.id < b.id;
+  });
+  for (Entry& entry : due) {
+    // A callback earlier in this advance may have cancelled this timer.
+    if (in_flight_.erase(entry.id) == 1) entry.callback();
+  }
 }
 
 std::optional<std::uint64_t> TimerWheel::next_deadline_ms() const {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace idicn::runtime {
@@ -34,7 +35,10 @@ public:
   /// Arm a one-shot timer `delay_ms` from the wheel's current time.
   TimerId schedule(std::uint64_t delay_ms, Callback callback);
 
-  /// Disarm; false when the id already fired or was cancelled.
+  /// Disarm; false when the id already fired or was cancelled. A timer
+  /// that is due in the advance currently firing but whose callback has
+  /// not run yet can still be cancelled (true, callback suppressed) — so a
+  /// callback closing a connection reliably disarms its sibling timers.
   bool cancel(TimerId id);
 
   /// Advance the wheel to `now_ms`, firing every timer whose deadline has
@@ -68,6 +72,9 @@ private:
   // id → bucket position for O(1) cancel; deadlines for next_deadline_ms.
   std::unordered_map<TimerId, std::pair<std::size_t, Bucket::iterator>> entries_;
   std::multiset<std::uint64_t> deadlines_;
+  // Due-but-not-yet-fired ids during advance_to, so cancel() can disarm a
+  // timer extracted in the same advance (emptied before advance returns).
+  std::unordered_set<TimerId> in_flight_;
 };
 
 }  // namespace idicn::runtime

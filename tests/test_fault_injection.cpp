@@ -1,0 +1,322 @@
+// FaultInjector tests over SimNet: deterministic fault plans (drop, reset,
+// latency, scheduled windows, probabilistic faults), response mutation
+// caught by idICN verification, and the proxy's serve-stale-on-error
+// degradation driven entirely on the virtual clock.
+#include "net/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "idicn/nrs.hpp"
+#include "idicn/origin_server.hpp"
+#include "idicn/proxy.hpp"
+#include "idicn/reverse_proxy.hpp"
+#include "net/sim_net.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace ::idicn::idicn;
+
+struct EchoHost : net::SimHost {
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                const net::Address& /*from*/) override {
+    return net::make_response(200, "echo:" + request.target);
+  }
+};
+
+TEST(FaultInjector, DropSynthesizes504AndRecoversOnRemove) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("svc", &host);
+  net::FaultInjector faulty(&net);
+
+  net::FaultInjector::Rule rule;
+  rule.to = "svc";
+  rule.kind = net::FaultInjector::FaultKind::Drop;
+  const auto id = faulty.add_rule(rule);
+
+  net::HttpRequest request;
+  request.target = "/x";
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 504);
+  EXPECT_EQ(faulty.stats().drops, 1u);
+
+  faulty.remove_rule(id);
+  const auto response = faulty.send("a", "svc", request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "echo:/x");
+  EXPECT_EQ(faulty.stats().sends, 2u);
+}
+
+TEST(FaultInjector, RulesMatchPerDestination) {
+  net::SimNet net;
+  EchoHost a, b;
+  net.attach("a.svc", &a);
+  net.attach("b.svc", &b);
+  net::FaultInjector faulty(&net);
+  net::FaultInjector::Rule rule;
+  rule.to = "a.svc";
+  faulty.add_rule(rule);
+
+  net::HttpRequest request;
+  EXPECT_EQ(faulty.send("c", "a.svc", request).status, 504);
+  EXPECT_EQ(faulty.send("c", "b.svc", request).status, 200);
+}
+
+TEST(FaultInjector, ScheduledFailRecoverWindow) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("svc", &host);
+  net::FaultInjector faulty(&net);
+  net::FaultInjector::Rule rule;
+  rule.to = "svc";
+  rule.after_sends = 1;  // sends 1 and 2 fail; 0 and 3+ succeed
+  rule.until_sends = 3;
+  faulty.add_rule(rule);
+
+  net::HttpRequest request;
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 504);
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 504);
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);  // recovered
+  EXPECT_EQ(faulty.stats().drops, 2u);
+}
+
+TEST(FaultInjector, ProbabilisticFaultsAreSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    net::SimNet net;
+    EchoHost host;
+    net.attach("svc", &host);
+    net::FaultInjector::Options options;
+    options.seed = seed;
+    net::FaultInjector faulty(&net, options);
+    net::FaultInjector::Rule rule;
+    rule.to = "svc";
+    rule.probability = 0.5;
+    faulty.add_rule(rule);
+    std::vector<int> statuses;
+    net::HttpRequest request;
+    for (int i = 0; i < 100; ++i) {
+      statuses.push_back(faulty.send("a", "svc", request).status);
+    }
+    return statuses;
+  };
+  const auto first = run(7);
+  EXPECT_EQ(first, run(7));   // same seed replays the same fault sequence
+  EXPECT_NE(first, run(8));   // a different seed perturbs it
+  const auto faults = std::count(first.begin(), first.end(), 504);
+  EXPECT_GT(faults, 20);  // p=0.5 over 100 sends: nowhere near all-or-nothing
+  EXPECT_LT(faults, 80);
+}
+
+TEST(FaultInjector, LatencyHookAvoidsWallClockSleeps) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("svc", &host);
+  net::FaultInjector faulty(&net);
+  std::vector<std::uint64_t> stalls;
+  faulty.set_latency_hook([&](std::uint64_t ms) { stalls.push_back(ms); });
+  net::FaultInjector::Rule rule;
+  rule.to = "svc";
+  rule.kind = net::FaultInjector::FaultKind::Latency;
+  rule.latency_ms = 250;
+  faulty.add_rule(rule);
+
+  net::HttpRequest request;
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);  // slow, not broken
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0], 250u);
+  EXPECT_EQ(faulty.stats().delays, 1u);
+}
+
+TEST(FaultInjector, ResetReportsConnectionReset) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("svc", &host);
+  net::FaultInjector faulty(&net);
+  net::FaultInjector::Rule rule;
+  rule.to = "svc";
+  rule.kind = net::FaultInjector::FaultKind::Reset;
+  faulty.add_rule(rule);
+
+  const auto response = faulty.send("a", "svc", net::HttpRequest{});
+  EXPECT_EQ(response.status, 504);
+  EXPECT_NE(response.body.find("reset"), std::string::npos);
+  EXPECT_EQ(faulty.stats().resets, 1u);
+}
+
+TEST(FaultInjector, MulticastDropSilencesTheGroup) {
+  net::SimNet net;
+  EchoHost a, b;
+  net.attach("a.svc", &a);
+  net.attach("b.svc", &b);
+  net.join_group("peers", "a.svc");
+  net.join_group("peers", "b.svc");
+  net::FaultInjector faulty(&net);
+
+  EXPECT_EQ(faulty.multicast("c", "peers", net::HttpRequest{}).size(), 2u);
+  net::FaultInjector::Rule rule;
+  rule.to = "peers";
+  const auto id = faulty.add_rule(rule);
+  EXPECT_TRUE(faulty.multicast("c", "peers", net::HttpRequest{}).empty());
+  faulty.set_enabled(id, false);
+  EXPECT_EQ(faulty.multicast("c", "peers", net::HttpRequest{}).size(), 2u);
+}
+
+/// A single-AD idICN deployment whose proxy sends through a FaultInjector.
+struct FaultyDeployment {
+  net::SimNet net;
+  net::FaultInjector faulty{&net};
+  net::DnsService dns;
+  crypto::MerkleSigner signer{12345, 6};
+  NameResolutionSystem nrs{&dns};
+  OriginServer origin;
+  ReverseProxy reverse_proxy{&net, "rp.pub", "origin.pub", "nrs.consortium",
+                             &signer};
+  Proxy proxy;
+
+  explicit FaultyDeployment(Proxy::Options options = {})
+      : proxy(&faulty, "cache.ad1", "nrs.consortium", &dns, options) {
+    net.attach("nrs.consortium", &nrs);
+    net.attach("origin.pub", &origin);
+    net.attach("rp.pub", &reverse_proxy);
+    net.attach("cache.ad1", &proxy);
+    faulty.set_latency_hook([](std::uint64_t) {});  // never wall-sleep here
+  }
+
+  SelfCertifyingName publish(const std::string& label, const std::string& body) {
+    origin.put(label, body);
+    const auto name = reverse_proxy.publish(label);
+    EXPECT_TRUE(name.has_value());
+    return *name;
+  }
+
+  net::HttpResponse get(const SelfCertifyingName& name) {
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = "http://" + name.host() + "/";
+    return proxy.handle_http(request, "client");
+  }
+};
+
+TEST(FaultInjector, CorruptedBodyFailsVerificationNeverCached) {
+  FaultyDeployment d;
+  const auto name = d.publish("page", "pristine content");
+  net::FaultInjector::Rule rule;
+  rule.to = "rp.pub";
+  rule.kind = net::FaultInjector::FaultKind::CorruptBody;
+  const auto id = d.faulty.add_rule(rule);
+
+  EXPECT_EQ(d.get(name).status, 502);  // corrupt bytes never served
+  EXPECT_GE(d.proxy.stats().verification_failures, 1u);
+  EXPECT_FALSE(d.proxy.is_cached(name.host()));
+  EXPECT_GE(d.faulty.stats().corruptions, 1u);
+
+  d.faulty.set_enabled(id, false);
+  const auto clean = d.get(name);
+  EXPECT_EQ(clean.status, 200);
+  EXPECT_EQ(clean.body, "pristine content");
+}
+
+TEST(FaultInjector, TruncatedBodyFailsVerification) {
+  FaultyDeployment d;
+  const auto name = d.publish("page", "a body long enough to truncate");
+  net::FaultInjector::Rule rule;
+  rule.to = "rp.pub";
+  rule.kind = net::FaultInjector::FaultKind::TruncateBody;
+  rule.truncate_at = 4;
+  d.faulty.add_rule(rule);
+
+  EXPECT_EQ(d.get(name).status, 502);
+  EXPECT_GE(d.proxy.stats().verification_failures, 1u);
+  EXPECT_EQ(d.faulty.stats().truncations, 1u);
+}
+
+TEST(ServeStale, UpstreamOutageServesExpiredEntryWithWarning) {
+  Proxy::Options options;
+  options.freshness_ms = 1;  // expires as soon as the clock moves
+  FaultyDeployment d(options);
+  d.net.set_default_latency_ms(5);  // sends advance the virtual clock
+  const auto name = d.publish("page", "still good");
+
+  ASSERT_EQ(d.get(name).status, 200);  // cached (MISS → stored)
+  ASSERT_TRUE(d.proxy.is_cached(name.host()));
+
+  // Total outage: NRS, reverse proxy, origin all black-holed.
+  net::FaultInjector::Rule rule;  // to = "*"
+  d.faulty.add_rule(rule);
+  // Let the virtual clock pass the freshness horizon.
+  (void)d.net.send("tick", "origin.pub", net::HttpRequest{});
+
+  const auto degraded = d.get(name);
+  EXPECT_EQ(degraded.status, 200);
+  EXPECT_EQ(degraded.body, "still good");
+  EXPECT_EQ(degraded.headers.get("X-IdICN-Stale"), "1");
+  ASSERT_TRUE(degraded.headers.get("Warning").has_value());
+  EXPECT_NE(degraded.headers.get("Warning")->find("110"), std::string::npos);
+  EXPECT_EQ(d.proxy.stats().stale_served, 1u);
+  EXPECT_GE(d.proxy.stats().upstream_errors, 1u);
+
+  // Freshness was NOT renewed, so recovery is immediate: lift the faults
+  // and the next request refetches fresh content (no stale marker).
+  d.faulty.clear_rules();
+  const auto recovered = d.get(name);
+  EXPECT_EQ(recovered.status, 200);
+  EXPECT_FALSE(recovered.headers.get("X-IdICN-Stale").has_value());
+}
+
+TEST(ServeStale, NrsOutageRefetchesDirectlyFromLastSource) {
+  Proxy::Options options;
+  options.freshness_ms = 1;
+  FaultyDeployment d(options);
+  d.net.set_default_latency_ms(5);
+  const auto name = d.publish("page", "v1");
+  ASSERT_EQ(d.get(name).status, 200);
+  // The content changes upstream, so the cached validators go stale (no
+  // cheap 304 path) and a full refetch is the only way forward.
+  d.publish("page", "v2");
+
+  // Only the NRS is down; the reverse proxy still serves. The proxy must
+  // sidestep resolution and refetch from where the entry came from.
+  net::FaultInjector::Rule rule;
+  rule.to = "nrs.consortium";
+  d.faulty.add_rule(rule);
+  (void)d.net.send("tick", "origin.pub", net::HttpRequest{});
+
+  const auto refreshed = d.get(name);
+  EXPECT_EQ(refreshed.status, 200);
+  EXPECT_EQ(refreshed.body, "v2");
+  // Direct refetch succeeded: this is real content, not a stale fallback.
+  EXPECT_FALSE(refreshed.headers.get("X-IdICN-Stale").has_value());
+  EXPECT_EQ(d.proxy.stats().stale_served, 0u);
+}
+
+TEST(ServeStale, CleanNegativeNeverServesStale) {
+  Proxy::Options options;
+  options.freshness_ms = 1;
+  FaultyDeployment d(options);
+  d.net.set_default_latency_ms(5);
+  const auto name = d.publish("page", "v1");
+  ASSERT_EQ(d.get(name).status, 200);
+
+  // An NRS that is healthy but has forgotten the name (registration
+  // churn, modelled by swapping in an empty resolver at the same address)
+  // is a clean negative — the proxy must 404, not mask it with stale
+  // bytes. The reverse proxy is also gone, or revalidation would renew
+  // the entry before resolution is consulted.
+  NameResolutionSystem amnesiac{&d.dns};
+  d.net.detach("nrs.consortium");
+  d.net.attach("nrs.consortium", &amnesiac);
+  net::FaultInjector::Rule rp_down;
+  rp_down.to = "rp.pub";
+  d.faulty.add_rule(rp_down);
+  (void)d.net.send("tick", "origin.pub", net::HttpRequest{});
+
+  const auto gone = d.get(name);
+  EXPECT_EQ(gone.status, 404);
+  EXPECT_EQ(d.proxy.stats().stale_served, 0u);
+}
+
+}  // namespace

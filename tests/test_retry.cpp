@@ -1,0 +1,182 @@
+// Unit tests for the fault-tolerance policy primitives: RetryPolicy's
+// full-jitter backoff, the RetryBudget token bucket, and the CircuitBreaker
+// state machine. All time is passed in explicitly, so these tests run on a
+// purely virtual clock.
+#include "runtime/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace idicn::runtime {
+namespace {
+
+TEST(RetryPolicy, BackoffStaysWithinFullJitterEnvelope) {
+  RetryPolicy::Options options;
+  options.base_delay_ms = 100;
+  options.max_delay_ms = 400;
+  RetryPolicy policy(options);
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_LE(policy.backoff_delay_ms(1), 100u);  // base · 2^0
+    EXPECT_LE(policy.backoff_delay_ms(2), 200u);  // base · 2^1
+    EXPECT_LE(policy.backoff_delay_ms(3), 400u);  // capped
+    EXPECT_LE(policy.backoff_delay_ms(10), 400u); // still capped, no overflow
+  }
+}
+
+TEST(RetryPolicy, SameSeedSameDelaySequence) {
+  RetryPolicy::Options options;
+  options.seed = 42;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (int attempt = 1; attempt <= 32; ++attempt) {
+    EXPECT_EQ(a.backoff_delay_ms(attempt), b.backoff_delay_ms(attempt));
+  }
+}
+
+TEST(RetryPolicy, JitterActuallyVaries) {
+  RetryPolicy policy;
+  std::vector<std::uint64_t> delays;
+  delays.reserve(64);
+  for (int i = 0; i < 64; ++i) delays.push_back(policy.backoff_delay_ms(3));
+  bool varied = false;
+  for (const auto delay : delays) varied = varied || delay != delays.front();
+  EXPECT_TRUE(varied);  // a constant "jitter" would synchronize retry storms
+}
+
+TEST(RetryPolicy, HugeAttemptDoesNotOverflow) {
+  RetryPolicy::Options options;
+  options.base_delay_ms = 1;
+  options.max_delay_ms = 1u << 20;
+  RetryPolicy policy(options);
+  EXPECT_LE(policy.backoff_delay_ms(1000), options.max_delay_ms);
+}
+
+TEST(RetryPolicy, OverallDeadlineGatesRetries) {
+  RetryPolicy::Options options;
+  options.overall_deadline_ms = 1'000;
+  const RetryPolicy policy(options);
+  EXPECT_TRUE(policy.within_deadline(0, 500));
+  EXPECT_TRUE(policy.within_deadline(900, 99));
+  EXPECT_FALSE(policy.within_deadline(900, 100));  // lands exactly on it
+  EXPECT_FALSE(policy.within_deadline(1'500, 0));
+}
+
+TEST(RetryPolicy, ZeroDeadlineMeansUnbounded) {
+  RetryPolicy::Options options;
+  options.overall_deadline_ms = 0;
+  const RetryPolicy policy(options);
+  EXPECT_TRUE(policy.within_deadline(1u << 30, 1u << 30));
+}
+
+TEST(RetryBudget, SpendsDownToEmptyThenRefuses) {
+  RetryBudget::Options options;
+  options.initial_tokens = 2.0;
+  options.tokens_per_request = 0.0;  // no deposits: drain only
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());  // empty — retries must stop
+  EXPECT_DOUBLE_EQ(budget.tokens(), 0.0);
+}
+
+TEST(RetryBudget, AttemptsRefillFractionally) {
+  RetryBudget::Options options;
+  options.initial_tokens = 0.0;
+  options.tokens_per_request = 0.25;
+  RetryBudget budget(options);
+  EXPECT_FALSE(budget.try_spend());
+  for (int i = 0; i < 4; ++i) budget.on_attempt();  // 4 requests → 1 token
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+}
+
+TEST(RetryBudget, CapsAtMaxTokens) {
+  RetryBudget::Options options;
+  options.initial_tokens = 0.0;
+  options.max_tokens = 2.0;
+  options.tokens_per_request = 1.0;
+  RetryBudget budget(options);
+  for (int i = 0; i < 100; ++i) budget.on_attempt();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+CircuitBreaker::Options fast_breaker() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_ms = 100;
+  options.half_open_max_probes = 1;
+  options.half_open_successes = 1;
+  return options;
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(fast_breaker());
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::Closed);
+  breaker.record_failure(0);
+  breaker.record_failure(1);
+  EXPECT_TRUE(breaker.allow(2));  // still closed below the threshold
+  breaker.record_failure(2);
+  EXPECT_EQ(breaker.state(2), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow(3));  // fast-fail during the cooldown
+  EXPECT_EQ(breaker.retry_after_ms(2), 100u);
+  EXPECT_EQ(breaker.retry_after_ms(52), 50u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(fast_breaker());
+  breaker.record_failure(0);
+  breaker.record_failure(1);
+  breaker.record_success(2);  // streak broken
+  breaker.record_failure(3);
+  breaker.record_failure(4);
+  EXPECT_EQ(breaker.state(4), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessRecloses) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(i);
+  EXPECT_FALSE(breaker.allow(50));
+  // Cooldown elapses: the next allow becomes the probe.
+  EXPECT_EQ(breaker.state(102), CircuitBreaker::State::HalfOpen);
+  EXPECT_TRUE(breaker.allow(102));
+  EXPECT_FALSE(breaker.allow(103));  // probe slots are bounded
+  breaker.record_success(110);
+  EXPECT_EQ(breaker.state(110), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow(111));
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopensFreshCooldown) {
+  CircuitBreaker breaker(fast_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(i);
+  EXPECT_TRUE(breaker.allow(150));  // probe after cooldown
+  breaker.record_failure(160);
+  EXPECT_EQ(breaker.state(160), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow(200));            // fresh cooldown from 160
+  EXPECT_EQ(breaker.retry_after_ms(160), 100u);
+  EXPECT_TRUE(breaker.allow(261));  // …which elapses in turn
+}
+
+TEST(CircuitBreaker, MultipleProbeSuccessesRequired) {
+  CircuitBreaker::Options options = fast_breaker();
+  options.half_open_max_probes = 2;
+  options.half_open_successes = 2;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 3; ++i) breaker.record_failure(i);
+  EXPECT_TRUE(breaker.allow(200));
+  EXPECT_TRUE(breaker.allow(200));
+  breaker.record_success(201);
+  EXPECT_EQ(breaker.state(201), CircuitBreaker::State::HalfOpen);  // 1 of 2
+  breaker.record_success(202);
+  EXPECT_EQ(breaker.state(202), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, RetryAfterIsZeroUnlessOpen) {
+  CircuitBreaker breaker(fast_breaker());
+  EXPECT_EQ(breaker.retry_after_ms(0), 0u);
+  for (int i = 0; i < 3; ++i) breaker.record_failure(i);
+  EXPECT_GT(breaker.retry_after_ms(3), 0u);
+}
+
+}  // namespace
+}  // namespace idicn::runtime

@@ -579,4 +579,211 @@ TEST(SocketNet, NowMsAdvances) {
   EXPECT_GE(socket_net.now_ms(), t0 + 4);
 }
 
+// ---------------------------------------------------------------------------
+// TimerWheel edge cases the retry/deadline machinery leans on
+
+TEST(TimerWheelEdge, RescheduleWhilePendingKeepsBothDeadlines) {
+  // The runtime "reschedules" by arming a new timer and cancelling the old
+  // one — both orders must leave exactly one live deadline.
+  TimerWheel wheel(10, 64, 0);
+  int fired = 0;
+  const auto original = wheel.schedule(100, [&] { ++fired; });
+  const auto extended = wheel.schedule(300, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(original));
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(*wheel.next_deadline_ms(), 300u);
+  wheel.advance_to(200);
+  EXPECT_EQ(fired, 0);  // the cancelled deadline must not fire
+  wheel.advance_to(300);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(wheel.cancel(extended));  // already fired
+}
+
+TEST(TimerWheelEdge, RescheduleToSameBucketDifferentRevolution) {
+  // Old and new deadlines hash to the same bucket, one revolution apart —
+  // the rounds counter, not bucket position, must keep them distinct.
+  TimerWheel wheel(10, 16, 0);  // revolution = 160 ms
+  int early = 0, late = 0;
+  const auto id = wheel.schedule(40, [&] { ++early; });
+  wheel.schedule(40 + 160, [&] { ++late; });  // same slot, next revolution
+  EXPECT_TRUE(wheel.cancel(id));
+  wheel.advance_to(160);
+  EXPECT_EQ(early, 0);
+  EXPECT_EQ(late, 0);  // a revolution early: must not fire with the bucket
+  wheel.advance_to(200);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(TimerWheelEdge, ManyRevolutionsOutstanding) {
+  TimerWheel wheel(10, 8, 0);  // revolution = 80 ms
+  std::vector<int> fired;
+  for (int i = 1; i <= 5; ++i) {
+    // 90, 180, 270, 360, 450 ms: 1–5 revolutions out, various buckets.
+    wheel.schedule(static_cast<std::uint64_t>(i) * 90,
+                   [&fired, i] { fired.push_back(i); });
+  }
+  wheel.advance_to(449);
+  EXPECT_EQ(fired.size(), 4u);
+  wheel.advance_to(460);
+  ASSERT_EQ(fired.size(), 5u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5}));  // deadline order
+}
+
+TEST(TimerWheelEdge, CancelThenFireOrderingInOneBucket) {
+  // Cancel one of several same-tick timers, then advance: survivors fire
+  // in deadline order and the cancelled id reports false forever after.
+  TimerWheel wheel(10, 32, 0);
+  std::vector<char> order;
+  wheel.schedule(50, [&] { order.push_back('a'); });
+  const auto doomed = wheel.schedule(50, [&] { order.push_back('x'); });
+  wheel.schedule(50, [&] { order.push_back('b'); });
+  EXPECT_TRUE(wheel.cancel(doomed));
+  EXPECT_FALSE(wheel.cancel(doomed));  // idempotent: already gone
+  wheel.advance_to(60);
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+  EXPECT_FALSE(wheel.cancel(doomed));  // and still gone after the tick fired
+}
+
+TEST(TimerWheelEdge, CancelInsideCallbackDisarmsSiblingThisTick) {
+  // A deadline callback cancelling a sibling due the same tick must win:
+  // the sibling's callback never runs (connection-close cancelling the
+  // peer timer is exactly this shape).
+  TimerWheel wheel(10, 32, 0);
+  int sibling_fired = 0;
+  TimerWheel::TimerId sibling = 0;
+  wheel.schedule(50, [&] { wheel.cancel(sibling); });
+  sibling = wheel.schedule(50, [&] { ++sibling_fired; });
+  wheel.advance_to(100);
+  EXPECT_EQ(sibling_fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SocketNet fault tolerance: stale pooled connections, retries, breakers
+
+TEST(SocketNet, StalePooledConnectionIsDetectedAndRedialed) {
+  // Regression: the server drops idle keep-alive connections; the pooled
+  // client's fd is dead by the second send. The borrow-time probe must
+  // discard it and dial fresh — not surface a spurious failure.
+  EchoHost host;
+  HostServer::Options server_options;
+  server_options.idle_timeout_ms = 50;
+  HostServer server(&host, "svc", server_options);
+  server.start();
+  SocketNet::Options options;
+  options.enable_retries = false;  // isolate the probe from the retry layer
+  SocketNet socket_net(options);
+  socket_net.register_endpoint(server);
+
+  net::HttpRequest request;
+  request.target = "/one";
+  ASSERT_EQ(socket_net.send("a", "svc", request).status, 200);
+  // Let the server idle the pooled connection out (50 ms timeout, 10 ms
+  // timer ticks — 300 ms is far past it).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  request.target = "/two";
+  const auto response = socket_net.send("a", "svc", request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "echo:/two");
+  EXPECT_EQ(socket_net.stats().stale_pool_drops, 1u);
+  EXPECT_EQ(socket_net.stats().connections_opened, 2u);
+  EXPECT_EQ(socket_net.stats().send_failures, 0u);
+  server.stop();
+}
+
+TEST(SocketNet, TransportFailuresAreRetriedWithBackoff) {
+  SocketNet::Options options;
+  options.client.connect_timeout_ms = 100;
+  options.enable_breakers = false;  // isolate the retry layer
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_ms = 1;
+  options.retry.max_delay_ms = 4;
+  SocketNet socket_net(options);
+  socket_net.register_endpoint("dead.svc", "127.0.0.1", 1);
+
+  EXPECT_EQ(socket_net.send("a", "dead.svc", net::HttpRequest{}).status, 504);
+  EXPECT_EQ(socket_net.stats().retries, 2u);  // 3 attempts = 2 retries
+  EXPECT_EQ(socket_net.stats().send_failures, 1u);  // one failure per send
+}
+
+TEST(SocketNet, UnknownDestinationIsNeverRetried) {
+  SocketNet::Options options;
+  options.retry.max_attempts = 5;
+  SocketNet socket_net(options);
+  EXPECT_EQ(socket_net.send("a", "no.such.host", net::HttpRequest{}).status,
+            504);
+  EXPECT_EQ(socket_net.stats().retries, 0u);  // config error ≠ upstream fault
+  EXPECT_EQ(socket_net.breaker_state("no.such.host"),
+            CircuitBreaker::State::Closed);
+}
+
+TEST(SocketNet, BreakerOpensAndFastFailsWithRetryAfter) {
+  SocketNet::Options options;
+  options.client.connect_timeout_ms = 100;
+  options.enable_retries = false;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_ms = 30'000;  // stays open for the whole test
+  SocketNet socket_net(options);
+  socket_net.register_endpoint("dead.svc", "127.0.0.1", 1);
+
+  EXPECT_EQ(socket_net.send("a", "dead.svc", net::HttpRequest{}).status, 504);
+  EXPECT_EQ(socket_net.send("a", "dead.svc", net::HttpRequest{}).status, 504);
+  EXPECT_EQ(socket_net.breaker_state("dead.svc"), CircuitBreaker::State::Open);
+
+  const auto fast_fail = socket_net.send("a", "dead.svc", net::HttpRequest{});
+  EXPECT_EQ(fast_fail.status, 503);
+  ASSERT_TRUE(fast_fail.headers.get("Retry-After").has_value());
+  EXPECT_EQ(*fast_fail.headers.get("Retry-After"), "30");
+  EXPECT_EQ(socket_net.stats().breaker_fast_fails, 1u);
+}
+
+TEST(SocketNet, BreakerHalfOpensProbesAndRecloses) {
+  SocketNet::Options options;
+  options.client.connect_timeout_ms = 100;
+  options.enable_retries = false;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_ms = 100;
+  SocketNet socket_net(options);
+  // The destination starts dead…
+  socket_net.register_endpoint("flappy.svc", "127.0.0.1", 1);
+  EXPECT_EQ(socket_net.send("a", "flappy.svc", net::HttpRequest{}).status, 504);
+  EXPECT_EQ(socket_net.breaker_state("flappy.svc"),
+            CircuitBreaker::State::Open);
+
+  // …then recovers at the same address (new port; re-registering keeps the
+  // breaker history, as a real recovery would).
+  EchoHost host;
+  HostServer server(&host, "flappy.svc");
+  server.start();
+  socket_net.register_endpoint(server);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(socket_net.breaker_state("flappy.svc"),
+            CircuitBreaker::State::HalfOpen);
+  // The next send is the probe; its success re-closes the breaker.
+  EXPECT_EQ(socket_net.send("a", "flappy.svc", net::HttpRequest{}).status, 200);
+  EXPECT_EQ(socket_net.breaker_state("flappy.svc"),
+            CircuitBreaker::State::Closed);
+  server.stop();
+}
+
+TEST(SocketNet, RetryBudgetShedsRetriesUnderSustainedFailure) {
+  SocketNet::Options options;
+  options.client.connect_timeout_ms = 100;
+  options.enable_breakers = false;
+  options.retry.max_attempts = 3;
+  options.retry.base_delay_ms = 1;
+  options.retry.max_delay_ms = 2;
+  options.budget.initial_tokens = 3.0;  // three retries, then dry
+  options.budget.tokens_per_request = 0.0;
+  SocketNet socket_net(options);
+  socket_net.register_endpoint("dead.svc", "127.0.0.1", 1);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(socket_net.send("a", "dead.svc", net::HttpRequest{}).status, 504);
+  }
+  // 5 sends × 2 possible retries each = 10 wanted; the budget allowed 3.
+  EXPECT_EQ(socket_net.stats().retries, 3u);
+}
+
 }  // namespace

@@ -88,6 +88,41 @@ TEST(ServerGroup, SingleWorkerNeverUsesReuseport) {
 }
 
 // ---------------------------------------------------------------------------
+// Over-capacity shedding
+
+TEST(ServerGroup, OverCapacityRejectionCarriesRetryAfter) {
+  // Beyond max_connections the worker sheds with a 503 that tells clients
+  // *when* to come back — retriers (and our RetryPolicy) key off the
+  // Retry-After header rather than hammering a saturated server.
+  EchoHost host;
+  ServerGroup::Options options;
+  options.workers = 1;
+  options.max_connections = 1;
+  options.retry_after_s = 7;
+  ServerGroup group(&host, "echo.test", options);
+  const std::uint16_t port = group.start();
+  ASSERT_GT(port, 0);
+
+  // Occupy the only slot (a completed request pins the pooled connection).
+  HttpClient occupant("127.0.0.1", port);
+  const auto first = occupant.get("/hold");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->status, 200);
+
+  // The second connection must be shed, not served.
+  HttpClient excess("127.0.0.1", port);
+  const auto rejected = excess.get("/late");
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->status, 503);
+  ASSERT_TRUE(rejected->headers.get("Retry-After").has_value());
+  EXPECT_EQ(*rejected->headers.get("Retry-After"), "7");
+
+  group.stop();
+  EXPECT_EQ(group.stats().connections_rejected, 1u);
+  EXPECT_EQ(group.stats().requests_served, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // SO_REUSEPORT path (kernel-balanced; skipped where unsupported)
 
 TEST(ServerGroup, ReuseportListenersShareOnePort) {

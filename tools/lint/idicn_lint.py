@@ -27,6 +27,13 @@ Rules
   iostream-in-src  No std::cout/cerr/clog in library code (src/);
                libraries report through return values and exceptions,
                binaries (bench/, examples/, tools/) own the terminal.
+  raw-backoff  No raw sleeps (sleep_for / sleep_until / usleep /
+               nanosleep) anywhere in src/ outside RetryPolicy::sleep
+               (src/runtime/retry.cpp) and the fault injector's latency
+               leg (src/net/fault_injector.cpp). Hand-rolled
+               sleep-and-retry loops dodge the jitter, deadline, and
+               token-budget discipline — all backoff goes through
+               runtime::RetryPolicy.
   unguarded-sync  In the concurrent layers (src/runtime/, src/cache/)
                every declared core::sync::Mutex / ThreadRole must be
                referenced by at least one thread-safety annotation
@@ -67,6 +74,13 @@ LOOP_FILES = {
 # Concurrent layers where every sync capability must be annotated against.
 GUARDED_DIRS = ("src/runtime", "src/cache")
 
+# The only library files allowed to block the calling thread on purpose:
+# the sanctioned backoff point and the fault injector's latency leg.
+RAW_BACKOFF_ALLOWED = {
+    Path("src/runtime/retry.cpp"),
+    Path("src/net/fault_injector.cpp"),
+}
+
 RAW_SYNC = re.compile(
     r"std::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex"
     r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
@@ -81,6 +95,7 @@ LOOP_BLOCKING = re.compile(
     r"\b(?:sleep_for|sleep_until|usleep|nanosleep|system|popen"
     r"|connect_tcp|HttpClient)\s*\(|\bHttpClient\b"
 )
+RAW_SLEEP = re.compile(r"\b(?:sleep_for|sleep_until|usleep|nanosleep)\s*\(")
 PERF_MACRO = re.compile(r"\bIDICN_PERF_COUNTERS\b")
 IOSTREAM_PRINT = re.compile(r"std::(?:cout|cerr|clog)\b")
 # A Mutex/ThreadRole declaration (member or local; not a reference,
@@ -130,6 +145,12 @@ def check_file(rel: Path, text: str) -> list[str]:
             report(i, "loop-blocking",
                    "blocking call in event-loop code; loop callbacks must "
                    "not sleep, spawn, or issue synchronous network I/O")
+        if (rel.parts[0] == "src" and rel not in RAW_BACKOFF_ALLOWED
+                and RAW_SLEEP.search(line)):
+            report(i, "raw-backoff",
+                   "raw sleep in library code; all retry backoff goes "
+                   "through runtime::RetryPolicy (jitter, deadlines, "
+                   "token budget) — see RetryPolicy::sleep")
         if rel != PERF_HEADER and PERF_MACRO.search(line):
             report(i, "perf-macro",
                    "IDICN_PERF_COUNTERS must not leak outside "
