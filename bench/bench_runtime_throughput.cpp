@@ -20,6 +20,13 @@
 //   IDICN_BENCH_RUNTIME_CLIENTS  closed-loop client threads
 //                                (default max(2, workers))
 //   IDICN_BENCH_RUNTIME_BODY    object body bytes (default 512)
+//   IDICN_BENCH_SIZE_MODEL      unit | lognormal | pareto (default unit:
+//                               every object is IDICN_BENCH_RUNTIME_BODY
+//                               bytes). The heavy-tailed models draw each
+//                               catalog object's size independently — the
+//                               paper's heterogeneous-size variation (§5).
+//   IDICN_BENCH_SIZE_MEAN       mean body bytes for the heavy-tailed
+//                               models (default IDICN_BENCH_RUNTIME_BODY)
 //   IDICN_BENCH_OUT             JSON artifact path (default
 //                               BENCH_runtime.json in the cwd)
 //
@@ -46,6 +53,7 @@
 #include "runtime/host_server.hpp"
 #include "runtime/http_client.hpp"
 #include "runtime/socket_net.hpp"
+#include "workload/size_model.hpp"
 
 namespace {
 
@@ -76,6 +84,7 @@ struct WindowResult {
   std::size_t requests = 0;
   std::uint64_t errors = 0;
   double req_per_s = 0.0;
+  double gbps = 0.0;  ///< proxy wire bytes out × 8 / elapsed
   double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, max_us = 0.0;
   std::vector<double> per_worker_req_per_s;
   runtime::HostServer::Stats server_stats;
@@ -163,6 +172,11 @@ WindowResult run_window(Proxy& proxy, runtime::SocketNet& net,
         elapsed_s);
   }
   result.server_stats = proxy_server.stats();
+  // Wire throughput from the proxy server's own byte counter (headers
+  // included): with heavy-tailed bodies req/s alone hides the data-path
+  // cost, so the bench reports both.
+  result.gbps = static_cast<double>(result.server_stats.bytes_out) * 8.0 /
+                elapsed_s / 1e9;
   return result;
 }
 
@@ -172,7 +186,8 @@ void print_window(const WindowResult& w) {
   std::printf("    requests         %zu ok, %llu errors in %.2f s\n",
               w.requests, static_cast<unsigned long long>(w.errors),
               w.elapsed_s);
-  std::printf("    throughput       %.0f req/s\n", w.req_per_s);
+  std::printf("    throughput       %.0f req/s, %.3f Gbps out\n", w.req_per_s,
+              w.gbps);
   std::printf("    latency          p50 %.1f us, p90 %.1f us, p99 %.1f us, max %.1f us\n",
               w.p50_us, w.p90_us, w.p99_us, w.max_us);
   std::printf("    per-worker req/s ");
@@ -202,6 +217,24 @@ int main(int argc, char** argv) {
                                      std::max<long>(2, static_cast<long>(workers)));
   const long body_bytes = env_long("IDICN_BENCH_RUNTIME_BODY", 512);
 
+  // Heavy-tailed object sizes (tentpole (d)): pick the model from the env,
+  // sample each catalog object's body size once at publish time. Unit (the
+  // default) preserves the historical fixed-size behaviour exactly.
+  workload::SizeModel size_model;
+  if (const char* model_env = std::getenv("IDICN_BENCH_SIZE_MODEL")) {
+    const auto kind = workload::parse_size_model_kind(model_env);
+    if (!kind) {
+      std::fprintf(stderr,
+                   "IDICN_BENCH_SIZE_MODEL must be unit|lognormal|pareto, got %s\n",
+                   model_env);
+      return 2;
+    }
+    if (*kind != workload::SizeModelKind::Unit) {
+      const long mean = env_long("IDICN_BENCH_SIZE_MEAN", body_bytes);
+      size_model = workload::SizeModel(*kind, static_cast<double>(mean));
+    }
+  }
+
   // --- deploy the socketed stack -----------------------------------------
   runtime::SocketNet net;
   net::DnsService dns;
@@ -227,12 +260,19 @@ int main(int argc, char** argv) {
   // Publish a small catalog (each publish costs one-time keys).
   constexpr int kCatalog = 16;
   std::vector<std::string> targets;
+  std::mt19937_64 size_rng(0x1d1c4u);  // fixed seed: same catalog every run
+  std::uint64_t catalog_bytes = 0;
   for (int i = 0; i < kCatalog; ++i) {
     const std::string label = "object-" + std::to_string(i);
+    std::size_t object_bytes = static_cast<std::size_t>(body_bytes);
+    if (size_model.kind() != workload::SizeModelKind::Unit) {
+      object_bytes = static_cast<std::size_t>(size_model.sample(size_rng));
+    }
+    catalog_bytes += object_bytes;
     // The origin and reverse proxy belong to their worker threads while
     // their servers run: publish through run_on_loop, not directly.
     origin_server.run_on_loop([&] {
-      origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'x'));
+      origin.put(label, std::string(object_bytes, 'x'));
     });
     std::optional<SelfCertifyingName> name;
     rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
@@ -247,8 +287,11 @@ int main(int argc, char** argv) {
   // With workers > 1: a 1-worker baseline window first, then the N-worker
   // window against the same warmed proxy, so the comparison isolates the
   // reactor count.
-  std::printf("runtime throughput: %ld client(s), %ld s window, %ld-byte bodies, %zu worker(s)\n",
-              client_count, seconds, body_bytes, workers);
+  std::printf("runtime throughput: %ld client(s), %ld s window, %zu worker(s), "
+              "%s sizes (catalog mean %.0f B)\n",
+              client_count, seconds, workers,
+              workload::to_string(size_model.kind()).c_str(),
+              static_cast<double>(catalog_bytes) / kCatalog);
   std::optional<WindowResult> baseline;
   if (workers > 1) {
     baseline = run_window(proxy, net, 1, client_count, seconds, targets);
@@ -309,13 +352,14 @@ int main(int argc, char** argv) {
     per_worker_json += item;
   }
   per_worker_json += "]";
-  char json[1024];
+  char json[1536];
   std::snprintf(
       json, sizeof(json),
       "{\"bench\":\"runtime_throughput\",\"workers\":%zu,\"reuseport\":%s,"
       "\"clients\":%ld,\"seconds\":%.2f,\"requests\":%zu,\"errors\":%llu,"
-      "\"req_per_s\":%.1f,\"single_worker_req_per_s\":%.1f,"
+      "\"req_per_s\":%.1f,\"gbps\":%.3f,\"single_worker_req_per_s\":%.1f,"
       "\"scaling_efficiency\":%.3f,\"per_worker_req_per_s\":%s,"
+      "\"size_model\":\"%s\",\"catalog_mean_bytes\":%.1f,"
       "\"p50_us\":%.1f,\"p90_us\":%.1f,\"p99_us\":%.1f,\"max_us\":%.1f,"
       "\"bytes_served\":%llu,"
       "\"retries\":%llu,\"breaker_fast_fails\":%llu,"
@@ -323,9 +367,12 @@ int main(int argc, char** argv) {
       measured.workers, measured.used_reuseport ? "true" : "false",
       client_count, measured.elapsed_s, measured.requests,
       static_cast<unsigned long long>(measured.errors + (baseline ? baseline->errors : 0)),
-      measured.req_per_s,
+      measured.req_per_s, measured.gbps,
       baseline ? baseline->req_per_s : measured.req_per_s, scaling_efficiency,
-      per_worker_json.c_str(), measured.p50_us, measured.p90_us,
+      per_worker_json.c_str(),
+      workload::to_string(size_model.kind()).c_str(),
+      static_cast<double>(catalog_bytes) / kCatalog,
+      measured.p50_us, measured.p90_us,
       measured.p99_us, measured.max_us,
       static_cast<unsigned long long>(proxy_stats.bytes_served.value()),
       static_cast<unsigned long long>(net.stats().retries),

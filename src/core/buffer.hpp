@@ -1,0 +1,111 @@
+// Reference-counted body buffers for the zero-copy data path.
+//
+// A large object served to N concurrent clients used to be copied N+1
+// times (one master copy in the content store plus one flat
+// `conn.out` string per connection). Chunk makes the bytes themselves
+// shared and immutable: the content store, every connection's output
+// queue, and every in-flight upstream transfer hold references to the
+// same heap block, so fan-out costs pointers, not memcpy. This is the
+// userspace analogue of a segment-granular ICN content store
+// (NDN-DPDK's CS holds packet mbufs by reference for the same reason).
+//
+// ChunkedBody is an ordered sequence of Chunks — the representation for
+// bodies too large (or too incremental) for one flat std::string: a
+// partially fetched object is a ChunkedBody that is still growing, and
+// serving its prefix is just handing out the chunks admitted so far.
+//
+// Thread-safety: a Chunk's bytes are immutable after construction and the
+// control block is std::shared_ptr, so Chunks may be copied and read from
+// any thread. ChunkedBody itself is a plain container — guard it like any
+// other mutable member.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace idicn::core {
+
+/// One immutable, shared slab of body bytes.
+class Chunk {
+ public:
+  Chunk() = default;
+
+  /// Copy `bytes` into a fresh shared block.
+  [[nodiscard]] static Chunk copy_of(std::string_view bytes) {
+    Chunk chunk;
+    chunk.data_ = std::make_shared<const std::string>(bytes);
+    return chunk;
+  }
+
+  /// Adopt an existing string without copying its bytes.
+  [[nodiscard]] static Chunk from_string(std::string bytes) {
+    Chunk chunk;
+    chunk.data_ = std::make_shared<const std::string>(std::move(bytes));
+    return chunk;
+  }
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    return data_ ? std::string_view(*data_) : std::string_view();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return data_ ? data_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Readers sharing this block (0 for a default-constructed chunk).
+  /// Approximate under concurrency — diagnostics and tests only.
+  [[nodiscard]] long use_count() const noexcept { return data_.use_count(); }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+};
+
+/// An ordered sequence of shared chunks: a body that can grow
+/// incrementally and fan out without copying. Copying a ChunkedBody
+/// copies chunk *references* (O(chunks)), never body bytes.
+class ChunkedBody {
+ public:
+  void append(Chunk chunk) {
+    if (chunk.empty()) return;
+    size_ += chunk.size();
+    chunks_.push_back(std::move(chunk));
+  }
+  void append_copy(std::string_view bytes) { append(Chunk::copy_of(bytes)); }
+
+  /// Total body bytes across all chunks.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::vector<Chunk>& chunks() const noexcept {
+    return chunks_;
+  }
+
+  /// Flatten into one contiguous string (copies — interop with code that
+  /// needs a flat body; avoid on the serving path).
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(size_));
+    for (const Chunk& chunk : chunks_) out.append(chunk.view());
+    return out;
+  }
+
+  void clear() {
+    chunks_.clear();
+    size_ = 0;
+  }
+
+  /// Move the chunk sequence out, leaving this body empty.
+  [[nodiscard]] std::vector<Chunk> take() {
+    size_ = 0;
+    return std::exchange(chunks_, {});
+  }
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace idicn::core

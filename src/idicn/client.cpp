@@ -50,6 +50,13 @@ Client::FetchResult Client::get(const std::string& url) {
     result.response = net_->send(self_, *address, request);
   }
 
+  // In-process transports hand over chunk-backed bodies as-is (zero-copy
+  // serving); endpoints consume a contiguous view, so flatten here.
+  if (!result.response.stream_body.empty()) {
+    result.response.body = result.response.full_body();
+    result.response.stream_body.clear();
+  }
+
   // Optional end-to-end verification for self-certifying names.
   if (options_.verify_end_to_end && result.response.ok()) {
     if (const auto name = SelfCertifyingName::parse_host(uri->host)) {

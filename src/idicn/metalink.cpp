@@ -87,8 +87,20 @@ const char* to_string(VerifyResult result) {
 }
 
 VerifyResult verify_content(const ContentMetadata& metadata, std::string_view body) {
+  return verify_content(metadata, crypto::Sha256::hash(body));
+}
+
+VerifyResult verify_content(const ContentMetadata& metadata,
+                            const core::ChunkedBody& body) {
+  crypto::Sha256 hasher;
+  for (const core::Chunk& chunk : body.chunks()) hasher.update(chunk.view());
+  return verify_content(metadata, hasher.finish());
+}
+
+VerifyResult verify_content(const ContentMetadata& metadata,
+                            const crypto::Sha256Digest& body_digest) {
   // 1. The body must hash to the advertised digest.
-  if (crypto::Sha256::hash(body) != metadata.digest) {
+  if (body_digest != metadata.digest) {
     return VerifyResult::DigestMismatch;
   }
   // 2. The enclosed key must be the one the name commits to (P).

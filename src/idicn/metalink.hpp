@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer.hpp"
 #include "crypto/lamport.hpp"
 #include "crypto/sha256.hpp"
 #include "idicn/name.hpp"
@@ -68,5 +69,16 @@ enum class VerifyResult {
 /// This is the ICN security property — no trust in the delivery path.
 [[nodiscard]] VerifyResult verify_content(const ContentMetadata& metadata,
                                           std::string_view body);
+
+/// Same checks with a precomputed body digest — the streaming fetch path
+/// hashes chunks incrementally as they arrive off the wire, so the full
+/// body never needs to be contiguous in memory for verification.
+[[nodiscard]] VerifyResult verify_content(const ContentMetadata& metadata,
+                                          const crypto::Sha256Digest& body_digest);
+
+/// Chunk-store variant: hashes the chunks in order (equivalent to hashing
+/// the concatenated body) and runs the same checks.
+[[nodiscard]] VerifyResult verify_content(const ContentMetadata& metadata,
+                                          const core::ChunkedBody& body);
 
 }  // namespace idicn::idicn

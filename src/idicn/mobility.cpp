@@ -147,7 +147,7 @@ MobileClient::DownloadResult MobileClient::download(const std::string& name,
         size_known = true;
       }
     }
-    result.body += response.body;
+    result.body += response.full_body();
     ++result.chunks;
     if (between_chunks) between_chunks(result.body.size());
   }

@@ -7,8 +7,9 @@ namespace idicn::idicn {
 
 void OriginServer::put(const std::string& label, std::string body,
                        std::string content_type) {
+  core::Chunk bytes = core::Chunk::from_string(std::move(body));
   const core::sync::MutexLock lock(mutex_);
-  items_[label] = Item{std::move(body), std::move(content_type)};
+  items_[label] = Item{std::move(bytes), std::move(content_type)};
 }
 
 std::optional<OriginServer::Item> OriginServer::find(
@@ -32,7 +33,9 @@ net::HttpResponse OriginServer::handle_http(const net::HttpRequest& request,
   const auto item = find(it->second);
   if (!item) return net::make_response(404, "no such content");
   ++requests_served_;
-  return net::make_response(200, item->body, item->content_type);
+  core::ChunkedBody body;
+  body.append(item->body);  // shares the stored bytes, no copy
+  return net::make_stream_response(200, std::move(body), item->content_type);
 }
 
 }  // namespace idicn::idicn

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "core/buffer.hpp"
 #include "core/sync.hpp"
 #include "net/sim_net.hpp"
 
@@ -22,7 +23,9 @@ namespace idicn::idicn {
 class OriginServer : public net::SimHost {
 public:
   struct Item {
-    std::string body;
+    /// Shared immutable bytes: find() and every served response reference
+    /// the same buffer instead of copying the (possibly huge) body.
+    core::Chunk body;
     std::string content_type = "text/plain";
   };
 

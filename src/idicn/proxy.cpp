@@ -3,10 +3,97 @@
 #include <algorithm>
 #include <functional>
 
+#include "crypto/sha256.hpp"
 #include "idicn/nrs.hpp"
+#include "net/http_internal.hpp"
 #include "net/uri.hpp"
 
 namespace idicn::idicn {
+namespace {
+
+/// BodyProducer over a Transit: yields the chunks that have arrived so
+/// far, reports Pending while the upstream fetch is still filling the
+/// transit, Done once it completed, and Error if it failed (upstream died
+/// or verification rejected the content) — the serving runtime then
+/// closes the connection without completing the body.
+class TransitReader final : public net::BodyProducer {
+public:
+  explicit TransitReader(std::shared_ptr<detail::Transit> transit)
+      : transit_(std::move(transit)) {}
+
+  [[nodiscard]] std::optional<std::uint64_t> total_size() const override {
+    return transit_->expected_size;
+  }
+
+  Pull pull(core::Chunk* out) override {
+    const core::sync::MutexLock lock(transit_->mutex);
+    const auto& chunks = transit_->chunks.chunks();
+    if (index_ < chunks.size()) {
+      *out = chunks[index_++];
+      return Pull::Ready;
+    }
+    if (transit_->failed) return Pull::Error;
+    if (transit_->complete) return Pull::Done;
+    return Pull::Pending;
+  }
+
+private:
+  std::shared_ptr<detail::Transit> transit_;
+  std::size_t index_ = 0;  ///< cursor into the transit's chunk list
+};
+
+/// Receives an upstream body chunk by chunk: on a 200 head it builds a
+/// Transit and hands it to `publish` (which makes it visible to
+/// concurrent requests), then appends each chunk under the transit lock
+/// while hashing incrementally. Never cancels the transfer — error bodies
+/// are drained and discarded.
+class FetchSink final : public net::ChunkSink {
+public:
+  using Publish = std::function<void(const std::shared_ptr<detail::Transit>&)>;
+
+  explicit FetchSink(Publish publish) : publish_(std::move(publish)) {}
+
+  bool on_head(const net::HttpResponse& head) override {
+    if (!head.ok()) return true;  // drain and ignore the error body
+    auto transit = std::make_shared<detail::Transit>();
+    transit->content_type =
+        head.headers.get("Content-Type").value_or("text/plain");
+    transit->etag = head.headers.get("ETag").value_or("");
+    transit->metadata = ContentMetadata::from_headers(head.headers);
+    std::size_t content_length = 0;
+    if (head.headers.contains("Content-Length") &&
+        net::detail::parse_content_length(head.headers, content_length,
+                                          nullptr)) {
+      transit->expected_size = content_length;
+    }
+    transit_ = std::move(transit);
+    publish_(transit_);
+    return true;
+  }
+
+  bool on_chunk(core::Chunk chunk) override {
+    if (transit_ == nullptr) return true;  // error body: not ours to keep
+    bytes_ += chunk.size();
+    hasher_.update(chunk.view());
+    const core::sync::MutexLock lock(transit_->mutex);
+    transit_->chunks.append(std::move(chunk));
+    return true;
+  }
+
+  [[nodiscard]] const std::shared_ptr<detail::Transit>& transit() const {
+    return transit_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] crypto::Sha256Digest digest() { return hasher_.finish(); }
+
+private:
+  Publish publish_;
+  std::shared_ptr<detail::Transit> transit_;
+  crypto::Sha256 hasher_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
 
 Proxy::Proxy(net::Transport* net, net::Address self, net::Address nrs,
              const net::DnsService* dns, Options options)
@@ -108,7 +195,10 @@ net::HttpResponse Proxy::serve_entry(CacheShard& shard, const std::string& host,
                                      bool full_metadata) {
   stats_.bytes_served += entry.body.size();
   shard.perf.bump(&core::PerfCounters::proxy_bytes_served, entry.body.size());
-  net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
+  // References the entry's chunks — no body copy per response; N
+  // concurrent readers of one cached object share one copy of the bytes.
+  net::HttpResponse response =
+      net::make_stream_response(200, entry.body, entry.content_type);
   // The multi-kilobyte proof (publisher key + one-time signature) is
   // attached only when the caller asked for it: verifying clients and
   // fetching proxies send kWantMetadataHeader, plain browsers trust this
@@ -136,45 +226,82 @@ net::HttpResponse Proxy::store_and_serve(CacheShard& shard,
 std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
                                                     const net::Address& location,
                                                     bool* transport_failure) {
+  const std::string host = name.host();
+  CacheShard& shard = shard_for(host);
+
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/";
-  fetch.headers.set("Host", name.host());
+  fetch.headers.set("Host", host);
   fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
-  const net::HttpResponse response = net_->send(self_, location, fetch);
-  if (!response.ok()) {
-    if (transport_failure != nullptr && response.status >= 500) {
+
+  // Streaming fetch: chunks accumulate in a Transit that concurrent
+  // requests for the same object join mid-flight (serve_transit), and the
+  // digest is computed incrementally — the body is never reassembled into
+  // one contiguous buffer.
+  FetchSink sink([&](const std::shared_ptr<detail::Transit>& transit) {
+    const core::sync::MutexLock lock(shard.mutex);
+    shard.transit[host] = transit;
+  });
+  const net::HttpResponse head = net_->send_streaming(self_, location, fetch, sink);
+
+  // Retire the transit from the shard map (if this fetch published one and
+  // it was not replaced by a competing fetch) and resolve its end state.
+  // `failed` is the fail-closed switch: joined readers abort, their
+  // connections close mid-body, nobody receives a cleanly-terminated copy.
+  const auto retire = [&](bool failed) {
+    const std::shared_ptr<detail::Transit>& transit = sink.transit();
+    if (transit == nullptr) return;
+    {
+      const core::sync::MutexLock lock(transit->mutex);
+      transit->failed = failed;
+      transit->complete = !failed;
+    }
+    const core::sync::MutexLock lock(shard.mutex);
+    const auto it = shard.transit.find(host);
+    if (it != shard.transit.end() && it->second == transit) {
+      shard.transit.erase(it);
+    }
+  };
+
+  if (!head.ok()) {
+    // Either the upstream answered non-2xx, or the transport synthesized
+    // a failure — possibly *after* body delivery began (mid-body death).
+    if (transport_failure != nullptr && head.status >= 500) {
       *transport_failure = true;
     }
+    retire(/*failed=*/true);
     return std::nullopt;
   }
-  stats_.bytes_from_origin += response.body.size();
+  stats_.bytes_from_origin += sink.bytes();
   {
-    CacheShard& shard = shard_for(name.host());
     const core::sync::MutexLock lock(shard.mutex);
-    shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin,
-                    response.body.size());
+    shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin, sink.bytes());
   }
 
   Entry entry;
-  entry.body = response.body;
-  entry.content_type = response.headers.get("Content-Type").value_or("text/plain");
-  entry.etag = response.headers.get("ETag").value_or("");
+  entry.content_type = head.headers.get("Content-Type").value_or("text/plain");
+  entry.etag = head.headers.get("ETag").value_or("");
   entry.fetched_from = location;
   entry.stored_at_ms = net_->now_ms();
-  entry.metadata = ContentMetadata::from_headers(response.headers);
+  entry.metadata = ContentMetadata::from_headers(head.headers);
 
   if (options_.verify) {
-    if (!entry.metadata) {
+    if (!entry.metadata || entry.metadata->name != name ||
+        verify_content(*entry.metadata, sink.digest()) != VerifyResult::Ok) {
       ++stats_.verification_failures;
-      return std::nullopt;
-    }
-    if (entry.metadata->name != name ||
-        verify_content(*entry.metadata, entry.body) != VerifyResult::Ok) {
-      ++stats_.verification_failures;
+      retire(/*failed=*/true);
       return std::nullopt;
     }
   }
+  // The entry shares the transit's chunks — admission costs reference
+  // bumps, not a body copy, and joiners keep streaming from the same
+  // bytes the cache now holds.
+  if (const auto& transit = sink.transit()) {
+    const core::sync::MutexLock lock(transit->mutex);
+    entry.body = transit->chunks;
+  }
+  retire(/*failed=*/false);
   return entry;
 }
 
@@ -201,11 +328,11 @@ std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& na
     query.headers.set("Host", name.host());
     query.headers.set(kIcpQueryHeader, "1");
     query.headers.set(kWantMetadataHeader, "1");
-    const net::HttpResponse response = net_->send(self_, peer, query);
+    net::HttpResponse response = net_->send(self_, peer, query);
     if (!response.ok()) continue;
 
     Entry entry;
-    entry.body = response.body;
+    entry.body = response.take_body_chunks();
     entry.content_type = response.headers.get("Content-Type").value_or("text/plain");
     entry.etag = response.headers.get("ETag").value_or("");
     entry.fetched_from = peer;
@@ -223,6 +350,28 @@ std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& na
     return entry;
   }
   return std::nullopt;
+}
+
+net::HttpResponse Proxy::serve_transit(
+    const std::shared_ptr<detail::Transit>& transit, bool full_metadata) {
+  ++stats_.stream_joins;
+  net::HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  response.headers.set("Content-Type", transit->content_type);
+  if (!transit->etag.empty()) response.headers.set("ETag", transit->etag);
+  // The metadata is not verified yet — it rides along so an end-to-end
+  // verifying client can still check what it streamed. If verification
+  // fails proxy-side when the fetch completes, every joined stream aborts
+  // before its body terminator (fail-closed), so a non-verifying client
+  // never receives corrupt content framed as complete.
+  if (transit->metadata) transit->metadata->apply_to(response.headers, full_metadata);
+  response.headers.set("X-Cache", "STREAM");
+  response.headers.set("Via", self_);
+  // Framing follows the producer: Content-Length when the upstream
+  // declared a size, chunked otherwise (see serialize_head()).
+  response.producer = std::make_shared<TransitReader>(transit);
+  return response;
 }
 
 std::optional<net::HttpResponse> Proxy::serve_stale(CacheShard& shard,
@@ -272,6 +421,17 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
       stale = true;
       stale_etag = cached->second.etag;
       stale_fetched_from = cached->second.fetched_from;
+    }
+    // A sibling worker is already fetching this object: join its stream
+    // and serve the arrived prefix now, the tail as it lands — no second
+    // upstream fetch, no waiting for the whole object. Peer queries stay
+    // cache-only (an in-flight fetch is not a cached object yet), and a
+    // stale-entry holder keeps its revalidation path instead.
+    if (!peer_query && !stale) {
+      const auto streaming = shard.transit.find(host);
+      if (streaming != shard.transit.end()) {
+        return serve_transit(streaming->second, full_metadata);
+      }
     }
   }
   if (stale && !peer_query &&

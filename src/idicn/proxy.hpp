@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer.hpp"
 #include "core/perf_counters.hpp"
 #include "core/sync.hpp"
 #include "idicn/metalink.hpp"
@@ -54,6 +55,35 @@
 #include "net/transport.hpp"
 
 namespace idicn::idicn {
+
+namespace detail {
+
+/// An object currently streaming through the proxy: the fetching worker
+/// appends chunks as they arrive off the wire while any number of
+/// concurrent requests for the same object read the growing prefix
+/// through producer-backed responses (X-Cache: STREAM) instead of issuing
+/// duplicate upstream fetches. Visibility is managed under the owning
+/// cache shard's lock (the shard's transit map); the chunk list has its
+/// own mutex so appends and reads never contend with the shard's serving
+/// fast path. The identity fields below the mutex are set by the fetcher
+/// before the transit is published and immutable afterwards.
+struct Transit {
+  mutable core::sync::Mutex mutex;
+  core::ChunkedBody chunks IDICN_GUARDED_BY(mutex);
+  bool complete IDICN_GUARDED_BY(mutex) = false;
+  /// Fail-closed: set when the upstream died mid-body or the completed
+  /// content failed verification — joined readers surface an error and
+  /// their connections close without ever completing the body, so a
+  /// client can never mistake corrupt content for a clean transfer.
+  bool failed IDICN_GUARDED_BY(mutex) = false;
+
+  std::string content_type;
+  std::string etag;
+  std::optional<ContentMetadata> metadata;     ///< unverified until complete
+  std::optional<std::uint64_t> expected_size;  ///< from Content-Length
+};
+
+}  // namespace detail
 
 class Proxy : public net::SimHost {
 public:
@@ -88,6 +118,7 @@ public:
     core::sync::RelaxedCounter bytes_from_origin;   ///< body bytes fetched upstream on misses
     core::sync::RelaxedCounter stale_served;        ///< expired entries served on upstream failure
     core::sync::RelaxedCounter upstream_errors;     ///< exhausted upstream paths (transport/5xx)
+    core::sync::RelaxedCounter stream_joins;        ///< requests joined to an in-flight fetch
   };
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
@@ -111,7 +142,11 @@ public:
 
 private:
   struct Entry {
-    std::string body;
+    /// Chunk-granular body: the same shared chunks the object arrived in
+    /// (and that any concurrent stream-joiners are reading). Serving a hit
+    /// references them — N concurrent readers of one cached object cost
+    /// one copy of the bytes.
+    core::ChunkedBody body;
     std::string content_type;
     std::optional<ContentMetadata> metadata;
     std::string etag;          ///< validator for conditional refreshes
@@ -127,6 +162,11 @@ private:
     mutable core::sync::Mutex mutex;
     std::map<std::string, Entry> entries IDICN_GUARDED_BY(mutex);
     std::list<std::string> lru IDICN_GUARDED_BY(mutex);  ///< front = most recent
+    /// Objects currently being fetched through this shard: later requests
+    /// for the same host join the in-flight stream instead of fetching
+    /// again. Retired (erased) when the fetch completes or fails.
+    std::map<std::string, std::shared_ptr<detail::Transit>> transit
+        IDICN_GUARDED_BY(mutex);
     std::uint64_t used_bytes IDICN_GUARDED_BY(mutex) = 0;
     core::PerfCounters perf IDICN_GUARDED_BY(mutex);
     std::uint64_t capacity_bytes = 0;  ///< this shard's slice; construction-time
@@ -175,6 +215,11 @@ private:
   net::HttpResponse serve_entry(CacheShard& shard, const std::string& host,
                                 Entry& entry, bool hit, bool full_metadata)
       IDICN_REQUIRES(shard.mutex);
+  /// Join a request to an in-flight fetch: a producer-backed response that
+  /// serves the already-arrived prefix immediately and the tail as it
+  /// streams from upstream (X-Cache: STREAM).
+  net::HttpResponse serve_transit(const std::shared_ptr<detail::Transit>& transit,
+                                  bool full_metadata);
   /// True when admitted (entry moved into the shard); false when the body
   /// exceeds the shard's capacity slice (entry untouched).
   bool cache_store(CacheShard& shard, const std::string& host, Entry& entry)

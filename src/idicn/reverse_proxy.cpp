@@ -15,13 +15,16 @@ ReverseProxy::ReverseProxy(net::Transport* net, net::Address self, net::Address 
       publisher_id_(SelfCertifyingName::publisher_id(signer->root())),
       signer_(signer) {}
 
-ReverseProxy::Entry& ReverseProxy::admit(const std::string& label, std::string body,
+ReverseProxy::Entry& ReverseProxy::admit(const std::string& label,
+                                         core::ChunkedBody body,
                                          std::string content_type) {
   Entry entry;
   entry.body = std::move(body);
   entry.content_type = std::move(content_type);
   entry.metadata.name = SelfCertifyingName(label, publisher_id_);
-  entry.metadata.digest = crypto::Sha256::hash(entry.body);
+  crypto::Sha256 hasher;
+  for (const core::Chunk& chunk : entry.body.chunks()) hasher.update(chunk.view());
+  entry.metadata.digest = hasher.finish();
   entry.metadata.publisher_key = signer_->root();
   entry.metadata.signature = signer_->sign(entry.metadata.signing_input());
   entry.metadata.mirrors = {self_};
@@ -41,7 +44,7 @@ std::optional<SelfCertifyingName> ReverseProxy::publish(const std::string& label
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/content?label=" + label;
-  const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+  net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
   if (!from_origin.ok()) return std::nullopt;
   ++origin_fetches_;
 
@@ -54,7 +57,7 @@ std::optional<SelfCertifyingName> ReverseProxy::publish(const std::string& label
     // while the fetch was in flight.
     if (signer_->remaining() < 2) return std::nullopt;
     const Entry& entry =
-        admit(label, from_origin.body,
+        admit(label, from_origin.take_body_chunks(),
               from_origin.headers.get("Content-Type").value_or("text/plain"));
     name = entry.metadata.name;
     // Step P2 signature: the NRS checks nothing but cryptographic
@@ -90,7 +93,8 @@ net::HttpResponse ReverseProxy::respond(const Entry& entry,
     not_modified.headers.set("ETag", etag);
     return not_modified;
   }
-  net::HttpResponse response = net::make_response(200, entry.body, entry.content_type);
+  net::HttpResponse response =
+      net::make_stream_response(200, entry.body, entry.content_type);
   entry.metadata.apply_to(response.headers);
   response.headers.set("ETag", etag);
   return response;
@@ -126,7 +130,7 @@ net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/content?label=" + name->label();
-  const net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+  net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
   if (!from_origin.ok()) return net::make_response(404, "no such content");
   ++origin_fetches_;
 
@@ -137,7 +141,7 @@ net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
     if (signer_->remaining() == 0) {
       return net::make_response(503, "publisher signing key exhausted");
     }
-    admit(name->label(), from_origin.body,
+    admit(name->label(), from_origin.take_body_chunks(),
           from_origin.headers.get("Content-Type").value_or("text/plain"));
     it = entries_.find(name->label());
   }

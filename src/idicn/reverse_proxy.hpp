@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "core/buffer.hpp"
 #include "core/sync.hpp"
 #include "crypto/lamport.hpp"
 #include "idicn/metalink.hpp"
@@ -63,13 +64,16 @@ public:
 
 private:
   struct Entry {
-    std::string body;
+    /// Chunk-granular: responses reference these bytes (no copy per
+    /// request), and a body that arrived from the origin in pieces is
+    /// signed and stored without reassembly.
+    core::ChunkedBody body;
     std::string content_type;
     ContentMetadata metadata;
   };
 
   /// Sign and remember metadata for (label, body); returns the entry.
-  Entry& admit(const std::string& label, std::string body,
+  Entry& admit(const std::string& label, core::ChunkedBody body,
                std::string content_type) IDICN_REQUIRES(mutex_);
   /// Build the 200 (or conditional 304) answer for a signed entry.
   [[nodiscard]] net::HttpResponse respond(const Entry& entry,

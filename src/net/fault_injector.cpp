@@ -83,6 +83,14 @@ void FaultInjector::stall(std::uint64_t delay_ms) const {
 }
 
 void FaultInjector::mutate_body(const Rule& rule, HttpResponse& response) {
+  // Chunk-backed bodies are shared immutable buffers — flatten into a
+  // private copy before corrupting so the cache entry the bytes came from
+  // is not retroactively damaged (a real wire fault corrupts the copy in
+  // flight, not the sender's memory).
+  if (!response.stream_body.empty()) {
+    response.body = response.full_body();
+    response.stream_body.clear();
+  }
   if (rule.kind == FaultKind::TruncateBody) {
     response.body.resize(std::min(rule.truncate_at, response.body.size()));
   } else if (!response.body.empty()) {

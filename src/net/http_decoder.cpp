@@ -6,6 +6,9 @@ namespace idicn::net {
 
 namespace {
 constexpr std::string_view kHeaderEnd = "\r\n\r\n";
+/// A chunk-size line is a hex number plus optional extensions; anything
+/// longer than this is hostile, not fragmentation.
+constexpr std::size_t kMaxChunkSizeLine = 1024;
 }  // namespace
 
 void HttpDecoder::set_error(std::string message, int status) {
@@ -30,9 +33,16 @@ HttpDecoder::State HttpDecoder::state() const {
 
 void HttpDecoder::reset() {
   buffer_.clear();
+  buffer_.shrink_to_fit();
   pos_ = scan_ = 0;
   in_body_ = false;
-  body_start_ = content_length_ = 0;
+  body_kind_ = BodyKind::Length;
+  body_remaining_ = 0;
+  chunk_phase_ = ChunkPhase::Size;
+  body_received_ = 0;
+  spill_ = false;
+  hooks_active_ = false;
+  slab_.clear();
   requests_.clear();
   responses_.clear();
   error_.reset();
@@ -43,6 +53,10 @@ void HttpDecoder::feed(std::string_view bytes) {
   if (error_) return;
   buffer_.append(bytes);
   decode();
+  // Prompt streaming delivery: hand partially staged body bytes to the
+  // hook now rather than waiting for a full slab — a joining client should
+  // see the prefix as soon as it exists.
+  if (!error_ && in_body_ && hooks_active_) flush_slab();
 }
 
 bool HttpDecoder::finish_header_block(std::size_t terminator) {
@@ -84,17 +98,223 @@ bool HttpDecoder::finish_header_block(std::size_t terminator) {
     block.remove_prefix(line_end + 2);
   }
 
-  if (!detail::parse_content_length(*headers, content_length_, &parse_error)) {
-    set_error(parse_error.message, 400);
-    return false;
+  // Body framing. Transfer-Encoding and Content-Length together are the
+  // classic request-smuggling ambiguity — reject outright (RFC 7230 §3.3.3
+  // lets a server do exactly that).
+  const auto transfer_encoding = headers->get("Transfer-Encoding");
+  if (transfer_encoding) {
+    if (!detail::iequals(detail::trim_ows(*transfer_encoding), "chunked")) {
+      set_error("unsupported transfer coding", 400);
+      return false;
+    }
+    if (headers->contains("Content-Length")) {
+      set_error("both Content-Length and Transfer-Encoding", 400);
+      return false;
+    }
+    body_kind_ = BodyKind::Chunked;
+    body_remaining_ = 0;
+    chunk_phase_ = ChunkPhase::Size;
+  } else {
+    std::size_t content_length = 0;
+    if (!detail::parse_content_length(*headers, content_length, &parse_error)) {
+      set_error(parse_error.message, 400);
+      return false;
+    }
+    // The body ceiling is a request-ingress policy (don't buffer an
+    // attacker's upload). Response bodies stream through bounded memory,
+    // so no ceiling applies to them.
+    if (mode_ == Mode::Request && content_length > limits_.max_body_bytes) {
+      set_error("body exceeds limit", 413);
+      return false;
+    }
+    body_kind_ = BodyKind::Length;
+    body_remaining_ = content_length;
   }
-  if (content_length_ > limits_.max_body_bytes) {
-    set_error("body exceeds limit", 400);
-    return false;
-  }
+
+  hooks_active_ = mode_ == Mode::Response &&
+                  (hooks_.on_head != nullptr || hooks_.on_chunk != nullptr);
+  // Responses with a known-large body keep their bytes in shared chunks
+  // from the start; chunked responses start flat and spill on growth.
+  spill_ = mode_ == Mode::Response && body_kind_ == BodyKind::Length &&
+           body_remaining_ > limits_.body_slab_bytes;
+  body_received_ = 0;
   in_body_ = true;
-  body_start_ = terminator + 4;
+  pos_ = terminator + 4;
+  scan_ = pos_;
+  if (hooks_active_ && hooks_.on_head) hooks_.on_head(pending_response_);
   return true;
+}
+
+void HttpDecoder::consume_body(std::string_view bytes) {
+  if (bytes.empty()) return;
+  body_received_ += bytes.size();
+  if (hooks_active_ || spill_) {
+    // Stage into slab-sized pieces so chunks stay uniform regardless of
+    // how the stream fragmented.
+    while (!bytes.empty()) {
+      const std::size_t room = limits_.body_slab_bytes > slab_.size()
+                                   ? limits_.body_slab_bytes - slab_.size()
+                                   : 0;
+      const std::size_t take = std::min(room, bytes.size());
+      slab_.append(bytes.substr(0, take));
+      bytes.remove_prefix(take);
+      if (slab_.size() >= limits_.body_slab_bytes) flush_slab();
+    }
+    return;
+  }
+  std::string& body =
+      mode_ == Mode::Request ? pending_request_.body : pending_response_.body;
+  body.append(bytes);
+  // A chunked response that outgrows the flat representation switches to
+  // shared chunks; the accumulated prefix becomes the first chunk.
+  if (mode_ == Mode::Response && body_kind_ == BodyKind::Chunked &&
+      body.size() > limits_.body_slab_bytes) {
+    spill_ = true;
+    pending_response_.stream_body.append(core::Chunk::from_string(std::move(body)));
+    body.clear();
+  }
+}
+
+void HttpDecoder::flush_slab() {
+  if (slab_.empty()) return;
+  core::Chunk chunk = core::Chunk::from_string(std::move(slab_));
+  slab_.clear();
+  if (hooks_active_) {
+    if (hooks_.on_chunk) hooks_.on_chunk(std::move(chunk));
+  } else {
+    pending_response_.stream_body.append(std::move(chunk));
+  }
+}
+
+bool HttpDecoder::decode_chunked() {
+  while (true) {
+    switch (chunk_phase_) {
+      case ChunkPhase::Size: {
+        const std::size_t eol = buffer_.find("\r\n", pos_);
+        if (eol == std::string::npos) {
+          if (buffer_.size() - pos_ > kMaxChunkSizeLine) {
+            set_error("chunk size line too long", 400);
+          }
+          return false;
+        }
+        std::size_t size = 0;
+        if (eol - pos_ > kMaxChunkSizeLine ||
+            !detail::parse_chunk_size(
+                std::string_view(buffer_.data() + pos_, eol - pos_), size)) {
+          set_error("invalid chunk size", 400);
+          return false;
+        }
+        pos_ = eol + 2;
+        if (size == 0) {
+          chunk_phase_ = ChunkPhase::Trailers;
+          break;
+        }
+        if (mode_ == Mode::Request &&
+            body_received_ + size > limits_.max_body_bytes) {
+          set_error("body exceeds limit", 413);
+          return false;
+        }
+        body_remaining_ = size;
+        chunk_phase_ = ChunkPhase::Data;
+        break;
+      }
+      case ChunkPhase::Data: {
+        const std::size_t available = buffer_.size() - pos_;
+        const std::size_t take = std::min(available, body_remaining_);
+        consume_body(std::string_view(buffer_.data() + pos_, take));
+        pos_ += take;
+        body_remaining_ -= take;
+        compact();
+        if (body_remaining_ > 0) return false;
+        chunk_phase_ = ChunkPhase::DataEnd;
+        break;
+      }
+      case ChunkPhase::DataEnd: {
+        if (buffer_.size() - pos_ < 2) return false;
+        if (buffer_[pos_] != '\r' || buffer_[pos_ + 1] != '\n') {
+          set_error("chunk data missing CRLF", 400);
+          return false;
+        }
+        pos_ += 2;
+        chunk_phase_ = ChunkPhase::Size;
+        break;
+      }
+      case ChunkPhase::Trailers: {
+        const std::size_t eol = buffer_.find("\r\n", pos_);
+        if (eol == std::string::npos) {
+          if (buffer_.size() - pos_ > limits_.max_header_bytes) {
+            set_error("trailer block exceeds limit", 431);
+          }
+          return false;
+        }
+        const std::string_view line(buffer_.data() + pos_, eol - pos_);
+        pos_ = eol + 2;
+        if (line.empty()) return true;  // end of trailers: message complete
+        // body_remaining_ is idle in this phase; it accumulates trailer
+        // bytes so an endless trailer stream cannot grow the headers
+        // unboundedly (complete_message resets it).
+        body_remaining_ += line.size() + 2;
+        if (body_remaining_ > limits_.max_header_bytes) {
+          set_error("trailer block exceeds limit", 431);
+          return false;
+        }
+        // Trailer fields fold into the message headers (the prototype has
+        // no hop-by-hop machinery that would forbid specific names).
+        ParseError parse_error;
+        HeaderMap& headers = mode_ == Mode::Request ? pending_request_.headers
+                                                    : pending_response_.headers;
+        if (!detail::parse_header_line(line, headers, &parse_error)) {
+          set_error(parse_error.message, 400);
+          return false;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void HttpDecoder::complete_message() {
+  flush_slab();
+  // The chunked framing was consumed here; the message now carries an
+  // identity body, so re-serialization is Content-Length-framed and a
+  // dangling Transfer-Encoding header would make it self-contradictory.
+  if (body_kind_ == BodyKind::Chunked) {
+    (mode_ == Mode::Request ? pending_request_.headers
+                            : pending_response_.headers)
+        .remove("Transfer-Encoding");
+  }
+  if (mode_ == Mode::Request) {
+    requests_.push_back(std::move(pending_request_));
+  } else {
+    // With hooks active the body already went to on_chunk; the queued
+    // message is the head, signalling completion.
+    responses_.push_back(std::move(pending_response_));
+  }
+  in_body_ = false;
+  body_kind_ = BodyKind::Length;
+  body_remaining_ = 0;
+  body_received_ = 0;
+  spill_ = false;
+  hooks_active_ = false;
+  scan_ = pos_;
+  compact();
+}
+
+void HttpDecoder::compact() {
+  // Drop the consumed prefix once it dominates, so long-lived keep-alive
+  // connections (and mid-body streaming) stay O(slab), not O(stream).
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    scan_ = scan_ > pos_ ? scan_ - pos_ : 0;
+    pos_ = 0;
+    // One huge message must not pin its peak capacity on an idle
+    // connection forever (the keep-alive analogue of the old conn.out
+    // growth bug): release when usage falls far below capacity.
+    if (buffer_.capacity() > 4 * limits_.body_slab_bytes &&
+        buffer_.size() < buffer_.capacity() / 4) {
+      buffer_.shrink_to_fit();
+    }
+  }
 }
 
 void HttpDecoder::decode() {
@@ -118,27 +338,18 @@ void HttpDecoder::decode() {
       if (!finish_header_block(terminator)) return;
     }
 
-    if (buffer_.size() - body_start_ < content_length_) return;  // need more bytes
-
-    const std::string_view body(buffer_.data() + body_start_, content_length_);
-    if (mode_ == Mode::Request) {
-      pending_request_.body.assign(body);
-      requests_.push_back(std::move(pending_request_));
+    if (body_kind_ == BodyKind::Length) {
+      const std::size_t available = buffer_.size() - pos_;
+      const std::size_t take = std::min(available, body_remaining_);
+      consume_body(std::string_view(buffer_.data() + pos_, take));
+      pos_ += take;
+      body_remaining_ -= take;
+      compact();
+      if (body_remaining_ > 0) return;  // need more bytes
     } else {
-      pending_response_.body.assign(body);
-      responses_.push_back(std::move(pending_response_));
+      if (!decode_chunked()) return;  // need more bytes (or error set)
     }
-
-    // Advance past the consumed message; compact the buffer once the dead
-    // prefix dominates so long-lived keep-alive connections stay O(1).
-    pos_ = body_start_ + content_length_;
-    scan_ = pos_;
-    in_body_ = false;
-    body_start_ = content_length_ = 0;
-    if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
-      buffer_.erase(0, pos_);
-      pos_ = scan_ = 0;
-    }
+    complete_message();
   }
 }
 

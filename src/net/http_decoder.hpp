@@ -11,21 +11,44 @@
 // shares the start-line/header grammar with the complete-message parsers
 // (net/http_internal.hpp), so the two parse paths cannot drift.
 //
+// Bodies are framed by Content-Length or `Transfer-Encoding: chunked`
+// (RFC 7230 §4.1: hex size lines, chunk extensions ignored, trailers
+// folded into the message headers). Either way body bytes are consumed
+// *eagerly* — the working buffer stays O(body_slab_bytes) regardless of
+// body size. A decoded chunked message carries an identity body (the
+// Transfer-Encoding header is dropped), so re-serialization is framed by
+// Content-Length and round-trips.
+//
+// Body placement:
+//   * request bodies are flat strings, policed by max_body_bytes
+//     (exceeding it is a 413 — an ingress policy, see suggested_status);
+//   * response bodies have no ceiling (the peer was asked for the object;
+//     truncating it helps nobody): up to body_slab_bytes they are flat,
+//     beyond that they spill into shared chunks (stream_body);
+//   * with StreamHooks installed (Mode::Response only) body bytes bypass
+//     the message entirely: on_head fires when the header block parses,
+//     on_chunk per body slab, and the completed message pops from
+//     next_response() with an empty body. This is how the proxy streams a
+//     large object into its chunk store while it arrives.
+//
 // Decoder states (per message, then back to StartLine):
 //   StartLine  — waiting for the first CRLF (request/status line);
 //   Headers    — start line seen, waiting for the CRLFCRLF terminator;
-//   Body       — headers parsed, waiting for Content-Length body bytes;
+//   Body       — headers parsed, consuming body bytes (either framing);
 //   Error      — malformed input or a limit exceeded; terminal until
 //                reset(). error() says why, suggested_status() maps it to
 //                the 4xx a server should answer before closing.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "core/buffer.hpp"
 #include "net/http_message.hpp"
 
 namespace idicn::net {
@@ -37,8 +60,22 @@ public:
 
   /// Hard ceilings; exceeding one is a decode error, not silent truncation.
   struct Limits {
-    std::size_t max_header_bytes = 64 * 1024;      ///< start line + headers + CRLFCRLF
+    std::size_t max_header_bytes = 64 * 1024;  ///< start line + headers + CRLFCRLF
+    /// Request-body ceiling (ingress policy → 413). Response bodies are
+    /// NOT policed by this — they stream through bounded memory instead.
     std::size_t max_body_bytes = 64u * 1024 * 1024;
+    /// Body staging granularity: responses larger than this spill from the
+    /// flat `body` string into shared chunks, and chunks are emitted in
+    /// slabs of roughly this size.
+    std::size_t body_slab_bytes = 256 * 1024;
+  };
+
+  /// Streaming delivery for Mode::Response: when installed, body bytes go
+  /// to on_chunk as they arrive instead of accumulating in the message.
+  /// on_head fires once per message, before any of its body chunks.
+  struct StreamHooks {
+    std::function<void(const HttpResponse& head)> on_head;
+    std::function<void(core::Chunk chunk)> on_chunk;
   };
 
   explicit HttpDecoder(Mode mode);
@@ -64,36 +101,62 @@ public:
   [[nodiscard]] bool failed() const noexcept { return error_.has_value(); }
   [[nodiscard]] const std::string& error() const;
   /// Status a server should answer with on failed(): 431 for oversized
-  /// headers, 413 semantics folded to 400 here (the prototype's status
-  /// set), 400 for grammar errors.
+  /// headers/trailers, 413 for a request body over max_body_bytes
+  /// (RFC 9110 Content Too Large), 400 for grammar errors.
   [[nodiscard]] int suggested_status() const;
 
-  /// Bytes buffered but not yet consumed by a complete message (a partial
-  /// message in flight; 0 means the stream is on a message boundary).
+  /// Install (or clear, with default-constructed hooks) streaming body
+  /// delivery. Mode::Response only; applies to messages whose header block
+  /// completes after the call.
+  void set_stream_hooks(StreamHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Bytes buffered but not yet consumed. Body bytes are consumed eagerly,
+  /// so — unlike mid_message() — this does NOT indicate a message boundary.
   [[nodiscard]] std::size_t buffered_bytes() const noexcept {
     return buffer_.size() - pos_;
   }
 
-  /// Forget buffered bytes, queued messages, and any error.
+  /// True while a message is partially decoded (mid-headers or mid-body);
+  /// false exactly on a clean message boundary.
+  [[nodiscard]] bool mid_message() const noexcept {
+    return in_body_ || buffered_bytes() > 0;
+  }
+
+  /// Forget buffered bytes, queued messages, and any error. Stream hooks
+  /// stay installed.
   void reset();
 
 private:
+  enum class BodyKind { Length, Chunked };
+  enum class ChunkPhase { Size, Data, DataEnd, Trailers };
+
   void decode();
   bool finish_header_block(std::size_t terminator);  ///< false ⇒ error set
+  [[nodiscard]] bool decode_chunked();  ///< true ⇒ body complete
+  void consume_body(std::string_view bytes);
+  void flush_slab();
+  void complete_message();
+  void compact();
   void set_error(std::string message, int status);
 
   Mode mode_;
   Limits limits_;
   std::string buffer_;
-  std::size_t pos_ = 0;    ///< start of the in-flight message
+  std::size_t pos_ = 0;    ///< decode cursor (consumed prefix is dead)
   std::size_t scan_ = 0;   ///< high-water mark of the CRLFCRLF search
   // Set once the in-flight message's header block is parsed:
   bool in_body_ = false;
-  std::size_t body_start_ = 0;
-  std::size_t content_length_ = 0;
+  BodyKind body_kind_ = BodyKind::Length;
+  std::size_t body_remaining_ = 0;  ///< Length: body left; Chunked: current chunk left
+  ChunkPhase chunk_phase_ = ChunkPhase::Size;
+  std::uint64_t body_received_ = 0;
+  bool spill_ = false;         ///< body goes to stream_body chunks
+  bool hooks_active_ = false;  ///< this message's body goes to hooks_
+  std::string slab_;           ///< body staging (spill / hook delivery)
   HttpRequest pending_request_;
   HttpResponse pending_response_;
 
+  StreamHooks hooks_;
   std::deque<HttpRequest> requests_;
   std::deque<HttpResponse> responses_;
   std::optional<std::string> error_;

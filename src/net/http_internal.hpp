@@ -124,6 +124,19 @@ inline bool parse_status_line(std::string_view line, HttpResponse& response,
   return true;
 }
 
+/// Parse one chunk-size line of the chunked transfer coding (RFC 7230
+/// §4.1): hex size, optionally followed by ";ext=..." chunk extensions
+/// (accepted and ignored). No trailing CRLF. False on malformed input.
+inline bool parse_chunk_size(std::string_view line, std::size_t& size) {
+  const std::size_t semi = line.find(';');
+  std::string_view digits =
+      trim_ows(semi == std::string_view::npos ? line : line.substr(0, semi));
+  if (digits.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), size, /*base=*/16);
+  return ec == std::errc() && ptr == digits.data() + digits.size();
+}
+
 /// Read the Content-Length of a parsed header block (0 when absent).
 inline bool parse_content_length(const HeaderMap& headers, std::size_t& length,
                                  ParseError* error) {

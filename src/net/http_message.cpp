@@ -1,6 +1,7 @@
 #include "net/http_message.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "net/http_internal.hpp"
 
@@ -107,15 +108,52 @@ std::string HttpRequest::serialize() const {
   return out;
 }
 
-std::string HttpResponse::serialize() const {
+std::string HttpResponse::full_body() const {
+  if (stream_body.empty()) return body;
+  std::string out;
+  out.reserve(body.size() + static_cast<std::size_t>(stream_body.size()));
+  out += body;
+  for (const core::Chunk& chunk : stream_body.chunks()) out.append(chunk.view());
+  return out;
+}
+
+core::ChunkedBody HttpResponse::take_body_chunks() {
+  core::ChunkedBody out;
+  if (!body.empty()) out.append(core::Chunk::from_string(std::move(body)));
+  body.clear();
+  for (core::Chunk& chunk : stream_body.take()) out.append(std::move(chunk));
+  return out;
+}
+
+std::string HttpResponse::serialize_head() const {
   std::string out = sanitize_header_value(version) + " " + std::to_string(status) +
                     " " + sanitize_header_value(reason) + "\r\n";
   serialize_fields(headers, out);
-  if (!headers.contains("Content-Length")) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!headers.contains("Content-Length") &&
+      !headers.contains("Transfer-Encoding")) {
+    if (producer != nullptr) {
+      if (const auto total = producer->total_size()) {
+        out += "Content-Length: " + std::to_string(*total) + "\r\n";
+      } else {
+        out += "Transfer-Encoding: chunked\r\n";
+      }
+    } else {
+      out += "Content-Length: " + std::to_string(body_size()) + "\r\n";
+    }
   }
   out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  if (producer != nullptr) {
+    throw std::logic_error(
+        "HttpResponse::serialize: producer-backed bodies can only be "
+        "written by the serving runtime");
+  }
+  std::string out = serialize_head();
   out += body;
+  for (const core::Chunk& chunk : stream_body.chunks()) out.append(chunk.view());
   return out;
 }
 
@@ -166,6 +204,7 @@ std::string_view default_reason(int status) {
     case 403: return "Forbidden";
     case 404: return "Not Found";
     case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
     case 416: return "Range Not Satisfiable";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -183,6 +222,17 @@ HttpResponse make_response(int status, std::string body, std::string_view conten
   response.headers.set("Content-Type", std::string(content_type));
   response.headers.set("Content-Length", std::to_string(body.size()));
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse make_stream_response(int status, core::ChunkedBody body,
+                                  std::string_view content_type) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = std::string(default_reason(status));
+  response.headers.set("Content-Type", std::string(content_type));
+  response.headers.set("Content-Length", std::to_string(body.size()));
+  response.stream_body = std::move(body);
   return response;
 }
 

@@ -4,18 +4,57 @@
 // fetch-by-name primitive" — extended with content-oriented metadata
 // headers (Metalink-style, §6.1). This is a strict-enough subset of RFC
 // 7230: request line / status line, CRLF header fields with
-// case-insensitive names, and Content-Length-delimited bodies (the
-// prototype never uses chunked transfer).
+// case-insensitive names, and Content-Length- or chunked-delimited
+// bodies (`Transfer-Encoding: chunked` rides on responses whose length
+// is unknown up front — a body still streaming from upstream).
+//
+// Response bodies have three representations, in escalating order of
+// indirection; exactly the earliest applicable one is used:
+//   * `body`        — one flat string; small objects, all requests;
+//   * `stream_body` — shared, reference-counted chunks (core::ChunkedBody);
+//                     large objects fan out to N clients with zero copies;
+//   * `producer`    — bytes that do not exist yet: the serving runtime
+//                     pulls chunks incrementally (a cache entry whose tail
+//                     is still arriving from upstream). Producer-backed
+//                     responses exist only on the runtime write path —
+//                     serialize() refuses them.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "core/buffer.hpp"
+
 namespace idicn::net {
+
+/// Incremental body source for the serving runtime: the write path pulls
+/// chunks as socket buffers drain, so a response can start before its
+/// body fully exists (e.g. the tail is still streaming from upstream).
+/// pull() is called from one serving thread at a time per response, but
+/// implementations backed by shared state (a partially fetched cache
+/// entry) must be internally synchronized against their writer.
+class BodyProducer {
+ public:
+  enum class Pull {
+    Ready,    ///< `*out` holds the next (non-empty) chunk
+    Pending,  ///< nothing yet — poll again later
+    Done,     ///< body complete; no chunk produced
+    Error     ///< source failed mid-body; the connection must close
+  };
+
+  virtual ~BodyProducer() = default;
+
+  /// Total body size when known up front (Content-Length framing);
+  /// std::nullopt means unknown (chunked framing).
+  [[nodiscard]] virtual std::optional<std::uint64_t> total_size() const = 0;
+
+  virtual Pull pull(core::Chunk* out) = 0;
+};
 
 /// Strip CR/LF/NUL from a header value (or start-line component) so that
 /// attacker-influenced strings can never split an HTTP message on the wire
@@ -63,8 +102,31 @@ struct HttpResponse {
   int status = 200;
   std::string reason = "OK";
   HeaderMap headers;
-  std::string body;
+  std::string body;               ///< flat body (small objects; precedes stream_body)
+  core::ChunkedBody stream_body;  ///< shared-chunk body bytes, sent after `body`
+  /// Incremental source for bytes that do not exist yet (runtime write
+  /// path only; serialize() throws when set).
+  std::shared_ptr<BodyProducer> producer;
 
+  /// Total body bytes across the flat and chunked representations
+  /// (producer bytes excluded — they are not materialized).
+  [[nodiscard]] std::uint64_t body_size() const noexcept {
+    return body.size() + stream_body.size();
+  }
+  /// Flatten the materialized body into one string (copies; interop only).
+  [[nodiscard]] std::string full_body() const;
+  /// Move the materialized body out as shared chunks, leaving this
+  /// response body-less (the head survives). The flat part becomes one
+  /// chunk without copying.
+  [[nodiscard]] core::ChunkedBody take_body_chunks();
+
+  /// Start line + headers + CRLF, with body framing derived when absent:
+  /// an explicit Content-Length or Transfer-Encoding header is kept as-is;
+  /// otherwise Content-Length is the materialized body size — unless a
+  /// producer with unknown total size forces `Transfer-Encoding: chunked`.
+  [[nodiscard]] std::string serialize_head() const;
+  /// Head + materialized body. Throws std::logic_error when a producer is
+  /// attached — producer bytes can only be pulled by the serving runtime.
   [[nodiscard]] std::string serialize() const;
   [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
 };
@@ -89,5 +151,11 @@ struct ParseError {
 /// Build a response with Content-Length set.
 [[nodiscard]] HttpResponse make_response(int status, std::string body,
                                          std::string_view content_type = "text/plain");
+
+/// Build a response whose body is shared chunks (zero-copy fan-out from a
+/// cache entry). Content-Length is set from the chunk total.
+[[nodiscard]] HttpResponse make_stream_response(
+    int status, core::ChunkedBody body,
+    std::string_view content_type = "text/plain");
 
 }  // namespace idicn::net

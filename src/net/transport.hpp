@@ -14,11 +14,29 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer.hpp"
 #include "net/http_message.hpp"
 
 namespace idicn::net {
 
 using Address = std::string;
+
+/// Receiver side of a streaming fetch (send_streaming): the response head
+/// arrives first, then body bytes chunk by chunk as the wire produces
+/// them. Returning false from either callback cancels the transfer (the
+/// transport stops reading and tears the connection down). The sink's
+/// callbacks run on the sending thread, strictly ordered: one on_head,
+/// then zero or more on_chunk.
+class ChunkSink {
+public:
+  virtual ~ChunkSink() = default;
+
+  /// Status + headers, body not yet read (the head's own body fields are
+  /// empty). Return false to skip the body.
+  virtual bool on_head(const HttpResponse& head) = 0;
+  /// One slab of body bytes (shared, immutable). Return false to cancel.
+  virtual bool on_chunk(core::Chunk chunk) = 0;
+};
 
 /// Synchronous request/response transport keyed by string addresses.
 class Transport {
@@ -30,6 +48,27 @@ public:
   /// caller never sees a transport exception.
   virtual HttpResponse send(const Address& from, const Address& to,
                             const HttpRequest& request) = 0;
+
+  /// Like send(), but the response body is delivered incrementally to
+  /// `sink` while it arrives; the returned response is the head (empty
+  /// body). Completion of this call means the body was fully delivered —
+  /// unless a callback cancelled, or the returned status is a transport
+  /// failure synthesized after delivery began (a mid-body upstream death;
+  /// the sink saw a prefix that will never complete). The base
+  /// implementation adapts send(): buffered, then replayed through the
+  /// sink — message-oriented transports (SimNet) and fault decorators
+  /// inherit correct if non-streaming semantics.
+  virtual HttpResponse send_streaming(const Address& from, const Address& to,
+                                      const HttpRequest& request,
+                                      ChunkSink& sink) {
+    HttpResponse response = send(from, to, request);
+    const core::ChunkedBody body = response.take_body_chunks();
+    if (!sink.on_head(response)) return response;
+    for (const core::Chunk& chunk : body.chunks()) {
+      if (!sink.on_chunk(chunk)) break;
+    }
+    return response;
+  }
 
   /// Deliver to every reachable member of `group` (except `from`) and
   /// collect the responses. Transports without multicast return {}.

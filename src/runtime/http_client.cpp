@@ -121,6 +121,55 @@ std::optional<net::HttpResponse> HttpClient::request(const net::HttpRequest& req
   return response;
 }
 
+std::optional<net::HttpResponse> HttpClient::request_streaming(
+    const net::HttpRequest& request, net::ChunkSink& sink, std::string* error) {
+  const bool reused = fd_.valid();
+  if (!ensure_connected(error)) return std::nullopt;
+  ++requests_sent_;
+
+  bool delivered = false;  // sink saw the head (or bytes) — no retries past here
+  bool cancelled = false;
+  net::HttpDecoder::StreamHooks hooks;
+  hooks.on_head = [&](const net::HttpResponse& head) {
+    delivered = true;
+    if (!sink.on_head(head)) cancelled = true;
+  };
+  hooks.on_chunk = [&](core::Chunk chunk) {
+    if (cancelled) return;  // decoder may still flush a staged slab
+    if (!sink.on_chunk(std::move(chunk))) cancelled = true;
+  };
+  decoder_.set_stream_hooks(std::move(hooks));
+
+  const std::string wire = request.serialize();
+  auto head = round_trip(wire, error);
+  if (!head && reused && !delivered) {
+    // Keep-alive race: the server idled the connection out between our
+    // requests; nothing reached the sink, so a clean replay is safe.
+    close();
+    if (!ensure_connected(error)) {
+      decoder_.set_stream_hooks({});
+      return std::nullopt;
+    }
+    head = round_trip(wire, error);
+  }
+  decoder_.set_stream_hooks({});
+  if (cancelled) {
+    // A half-read body poisons keep-alive reuse; drop the connection.
+    close();
+    set_error(error, "streaming cancelled by sink");
+    return std::nullopt;
+  }
+  if (!head) {
+    close();
+    return std::nullopt;
+  }
+  if (const auto connection = head->headers.get("Connection");
+      connection && net::detail::iequals(*connection, "close")) {
+    close();
+  }
+  return head;
+}
+
 std::optional<net::HttpResponse> HttpClient::get(const std::string& target,
                                                  std::string* error) {
   net::HttpRequest get_request;

@@ -10,6 +10,7 @@
 
 #include "net/http_decoder.hpp"
 #include "net/http_message.hpp"
+#include "net/transport.hpp"
 #include "runtime/tcp.hpp"
 
 namespace idicn::runtime {
@@ -33,6 +34,17 @@ public:
   /// Convenience GET (absolute-form or origin-form target).
   std::optional<net::HttpResponse> get(const std::string& target,
                                        std::string* error = nullptr);
+
+  /// One round trip with incremental body delivery: `sink.on_head` fires
+  /// when the status line + headers decode, `sink.on_chunk` per body slab
+  /// as it arrives — the body never accumulates in this client. Returns
+  /// the head (empty body) once the body is fully delivered; nullopt on
+  /// transport failure or when a sink callback cancelled (the connection
+  /// closes — a half-read body is not reusable). Unlike request(), no
+  /// transparent reconnect happens once the sink saw anything.
+  std::optional<net::HttpResponse> request_streaming(
+      const net::HttpRequest& request, net::ChunkSink& sink,
+      std::string* error = nullptr);
 
   [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
 

@@ -3,18 +3,56 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <cstdio>
+#include <deque>
 #include <stdexcept>
 
+#include "core/buffer.hpp"
+#include "net/http_internal.hpp"
 #include "runtime/event_loop.hpp"
 #include "runtime/tcp.hpp"
 
 namespace idicn::runtime {
 namespace {
+
+/// Refill target for producer-backed bodies: pump the producer until this
+/// many bytes sit in the connection's output queue, then let the socket
+/// drain before pulling more. Bounds per-connection memory while a large
+/// object streams through, independent of the object's size.
+constexpr std::size_t kProducerWindow = 256 * 1024;
+
+/// Scatter-gather width per sendmsg() call. Chunks are slab-sized (256 KB
+/// default), so 16 iovecs cover multiple megabytes per syscall.
+constexpr std::size_t kMaxIov = 16;
+
+/// Re-poll period while a connection's body producer is starved (queue
+/// empty, producer Pending): no socket edge will fire, so the timer wheel
+/// drives the retry. One wheel tick.
+constexpr std::uint64_t kProducerPollMs = 10;
+
+/// Mirror of HttpResponse::serialize_head()'s framing choice, so the
+/// writer knows whether the producer body needs chunked framing on the
+/// wire (no declared length) or raw bytes (Content-Length known).
+bool producer_uses_chunked(const net::HttpResponse& response) {
+  if (const auto te = response.headers.get("Transfer-Encoding")) {
+    return net::detail::iequals(*te, "chunked");
+  }
+  if (response.headers.contains("Content-Length")) return false;
+  return !response.producer->total_size().has_value();
+}
+
+/// RFC 7230 §4.1 chunk header for one data chunk.
+std::string chunk_size_line(std::size_t size) {
+  char buffer[32];
+  const int n = std::snprintf(buffer, sizeof(buffer), "%zx\r\n", size);
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
 
 std::string peer_name(const sockaddr_in& addr) {
   char ip[INET_ADDRSTRLEN] = {};
@@ -100,8 +138,8 @@ class ServerWorker {
       draining_ = true;
       std::vector<int> idle;
       for (auto& [fd, conn] : connections_) {
-        const bool mid_request = conn->decoder.buffered_bytes() > 0;
-        if (!mid_request && conn->out.empty()) {
+        const bool mid_request = conn->decoder.mid_message();
+        if (!mid_request && !conn->response_pending()) {
           idle.push_back(fd);
         } else {
           conn->closing = true;
@@ -193,9 +231,24 @@ class ServerWorker {
     ScopedFd fd;
     std::string peer;                ///< "ip:port", passed as `from`
     net::HttpDecoder decoder;
-    std::string out;                 ///< bytes awaiting the socket
-    std::size_t out_offset = 0;
-    bool closing = false;            ///< close once `out` drains
+    /// Output queue of shared, immutable chunks awaiting the socket. A
+    /// cached object fanned out to N connections puts the *same* chunks in
+    /// N queues — no per-connection body copy, and memory is released
+    /// chunk by chunk as each connection drains (the old `std::string out`
+    /// buffer both copied the body per connection and kept its grown
+    /// capacity for the connection's lifetime).
+    std::deque<core::Chunk> outq;
+    std::size_t outq_offset = 0;     ///< bytes of outq.front() already sent
+    std::size_t outq_bytes = 0;      ///< total unsent bytes across outq
+    /// In-flight incremental body: chunks are pulled on demand while the
+    /// socket drains, keeping at most ~kProducerWindow bytes queued.
+    std::shared_ptr<net::BodyProducer> producer;
+    bool producer_chunked = false;   ///< wire framing for producer chunks
+    /// Pipelined responses that decoded behind an active producer; they
+    /// enqueue in order once the producer finishes.
+    std::deque<net::HttpResponse> deferred;
+    bool producer_poll_armed = false;  ///< starvation re-poll timer pending
+    bool closing = false;            ///< close once the queue drains
     bool write_armed = false;        ///< poller is watching writability
     std::uint64_t last_activity_ms = 0;
     std::uint64_t message_start_ms = 0;  ///< first byte of in-flight request
@@ -206,6 +259,11 @@ class ServerWorker {
         : fd(std::move(fd_in)),
           peer(std::move(peer_in)),
           decoder(net::HttpDecoder::Mode::Request, limits) {}
+
+    /// True while any response bytes remain unsent or unproduced.
+    [[nodiscard]] bool response_pending() const {
+      return !outq.empty() || producer != nullptr || !deferred.empty();
+    }
   };
 
   void on_accept() IDICN_REQUIRES(loop_role_) {
@@ -234,7 +292,7 @@ class ServerWorker {
           net::make_response(503, "server at connection capacity");
       rejection.headers.set("Retry-After",
                             std::to_string(options_.retry_after_s));
-      const std::string reply = rejection.serialize();
+      const std::string reply = rejection.serialize_head() + rejection.body;
       (void)!::send(fd.get(), reply.data(), reply.size(), MSG_NOSIGNAL);
       const core::sync::MutexLock lock(stats_mutex_);
       ++stats_.connections_rejected;
@@ -281,7 +339,7 @@ class ServerWorker {
     }
     const std::uint64_t now = loop_->now_ms();
 
-    const bool mid_request = conn.decoder.buffered_bytes() > 0;
+    const bool mid_request = conn.decoder.mid_message();
     const bool request_expired =
         mid_request &&
         now - conn.message_start_ms >= options_.request_timeout_ms;
@@ -294,7 +352,7 @@ class ServerWorker {
         ++stats_.timeouts;
       }
       if (request_expired) {
-        conn.out += net::make_response(408, "request timed out").serialize();
+        enqueue_response(conn, net::make_response(408, "request timed out"));
       }
       conn.closing = true;
       flush(conn);  // may close the connection
@@ -337,7 +395,7 @@ class ServerWorker {
         response.headers.set("Connection", "close");
         conn.closing = true;
       }
-      conn.out += response.serialize();
+      enqueue_response(conn, std::move(response));
       {
         const core::sync::MutexLock lock(stats_mutex_);
         ++stats_.requests_served;
@@ -353,45 +411,194 @@ class ServerWorker {
         const core::sync::MutexLock lock(stats_mutex_);
         ++stats_.decode_errors;
       }
-      conn.out += net::make_response(conn.decoder.suggested_status(),
-                                     "malformed request: " +
-                                         conn.decoder.error())
-                      .serialize();
+      enqueue_response(conn,
+                       net::make_response(conn.decoder.suggested_status(),
+                                          "malformed request: " +
+                                              conn.decoder.error()));
       conn.closing = true;
     }
   }
 
+  void enqueue_chunk(Connection& conn, core::Chunk chunk)
+      IDICN_REQUIRES(loop_role_) {
+    if (chunk.empty()) return;
+    conn.outq_bytes += chunk.size();
+    conn.outq.push_back(std::move(chunk));
+  }
+
+  void enqueue_bytes(Connection& conn, std::string bytes)
+      IDICN_REQUIRES(loop_role_) {
+    if (bytes.empty()) return;
+    enqueue_chunk(conn, core::Chunk::from_string(std::move(bytes)));
+  }
+
+  /// Queue a response for the wire, respecting pipeline order: while a
+  /// producer-backed body is in flight, later responses wait in `deferred`
+  /// until the producer's terminator is queued.
+  void enqueue_response(Connection& conn, net::HttpResponse response)
+      IDICN_REQUIRES(loop_role_) {
+    if (conn.producer != nullptr || !conn.deferred.empty()) {
+      conn.deferred.push_back(std::move(response));
+      return;
+    }
+    enqueue_response_now(conn, std::move(response));
+  }
+
+  void enqueue_response_now(Connection& conn, net::HttpResponse response)
+      IDICN_REQUIRES(loop_role_) {
+    if (response.producer != nullptr) {
+      conn.producer_chunked = producer_uses_chunked(response);
+      enqueue_bytes(conn, response.serialize_head());
+      conn.producer = std::move(response.producer);
+      return;
+    }
+    // Flat and chunked bodies alike go out as shared chunks behind the
+    // head; the cached object's chunks are referenced, never copied.
+    enqueue_bytes(conn, response.serialize_head());
+    for (core::Chunk& chunk : response.take_body_chunks().take()) {
+      enqueue_chunk(conn, std::move(chunk));
+    }
+  }
+
+  /// Pull from the connection's producer until ~kProducerWindow bytes are
+  /// queued (or it runs dry). Returns true when new bytes were queued.
+  ///
+  /// Fail-closed by construction: a producer error closes the connection
+  /// *without* queueing the chunked terminator (or, with Content-Length
+  /// framing, short of the declared length) — the client sees a truncated
+  /// body it must discard, never a clean end to corrupt content.
+  bool pump_producer(Connection& conn) IDICN_REQUIRES(loop_role_) {
+    bool queued = false;
+    while (conn.producer != nullptr && conn.outq_bytes < kProducerWindow) {
+      core::Chunk chunk;
+      const net::BodyProducer::Pull pull = conn.producer->pull(&chunk);
+      if (pull == net::BodyProducer::Pull::Ready) {
+        if (chunk.empty()) continue;
+        if (conn.producer_chunked) {
+          enqueue_bytes(conn, chunk_size_line(chunk.size()));
+          enqueue_chunk(conn, std::move(chunk));
+          enqueue_bytes(conn, "\r\n");
+        } else {
+          enqueue_chunk(conn, std::move(chunk));
+        }
+        queued = true;
+        continue;
+      }
+      if (pull == net::BodyProducer::Pull::Pending) break;
+      if (pull == net::BodyProducer::Pull::Done) {
+        if (conn.producer_chunked) {
+          enqueue_bytes(conn, "0\r\n\r\n");
+          queued = true;
+        }
+        conn.producer.reset();
+        // The producer's response is complete: queue what piled up behind
+        // it (which may itself install the next producer).
+        while (conn.producer == nullptr && !conn.deferred.empty()) {
+          net::HttpResponse next = std::move(conn.deferred.front());
+          conn.deferred.pop_front();
+          enqueue_response_now(conn, std::move(next));
+          queued = true;
+        }
+        continue;
+      }
+      // Pull::Error — the body can never complete (e.g. upstream died or
+      // content verification failed mid-stream). Drop everything after the
+      // already-queued prefix and close.
+      conn.producer.reset();
+      conn.deferred.clear();
+      conn.closing = true;
+      break;
+    }
+    return queued;
+  }
+
   void flush(Connection& conn) IDICN_REQUIRES(loop_role_) {
     const int fd = conn.fd.get();
-    while (conn.out_offset < conn.out.size()) {
-      const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
-                               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    std::uint64_t sent_total = 0;
+    bool blocked = false;
+    bool dead = false;
+    while (true) {
+      if (conn.producer != nullptr && conn.outq_bytes < kProducerWindow) {
+        pump_producer(conn);
+      }
+      if (conn.outq.empty()) break;
+
+      // Gather up to kMaxIov chunks into one sendmsg() — header, cached
+      // body chunks, and chunked-framing lines go out in a single syscall
+      // without ever being copied into a contiguous buffer.
+      iovec iov[kMaxIov];
+      std::size_t iov_count = 0;
+      std::size_t skip = conn.outq_offset;
+      for (const core::Chunk& chunk : conn.outq) {
+        if (iov_count == kMaxIov) break;
+        const std::string_view view = chunk.view();
+        iov[iov_count].iov_base =
+            const_cast<char*>(view.data()) + skip;
+        iov[iov_count].iov_len = view.size() - skip;
+        skip = 0;
+        ++iov_count;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iov_count;
+      const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          // Backpressure: park the rest until the socket drains.
-          if (!conn.write_armed) {
-            conn.write_armed = true;
-            loop_->update(fd, !conn.closing, true);
-          }
-          return;
+          blocked = true;  // backpressure: park until the socket drains
+          break;
         }
-        close_connection(fd);
-        return;
+        dead = true;
+        break;
       }
-      conn.out_offset += static_cast<std::size_t>(n);
-      const core::sync::MutexLock lock(stats_mutex_);
-      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      sent_total += static_cast<std::uint64_t>(n);
+      std::size_t remaining = static_cast<std::size_t>(n);
+      while (remaining > 0) {
+        const std::size_t avail =
+            conn.outq.front().size() - conn.outq_offset;
+        if (remaining < avail) {
+          conn.outq_offset += remaining;
+          conn.outq_bytes -= remaining;
+          remaining = 0;
+        } else {
+          remaining -= avail;
+          conn.outq_bytes -= avail;
+          conn.outq_offset = 0;
+          conn.outq.pop_front();  // releases the chunk reference
+        }
+      }
     }
-    conn.out.clear();
-    conn.out_offset = 0;
-    if (conn.closing) {
+    if (sent_total > 0) {
+      // One stats fold per flush, not one lock round trip per syscall.
+      const core::sync::MutexLock lock(stats_mutex_);
+      stats_.bytes_out += sent_total;
+    }
+    if (dead) {
       close_connection(fd);
       return;
     }
-    if (conn.write_armed) {
-      conn.write_armed = false;
-      loop_->update(fd, true, false);
+    if (conn.closing && !conn.response_pending()) {
+      close_connection(fd);
+      return;
+    }
+    const bool want_write = blocked && !conn.outq.empty();
+    if (want_write != conn.write_armed) {
+      conn.write_armed = want_write;
+      loop_->update(fd, !conn.closing, want_write);
+    }
+    // Starvation: queue drained but the producer has no bytes yet (its
+    // upstream is still fetching). The socket gives no edge to wake on, so
+    // re-poll on the timer wheel until bytes (or the error) arrive.
+    if (conn.outq.empty() && conn.producer != nullptr &&
+        !conn.producer_poll_armed) {
+      conn.producer_poll_armed = true;
+      loop_->add_timer(kProducerPollMs, [this, fd] {
+        loop_role_.assert_held();
+        const auto it = connections_.find(fd);
+        if (it == connections_.end()) return;
+        it->second->producer_poll_armed = false;
+        flush(*it->second);
+      });
     }
   }
 
@@ -421,7 +628,7 @@ class ServerWorker {
           return;
         }
         const std::uint64_t now = loop_->now_ms();
-        if (conn.decoder.buffered_bytes() == 0) conn.message_start_ms = now;
+        if (!conn.decoder.mid_message()) conn.message_start_ms = now;
         conn.last_activity_ms = now;
         {
           const core::sync::MutexLock lock(stats_mutex_);
@@ -432,7 +639,7 @@ class ServerWorker {
       serve_decoded(conn);
     }
 
-    if (writable || !conn.out.empty()) flush(conn);
+    if (writable || conn.response_pending()) flush(conn);
   }
 
   /// Owns this worker's connection state while its thread runs; bound by

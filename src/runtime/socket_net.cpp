@@ -14,6 +14,26 @@ std::string retry_after_seconds(std::uint64_t retry_after_ms) {
   return std::to_string((retry_after_ms + 999) / 1000);
 }
 
+/// Wraps the caller's sink to record whether anything was delivered —
+/// the retry loop must stop replaying attempts once the sink saw a head.
+class DeliveryTrackingSink final : public net::ChunkSink {
+public:
+  DeliveryTrackingSink(net::ChunkSink& inner, bool* delivered)
+      : inner_(inner), delivered_(delivered) {}
+
+  bool on_head(const net::HttpResponse& head) override {
+    *delivered_ = true;
+    return inner_.on_head(head);
+  }
+  bool on_chunk(core::Chunk chunk) override {
+    return inner_.on_chunk(std::move(chunk));
+  }
+
+private:
+  net::ChunkSink& inner_;
+  bool* delivered_;
+};
+
 }  // namespace
 
 SocketNet::SocketNet(Options options)
@@ -100,6 +120,90 @@ std::optional<net::HttpResponse> SocketNet::attempt(
   if (!response) return std::nullopt;
   give_back(to, std::move(client));
   return response;
+}
+
+std::optional<net::HttpResponse> SocketNet::attempt_streaming(
+    const net::Address& to, const net::HttpRequest& request,
+    net::ChunkSink& sink, bool* delivered, std::string* error) {
+  auto client = borrow(to);
+  if (client == nullptr) {
+    *error = "unknown destination";
+    return std::nullopt;
+  }
+  DeliveryTrackingSink tracking(sink, delivered);
+  auto response = client->request_streaming(request, tracking, error);
+  if (!response) return std::nullopt;
+  give_back(to, std::move(client));
+  return response;
+}
+
+net::HttpResponse SocketNet::send_streaming(const net::Address& from,
+                                            const net::Address& to,
+                                            const net::HttpRequest& request,
+                                            net::ChunkSink& sink) {
+  (void)from;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    ++stats_.requests_sent;
+    if (endpoints_.find(to) == endpoints_.end()) {
+      ++stats_.send_failures;
+      return net::make_response(504, "unknown destination: " + to);
+    }
+  }
+
+  std::shared_ptr<CircuitBreaker> breaker;
+  if (options_.enable_breakers) {
+    breaker = breaker_for(to);
+    if (!breaker->allow(now_ms())) {
+      const std::uint64_t wait_ms = breaker->retry_after_ms(now_ms());
+      {
+        const core::sync::MutexLock lock(mutex_);
+        ++stats_.breaker_fast_fails;
+        ++stats_.send_failures;
+      }
+      auto response =
+          net::make_response(503, "circuit open for " + to + "; fast-fail");
+      response.headers.set("Retry-After", retry_after_seconds(wait_ms));
+      return response;
+    }
+  }
+
+  retry_budget_.on_attempt();
+  const std::uint64_t started_ms = now_ms();
+  const int max_attempts =
+      options_.enable_retries ? std::max(1, options_.retry.max_attempts) : 1;
+  bool delivered = false;
+  std::string error;
+  for (int attempt = 1;; ++attempt) {
+    auto response =
+        attempt_streaming(to, request, sink, &delivered, &error);
+    if (response) {
+      if (breaker != nullptr) breaker->record_success(now_ms());
+      return *response;
+    }
+    if (breaker != nullptr) breaker->record_failure(now_ms());
+    // Once the sink has seen the head, a retry would deliver the body
+    // prefix twice — the failure must surface to the caller instead.
+    if (delivered) break;
+    if (attempt >= max_attempts) break;
+    if (breaker != nullptr &&
+        breaker->state(now_ms()) == CircuitBreaker::State::Open) {
+      break;
+    }
+    const std::uint64_t delay_ms = retry_policy_.backoff_delay_ms(attempt);
+    if (!retry_policy_.within_deadline(now_ms() - started_ms, delay_ms)) break;
+    if (!retry_budget_.try_spend()) break;
+    {
+      const core::sync::MutexLock lock(mutex_);
+      ++stats_.retries;
+    }
+    RetryPolicy::sleep(delay_ms);
+  }
+  {
+    const core::sync::MutexLock lock(mutex_);
+    ++stats_.send_failures;
+  }
+  return net::make_response(504, "upstream " + to + " unreachable: " + error);
 }
 
 net::HttpResponse SocketNet::send(const net::Address& from, const net::Address& to,

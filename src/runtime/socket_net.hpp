@@ -81,6 +81,17 @@ public:
   // net::Transport
   net::HttpResponse send(const net::Address& from, const net::Address& to,
                          const net::HttpRequest& request) override;
+  /// Streaming send: body chunks flow to `sink` as the wire produces them
+  /// instead of buffering in the client. Same failure envelope as send()
+  /// (504 synthesis, breakers, budgeted retries) with one restriction:
+  /// retries stop the moment the sink has seen anything — a replay would
+  /// deliver the prefix twice. A mid-body failure therefore surfaces as a
+  /// 504 *after* the sink consumed a partial body; callers must treat an
+  /// error head as "discard what you streamed".
+  net::HttpResponse send_streaming(const net::Address& from,
+                                   const net::Address& to,
+                                   const net::HttpRequest& request,
+                                   net::ChunkSink& sink) override;
   std::vector<net::HttpResponse> multicast(const net::Address& from,
                                            const std::string& group,
                                            const net::HttpRequest& request) override;
@@ -127,6 +138,13 @@ private:
   std::optional<net::HttpResponse> attempt(const net::Address& to,
                                            const net::HttpRequest& request,
                                            std::string* error)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Streaming variant of attempt(); `delivered` is set once the sink has
+  /// observed the head (the point past which retrying would double-deliver).
+  std::optional<net::HttpResponse> attempt_streaming(
+      const net::Address& to, const net::HttpRequest& request,
+      net::ChunkSink& sink, bool* delivered, std::string* error)
       IDICN_EXCLUDES(mutex_);
 
   Options options_;

@@ -1,0 +1,155 @@
+// Units for the zero-copy body layer (PR 6): core::Chunk /
+// core::ChunkedBody sharing semantics, and the three body
+// representations on HttpResponse (flat, stream_body, producer) with the
+// framing rules serialize_head() derives from them.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/buffer.hpp"
+#include "net/http_message.hpp"
+
+namespace {
+
+using namespace idicn;
+
+TEST(ChunkBuffer, ChunksShareOneBlock) {
+  core::Chunk original = core::Chunk::from_string("shared-bytes");
+  EXPECT_EQ(original.view(), "shared-bytes");
+  EXPECT_EQ(original.size(), 12u);
+  EXPECT_EQ(original.use_count(), 1);
+
+  core::Chunk alias = original;  // copies a reference, not bytes
+  EXPECT_EQ(alias.use_count(), 2);
+  EXPECT_EQ(original.use_count(), 2);
+  EXPECT_EQ(alias.view().data(), original.view().data());
+
+  const core::Chunk copy = core::Chunk::copy_of(original.view());
+  EXPECT_NE(copy.view().data(), original.view().data());
+  EXPECT_EQ(copy.view(), original.view());
+}
+
+TEST(ChunkBuffer, DefaultChunkIsEmpty) {
+  const core::Chunk chunk;
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_EQ(chunk.size(), 0u);
+  EXPECT_EQ(chunk.view(), "");
+  EXPECT_EQ(chunk.use_count(), 0);
+}
+
+TEST(ChunkBuffer, ChunkedBodyAccumulatesAndFlattens) {
+  core::ChunkedBody body;
+  EXPECT_TRUE(body.empty());
+  body.append_copy("hello ");
+  body.append(core::Chunk::from_string("chunked "));
+  body.append(core::Chunk());  // empty chunks are dropped, not stored
+  body.append_copy("world");
+  EXPECT_EQ(body.size(), 19u);
+  EXPECT_EQ(body.chunks().size(), 3u);
+  EXPECT_EQ(body.to_string(), "hello chunked world");
+
+  // Copying the body copies references: the underlying blocks are shared.
+  const core::ChunkedBody fanout = body;
+  EXPECT_EQ(fanout.size(), body.size());
+  for (std::size_t i = 0; i < body.chunks().size(); ++i) {
+    EXPECT_EQ(fanout.chunks()[i].view().data(), body.chunks()[i].view().data());
+    EXPECT_GE(body.chunks()[i].use_count(), 2);
+  }
+
+  const auto taken = body.take();
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_TRUE(body.empty());
+  EXPECT_EQ(body.chunks().size(), 0u);
+  EXPECT_EQ(fanout.to_string(), "hello chunked world");  // survives the take
+}
+
+TEST(ChunkBuffer, ResponseBodySizeSpansRepresentations) {
+  net::HttpResponse response;
+  response.body = "flat";
+  response.stream_body.append_copy("-stream");
+  EXPECT_EQ(response.body_size(), 11u);
+  EXPECT_EQ(response.full_body(), "flat-stream");
+}
+
+TEST(ChunkBuffer, TakeBodyChunksMovesFlatAndStreamParts) {
+  net::HttpResponse response;
+  response.body = "head-part";
+  response.stream_body.append_copy("tail-part");
+
+  core::ChunkedBody chunks = response.take_body_chunks();
+  EXPECT_EQ(chunks.to_string(), "head-parttail-part");
+  EXPECT_EQ(chunks.chunks().size(), 2u);
+  EXPECT_TRUE(response.body.empty());
+  EXPECT_TRUE(response.stream_body.empty());
+  EXPECT_EQ(response.body_size(), 0u);
+}
+
+TEST(ChunkBuffer, MakeStreamResponseSetsLengthFromChunkTotal) {
+  core::ChunkedBody body;
+  body.append_copy("0123456789");
+  body.append_copy("abcdef");
+  const net::HttpResponse response =
+      net::make_stream_response(200, body, "application/octet-stream");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.get("Content-Length"), "16");
+  EXPECT_EQ(response.headers.get("Content-Type"), "application/octet-stream");
+  EXPECT_EQ(response.full_body(), "0123456789abcdef");
+  // Serialization streams the chunks after the head, same bytes as a flat
+  // body would produce.
+  const std::string wire = response.serialize();
+  EXPECT_NE(wire.find("\r\n\r\n0123456789abcdef"), std::string::npos);
+}
+
+class FixedProducer final : public net::BodyProducer {
+public:
+  explicit FixedProducer(std::optional<std::uint64_t> total) : total_(total) {}
+  [[nodiscard]] std::optional<std::uint64_t> total_size() const override {
+    return total_;
+  }
+  Pull pull(core::Chunk* out) override {
+    if (done_) return Pull::Done;
+    done_ = true;
+    *out = core::Chunk::copy_of("producer-bytes");
+    return Pull::Ready;
+  }
+
+private:
+  std::optional<std::uint64_t> total_;
+  bool done_ = false;
+};
+
+TEST(ChunkBuffer, ProducerWithKnownSizeFramesAsContentLength) {
+  net::HttpResponse response;
+  response.producer = std::make_shared<FixedProducer>(14u);
+  const std::string head = response.serialize_head();
+  EXPECT_NE(head.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("Transfer-Encoding"), std::string::npos);
+}
+
+TEST(ChunkBuffer, ProducerWithUnknownSizeFramesAsChunked) {
+  net::HttpResponse response;
+  response.producer = std::make_shared<FixedProducer>(std::nullopt);
+  const std::string head = response.serialize_head();
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+}
+
+TEST(ChunkBuffer, SerializeRefusesProducerBackedResponses) {
+  net::HttpResponse response;
+  response.producer = std::make_shared<FixedProducer>(std::nullopt);
+  // Producer bytes can only be pulled by the serving runtime; flattening
+  // them through serialize() would silently drop the body.
+  EXPECT_THROW((void)response.serialize(), std::logic_error);
+}
+
+TEST(ChunkBuffer, ExplicitFramingHeadersAreKept) {
+  net::HttpResponse response;
+  response.headers.set("Transfer-Encoding", "chunked");
+  response.body = "ignored-by-framing";
+  const std::string head = response.serialize_head();
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("Content-Length"), std::string::npos);
+}
+
+}  // namespace

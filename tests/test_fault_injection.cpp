@@ -217,7 +217,7 @@ TEST(FaultInjector, CorruptedBodyFailsVerificationNeverCached) {
   d.faulty.set_enabled(id, false);
   const auto clean = d.get(name);
   EXPECT_EQ(clean.status, 200);
-  EXPECT_EQ(clean.body, "pristine content");
+  EXPECT_EQ(clean.full_body(), "pristine content");
 }
 
 TEST(FaultInjector, TruncatedBodyFailsVerification) {
@@ -252,7 +252,7 @@ TEST(ServeStale, UpstreamOutageServesExpiredEntryWithWarning) {
 
   const auto degraded = d.get(name);
   EXPECT_EQ(degraded.status, 200);
-  EXPECT_EQ(degraded.body, "still good");
+  EXPECT_EQ(degraded.full_body(), "still good");
   EXPECT_EQ(degraded.headers.get("X-IdICN-Stale"), "1");
   ASSERT_TRUE(degraded.headers.get("Warning").has_value());
   EXPECT_NE(degraded.headers.get("Warning")->find("110"), std::string::npos);
@@ -287,7 +287,7 @@ TEST(ServeStale, NrsOutageRefetchesDirectlyFromLastSource) {
 
   const auto refreshed = d.get(name);
   EXPECT_EQ(refreshed.status, 200);
-  EXPECT_EQ(refreshed.body, "v2");
+  EXPECT_EQ(refreshed.full_body(), "v2");
   // Direct refetch succeeded: this is real content, not a stale fallback.
   EXPECT_FALSE(refreshed.headers.get("X-IdICN-Stale").has_value());
   EXPECT_EQ(d.proxy.stats().stale_served, 0u);

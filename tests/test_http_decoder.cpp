@@ -177,13 +177,32 @@ TEST(HttpDecoder, OversizedHeadersDetectedBeforeTerminator) {
   EXPECT_EQ(decoder.suggested_status(), 431);
 }
 
-TEST(HttpDecoder, BodyLimitIsError) {
+TEST(HttpDecoder, RequestBodyLimitMapsTo413) {
+  // RFC 9110: an over-limit body is 413 Content Too Large, not 400.
   HttpDecoder::Limits limits;
   limits.max_body_bytes = 16;
   HttpDecoder decoder(HttpDecoder::Mode::Request, limits);
   decoder.feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
   EXPECT_TRUE(decoder.failed());
-  EXPECT_EQ(decoder.suggested_status(), 400);
+  EXPECT_EQ(decoder.suggested_status(), 413);
+  EXPECT_EQ(default_reason(413), "Content Too Large");
+}
+
+TEST(HttpDecoder, ResponseBodiesAreNotCapped) {
+  // The body ceiling is a request-ingress policy. A proxied *response*
+  // larger than max_body_bytes streams through in bounded memory instead
+  // of being rejected (the pre-streaming decoder 400'd it).
+  HttpDecoder::Limits limits;
+  limits.max_body_bytes = 16;
+  limits.body_slab_bytes = 8;
+  HttpDecoder decoder(HttpDecoder::Mode::Response, limits);
+  const std::string body(64, 'x');
+  decoder.feed("HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\n" + body);
+  EXPECT_FALSE(decoder.failed());
+  ASSERT_EQ(decoder.ready(), 1u);
+  const auto response = decoder.next_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->full_body(), body);
 }
 
 TEST(HttpDecoder, ResetClearsEverything) {
@@ -194,6 +213,191 @@ TEST(HttpDecoder, ResetClearsEverything) {
   EXPECT_FALSE(decoder.failed());
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
   decoder.feed(simple_request_wire());
+  EXPECT_EQ(decoder.ready(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked transfer coding (RFC 7230 §4.1)
+
+TEST(HttpDecoderChunked, DecodesChunkedResponse) {
+  HttpDecoder decoder(HttpDecoder::Mode::Response);
+  decoder.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  EXPECT_FALSE(decoder.failed()) << decoder.error();
+  ASSERT_EQ(decoder.ready(), 1u);
+  const auto response = decoder.next_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->full_body(), "hello world");
+  // The framing was consumed: the decoded message has an identity body and
+  // re-serializes under Content-Length (round-trip closure).
+  EXPECT_FALSE(response->headers.contains("Transfer-Encoding"));
+  const auto reparsed = parse_response(response->serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->body, "hello world");
+}
+
+TEST(HttpDecoderChunked, DecodesChunkedRequest) {
+  HttpDecoder decoder(HttpDecoder::Mode::Request);
+  decoder.feed(
+      "POST /up HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n");
+  EXPECT_FALSE(decoder.failed()) << decoder.error();
+  ASSERT_EQ(decoder.ready(), 1u);
+  EXPECT_EQ(decoder.next_request()->body, "abc");
+}
+
+TEST(HttpDecoderChunked, ByteAtATimeWithExtensionsAndTrailers) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;ext=\"quoted\"\r\nwxyz\r\nA\r\n0123456789\r\n0\r\n"
+      "X-Trailer: tv\r\n\r\n";
+  HttpDecoder decoder(HttpDecoder::Mode::Response);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_EQ(decoder.ready(), 0u) << "completed early at byte " << i;
+    decoder.feed(std::string_view(&wire[i], 1));
+    ASSERT_FALSE(decoder.failed()) << "failed at byte " << i << ": "
+                                   << decoder.error();
+  }
+  ASSERT_EQ(decoder.ready(), 1u);
+  const auto response = decoder.next_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->full_body(), "wxyz0123456789");
+  // Trailer fields fold into the message headers.
+  EXPECT_EQ(response->headers.get("X-Trailer"), "tv");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_FALSE(decoder.mid_message());
+}
+
+TEST(HttpDecoderChunked, SplitChunkSizeLine) {
+  // The hex size line itself fragments across feeds.
+  HttpDecoder decoder(HttpDecoder::Mode::Response);
+  decoder.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n1");
+  EXPECT_EQ(decoder.ready(), 0u);
+  decoder.feed("0\r\n");  // chunk size is 0x10 = 16
+  decoder.feed("0123456789abcdef\r\n0\r\n\r\n");
+  EXPECT_FALSE(decoder.failed()) << decoder.error();
+  ASSERT_EQ(decoder.ready(), 1u);
+  EXPECT_EQ(decoder.next_response()->full_body(), "0123456789abcdef");
+}
+
+TEST(HttpDecoderChunked, BadChunkSizeIs400) {
+  HttpDecoder decoder(HttpDecoder::Mode::Response);
+  decoder.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.suggested_status(), 400);
+}
+
+TEST(HttpDecoderChunked, MissingDataCrlfIs400) {
+  HttpDecoder decoder(HttpDecoder::Mode::Response);
+  decoder.feed(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX");
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.suggested_status(), 400);
+}
+
+TEST(HttpDecoderChunked, ContentLengthPlusChunkedIsSmugglingError) {
+  HttpDecoder decoder(HttpDecoder::Mode::Request);
+  decoder.feed(
+      "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n");
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.suggested_status(), 400);
+}
+
+TEST(HttpDecoderChunked, ChunkedRequestBodyOverLimitIs413) {
+  HttpDecoder::Limits limits;
+  limits.max_body_bytes = 8;
+  HttpDecoder decoder(HttpDecoder::Mode::Request, limits);
+  decoder.feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n9\r\n");
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.suggested_status(), 413);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming bodies: spill to shared chunks, hooks, mid_message
+
+TEST(HttpDecoderStreaming, LargeResponseSpillsToChunks) {
+  HttpDecoder::Limits limits;
+  limits.body_slab_bytes = 16;
+  HttpDecoder decoder(HttpDecoder::Mode::Response, limits);
+  const std::string body(100, 'b');
+  decoder.feed("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n" + body);
+  ASSERT_EQ(decoder.ready(), 1u);
+  const auto response = decoder.next_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->body.empty());  // spilled, not flat
+  EXPECT_EQ(response->stream_body.size(), 100u);
+  EXPECT_GE(response->stream_body.chunks().size(), 2u);
+  EXPECT_EQ(response->full_body(), body);
+}
+
+TEST(HttpDecoderStreaming, WorkingBufferStaysBounded) {
+  // A multi-megabyte body must not accumulate in the decode buffer: body
+  // bytes are consumed eagerly, keeping the buffer O(slab).
+  HttpDecoder::Limits limits;
+  limits.body_slab_bytes = 1024;
+  HttpDecoder decoder(HttpDecoder::Mode::Response, limits);
+  decoder.feed("HTTP/1.1 200 OK\r\nContent-Length: 1048576\r\n\r\n");
+  const std::string piece(4096, 'p');
+  for (int i = 0; i < 256; ++i) {
+    decoder.feed(piece);
+    EXPECT_LE(decoder.buffered_bytes(), 2 * piece.size());
+  }
+  ASSERT_EQ(decoder.ready(), 1u);
+  EXPECT_EQ(decoder.next_response()->body_size(), 1048576u);
+}
+
+TEST(HttpDecoderStreaming, HooksDeliverHeadThenChunks) {
+  HttpDecoder::Limits limits;
+  limits.body_slab_bytes = 8;
+  HttpDecoder decoder(HttpDecoder::Mode::Response, limits);
+  int heads = 0;
+  std::string streamed;
+  std::vector<std::size_t> order;  // 0 = head, 1 = chunk
+  HttpDecoder::StreamHooks hooks;
+  hooks.on_head = [&](const HttpResponse& head) {
+    ++heads;
+    EXPECT_EQ(head.status, 200);
+    EXPECT_EQ(head.headers.get("Content-Length"), "20");
+    order.push_back(0);
+  };
+  hooks.on_chunk = [&](idicn::core::Chunk chunk) {
+    streamed.append(chunk.view());
+    order.push_back(1);
+  };
+  decoder.set_stream_hooks(std::move(hooks));
+
+  const std::string body(20, 's');
+  decoder.feed("HTTP/1.1 200 OK\r\nContent-Length: 20\r\n\r\n");
+  decoder.feed(body.substr(0, 7));
+  // Prompt delivery: staged bytes flush to the hook at end of feed even
+  // below the slab size.
+  EXPECT_EQ(streamed.size(), 7u);
+  decoder.feed(body.substr(7));
+  EXPECT_EQ(streamed, body);
+  EXPECT_EQ(heads, 1);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.front(), 0u);  // head strictly before any chunk
+  // The completed message pops with an empty body (bytes went to hooks).
+  ASSERT_EQ(decoder.ready(), 1u);
+  EXPECT_EQ(decoder.next_response()->body_size(), 0u);
+}
+
+TEST(HttpDecoderStreaming, MidMessageTracksBodyProgress) {
+  HttpDecoder decoder(HttpDecoder::Mode::Request);
+  EXPECT_FALSE(decoder.mid_message());
+  decoder.feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n");
+  // Headers consumed, body outstanding: buffered_bytes() is 0 (eager
+  // consumption) but the message is incomplete — mid_message() must say so.
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_TRUE(decoder.mid_message());
+  decoder.feed("ab");
+  EXPECT_TRUE(decoder.mid_message());
+  decoder.feed("cd");
+  EXPECT_FALSE(decoder.mid_message());
   EXPECT_EQ(decoder.ready(), 1u);
 }
 

@@ -201,7 +201,7 @@ TEST(IdicnFlow, StaleEntriesAreRefetched) {
   for (int i = 0; i < 20; ++i) (void)d.net.send("a", "nrs.consortium", request);
   const net::HttpResponse renewed = impatient.handle_http(request, "c");
   EXPECT_EQ(renewed.headers.get("X-Cache"), "HIT");
-  EXPECT_EQ(renewed.body, "v1");
+  EXPECT_EQ(renewed.full_body(), "v1");
   EXPECT_EQ(impatient.stats().expired, 1u);
   EXPECT_EQ(impatient.stats().revalidated_304, 1u);
 }
@@ -261,7 +261,7 @@ TEST(IdicnFlow, PublisherDelegationIsFollowed) {
   request.target = "http://" + name.host() + "/";
   const net::HttpResponse response = d.proxy.handle_http(request, "c");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "delegated content");
+  EXPECT_EQ(response.full_body(), "delegated content");
 }
 
 TEST(IdicnFlow, ReverseProxyCachesAfterPublish) {

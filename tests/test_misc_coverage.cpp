@@ -93,7 +93,7 @@ TEST(NonVerifyingProxy, ServesContentWithoutMetadata) {
   request.target = "http://" + name.host() + "/";
   const net::HttpResponse first = proxy.handle_http(request, "c");
   EXPECT_EQ(first.status, 200);
-  EXPECT_EQ(first.body, "no metadata here");
+  EXPECT_EQ(first.full_body(), "no metadata here");
   EXPECT_EQ(proxy.handle_http(request, "c").headers.get("X-Cache"), "HIT");
   EXPECT_EQ(proxy.stats().verification_failures, 0u);
 }

@@ -60,7 +60,7 @@ TEST(ProxyCooperation, MissIsServedByPeerWithoutUpstreamFetch) {
   // Proxy A misses locally but finds the object at its peer.
   const net::HttpResponse via_a = d.get(d.proxy_a, name);
   EXPECT_EQ(via_a.status, 200);
-  EXPECT_EQ(via_a.body, "cooperative content");
+  EXPECT_EQ(via_a.full_body(), "cooperative content");
   EXPECT_EQ(d.proxy_a.stats().peer_hits, 1u);
   // …and never touched the (far) reverse proxy.
   EXPECT_EQ(d.net.messages_between("cache-a.ad1", "rp.pub"), upstream_before);
@@ -106,7 +106,7 @@ TEST(ProxyCooperation, TamperingPeerIsRejected) {
   // The evil peer's bytes fail verification; the proxy falls back to the
   // authentic upstream.
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.body, "authentic bytes");
+  EXPECT_EQ(response.full_body(), "authentic bytes");
   EXPECT_GE(lonely.stats().verification_failures, 1u);
   EXPECT_EQ(lonely.stats().peer_hits, 0u);
 }
@@ -144,7 +144,7 @@ TEST(Revalidation, StaleEntryRenewedBy304) {
   const std::uint64_t bytes_before = net.bytes_sent();
   const net::HttpResponse renewed = proxy.handle_http(request, "c");
   EXPECT_EQ(renewed.status, 200);
-  EXPECT_EQ(renewed.body, "stable content");
+  EXPECT_EQ(renewed.full_body(), "stable content");
   EXPECT_EQ(proxy.stats().revalidations, 1u);
   EXPECT_EQ(proxy.stats().revalidated_304, 1u);
   // The 304 exchange moved far fewer bytes than a full response would.
@@ -176,7 +176,7 @@ TEST(Revalidation, ChangedContentIsRefetched) {
   net::HttpRequest request;
   request.method = "GET";
   request.target = "http://" + name->host() + "/";
-  EXPECT_EQ(proxy.handle_http(request, "c").body, "version 1");
+  EXPECT_EQ(proxy.handle_http(request, "c").full_body(), "version 1");
 
   // Publisher replaces the content (re-signs under the same name).
   origin.put("page", "version 2");
@@ -188,7 +188,7 @@ TEST(Revalidation, ChangedContentIsRefetched) {
   for (int i = 0; i < 5; ++i) (void)net.send("x", "nrs", ping);
 
   const net::HttpResponse refreshed = proxy.handle_http(request, "c");
-  EXPECT_EQ(refreshed.body, "version 2");
+  EXPECT_EQ(refreshed.full_body(), "version 2");
   EXPECT_EQ(proxy.stats().revalidations, 1u);
   EXPECT_EQ(proxy.stats().revalidated_304, 0u);  // ETag changed → full 200
 }

@@ -34,6 +34,14 @@ Rules
                sleep-and-retry loops dodge the jitter, deadline, and
                token-budget discipline — all backoff goes through
                runtime::RetryPolicy.
+  body-copy    No whole-body materialization on the serving data path
+               (src/runtime/): `<response>.serialize()` flattens head +
+               body into one string (request.serialize() is fine —
+               requests are small), and `body.assign(...)` re-buffers
+               bytes that already live in shared chunks. Responses leave
+               the runtime through the chunk queue / BodyProducer write
+               path (serialize_head() + core::Chunk), never as one flat
+               copy per connection.
   unguarded-sync  In the concurrent layers (src/runtime/, src/cache/)
                every declared core::sync::Mutex / ThreadRole must be
                referenced by at least one thread-safety annotation
@@ -74,6 +82,10 @@ LOOP_FILES = {
 # Concurrent layers where every sync capability must be annotated against.
 GUARDED_DIRS = ("src/runtime", "src/cache")
 
+# The serving data path: whole-body copies here scale memory with
+# clients × object_size (the PR-6 bug class).
+BODY_COPY_DIR = "src/runtime"
+
 # The only library files allowed to block the calling thread on purpose:
 # the sanctioned backoff point and the fault injector's latency leg.
 RAW_BACKOFF_ALLOWED = {
@@ -109,6 +121,9 @@ SYNC_ANNOTATION = re.compile(
     r"\bIDICN_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES"
     r"|ASSERT_CAPABILITY)\s*\(([^)]*)\)"
 )
+# `<x>.serialize(` — matches serialize() calls but not serialize_head().
+BODY_COPY_SERIALIZE = re.compile(r"\b(\w+)\.serialize\s*\(")
+BODY_COPY_ASSIGN = re.compile(r"\bbody\.assign\s*\(")
 
 _STRIP = re.compile(
     r'"(?:\\.|[^"\\])*"'      # string literals
@@ -160,6 +175,18 @@ def check_file(rel: Path, text: str) -> list[str]:
             report(i, "iostream-in-src",
                    "no std::cout/cerr/clog in library code; report through "
                    "return values/exceptions, let binaries own the terminal")
+        if str(rel.parent).replace("\\", "/") == BODY_COPY_DIR:
+            for call in BODY_COPY_SERIALIZE.finditer(line):
+                if call.group(1) != "request":
+                    report(i, "body-copy",
+                           f"'{call.group(1)}.serialize()' flattens a whole "
+                           "response on the serving path; send "
+                           "serialize_head() plus shared chunks through the "
+                           "connection's output queue instead")
+            if BODY_COPY_ASSIGN.search(line):
+                report(i, "body-copy",
+                       "body.assign() re-buffers bytes on the serving path; "
+                       "keep bodies as shared core::Chunk references")
 
     if str(rel.parent).replace("\\", "/") in GUARDED_DIRS:
         annotated: set[str] = set()
