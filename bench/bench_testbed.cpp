@@ -1,0 +1,165 @@
+// Testbed benchmark: EDGE vs EDGE-Coop over real sockets, diffed against
+// the in-process simulator.
+//
+// Builds two testbed::Cluster deployments of the same topology/seed — one
+// without cooperation (EDGE), one with the hint-fed sibling redirect
+// (EDGE-Coop) — replays the *identical* bound workload through both, and
+// reports per-PoP latency, core-link congestion, origin load, and hit
+// ratios, plus the origin-load gap against each scenario's simulator
+// counterpart on the same workload (EDGE should match exactly; EDGE-Coop
+// trails its zero-lag oracle).
+//
+// Knobs (flag wins over env):
+//   --topology NAME / IDICN_BENCH_TESTBED_TOPOLOGY   (default Abilene)
+//   --requests N    / IDICN_BENCH_TESTBED_REQUESTS   (default 1500)
+//   --objects N     / IDICN_BENCH_TESTBED_OBJECTS    (default 60)
+//   --check    exit nonzero unless the cooperation invariants hold
+//              (no errors, sibling serves > 0, coop origin load < EDGE's)
+//   IDICN_BENCH_OUT  JSON artifact path (default BENCH_testbed.json)
+//
+// The last stdout line is the JSON object written to the artifact.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/bound_workload.hpp"
+#include "testbed/cluster.hpp"
+#include "testbed/comparison.hpp"
+#include "testbed/driver.hpp"
+#include "testbed/metrics.hpp"
+
+namespace {
+
+using namespace idicn;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+struct Scenario {
+  testbed::TestbedMetrics metrics;
+  testbed::ComparisonResult comparison;
+};
+
+Scenario run_scenario(const testbed::ClusterOptions& cluster_options,
+                      const testbed::DriverOptions& driver_options,
+                      const core::BoundWorkload& workload) {
+  testbed::Cluster cluster(cluster_options);
+  testbed::TraceDriver driver(cluster, driver_options);
+  Scenario scenario;
+  scenario.metrics = driver.run(workload);
+  scenario.comparison =
+      testbed::compare_with_simulator(cluster, workload, scenario.metrics);
+  return scenario;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testbed::ClusterOptions cluster_options;
+  cluster_options.topology = [] {
+    const char* name = std::getenv("IDICN_BENCH_TESTBED_TOPOLOGY");
+    return name ? std::string(name) : std::string("Abilene");
+  }();
+  cluster_options.object_count = static_cast<std::uint32_t>(
+      env_u64("IDICN_BENCH_TESTBED_OBJECTS", 60));
+  cluster_options.cache_fraction = 0.10;
+
+  testbed::DriverOptions driver_options;
+  driver_options.request_count = env_u64("IDICN_BENCH_TESTBED_REQUESTS", 1'500);
+  driver_options.alpha = 0.9;
+  driver_options.hint_interval = 75;
+  driver_options.ranged_fraction = 0.05;
+
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      cluster_options.topology = argv[++i];
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      driver_options.request_count = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--objects") == 0 && i + 1 < argc) {
+      cluster_options.object_count =
+          static_cast<std::uint32_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--check] [--topology NAME] [--requests N] "
+                   "[--objects N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // One binding serves every scenario and the simulator — identical
+  // request sequences are what make the diffs meaningful.
+  const core::BoundWorkload workload = [&] {
+    testbed::Cluster binding_probe(testbed::ClusterOptions{
+        cluster_options});  // network shape only; cheap at these sizes
+    return testbed::TraceDriver(binding_probe, driver_options).bind();
+  }();
+
+  cluster_options.cooperation = false;
+  const Scenario edge = run_scenario(cluster_options, driver_options, workload);
+  std::printf("EDGE:      %s\n", edge.comparison.summary().c_str());
+
+  cluster_options.cooperation = true;
+  const Scenario coop = run_scenario(cluster_options, driver_options, workload);
+  std::printf("EDGE-Coop: %s\n", coop.comparison.summary().c_str());
+  std::printf("EDGE-Coop sibling serves: %llu, hints sent: %llu\n",
+              static_cast<unsigned long long>(coop.metrics.sibling_serves),
+              static_cast<unsigned long long>(coop.metrics.hints_sent));
+
+  std::string json = "{\"edge\":" + edge.metrics.to_json() +
+                     ",\"edge_coop\":" + coop.metrics.to_json();
+  char tail[256];
+  std::snprintf(tail, sizeof tail,
+                ",\"edge_sim_origin_served\":%llu"
+                ",\"edge_origin_gap_pct\":%.4f"
+                ",\"coop_sim_origin_served\":%llu"
+                ",\"coop_origin_gap_pct\":%.4f}",
+                static_cast<unsigned long long>(
+                    edge.comparison.simulated_origin_served),
+                edge.comparison.origin_load_gap_pct,
+                static_cast<unsigned long long>(
+                    coop.comparison.simulated_origin_served),
+                coop.comparison.origin_load_gap_pct);
+  json += tail;
+  std::printf("%s\n", json.c_str());
+
+  const char* out_path = std::getenv("IDICN_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_testbed.json";
+  if (std::FILE* out = std::fopen(out_path, "w")) {
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+  }
+
+  if (check) {
+    bool ok = true;
+    if (edge.metrics.errors != 0 || coop.metrics.errors != 0) {
+      std::fprintf(stderr, "CHECK FAILED: request errors (edge=%llu coop=%llu)\n",
+                   static_cast<unsigned long long>(edge.metrics.errors),
+                   static_cast<unsigned long long>(coop.metrics.errors));
+      ok = false;
+    }
+    if (coop.metrics.sibling_serves == 0) {
+      std::fprintf(stderr, "CHECK FAILED: no sibling serves under EDGE-Coop\n");
+      ok = false;
+    }
+    if (coop.metrics.origin_served >= edge.metrics.origin_served) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: cooperation did not reduce origin load "
+                   "(coop=%llu edge=%llu)\n",
+                   static_cast<unsigned long long>(coop.metrics.origin_served),
+                   static_cast<unsigned long long>(edge.metrics.origin_served));
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("check passed\n");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// testbed_cli — stand up a real-socket PoP testbed and replay a workload.
+//
+// Every PoP of the chosen core topology (Abilene or Geant) becomes a live
+// edge proxy behind its own runtime::ServerGroup on 127.0.0.1; a shared NRS
+// and origin tier complete the deployment. The driver replays a synthetic
+// Zipf workload through real HttpClients pinned to their home PoPs, with
+// periodic digest/hint exchange between siblings when cooperation is on,
+// then prints the metrics JSON followed by a simulator diff.
+//
+//   testbed_cli [--topology Abilene|Geant] [--requests N] [--objects N]
+//               [--alpha A] [--cache-fraction F] [--no-coop]
+//               [--ms-per-hop MS] [--ranged-fraction F] [--seed S]
+//
+// Example:
+//   testbed_cli --topology Abilene --requests 2000 --objects 80
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/bound_workload.hpp"
+#include "testbed/cluster.hpp"
+#include "testbed/comparison.hpp"
+#include "testbed/driver.hpp"
+#include "testbed/metrics.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topology Abilene|Geant] [--requests N] "
+               "[--objects N] [--alpha A] [--cache-fraction F] [--no-coop] "
+               "[--ms-per-hop MS] [--ranged-fraction F] [--seed S]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace idicn;
+
+  testbed::ClusterOptions cluster_options;
+  cluster_options.cache_fraction = 0.10;
+  testbed::DriverOptions driver_options;
+  driver_options.request_count = 2'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (std::strcmp(flag, "--no-coop") == 0) {
+      cluster_options.cooperation = false;
+    } else if (std::strcmp(flag, "--topology") == 0 && (value = next())) {
+      cluster_options.topology = value;
+    } else if (std::strcmp(flag, "--requests") == 0 && (value = next())) {
+      driver_options.request_count = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(flag, "--objects") == 0 && (value = next())) {
+      cluster_options.object_count =
+          static_cast<std::uint32_t>(std::strtoull(value, nullptr, 10));
+    } else if (std::strcmp(flag, "--alpha") == 0 && (value = next())) {
+      driver_options.alpha = std::strtod(value, nullptr);
+    } else if (std::strcmp(flag, "--cache-fraction") == 0 && (value = next())) {
+      cluster_options.cache_fraction = std::strtod(value, nullptr);
+    } else if (std::strcmp(flag, "--ms-per-hop") == 0 && (value = next())) {
+      cluster_options.ms_per_hop = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(flag, "--ranged-fraction") == 0 && (value = next())) {
+      driver_options.ranged_fraction = std::strtod(value, nullptr);
+    } else if (std::strcmp(flag, "--seed") == 0 && (value = next())) {
+      cluster_options.seed = std::strtoull(value, nullptr, 10);
+      driver_options.seed = cluster_options.seed;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::printf("starting %s testbed: %u objects, cooperation %s...\n",
+              cluster_options.topology.c_str(), cluster_options.object_count,
+              cluster_options.cooperation ? "on" : "off");
+
+  testbed::Cluster cluster(cluster_options);
+  std::printf("%u PoPs live:", cluster.pop_count());
+  for (topology::PopId p = 0; p < cluster.pop_count(); ++p) {
+    std::printf(" %s:%u", cluster.pop_name(p).c_str(), cluster.proxy_port(p));
+  }
+  std::printf("\n");
+
+  testbed::TraceDriver driver(cluster, driver_options);
+  const core::BoundWorkload workload = driver.bind();
+  std::printf("replaying %zu requests...\n", workload.requests.size());
+  const testbed::TestbedMetrics metrics = driver.run(workload);
+
+  std::printf("%s\n", metrics.to_json().c_str());
+  const testbed::ComparisonResult comparison =
+      testbed::compare_with_simulator(cluster, workload, metrics);
+  std::printf("simulator diff — %s\n", comparison.summary().c_str());
+  return metrics.errors == 0 ? 0 : 1;
+}

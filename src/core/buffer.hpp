@@ -20,6 +20,7 @@
 // other mutable member.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -29,7 +30,10 @@
 
 namespace idicn::core {
 
-/// One immutable, shared slab of body bytes.
+/// One immutable, shared slab of body bytes — or a sub-view of one: a
+/// sliced Chunk keeps the whole block alive but exposes only
+/// [offset, offset+length), so ranged reads share the cache entry's
+/// bytes instead of copying them.
 class Chunk {
  public:
   Chunk() = default;
@@ -38,6 +42,7 @@ class Chunk {
   [[nodiscard]] static Chunk copy_of(std::string_view bytes) {
     Chunk chunk;
     chunk.data_ = std::make_shared<const std::string>(bytes);
+    chunk.length_ = chunk.data_->size();
     return chunk;
   }
 
@@ -45,16 +50,28 @@ class Chunk {
   [[nodiscard]] static Chunk from_string(std::string bytes) {
     Chunk chunk;
     chunk.data_ = std::make_shared<const std::string>(std::move(bytes));
+    chunk.length_ = chunk.data_->size();
     return chunk;
   }
 
   [[nodiscard]] std::string_view view() const noexcept {
-    return data_ ? std::string_view(*data_) : std::string_view();
+    return data_ ? std::string_view(*data_).substr(offset_, length_)
+                 : std::string_view();
   }
-  [[nodiscard]] std::size_t size() const noexcept {
-    return data_ ? data_->size() : 0;
-  }
+  [[nodiscard]] std::size_t size() const noexcept { return data_ ? length_ : 0; }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// A sub-view [offset, offset+length) of this chunk sharing the same
+  /// block (no copy). Out-of-range requests are clamped to the chunk's
+  /// bounds; an empty result is a default-constructed (blockless) chunk.
+  [[nodiscard]] Chunk slice(std::size_t offset, std::size_t length) const {
+    if (!data_ || offset >= length_) return Chunk{};
+    Chunk out;
+    out.data_ = data_;
+    out.offset_ = offset_ + offset;
+    out.length_ = std::min(length, length_ - offset);
+    return out;
+  }
 
   /// Readers sharing this block (0 for a default-constructed chunk).
   /// Approximate under concurrency — diagnostics and tests only.
@@ -62,6 +79,8 @@ class Chunk {
 
  private:
   std::shared_ptr<const std::string> data_;
+  std::size_t offset_ = 0;  ///< view start within *data_
+  std::size_t length_ = 0;  ///< view length (== data_->size() unless sliced)
 };
 
 /// An ordered sequence of shared chunks: a body that can grow
@@ -89,6 +108,33 @@ class ChunkedBody {
     std::string out;
     out.reserve(static_cast<std::size_t>(size_));
     for (const Chunk& chunk : chunks_) out.append(chunk.view());
+    return out;
+  }
+
+  /// The byte range [offset, offset+length) as a new ChunkedBody whose
+  /// chunks share this body's blocks — boundary chunks become sub-views,
+  /// interior chunks are reference-copied, nothing is memcpy'd. Requests
+  /// past the end are clamped; a fully out-of-range request is empty.
+  [[nodiscard]] ChunkedBody slice(std::uint64_t offset, std::uint64_t length) const {
+    ChunkedBody out;
+    if (offset >= size_ || length == 0) return out;
+    std::uint64_t remaining = std::min<std::uint64_t>(length, size_ - offset);
+    std::uint64_t position = 0;
+    for (const Chunk& chunk : chunks_) {
+      const std::uint64_t chunk_end = position + chunk.size();
+      if (chunk_end <= offset) {
+        position = chunk_end;
+        continue;
+      }
+      const std::uint64_t start = offset > position ? offset - position : 0;
+      const std::uint64_t take =
+          std::min<std::uint64_t>(remaining, chunk.size() - start);
+      out.append(chunk.slice(static_cast<std::size_t>(start),
+                             static_cast<std::size_t>(take)));
+      remaining -= take;
+      if (remaining == 0) break;
+      position = chunk_end;
+    }
     return out;
   }
 

@@ -93,6 +93,20 @@ private:
   std::uint64_t bytes_ = 0;
 };
 
+/// X-IdICN-Hops value, defaulting to 0 (a client-originated request) on
+/// absence or garbage; clamped so a hostile header cannot overflow.
+std::size_t parse_hops(const net::HeaderMap& headers) {
+  const auto value = headers.get(kHopsHeader);
+  if (!value || value->empty()) return 0;
+  std::size_t hops = 0;
+  for (const char c : *value) {
+    if (c < '0' || c > '9') return 0;
+    hops = hops * 10 + static_cast<std::size_t>(c - '0');
+    if (hops > 64) return 64;
+  }
+  return hops;
+}
+
 }  // namespace
 
 Proxy::Proxy(net::Transport* net, net::Address self, net::Address nrs,
@@ -214,18 +228,25 @@ net::HttpResponse Proxy::serve_entry(CacheShard& shard, const std::string& host,
 net::HttpResponse Proxy::store_and_serve(CacheShard& shard,
                                          const std::string& host, Entry entry,
                                          bool full_metadata) {
+  // Where the bytes actually came from (origin, mirror, or sibling proxy):
+  // exposed so the testbed's driver can charge the transfer to the real
+  // core-graph path rather than assuming proxy→origin.
+  const net::Address source = entry.fetched_from;
   const core::sync::MutexLock lock(shard.mutex);
-  if (!cache_store(shard, host, entry)) {
-    // Larger than the shard's slice: serve the fetched copy uncached.
-    return serve_entry(shard, host, entry, false, full_metadata);
-  }
-  return serve_entry(shard, host, shard.entries.find(host)->second, false,
-                     full_metadata);
+  net::HttpResponse response =
+      cache_store(shard, host, entry)
+          ? serve_entry(shard, host, shard.entries.find(host)->second, false,
+                        full_metadata)
+          // Larger than the shard's slice: serve the fetched copy uncached.
+          : serve_entry(shard, host, entry, false, full_metadata);
+  if (!source.empty()) response.headers.set(kSourceHeader, source);
+  return response;
 }
 
 std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
                                                     const net::Address& location,
-                                                    bool* transport_failure) {
+                                                    bool* transport_failure,
+                                                    std::size_t hops) {
   const std::string host = name.host();
   CacheShard& shard = shard_for(host);
 
@@ -234,6 +255,9 @@ std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& na
   fetch.target = "/";
   fetch.headers.set("Host", host);
   fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
+  // A sibling fetch carries its forwarding depth so the receiving proxy
+  // can enforce Options::sibling_hop_limit (loop safety).
+  if (hops > 0) fetch.headers.set(kHopsHeader, std::to_string(hops));
 
   // Streaming fetch: chunks accumulate in a Transit that concurrent
   // requests for the same object join mid-flight (serve_transit), and the
@@ -273,8 +297,10 @@ std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& na
     retire(/*failed=*/true);
     return std::nullopt;
   }
-  stats_.bytes_from_origin += sink.bytes();
-  {
+  if (hops == 0) {
+    // Sibling transfers stay inside the cache tier — only true upstream
+    // (origin/mirror) fetches count toward origin byte load.
+    stats_.bytes_from_origin += sink.bytes();
     const core::sync::MutexLock lock(shard.mutex);
     shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin, sink.bytes());
   }
@@ -352,6 +378,81 @@ std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& na
   return std::nullopt;
 }
 
+std::optional<Proxy::Entry> Proxy::fetch_from_siblings(
+    const SelfCertifyingName& name, std::size_t hops) {
+  if (directory_ == nullptr) return std::nullopt;
+  // Forwarding would push the chain past the hop limit: stop here (the
+  // receiving side enforces the same bound, so both ends agree).
+  if (hops + 1 > options_.sibling_hop_limit) return std::nullopt;
+  const std::string host = name.host();
+  std::size_t tried = 0;
+  for (const net::Address& holder : directory_->holders(host)) {
+    if (tried >= options_.sibling_fanout) break;  // stale-hint damage control
+    if (holder == self_) continue;
+    ++tried;
+    if (auto entry = fetch_and_verify(name, holder, nullptr, hops + 1)) {
+      ++stats_.sibling_hits;
+      return entry;
+    }
+    // The sibling answered 404 (hint stale — the copy was evicted), failed
+    // verification, or is down: forget the hint so the next miss does not
+    // chase the same dead end, and try the next-nearest holder.
+    directory_->forget(holder, host);
+  }
+  return std::nullopt;
+}
+
+net::HttpResponse Proxy::serve_hint(const net::HttpRequest& request) {
+  const auto sender = request.headers.get(kHintHeader);
+  if (!sender || sender->empty()) {
+    return net::make_response(400, "hint without sender address");
+  }
+  std::vector<std::string> hosts;
+  for (const auto& [key, value] : parse_form_lines(request.body)) {
+    if (key != "host") continue;
+    // Digest bound on the ingest side too: a misbehaving sibling cannot
+    // bloat the directory past what this proxy agreed to hold.
+    if (hosts.size() >= options_.max_hint_entries) break;
+    hosts.push_back(value);
+  }
+  ++stats_.hints_received;
+  if (directory_ != nullptr) directory_->ingest(*sender, hosts);
+  return net::make_response(204, "");
+}
+
+std::vector<std::string> Proxy::hint_digest() const {
+  std::vector<std::string> digest;
+  for (const auto& shard : shards_) {
+    if (digest.size() >= options_.max_hint_entries) break;
+    const core::sync::MutexLock lock(shard->mutex);
+    for (const std::string& host : shard->lru) {  // front = most recent
+      if (digest.size() >= options_.max_hint_entries) break;
+      digest.push_back(host);
+    }
+  }
+  return digest;
+}
+
+void Proxy::push_hints() {
+  if (siblings_.empty()) return;
+  std::string body;
+  for (const std::string& host : hint_digest()) {
+    body += "host=" + host + "\n";
+  }
+  net::HttpRequest post;
+  post.method = "POST";
+  post.target = kHintPath;
+  post.headers.set(kHintHeader, self_);
+  post.headers.set("Content-Length", std::to_string(body.size()));
+  post.body = std::move(body);
+  for (const net::Address& sibling : siblings_) {
+    // Best-effort soft state: an unreachable sibling just misses this
+    // round of hints and catches the next.
+    (void)net_->send(self_, sibling, post);
+    ++stats_.hints_sent;
+  }
+}
+
 net::HttpResponse Proxy::serve_transit(
     const std::shared_ptr<detail::Transit>& transit, bool full_metadata) {
   ++stats_.stream_joins;
@@ -397,6 +498,13 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
   // Peer proxies re-verify what they pull, so they always get the proof.
   const bool full_metadata =
       peer_query || request.headers.contains(kWantMetadataHeader);
+  // Sibling-redirect forwarding depth (0 = client-originated). A request
+  // already at the hop limit is answered strictly from cache — hops only
+  // ever increment, so redirect chains terminate here no matter what the
+  // directories claim.
+  const std::size_t hops = parse_hops(request.headers);
+  const bool sibling_query = hops > 0;
+  const bool cache_only = peer_query || hops >= options_.sibling_hop_limit;
 
   CacheShard& shard = shard_for(host);
 
@@ -422,19 +530,21 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
       stale_etag = cached->second.etag;
       stale_fetched_from = cached->second.fetched_from;
     }
-    // A sibling worker is already fetching this object: join its stream
+    // Another worker is already fetching this object: join its stream
     // and serve the arrived prefix now, the tail as it lands — no second
-    // upstream fetch, no waiting for the whole object. Peer queries stay
-    // cache-only (an in-flight fetch is not a cached object yet), and a
-    // stale-entry holder keeps its revalidation path instead.
-    if (!peer_query && !stale) {
+    // upstream fetch, no waiting for the whole object. Stale-entry
+    // holders join too (the in-flight refetch supersedes revalidation —
+    // without this they raced a duplicate upstream fetch and reported
+    // MISS while every sibling connection reported STREAM). Cache-only
+    // queries stay out: an in-flight fetch is not a cached object yet.
+    if (!cache_only) {
       const auto streaming = shard.transit.find(host);
       if (streaming != shard.transit.end()) {
         return serve_transit(streaming->second, full_metadata);
       }
     }
   }
-  if (stale && !peer_query &&
+  if (stale && !cache_only &&
       revalidate(host, stale_etag, stale_fetched_from)) {
     // 304: the body is still authentic. Re-lock and renew — unless a
     // concurrent worker evicted the entry meanwhile, in which case fall
@@ -448,13 +558,33 @@ net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
     }
   }
   // Cooperative queries are strictly cache-only: never trigger a fetch.
-  if (peer_query) return net::make_response(404, "not cached here");
+  if (cache_only) return net::make_response(404, "not cached here");
   ++stats_.misses;
 
-  // Scoped cooperation first: a sibling proxy may already hold the object.
-  if (auto entry = fetch_from_peers(name)) {
-    return store_and_serve(shard, host, std::move(*entry), full_metadata);
+  // Scoped cooperation first: a same-AD peer may already hold the object
+  // (forwarded sibling fetches skip this — their requester runs its own
+  // cooperation round).
+  if (!sibling_query) {
+    if (auto entry = fetch_from_peers(name)) {
+      return store_and_serve(shard, host, std::move(*entry), full_metadata);
+    }
   }
+
+  // Cross-PoP cooperation: the directory claims a sibling PoP holds the
+  // object — fetch it from there (nearest first) instead of the origin.
+  // Responses served this way are marked X-Cache: SIBLING so clients (and
+  // the testbed's driver) can attribute the transfer to the cache tier.
+  if (auto entry = fetch_from_siblings(name, hops)) {
+    net::HttpResponse response =
+        store_and_serve(shard, host, std::move(*entry), full_metadata);
+    response.headers.set("X-Cache", "SIBLING");
+    return response;
+  }
+
+  // A forwarded sibling fetch never recurses into name resolution: on a
+  // stale hint the *requester* falls through to the origin path itself, so
+  // a redirect can make things better but never reshape the upstream route.
+  if (sibling_query) return net::make_response(404, "not cached here");
 
   // Step 3: resolve the name, following at most one P-delegation hop. A
   // resolver that *errors* (unreachable NRS, 5xx) is an upstream failure
@@ -537,21 +667,46 @@ net::HttpResponse Proxy::serve_legacy(const std::string& host,
 
 net::HttpResponse Proxy::handle_http(const net::HttpRequest& request,
                                      const net::Address& /*from*/) {
-  if (request.method != "GET") return net::make_response(400, "proxy supports GET only");
-  const auto uri = net::parse_uri(request.target);
-  std::string host;
-  if (uri && !uri->host.empty()) {
-    host = uri->host;  // absolute-form proxy request
-  } else if (const auto host_header = request.headers.get("Host")) {
-    host = *host_header;  // transparent / origin-form fallback
-  } else {
-    return net::make_response(400, "cannot determine host");
-  }
+  net::HttpResponse response = [&]() -> net::HttpResponse {
+    // Control channel: a sibling pushing its content digest.
+    if (request.method == "POST" && request.target == kHintPath) {
+      return serve_hint(request);
+    }
+    if (request.method != "GET") {
+      return net::make_response(400, "proxy supports GET only");
+    }
+    const auto uri = net::parse_uri(request.target);
+    std::string host;
+    if (uri && !uri->host.empty()) {
+      host = uri->host;  // absolute-form proxy request
+    } else if (const auto host_header = request.headers.get("Host")) {
+      host = *host_header;  // transparent / origin-form fallback
+    } else {
+      return net::make_response(400, "cannot determine host");
+    }
 
-  if (const auto name = SelfCertifyingName::parse_host(host)) {
-    return serve_idicn(*name, request);
+    if (const auto name = SelfCertifyingName::parse_host(host)) {
+      net::HttpResponse served = serve_idicn(*name, request);
+      // Ranged reads ride the cached-object path: a complete 200 is
+      // rewritten into the requested 206 (slices share the cache entry's
+      // chunk blocks — no copy). Cooperative fetches always need the whole
+      // object (they verify and cache it), so their Range headers — which
+      // they never send — would be ignored here anyway; producer-backed
+      // STREAM joins fall back to the full 200 (apply_byte_range declines).
+      if (!request.headers.contains(kIcpQueryHeader)) {
+        if (const auto range = request.headers.get("Range")) {
+          net::apply_byte_range(*range, served);
+        }
+      }
+      return served;
+    }
+    return serve_legacy(host, request);
+  }();
+  // Serving-PoP attribution on every response (testbed observability).
+  if (!options_.pop_name.empty()) {
+    response.headers.set(kPopHeader, options_.pop_name);
   }
-  return serve_legacy(host, request);
+  return response;
 }
 
 }  // namespace idicn::idicn

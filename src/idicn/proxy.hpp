@@ -85,6 +85,33 @@ struct Transit {
 
 }  // namespace detail
 
+/// Who-has-what directory for cross-PoP cache cooperation (EDGE-Coop over
+/// real links). Proxies feed it digests of sibling content stores (hint
+/// ingestion) and consult it on a local miss (nearest-replica redirect);
+/// the topology-aware implementation lives in src/testbed/ (it ranks
+/// holders by core-graph distance through core::HolderIndex). Hints are
+/// soft state: a directory answer may be stale, so the proxy treats a
+/// sibling 404 as "forget and fall through", never as an error.
+///
+/// Implementations must be internally thread-safe — ingest arrives on
+/// whichever worker carries the hint POST while holders() runs on every
+/// serving worker.
+class SiblingDirectory {
+public:
+  virtual ~SiblingDirectory() = default;
+
+  /// Replace `sibling`'s advertised content set with `hosts` (a full
+  /// digest: anything previously advertised but now absent is dropped).
+  virtual void ingest(const net::Address& sibling,
+                      const std::vector<std::string>& hosts) = 0;
+  /// Drop one advertised entry (a redirect found the copy gone — the hint
+  /// was stale).
+  virtual void forget(const net::Address& sibling, const std::string& host) = 0;
+  /// Sibling proxies advertising `host`, nearest first. Never includes the
+  /// owning proxy itself.
+  [[nodiscard]] virtual std::vector<net::Address> holders(const std::string& host) = 0;
+};
+
 class Proxy : public net::SimHost {
 public:
   struct Options {
@@ -92,6 +119,20 @@ public:
     std::uint64_t freshness_ms = 3'600'000;  ///< cached copies stay fresh this long
     bool verify = true;  ///< authenticate content before caching/serving
     std::size_t cache_shards = 1;  ///< content-store lock stripes (≥ 1)
+    /// When non-empty, every response carries `X-IdICN-PoP: <pop_name>` so
+    /// testbed clients (and curious humans) can tell which PoP served them.
+    std::string pop_name;
+    /// Maximum proxy→proxy forwarding chain for sibling fetches: a request
+    /// whose X-IdICN-Hops already reaches this limit is answered cache-only
+    /// (404 on miss). Hops only ever increment, so redirect loops die here.
+    std::size_t sibling_hop_limit = 2;
+    /// Digest-size bound, both directions: push_hints() advertises at most
+    /// this many hosts and hint ingestion truncates anything longer, so a
+    /// misbehaving (or enormous) sibling cannot bloat the directory.
+    std::size_t max_hint_entries = 256;
+    /// Stale-hint damage control: at most this many directory candidates
+    /// are tried per miss before falling through to the NRS/origin path.
+    std::size_t sibling_fanout = 2;
   };
 
   Proxy(net::Transport* net, net::Address self, net::Address nrs,
@@ -119,6 +160,9 @@ public:
     core::sync::RelaxedCounter stale_served;        ///< expired entries served on upstream failure
     core::sync::RelaxedCounter upstream_errors;     ///< exhausted upstream paths (transport/5xx)
     core::sync::RelaxedCounter stream_joins;        ///< requests joined to an in-flight fetch
+    core::sync::RelaxedCounter sibling_hits;        ///< served via directory-guided sibling fetch
+    core::sync::RelaxedCounter hints_sent;          ///< digests pushed to siblings
+    core::sync::RelaxedCounter hints_received;      ///< digests ingested from siblings
   };
   /// Register a cooperating sibling proxy in the same AD (the
   /// application-layer analogue of the simulator's EDGE-Coop): on a local
@@ -126,6 +170,24 @@ public:
   /// name is resolved upstream. Setup-time only (not guarded): call before
   /// the hosting server starts serving.
   void add_peer(net::Address peer) { peers_.push_back(std::move(peer)); }
+
+  /// Cross-PoP cooperation wiring (both setup-time only, like add_peer):
+  /// the directory answers "which sibling holds this object, nearest
+  /// first", and the sibling list receives this proxy's periodic content
+  /// digests. The directory must outlive the proxy.
+  void set_sibling_directory(SiblingDirectory* directory) { directory_ = directory; }
+  void add_sibling(net::Address sibling) { siblings_.push_back(std::move(sibling)); }
+
+  /// The content digest this proxy advertises: cached hosts in
+  /// most-recently-used-first order per shard, truncated to
+  /// Options::max_hint_entries. Safe from any thread (locks each shard in
+  /// turn).
+  [[nodiscard]] std::vector<std::string> hint_digest() const;
+
+  /// POST the current digest to every registered sibling (the periodic
+  /// hint exchange; the testbed's driver calls this between trace batches).
+  /// Unreachable siblings are skipped — hints are best-effort soft state.
+  void push_hints();
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   /// Hot-path counters (byte throughput mirrors of Stats); zero-valued
@@ -187,14 +249,28 @@ private:
   /// Ask cooperating peers (cache-only); nullopt when no peer has it.
   std::optional<Entry> fetch_from_peers(const SelfCertifyingName& name);
 
+  /// Directory-guided nearest-replica redirect: try up to
+  /// Options::sibling_fanout sibling holders of `name` (nearest first),
+  /// forwarding with X-IdICN-Hops = hops+1. A sibling that no longer holds
+  /// the object (stale hint) is forgotten from the directory and the next
+  /// candidate tried. Fetches stream through the shard's transit map like
+  /// upstream fetches, so concurrent requests join the sibling transfer.
+  std::optional<Entry> fetch_from_siblings(const SelfCertifyingName& name,
+                                           std::size_t hops);
+
+  /// Ingest a sibling's content digest (POST /idicn-hint).
+  net::HttpResponse serve_hint(const net::HttpRequest& request);
+
   /// Fetch `name` from `location` and verify; std::nullopt on any failure.
   /// When `transport_failure` is non-null it is set to true if the fetch
   /// failed at the transport/HTTP layer (unreachable, 5xx) — as opposed to
   /// a clean negative or a verification failure — so the caller can decide
-  /// whether serve-stale degradation applies.
+  /// whether serve-stale degradation applies. `hops` > 0 marks a sibling
+  /// fetch and rides along as X-IdICN-Hops.
   std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
                                         const net::Address& location,
-                                        bool* transport_failure = nullptr);
+                                        bool* transport_failure = nullptr,
+                                        std::size_t hops = 0);
 
   /// Serve-stale-on-error (RFC 5861 flavor): re-lock the shard and serve
   /// the expired-but-verified entry with `Warning: 110` + `X-IdICN-Stale`.
@@ -240,11 +316,38 @@ private:
   /// identity are immutable; only guarded shard innards mutate.
   std::vector<std::unique_ptr<CacheShard>> shards_;
   std::vector<net::Address> peers_;  ///< setup-time only (see add_peer)
+
+  /// Cross-PoP cooperation (both setup-time only, see add_sibling):
+  SiblingDirectory* directory_ = nullptr;  ///< not owned; may stay null
+  std::vector<net::Address> siblings_;     ///< digest push targets
 };
 
 /// The request header marking a cache-only cooperative query (a proxy must
 /// answer it from its cache or 404 — never by fetching upstream, which
 /// would loop).
 inline constexpr const char* kIcpQueryHeader = "X-IdICN-Peer-Query";
+
+/// Proxy→proxy forwarding depth for sibling (cross-PoP) fetches. Absent
+/// means 0 (a client-originated request); each sibling hop forwards with
+/// the value incremented. A receiving proxy at or past its
+/// Options::sibling_hop_limit answers cache-only — the loop-safety valve
+/// of the EDGE-Coop redirect scheme.
+inline constexpr const char* kHopsHeader = "X-IdICN-Hops";
+
+/// Identifies a digest POST's sender (its transport address), so the
+/// receiver can attribute the advertised content set in its directory.
+inline constexpr const char* kHintHeader = "X-IdICN-Hint";
+
+/// Response header naming the PoP whose proxy served the response (set
+/// whenever Options::pop_name is configured).
+inline constexpr const char* kPopHeader = "X-IdICN-PoP";
+
+/// Response header naming the transport address the body was actually
+/// fetched from on a miss (origin/mirror or sibling proxy). The testbed's
+/// driver uses it to charge core-link transfers to the real path taken.
+inline constexpr const char* kSourceHeader = "X-IdICN-Source";
+
+/// Target path of the sibling digest exchange (POST body: `host=<h>` lines).
+inline constexpr const char* kHintPath = "/idicn-hint";
 
 }  // namespace idicn::idicn

@@ -131,6 +131,42 @@ HttpResponse FaultInjector::send(const Address& from, const Address& to,
   return inner_->send(from, to, request);  // unreachable
 }
 
+HttpResponse FaultInjector::send_streaming(const Address& from, const Address& to,
+                                           const HttpRequest& request,
+                                           ChunkSink& sink) {
+  const Decision decision = decide(to);
+  if (!decision.fire) return inner_->send_streaming(from, to, request, sink);
+  switch (decision.rule.kind) {
+    case FaultKind::Drop:
+      return make_response(504, "fault injected: destination " + to +
+                                    " dropped");
+    case FaultKind::BlackHole:
+      stall(decision.rule.latency_ms);
+      return make_response(504, "fault injected: destination " + to +
+                                    " black-holed");
+    case FaultKind::Reset:
+      return make_response(504, "fault injected: connection to " + to +
+                                    " reset by peer");
+    case FaultKind::Latency:
+      stall(decision.rule.latency_ms);
+      return inner_->send_streaming(from, to, request, sink);
+    case FaultKind::TruncateBody:
+    case FaultKind::CorruptBody: {
+      // The fault rewrites the body, so it must be materialized first:
+      // buffered inner send, mutate, then replay through the sink.
+      HttpResponse response = inner_->send(from, to, request);
+      if (response.ok()) mutate_body(decision.rule, response);
+      core::ChunkedBody body = response.take_body_chunks();
+      if (!sink.on_head(response)) return response;
+      for (const core::Chunk& chunk : body.chunks()) {
+        if (!sink.on_chunk(chunk)) break;
+      }
+      return response;
+    }
+  }
+  return inner_->send_streaming(from, to, request, sink);  // unreachable
+}
+
 std::vector<HttpResponse> FaultInjector::multicast(const Address& group_from,
                                                    const std::string& group,
                                                    const HttpRequest& request) {

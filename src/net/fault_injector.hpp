@@ -108,6 +108,15 @@ public:
   // Transport:
   HttpResponse send(const Address& from, const Address& to,
                     const HttpRequest& request) override;
+  /// Streaming sends keep streaming through the decorator: pass-through and
+  /// Latency faults delegate to the inner transport's send_streaming after
+  /// the stall (the testbed's topology-latency rules sit on exactly this
+  /// path), connectivity faults synthesize the 504 without touching the
+  /// inner transport, and only body-mutating faults fall back to the
+  /// buffered base adaptation (the mutated body must exist before replay).
+  HttpResponse send_streaming(const Address& from, const Address& to,
+                              const HttpRequest& request,
+                              ChunkSink& sink) override;
   std::vector<HttpResponse> multicast(const Address& group_from,
                                       const std::string& group,
                                       const HttpRequest& request) override;

@@ -1,6 +1,7 @@
 #include "net/http_message.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "net/http_internal.hpp"
@@ -234,6 +235,115 @@ HttpResponse make_stream_response(int status, core::ChunkedBody body,
   response.headers.set("Content-Length", std::to_string(body.size()));
   response.stream_body = std::move(body);
   return response;
+}
+
+namespace {
+
+/// Parse a non-empty decimal into `out`; false on any non-digit/overflow.
+bool parse_decimal(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+std::string_view trim_spaces(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+RangeParse parse_byte_range(std::string_view value, std::uint64_t body_size,
+                            ByteRange* out) {
+  value = trim_spaces(value);
+  constexpr std::string_view kUnit = "bytes=";
+  if (value.substr(0, kUnit.size()) != kUnit) return RangeParse::Ignore;
+  value = trim_spaces(value.substr(kUnit.size()));
+  // One range-spec only; multi-range responses (multipart/byteranges) are
+  // deliberately unsupported — callers fall back to the full 200.
+  if (value.find(',') != std::string_view::npos) return RangeParse::Ignore;
+  const std::size_t dash = value.find('-');
+  if (dash == std::string_view::npos) return RangeParse::Ignore;
+  const std::string_view first_text = value.substr(0, dash);
+  const std::string_view last_text = value.substr(dash + 1);
+
+  if (first_text.empty()) {
+    // Suffix form "-n": the final n bytes.
+    std::uint64_t suffix = 0;
+    if (!parse_decimal(last_text, &suffix)) return RangeParse::Ignore;
+    if (suffix == 0 || body_size == 0) return RangeParse::Unsatisfiable;
+    out->first = suffix >= body_size ? 0 : body_size - suffix;
+    out->last = body_size - 1;
+    return RangeParse::Ok;
+  }
+
+  std::uint64_t first = 0;
+  if (!parse_decimal(first_text, &first)) return RangeParse::Ignore;
+  if (first >= body_size) return RangeParse::Unsatisfiable;
+  std::uint64_t last = body_size - 1;
+  if (!last_text.empty()) {
+    if (!parse_decimal(last_text, &last)) return RangeParse::Ignore;
+    if (last < first) return RangeParse::Ignore;  // inverted: ignore (RFC)
+    last = std::min(last, body_size - 1);
+  }
+  out->first = first;
+  out->last = last;
+  return RangeParse::Ok;
+}
+
+bool apply_byte_range(std::string_view range_value, HttpResponse& response) {
+  if (response.status != 200) return false;
+  if (response.producer != nullptr) return false;  // tail not materialized yet
+  const std::uint64_t size = response.body_size();
+
+  ByteRange range;
+  switch (parse_byte_range(range_value, size, &range)) {
+    case RangeParse::Ignore:
+      return false;
+    case RangeParse::Unsatisfiable: {
+      response.status = 416;
+      response.reason = std::string(default_reason(416));
+      response.body = "requested range not satisfiable";
+      response.stream_body.clear();
+      response.headers.set("Content-Range", "bytes */" + std::to_string(size));
+      response.headers.set("Content-Type", "text/plain");
+      response.headers.set("Content-Length", std::to_string(response.body.size()));
+      return true;
+    }
+    case RangeParse::Ok:
+      break;
+  }
+
+  // Slice in place: the flat part (if any) becomes a chunk so boundary
+  // arithmetic runs once over one chunk sequence; all slices share blocks.
+  if (!response.body.empty()) {
+    core::ChunkedBody combined;
+    combined.append(core::Chunk::from_string(std::move(response.body)));
+    for (const core::Chunk& chunk : response.stream_body.chunks()) {
+      combined.append(chunk);
+    }
+    response.body.clear();
+    response.stream_body = std::move(combined);
+  }
+  response.stream_body = response.stream_body.slice(range.first, range.length());
+  response.status = 206;
+  response.reason = std::string(default_reason(206));
+  response.headers.set("Content-Range",
+                       "bytes " + std::to_string(range.first) + "-" +
+                           std::to_string(range.last) + "/" + std::to_string(size));
+  response.headers.set("Content-Length", std::to_string(response.stream_body.size()));
+  return true;
 }
 
 }  // namespace idicn::net

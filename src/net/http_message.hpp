@@ -158,4 +158,35 @@ struct ParseError {
     int status, core::ChunkedBody body,
     std::string_view content_type = "text/plain");
 
+// --- ranged reads (RFC 9110 §14) ----------------------------------------
+
+/// One absolute byte range, both ends inclusive (the resolved form of a
+/// single `bytes=` range-spec against a known body size).
+struct ByteRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  [[nodiscard]] std::uint64_t length() const noexcept { return last - first + 1; }
+};
+
+enum class RangeParse {
+  Ok,             ///< a single satisfiable range was resolved
+  Ignore,         ///< malformed / multi-range / non-bytes unit: serve 200
+  Unsatisfiable,  ///< syntactically valid but outside the body: serve 416
+};
+
+/// Resolve a Range header value ("bytes=a-b", "bytes=a-", "bytes=-n")
+/// against `body_size`. Multi-range requests and anything malformed are
+/// Ignore (RFC: a server MAY ignore the header), matching what every CDN
+/// edge does for unsupported range flavors.
+[[nodiscard]] RangeParse parse_byte_range(std::string_view value,
+                                          std::uint64_t body_size, ByteRange* out);
+
+/// Rewrite a complete 200 response into the requested 206 Partial Content
+/// (or 416) in place. The sliced body shares the original's chunk blocks —
+/// a ranged read of a cached object costs reference bumps, not memcpy.
+/// Returns true when the response was rewritten (206 or 416); false when
+/// the header was ignored (non-200 input, producer-backed body, malformed
+/// or multi-range header) and the response is untouched.
+bool apply_byte_range(std::string_view range_value, HttpResponse& response);
+
 }  // namespace idicn::net

@@ -1,0 +1,53 @@
+// Simulator ⇄ testbed diff harness.
+//
+// The testbed's acceptance bar is agreement with the in-process simulator
+// on the identical bound workload: the EDGE deployment (no cooperation) is
+// deterministic end to end — same LRU, same cold start, same request
+// sequence — so its origin load should match the simulator *exactly*; the
+// EDGE-Coop deployment replaces the simulator's oracle nearest-replica
+// lookup with lagged hints, a hop limit, and bounded fanout, so its origin
+// load sits between EDGE's and the oracle's. compare_with_simulator() runs
+// the counterpart design and reports the gap.
+#pragma once
+
+#include <string>
+
+#include "core/design.hpp"
+#include "core/metrics.hpp"
+#include "core/simulator.hpp"
+#include "testbed/cluster.hpp"
+#include "testbed/metrics.hpp"
+
+namespace idicn::testbed {
+
+/// The simulator design a testbed scenario corresponds to: core::edge()
+/// as-is for plain EDGE, or with oracle nearest-replica routing for
+/// EDGE-Coop (the zero-lag upper bound on what hints can achieve).
+[[nodiscard]] core::DesignSpec counterpart_design(bool cooperation);
+
+/// The simulator configuration matching a cluster: same budget fraction
+/// (uniform split), same origin assignment and seed, cold start (no
+/// prefill, no warmup) — the testbed starts cold too.
+[[nodiscard]] core::SimulationConfig counterpart_config(
+    const ClusterOptions& options);
+
+struct ComparisonResult {
+  core::SimulationMetrics simulated;
+  std::uint64_t testbed_origin_served = 0;
+  std::uint64_t simulated_origin_served = 0;
+  /// |testbed − simulated| / simulated, in percent (0 when both are 0).
+  double origin_load_gap_pct = 0.0;
+  std::uint64_t testbed_cache_served = 0;    ///< HIT + STREAM + SIBLING
+  std::uint64_t simulated_cache_served = 0;  ///< simulator cache_hits
+
+  /// One-line human summary (the caller prints it; this library never does).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the counterpart simulation of `cluster` on `workload` and diff it
+/// against the testbed metrics collected from the same workload.
+[[nodiscard]] ComparisonResult compare_with_simulator(
+    const Cluster& cluster, const core::BoundWorkload& workload,
+    const TestbedMetrics& testbed);
+
+}  // namespace idicn::testbed

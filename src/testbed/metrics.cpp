@@ -1,0 +1,132 @@
+#include "testbed/metrics.hpp"
+
+#include <cstdio>
+
+namespace idicn::testbed {
+namespace {
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool trailing_comma = true) {
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+  if (trailing_comma) out += ",";
+}
+
+void append_kv(std::string& out, const char* key, double value,
+               bool trailing_comma = true) {
+  out += "\"";
+  out += key;
+  out += "\":";
+  out += json_number(value);
+  if (trailing_comma) out += ",";
+}
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool trailing_comma = true) {
+  // Values here are topology/PoP names and scenario labels — plain ASCII
+  // identifiers, no escaping needed.
+  out += "\"";
+  out += key;
+  out += "\":\"";
+  out += value;
+  out += "\"";
+  if (trailing_comma) out += ",";
+}
+
+/// Minimal JSON string escape for error samples, which carry free-form
+/// transport error text (names and labels elsewhere stay unescaped ASCII).
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TestbedMetrics::to_json() const {
+  std::string out = "{";
+  append_kv(out, "scenario", scenario);
+  append_kv(out, "topology", topology);
+  append_kv(out, "request_count", request_count);
+  append_kv(out, "hits", hits);
+  append_kv(out, "misses", misses);
+  append_kv(out, "stream_joins", stream_joins);
+  append_kv(out, "sibling_serves", sibling_serves);
+  append_kv(out, "errors", errors);
+  append_kv(out, "ranged_requests", ranged_requests);
+  append_kv(out, "ranged_206", ranged_206);
+  append_kv(out, "hit_ratio", hit_ratio());
+  append_kv(out, "wall_latency_ms", wall_latency_ms);
+  append_kv(out, "mean_wall_latency_ms", mean_wall_latency_ms());
+  append_kv(out, "core_cost", core_cost);
+  append_kv(out, "mean_core_cost", mean_core_cost());
+  append_kv(out, "max_link_transfers", max_link_transfers);
+  append_kv(out, "origin_served", origin_served);
+  append_kv(out, "hints_sent", hints_sent);
+  append_kv(out, "hints_received", hints_received);
+  append_kv(out, "duration_s", duration_s);
+
+  out += "\"error_samples\":[";
+  for (std::size_t i = 0; i < error_samples.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    out += json_escape(error_samples[i]);
+    out += "\"";
+  }
+  out += "],";
+
+  out += "\"core_link_transfers\":[";
+  for (std::size_t i = 0; i < core_link_transfers.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(core_link_transfers[i]);
+  }
+  out += "],";
+
+  out += "\"pops\":[";
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    const PopMetrics& pop = pops[i];
+    if (i) out += ",";
+    out += "{";
+    append_kv(out, "name", pop.name);
+    append_kv(out, "requests", pop.requests);
+    append_kv(out, "hits", pop.hits);
+    append_kv(out, "misses", pop.misses);
+    append_kv(out, "stream_joins", pop.stream_joins);
+    append_kv(out, "sibling_serves", pop.sibling_serves);
+    append_kv(out, "errors", pop.errors);
+    append_kv(out, "wall_latency_ms", pop.wall_latency_ms);
+    append_kv(out, "core_cost", pop.core_cost);
+    append_kv(out, "origin_served", pop.origin_served, /*trailing_comma=*/false);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace idicn::testbed

@@ -1,0 +1,88 @@
+// Testbed run metrics (the socket-level counterpart of core::SimulationMetrics).
+//
+// A TraceDriver run produces one TestbedMetrics: per-request wall-clock
+// latency as measured by the clients, the *model* core cost implied by each
+// response's X-IdICN-Source header (so socketed runs report the same
+// latency unit the simulator does), per-core-link transfer counts, origin
+// load, and the X-Cache serving breakdown (HIT / MISS / STREAM / SIBLING).
+// to_json() renders the whole struct as a JSON string — callers (bench
+// binaries, the CLI) decide where the bytes go; this library never prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idicn::testbed {
+
+/// Per-PoP slice of a run, indexed by topology::PopId.
+struct PopMetrics {
+  std::string name;                 ///< core-graph PoP name (e.g. "Denver")
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;           ///< X-Cache: HIT at the home proxy
+  std::uint64_t misses = 0;         ///< fetched upstream (X-Cache: MISS)
+  std::uint64_t stream_joins = 0;   ///< joined an in-flight fetch (STREAM)
+  std::uint64_t sibling_serves = 0; ///< served via a sibling PoP (SIBLING)
+  std::uint64_t errors = 0;
+  double wall_latency_ms = 0.0;     ///< summed client-observed latency
+  double core_cost = 0.0;           ///< summed model core cost (sim latency unit)
+  std::uint64_t origin_served = 0;  ///< requests this PoP's origin tier served
+};
+
+struct TestbedMetrics {
+  std::string scenario;   ///< "EDGE" or "EDGE-Coop"
+  std::string topology;   ///< core topology name ("Abilene", "Geant", …)
+
+  std::uint64_t request_count = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stream_joins = 0;
+  std::uint64_t sibling_serves = 0;
+  std::uint64_t errors = 0;
+
+  // Ranged-read exercise (satellite of the streaming data path): how many
+  // requests carried a Range header and how many came back 206.
+  std::uint64_t ranged_requests = 0;
+  std::uint64_t ranged_206 = 0;
+
+  double wall_latency_ms = 0.0;  ///< summed client-observed latency
+  double core_cost = 0.0;        ///< summed model core cost across requests
+
+  /// Object transfers per core link (indexed by the core graph's LinkId),
+  /// charged along the shortest core path between the serving PoP (per
+  /// X-IdICN-Source) and the requesting PoP — the simulator's congestion
+  /// metric restricted to core links.
+  std::vector<std::uint64_t> core_link_transfers;
+  std::uint64_t max_link_transfers = 0;
+
+  std::uint64_t origin_served = 0;  ///< requests answered by the origin tier
+  std::uint64_t hints_sent = 0;
+  std::uint64_t hints_received = 0;
+
+  double duration_s = 0.0;  ///< wall clock for the whole replay
+
+  /// First few transport/status failures, as "<pop> #<request> <reason>" —
+  /// enough to diagnose a nonzero `errors` without rerunning.
+  std::vector<std::string> error_samples;
+
+  std::vector<PopMetrics> pops;
+
+  [[nodiscard]] double hit_ratio() const {
+    return request_count ? static_cast<double>(hits + stream_joins) /
+                               static_cast<double>(request_count)
+                         : 0.0;
+  }
+  [[nodiscard]] double mean_wall_latency_ms() const {
+    return request_count ? wall_latency_ms / static_cast<double>(request_count)
+                         : 0.0;
+  }
+  [[nodiscard]] double mean_core_cost() const {
+    return request_count ? core_cost / static_cast<double>(request_count) : 0.0;
+  }
+
+  /// Render as a JSON object (library code never prints; binaries decide
+  /// whether the string goes to a file or stdout).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace idicn::testbed

@@ -1,0 +1,109 @@
+#include "testbed/sibling_directory.hpp"
+
+#include <algorithm>
+
+namespace idicn::testbed {
+
+namespace {
+constexpr topology::PopId kNoOrigin = static_cast<topology::PopId>(-1);
+}  // namespace
+
+ClusterDirectory::ClusterDirectory(const topology::HierarchicalNetwork& network,
+                                   std::size_t max_entries_per_pop)
+    : network_(&network),
+      max_entries_per_pop_(max_entries_per_pop),
+      advertised_(network.pop_count()),
+      index_(network),
+      addresses_(network.pop_count()) {}
+
+void ClusterDirectory::set_address(topology::PopId pop, net::Address address) {
+  const core::sync::MutexLock lock(mutex_);
+  addresses_.at(pop) = address;
+  pops_by_address_[std::move(address)] = pop;
+}
+
+void ClusterDirectory::set_origin(const std::string& host, topology::PopId pop) {
+  const core::sync::MutexLock lock(mutex_);
+  origin_pop_.at(intern(host)) = pop;
+}
+
+std::uint32_t ClusterDirectory::intern(const std::string& host) {
+  const auto [it, inserted] =
+      host_ids_.emplace(host, static_cast<std::uint32_t>(hosts_by_id_.size()));
+  if (inserted) {
+    hosts_by_id_.push_back(host);
+    origin_pop_.push_back(kNoOrigin);
+  }
+  return it->second;
+}
+
+void ClusterDirectory::ingest(topology::PopId sender,
+                              const std::vector<std::string>& hosts) {
+  const core::sync::MutexLock lock(mutex_);
+  std::set<std::uint32_t> fresh;
+  for (const std::string& host : hosts) {
+    if (fresh.size() >= max_entries_per_pop_) break;  // digest-size bound
+    fresh.insert(intern(host));
+  }
+  // Full-digest semantics: diff against the previous advertisement so the
+  // holder index mirrors exactly what the sender claims *now*.
+  std::set<std::uint32_t>& current = advertised_.at(sender);
+  const topology::GlobalNodeId node = holder_node(sender);
+  for (const std::uint32_t id : current) {
+    if (!fresh.contains(id)) index_.remove(id, node);
+  }
+  for (const std::uint32_t id : fresh) {
+    if (!current.contains(id)) index_.add(id, node);
+  }
+  current = std::move(fresh);
+}
+
+void ClusterDirectory::forget(topology::PopId sender, const std::string& host) {
+  const core::sync::MutexLock lock(mutex_);
+  const auto it = host_ids_.find(host);
+  if (it == host_ids_.end()) return;
+  std::set<std::uint32_t>& current = advertised_.at(sender);
+  if (current.erase(it->second) != 0) {
+    index_.remove(it->second, holder_node(sender));
+  }
+}
+
+std::vector<net::Address> ClusterDirectory::holders_for(topology::PopId asker,
+                                                        const std::string& host) {
+  const core::sync::MutexLock lock(mutex_);
+  const auto it = host_ids_.find(host);
+  if (it == host_ids_.end()) return {};
+  // Inclusive origin-cost bound, mirroring the simulator's nearest-replica
+  // acceptance (`cost <= origin_cost`): equidistant siblings are still
+  // preferred over the origin (they offload it), farther ones never.
+  double max_cost = core::HolderIndex::kUnbounded;
+  if (const topology::PopId origin = origin_pop_.at(it->second);
+      origin != kNoOrigin) {
+    max_cost = network_->core_cost(asker, origin);
+  }
+  std::vector<net::Address> out;
+  auto walk = index_.walk(it->second, holder_node(asker), max_cost);
+  while (const auto candidate = walk.next()) {
+    const topology::PopId pop = network_->pop_of(candidate->node);
+    if (pop == asker) continue;  // own cache already missed
+    if (!addresses_.at(pop).empty()) out.push_back(addresses_.at(pop));
+  }
+  return out;
+}
+
+std::optional<topology::PopId> ClusterDirectory::pop_of(
+    const net::Address& address) const {
+  const core::sync::MutexLock lock(mutex_);
+  const auto it = pops_by_address_.find(address);
+  if (it == pops_by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ClusterDirectory::entry_count() const {
+  const core::sync::MutexLock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& set : advertised_) total += set.size();
+  return total;
+}
+
+}  // namespace idicn::testbed

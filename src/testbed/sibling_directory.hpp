@@ -1,0 +1,138 @@
+// Topology-aware sibling directory for cross-PoP cache cooperation.
+//
+// ClusterDirectory is the testbed's shared who-has-what map: every PoP's
+// edge proxy pushes periodic content digests into it (over the
+// POST /idicn-hint channel) and consults it on a local miss. Internally it
+// is a core::HolderIndex over the *counterpart* simulation network — the
+// same index the simulator's nearest-replica routing uses — so a redirect
+// decision in the socketed testbed ranks candidate PoPs by the identical
+// core-graph cost the simulator would use, and the two systems differ only
+// by hint lag, hop limits, and fanout (exactly the deployment frictions the
+// testbed exists to measure).
+//
+// Holder placement: PoP p's proxy is modelled as the counterpart network's
+// leaf(p, 0) (the testbed maps each PoP to an arity-1 depth-1 access tree
+// whose lone leaf is the edge proxy; see cluster.hpp). The nearest-holder
+// bound for a query is the asker's core cost to the object's origin PoP —
+// *inclusive*, matching the simulator's `cost <= origin_cost` acceptance —
+// so a sibling is never suggested when the origin is strictly closer.
+//
+// Thread safety: one mutex guards everything, including the HolderIndex
+// (whose lazy walks reuse index-owned scratch and are not concurrency-safe
+// on their own). Digest ingestion arrives on whichever ServerGroup worker
+// carries the hint POST while holders_for runs on every serving worker of
+// every PoP, so all paths lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/holder_index.hpp"
+#include "core/sync.hpp"
+#include "idicn/proxy.hpp"
+#include "net/transport.hpp"
+#include "topology/network.hpp"
+
+namespace idicn::testbed {
+
+class ClusterDirectory {
+public:
+  /// `network` is the counterpart simulation network (one leaf per PoP) and
+  /// must outlive the directory. `max_entries_per_pop` bounds each PoP's
+  /// advertised set — a digest longer than this is truncated, so a
+  /// misbehaving (or enormous) sibling cannot bloat the directory.
+  ClusterDirectory(const topology::HierarchicalNetwork& network,
+                   std::size_t max_entries_per_pop);
+
+  /// Register PoP `pop`'s proxy transport address (setup time, before
+  /// traffic; also the reverse map used to attribute incoming digests).
+  void set_address(topology::PopId pop, net::Address address)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Record which PoP is `host`'s origin (the redirect search bound).
+  void set_origin(const std::string& host, topology::PopId pop)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Replace `sender`'s advertised content set with `hosts` (full-digest
+  /// semantics: entries previously advertised but now absent are dropped).
+  void ingest(topology::PopId sender, const std::vector<std::string>& hosts)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Drop one advertised entry — a redirect found the copy gone.
+  void forget(topology::PopId sender, const std::string& host)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Proxy addresses of the PoPs advertising `host`, nearest to `asker`
+  /// first, bounded (inclusively) by the asker's core cost to the host's
+  /// origin PoP. Never includes `asker` itself.
+  [[nodiscard]] std::vector<net::Address> holders_for(topology::PopId asker,
+                                                      const std::string& host)
+      IDICN_EXCLUDES(mutex_);
+
+  /// The PoP registered under `address`, if any.
+  [[nodiscard]] std::optional<topology::PopId> pop_of(
+      const net::Address& address) const IDICN_EXCLUDES(mutex_);
+
+  /// Total advertised (pop, host) entries — the digest-bound invariant
+  /// tests assert this never exceeds pops × max_entries_per_pop.
+  [[nodiscard]] std::size_t entry_count() const IDICN_EXCLUDES(mutex_);
+
+private:
+  /// The counterpart-network node standing in for PoP p's proxy cache.
+  [[nodiscard]] topology::GlobalNodeId holder_node(topology::PopId pop) const {
+    return network_->leaf(pop, 0);
+  }
+  [[nodiscard]] std::uint32_t intern(const std::string& host)
+      IDICN_REQUIRES(mutex_);
+
+  const topology::HierarchicalNetwork* network_;
+  const std::size_t max_entries_per_pop_;
+
+  mutable core::sync::Mutex mutex_;
+  std::map<std::string, std::uint32_t> host_ids_ IDICN_GUARDED_BY(mutex_);
+  std::vector<std::string> hosts_by_id_ IDICN_GUARDED_BY(mutex_);
+  /// host id → origin PoP (parallel to hosts_by_id_; kInvalid when unset).
+  std::vector<topology::PopId> origin_pop_ IDICN_GUARDED_BY(mutex_);
+  /// Advertised host-id sets, one per PoP.
+  std::vector<std::set<std::uint32_t>> advertised_ IDICN_GUARDED_BY(mutex_);
+  core::HolderIndex index_ IDICN_GUARDED_BY(mutex_);
+  std::vector<net::Address> addresses_ IDICN_GUARDED_BY(mutex_);
+  std::map<net::Address, topology::PopId> pops_by_address_
+      IDICN_GUARDED_BY(mutex_);
+};
+
+/// One PoP's view of the shared directory, implementing the proxy-facing
+/// idicn::SiblingDirectory contract: digest senders are attributed by
+/// transport address, holder queries are asked from this PoP's vantage
+/// point. Stateless beyond the (pop, directory) binding — one per proxy.
+class PopDirectoryView final : public idicn::SiblingDirectory {
+public:
+  PopDirectoryView(ClusterDirectory* directory, topology::PopId pop)
+      : directory_(directory), pop_(pop) {}
+
+  void ingest(const net::Address& sibling,
+              const std::vector<std::string>& hosts) override {
+    if (const auto sender = directory_->pop_of(sibling)) {
+      directory_->ingest(*sender, hosts);
+    }
+  }
+  void forget(const net::Address& sibling, const std::string& host) override {
+    if (const auto sender = directory_->pop_of(sibling)) {
+      directory_->forget(*sender, host);
+    }
+  }
+  [[nodiscard]] std::vector<net::Address> holders(
+      const std::string& host) override {
+    return directory_->holders_for(pop_, host);
+  }
+
+private:
+  ClusterDirectory* directory_;
+  topology::PopId pop_;
+};
+
+}  // namespace idicn::testbed

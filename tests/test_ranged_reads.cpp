@@ -1,0 +1,236 @@
+// Ranged reads (RFC 9110 §14) on the cached-object path: the net-layer
+// parse/apply primitives, and the proxy end-to-end behavior — 206 slices on
+// hits and misses, 416 for out-of-bounds ranges, and cooperative peer
+// queries always receiving the complete object.
+#include <gtest/gtest.h>
+
+#include "core/buffer.hpp"
+#include "idicn/nrs.hpp"
+#include "idicn/origin_server.hpp"
+#include "idicn/proxy.hpp"
+#include "idicn/reverse_proxy.hpp"
+#include "net/http_message.hpp"
+
+namespace {
+
+using namespace idicn;
+using namespace ::idicn::idicn;
+
+// --- parse_byte_range ----------------------------------------------------
+
+TEST(ParseByteRange, ResolvesClosedRange) {
+  net::ByteRange range;
+  ASSERT_EQ(net::parse_byte_range("bytes=10-19", 100, &range),
+            net::RangeParse::Ok);
+  EXPECT_EQ(range.first, 10u);
+  EXPECT_EQ(range.last, 19u);
+  EXPECT_EQ(range.length(), 10u);
+}
+
+TEST(ParseByteRange, OpenEndedRangeRunsToBodyEnd) {
+  net::ByteRange range;
+  ASSERT_EQ(net::parse_byte_range("bytes=90-", 100, &range),
+            net::RangeParse::Ok);
+  EXPECT_EQ(range.first, 90u);
+  EXPECT_EQ(range.last, 99u);
+}
+
+TEST(ParseByteRange, SuffixFormTakesFinalBytes) {
+  net::ByteRange range;
+  ASSERT_EQ(net::parse_byte_range("bytes=-10", 100, &range),
+            net::RangeParse::Ok);
+  EXPECT_EQ(range.first, 90u);
+  EXPECT_EQ(range.last, 99u);
+}
+
+TEST(ParseByteRange, OversizedSuffixClampsToWholeBody) {
+  net::ByteRange range;
+  ASSERT_EQ(net::parse_byte_range("bytes=-500", 100, &range),
+            net::RangeParse::Ok);
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 99u);
+}
+
+TEST(ParseByteRange, LastClampsToBodyEnd) {
+  net::ByteRange range;
+  ASSERT_EQ(net::parse_byte_range("bytes=50-200", 100, &range),
+            net::RangeParse::Ok);
+  EXPECT_EQ(range.first, 50u);
+  EXPECT_EQ(range.last, 99u);
+}
+
+TEST(ParseByteRange, IgnoredFlavors) {
+  net::ByteRange range;
+  // Inverted bounds: the RFC says a server MAY ignore, and we do.
+  EXPECT_EQ(net::parse_byte_range("bytes=19-10", 100, &range),
+            net::RangeParse::Ignore);
+  // Multi-range (multipart/byteranges) is deliberately unsupported.
+  EXPECT_EQ(net::parse_byte_range("bytes=0-1,5-6", 100, &range),
+            net::RangeParse::Ignore);
+  // Non-bytes units.
+  EXPECT_EQ(net::parse_byte_range("items=0-1", 100, &range),
+            net::RangeParse::Ignore);
+  // Malformed numbers and missing dash.
+  EXPECT_EQ(net::parse_byte_range("bytes=abc-5", 100, &range),
+            net::RangeParse::Ignore);
+  EXPECT_EQ(net::parse_byte_range("bytes=42", 100, &range),
+            net::RangeParse::Ignore);
+}
+
+TEST(ParseByteRange, UnsatisfiableRanges) {
+  net::ByteRange range;
+  EXPECT_EQ(net::parse_byte_range("bytes=100-", 100, &range),
+            net::RangeParse::Unsatisfiable);
+  EXPECT_EQ(net::parse_byte_range("bytes=-0", 100, &range),
+            net::RangeParse::Unsatisfiable);
+  EXPECT_EQ(net::parse_byte_range("bytes=0-", 0, &range),
+            net::RangeParse::Unsatisfiable);
+}
+
+// --- apply_byte_range ----------------------------------------------------
+
+TEST(ApplyByteRange, SlicesFlatBodyInto206) {
+  net::HttpResponse response = net::make_response(200, "0123456789");
+  ASSERT_TRUE(net::apply_byte_range("bytes=2-5", response));
+  EXPECT_EQ(response.status, 206);
+  EXPECT_EQ(response.full_body(), "2345");
+  EXPECT_EQ(response.headers.get("Content-Range").value_or(""), "bytes 2-5/10");
+  EXPECT_EQ(response.headers.get("Content-Length").value_or(""), "4");
+}
+
+TEST(ApplyByteRange, SlicesChunkedBodyAcrossChunkBoundary) {
+  core::ChunkedBody body;
+  body.append(core::Chunk::from_string("01234"));
+  body.append(core::Chunk::from_string("56789"));
+  net::HttpResponse response = net::make_stream_response(200, std::move(body));
+  ASSERT_TRUE(net::apply_byte_range("bytes=3-7", response));
+  EXPECT_EQ(response.status, 206);
+  EXPECT_EQ(response.full_body(), "34567");
+  EXPECT_EQ(response.headers.get("Content-Range").value_or(""), "bytes 3-7/10");
+}
+
+TEST(ApplyByteRange, UnsatisfiableRewritesTo416) {
+  net::HttpResponse response = net::make_response(200, "0123456789");
+  ASSERT_TRUE(net::apply_byte_range("bytes=50-", response));
+  EXPECT_EQ(response.status, 416);
+  EXPECT_EQ(response.headers.get("Content-Range").value_or(""), "bytes */10");
+}
+
+TEST(ApplyByteRange, IgnoredHeaderLeavesResponseUntouched) {
+  net::HttpResponse response = net::make_response(200, "0123456789");
+  EXPECT_FALSE(net::apply_byte_range("bytes=0-1,2-3", response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.full_body(), "0123456789");
+}
+
+TEST(ApplyByteRange, DeclinesNon200AndProducerBodies) {
+  net::HttpResponse not_found = net::make_response(404, "missing");
+  EXPECT_FALSE(net::apply_byte_range("bytes=0-1", not_found));
+  EXPECT_EQ(not_found.status, 404);
+
+  // Producer-backed bodies (in-flight fetches) are not materialized yet;
+  // ranged reads fall back to the full streamed 200.
+  class NeverReady final : public net::BodyProducer {
+   public:
+    [[nodiscard]] std::optional<std::uint64_t> total_size() const override {
+      return 10;
+    }
+    Pull pull(core::Chunk*) override { return Pull::Pending; }
+  };
+  net::HttpResponse streaming = net::make_response(200, "");
+  streaming.producer = std::make_shared<NeverReady>();
+  EXPECT_FALSE(net::apply_byte_range("bytes=0-1", streaming));
+  EXPECT_EQ(streaming.status, 200);
+}
+
+// --- proxy end-to-end over SimNet ----------------------------------------
+
+struct RangedDeployment {
+  net::SimNet net;
+  net::DnsService dns;
+  crypto::MerkleSigner signer{2024, 6};
+  NameResolutionSystem nrs{&dns};
+  OriginServer origin;
+  ReverseProxy reverse_proxy{&net, "rp.pub", "origin.pub", "nrs", &signer};
+  Proxy proxy{&net, "cache.ad1", "nrs", &dns};
+
+  RangedDeployment() {
+    net.attach("nrs", &nrs);
+    net.attach("origin.pub", &origin);
+    net.attach("rp.pub", &reverse_proxy);
+    net.attach("cache.ad1", &proxy);
+  }
+
+  SelfCertifyingName publish(const std::string& label, const std::string& body) {
+    origin.put(label, body);
+    const auto name = reverse_proxy.publish(label);
+    EXPECT_TRUE(name.has_value());
+    return *name;
+  }
+
+  net::HttpResponse get(const SelfCertifyingName& name,
+                        const std::string& range = "") {
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = "http://" + name.host() + "/";
+    if (!range.empty()) request.headers.set("Range", range);
+    return proxy.handle_http(request, "client");
+  }
+};
+
+TEST(ProxyRangedReads, RangeOnMissReturns206AndStillCachesWholeObject) {
+  RangedDeployment d;
+  const auto name = d.publish("video", "ABCDEFGHIJKLMNOPQRSTUVWXYZ");
+
+  const net::HttpResponse partial = d.get(name, "bytes=5-9");
+  EXPECT_EQ(partial.status, 206);
+  EXPECT_EQ(partial.full_body(), "FGHIJ");
+  EXPECT_EQ(partial.headers.get("Content-Range").value_or(""), "bytes 5-9/26");
+  EXPECT_EQ(partial.headers.get("X-Cache").value_or(""), "MISS");
+
+  // The miss cached the complete object: a follow-up full read is a HIT
+  // with all 26 bytes.
+  const net::HttpResponse full = d.get(name);
+  EXPECT_EQ(full.status, 200);
+  EXPECT_EQ(full.headers.get("X-Cache").value_or(""), "HIT");
+  EXPECT_EQ(full.full_body(), "ABCDEFGHIJKLMNOPQRSTUVWXYZ");
+}
+
+TEST(ProxyRangedReads, RangeOnHitSlicesCachedCopy) {
+  RangedDeployment d;
+  const auto name = d.publish("doc", "0123456789");
+  EXPECT_EQ(d.get(name).status, 200);  // warm the cache
+
+  const net::HttpResponse sliced = d.get(name, "bytes=-4");
+  EXPECT_EQ(sliced.status, 206);
+  EXPECT_EQ(sliced.headers.get("X-Cache").value_or(""), "HIT");
+  EXPECT_EQ(sliced.full_body(), "6789");
+  EXPECT_EQ(sliced.headers.get("Content-Range").value_or(""), "bytes 6-9/10");
+}
+
+TEST(ProxyRangedReads, OutOfBoundsRangeReturns416) {
+  RangedDeployment d;
+  const auto name = d.publish("tiny", "abc");
+  const net::HttpResponse response = d.get(name, "bytes=10-");
+  EXPECT_EQ(response.status, 416);
+  EXPECT_EQ(response.headers.get("Content-Range").value_or(""), "bytes */3");
+}
+
+TEST(ProxyRangedReads, PeerQueriesReceiveWholeObjectDespiteRange) {
+  RangedDeployment d;
+  const auto name = d.publish("shared", "0123456789");
+  EXPECT_EQ(d.get(name).status, 200);  // warm the cache
+
+  // A cooperative peer query must get the complete object — peers verify
+  // and re-serve it — so Range is ignored on the peer-query path.
+  net::HttpRequest query;
+  query.method = "GET";
+  query.target = "http://" + name.host() + "/";
+  query.headers.set(kIcpQueryHeader, "1");
+  query.headers.set("Range", "bytes=0-3");
+  const net::HttpResponse response = d.proxy.handle_http(query, "cache-b.ad1");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.full_body(), "0123456789");
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// End-to-end testbed tests: a real-socket Abilene PoP deployment (one
+// ServerGroup edge proxy per PoP, shared NRS + origin tier over loopback)
+// replaying a synthetic workload, with and without cooperative caching, and
+// diffed against the in-process simulator on the identical bound workload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "testbed/cluster.hpp"
+#include "testbed/comparison.hpp"
+#include "testbed/driver.hpp"
+
+namespace {
+
+using namespace idicn;
+
+testbed::ClusterOptions small_abilene() {
+  testbed::ClusterOptions options;
+  options.topology = "Abilene";
+  options.object_count = 40;
+  options.object_bytes = 1024;
+  options.cache_fraction = 0.10;
+  return options;
+}
+
+testbed::DriverOptions small_workload() {
+  testbed::DriverOptions options;
+  options.request_count = 600;
+  options.alpha = 0.9;
+  options.hint_interval = 50;
+  options.ranged_fraction = 0.10;
+  return options;
+}
+
+TEST(TestbedCluster, CounterpartNetworkMirrorsTheCoreTopology) {
+  const topology::HierarchicalNetwork network =
+      testbed::counterpart_network("Abilene");
+  EXPECT_EQ(network.pop_count(), 11u);
+  // One leaf per PoP, so PoP p's proxy is global node 2p+1 and inter-PoP
+  // distance is exactly the core hop count.
+  EXPECT_EQ(network.leaf(0, 0), 1u);
+  EXPECT_EQ(network.leaf(1, 0), 3u);
+  EXPECT_EQ(network.core_cost(0, 1), 1.0);   // Seattle—Sunnyvale
+  EXPECT_EQ(network.core_cost(0, 10), 5.0);  // Seattle—NewYork
+}
+
+TEST(TestbedCluster, BringsUpAllPopsWithDistinctPorts) {
+  testbed::ClusterOptions options = small_abilene();
+  testbed::Cluster cluster(options);
+  ASSERT_EQ(cluster.pop_count(), 11u);
+  std::set<std::uint16_t> ports;
+  for (topology::PopId p = 0; p < cluster.pop_count(); ++p) {
+    EXPECT_NE(cluster.proxy_port(p), 0);
+    ports.insert(cluster.proxy_port(p));
+  }
+  EXPECT_EQ(ports.size(), 11u);
+  EXPECT_EQ(cluster.pop_name(0), "Seattle");
+  EXPECT_EQ(cluster.pop_name(10), "NewYork");
+}
+
+TEST(TestbedE2E, CooperationServesSiblingsAndRangedReads) {
+  testbed::Cluster cluster(small_abilene());
+  testbed::TraceDriver driver(cluster, small_workload());
+  const core::BoundWorkload workload = driver.bind();
+  const testbed::TestbedMetrics metrics = driver.run(workload);
+
+  EXPECT_EQ(metrics.errors, 0u) << (metrics.error_samples.empty()
+                                        ? std::string("no samples")
+                                        : metrics.error_samples[0]);
+  EXPECT_EQ(metrics.request_count, workload.requests.size());
+  EXPECT_GT(metrics.sibling_serves, 0u);
+  EXPECT_GT(metrics.hints_sent, 0u);
+  EXPECT_GT(metrics.hints_received, 0u);
+  EXPECT_GT(metrics.ranged_requests, 0u);
+  // With errors == 0 every ranged request must have come back 206.
+  EXPECT_EQ(metrics.ranged_206, metrics.ranged_requests);
+  // Every request was served somewhere: locally, by a sibling, or upstream.
+  EXPECT_EQ(metrics.hits + metrics.stream_joins + metrics.sibling_serves +
+                metrics.misses,
+            metrics.request_count);
+}
+
+TEST(TestbedE2E, CooperationReducesOriginLoad) {
+  testbed::ClusterOptions options = small_abilene();
+  const testbed::DriverOptions driver_options = small_workload();
+
+  options.cooperation = false;
+  std::uint64_t edge_origin = 0;
+  core::BoundWorkload workload;
+  {
+    testbed::Cluster cluster(options);
+    testbed::TraceDriver driver(cluster, driver_options);
+    workload = driver.bind();
+    const testbed::TestbedMetrics metrics = driver.run(workload);
+    EXPECT_EQ(metrics.errors, 0u);
+    EXPECT_EQ(metrics.sibling_serves, 0u);  // no cooperation wired
+    edge_origin = metrics.origin_served;
+  }
+
+  options.cooperation = true;
+  testbed::Cluster cluster(options);
+  testbed::TraceDriver driver(cluster, driver_options);
+  const testbed::TestbedMetrics coop = driver.run(workload);
+  EXPECT_EQ(coop.errors, 0u);
+  EXPECT_GT(coop.sibling_serves, 0u);
+  EXPECT_LT(coop.origin_served, edge_origin);
+}
+
+TEST(TestbedE2E, EdgeDeploymentMatchesTheSimulatorExactly) {
+  testbed::ClusterOptions options = small_abilene();
+  options.cooperation = false;
+  testbed::Cluster cluster(options);
+  testbed::TraceDriver driver(cluster, small_workload());
+  const core::BoundWorkload workload = driver.bind();
+  const testbed::TestbedMetrics metrics = driver.run(workload);
+  ASSERT_EQ(metrics.errors, 0u);
+
+  // EDGE over sockets is deterministic end to end — same LRU, same cold
+  // start, same sequential request order as the simulator — so origin load
+  // and cache-served counts must match exactly, not approximately.
+  const testbed::ComparisonResult comparison =
+      testbed::compare_with_simulator(cluster, workload, metrics);
+  EXPECT_EQ(comparison.testbed_origin_served, comparison.simulated_origin_served)
+      << comparison.summary();
+  EXPECT_EQ(comparison.testbed_cache_served, comparison.simulated_cache_served)
+      << comparison.summary();
+  EXPECT_EQ(comparison.origin_load_gap_pct, 0.0);
+}
+
+}  // namespace

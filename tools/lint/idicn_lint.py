@@ -80,7 +80,7 @@ LOOP_FILES = {
 }
 
 # Concurrent layers where every sync capability must be annotated against.
-GUARDED_DIRS = ("src/runtime", "src/cache")
+GUARDED_DIRS = ("src/runtime", "src/cache", "src/testbed")
 
 # The serving data path: whole-body copies here scale memory with
 # clients × object_size (the PR-6 bug class).
