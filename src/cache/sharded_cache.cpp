@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hot_path.hpp"
+
 namespace idicn::cache {
 namespace {
 
@@ -33,7 +35,7 @@ std::size_t ShardedCache::shard_of(ObjectId object) const noexcept {
   return spread(object) % shards_.size();
 }
 
-bool ShardedCache::lookup(ObjectId object) {
+IDICN_HOT_PATH bool ShardedCache::lookup(ObjectId object) {
   Shard& shard = *shards_[shard_of(object)];
   const core::sync::MutexLock lock(shard.mutex);
   return shard.cache->lookup(object);

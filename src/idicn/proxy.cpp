@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "core/hot_path.hpp"
 #include "crypto/sha256.hpp"
 #include "idicn/nrs.hpp"
 #include "net/http_internal.hpp"
@@ -96,7 +97,7 @@ private:
 /// X-IdICN-Hops value, defaulting to 0 (a client-originated request) on
 /// absence or garbage; clamped so a hostile header cannot overflow.
 std::size_t parse_hops(const net::HeaderMap& headers) {
-  const auto value = headers.get(kHopsHeader);
+  const auto value = headers.get_view(kHopsHeader);
   if (!value || value->empty()) return 0;
   std::size_t hops = 0;
   for (const char c : *value) {
@@ -204,9 +205,10 @@ bool Proxy::cache_store(CacheShard& shard, const std::string& host,
   return true;
 }
 
-net::HttpResponse Proxy::serve_entry(CacheShard& shard, const std::string& host,
-                                     Entry& entry, bool hit,
-                                     bool full_metadata) {
+IDICN_HOT_PATH net::HttpResponse Proxy::serve_entry(CacheShard& shard,
+                                                    const std::string& host,
+                                                    Entry& entry, bool hit,
+                                                    bool full_metadata) {
   stats_.bytes_served += entry.body.size();
   shard.perf.bump(&core::PerfCounters::proxy_bytes_served, entry.body.size());
   // References the entry's chunks — no body copy per response; N
@@ -694,7 +696,7 @@ net::HttpResponse Proxy::handle_http(const net::HttpRequest& request,
       // they never send — would be ignored here anyway; producer-backed
       // STREAM joins fall back to the full 200 (apply_byte_range declines).
       if (!request.headers.contains(kIcpQueryHeader)) {
-        if (const auto range = request.headers.get("Range")) {
+        if (const auto range = request.headers.get_view("Range")) {
           net::apply_byte_range(*range, served);
         }
       }

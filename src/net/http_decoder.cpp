@@ -1,5 +1,6 @@
 #include "net/http_decoder.hpp"
 
+#include "core/hot_path.hpp"
 #include "net/http_internal.hpp"
 
 namespace idicn::net {
@@ -49,7 +50,7 @@ void HttpDecoder::reset() {
   error_status_ = 400;
 }
 
-void HttpDecoder::feed(std::string_view bytes) {
+IDICN_HOT_PATH void HttpDecoder::feed(std::string_view bytes) {
   if (error_) return;
   buffer_.append(bytes);
   decode();
@@ -70,7 +71,6 @@ bool HttpDecoder::finish_header_block(std::size_t terminator) {
   HeaderMap* headers = nullptr;
   if (mode_ == Mode::Request) {
     pending_request_ = HttpRequest{};
-    pending_request_.headers = HeaderMap{};
     if (!detail::parse_request_line(start_line, pending_request_, &parse_error)) {
       set_error(parse_error.message, 400);
       return false;
@@ -78,7 +78,6 @@ bool HttpDecoder::finish_header_block(std::size_t terminator) {
     headers = &pending_request_.headers;
   } else {
     pending_response_ = HttpResponse{};
-    pending_response_.headers = HeaderMap{};
     if (!detail::parse_status_line(start_line, pending_response_, &parse_error)) {
       set_error(parse_error.message, 400);
       return false;
@@ -101,7 +100,7 @@ bool HttpDecoder::finish_header_block(std::size_t terminator) {
   // Body framing. Transfer-Encoding and Content-Length together are the
   // classic request-smuggling ambiguity — reject outright (RFC 7230 §3.3.3
   // lets a server do exactly that).
-  const auto transfer_encoding = headers->get("Transfer-Encoding");
+  const auto transfer_encoding = headers->get_view("Transfer-Encoding");
   if (transfer_encoding) {
     if (!detail::iequals(detail::trim_ows(*transfer_encoding), "chunked")) {
       set_error("unsupported transfer coding", 400);

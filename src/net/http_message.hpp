@@ -74,8 +74,20 @@ public:
   void remove(std::string_view name);
 
   [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+  /// Like get() but borrowing: the view is valid until the map is next
+  /// mutated. The hot serving path reads headers (Host, Connection, Range,
+  /// X-IdICN-*) without copying values — prefer this anywhere the value is
+  /// only inspected (tools/analysis' hot-path-alloc rule counts the
+  /// get()-copy as an allocation when the value outgrows SSO).
+  [[nodiscard]] std::optional<std::string_view> get_view(
+      std::string_view name) const;
   [[nodiscard]] std::vector<std::string> get_all(std::string_view name) const;
   [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Pre-size the field vector: response assembly knows roughly how many
+  /// headers it will set (type, length, ETag, X-Cache, Via, metadata) and
+  /// one up-front growth beats the 1→2→4→8 doubling walk per response.
+  void reserve(std::size_t fields) { fields_.reserve(fields); }
 
   [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
   [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& fields()

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "core/buffer.hpp"
+#include "core/hot_path.hpp"
 #include "net/http_internal.hpp"
 #include "runtime/event_loop.hpp"
 #include "runtime/tcp.hpp"
@@ -40,7 +41,7 @@ constexpr std::uint64_t kProducerPollMs = 10;
 /// writer knows whether the producer body needs chunked framing on the
 /// wire (no declared length) or raw bytes (Content-Length known).
 bool producer_uses_chunked(const net::HttpResponse& response) {
-  if (const auto te = response.headers.get("Transfer-Encoding")) {
+  if (const auto te = response.headers.get_view("Transfer-Encoding")) {
     return net::detail::iequals(*te, "chunked");
   }
   if (response.headers.contains("Content-Length")) return false;
@@ -387,7 +388,7 @@ class ServerWorker {
             net::make_response(500, std::string("handler error: ") + e.what());
       }
       const bool peer_wants_close = [&] {
-        const auto connection = request->headers.get("Connection");
+        const auto connection = request->headers.get_view("Connection");
         if (connection) return *connection == "close" || *connection == "Close";
         return request->version == "HTTP/1.0";
       }();
@@ -512,7 +513,7 @@ class ServerWorker {
     return queued;
   }
 
-  void flush(Connection& conn) IDICN_REQUIRES(loop_role_) {
+  IDICN_HOT_PATH void flush(Connection& conn) IDICN_REQUIRES(loop_role_) {
     const int fd = conn.fd.get();
     std::uint64_t sent_total = 0;
     bool blocked = false;

@@ -79,6 +79,7 @@ std::unique_ptr<HttpClient> SocketNet::borrow(const net::Address& to) {
     // The peer may have closed (or written into) this connection while it
     // sat pooled — reusing it would either fail the round trip or, worse,
     // decode stale buffered bytes as the next response. Probe and discard.
+    // idicn-analysis: allow(lock-across-io): MSG_PEEK|MSG_DONTWAIT probe never waits
     if (client->stale_connection()) {
       ++stats_.stale_pool_drops;
       continue;

@@ -1,0 +1,240 @@
+"""Optional libclang frontend: a real AST instead of the structural scan.
+
+Used when `import clang.cindex` succeeds and a libclang shared object can
+be loaded (CI installs clang-18 + python3-clang; the dev container usually
+has neither, which is why cpp_frontend is the default). The output
+contract is identical to cpp_frontend.parse_file: (list[Function],
+Suppressions) — the rule engine in callgraph.py cannot tell the frontends
+apart.
+
+What the AST buys over the internal frontend:
+  * call edges come from CALL_EXPR / CXX_NEW_EXPR nodes, so calls hidden
+    behind operator overloads or template instantiation are seen;
+  * member calls carry their qualified callee when the referenced
+    declaration is resolvable, improving resolution precision;
+  * annotations are read from the expanded attributes
+    (`annotate("idicn_hot_path")`, `requires_capability(...)`) instead of
+    macro tokens, so aliasing the macros still works.
+
+Lock liveness stays source-extent based (a MutexLock variable is live for
+call sites after its declaration inside the enclosing compound statement)
+— the same approximation the internal frontend makes, and exact for this
+repo's RAII usage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+import clang.cindex as cindex
+
+from callgraph import Call, Function
+from cpp_frontend import Suppressions, _SUPPRESS_RE
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+_FUNCTION_KINDS = frozenset({
+    cindex.CursorKind.FUNCTION_DECL,
+    cindex.CursorKind.CXX_METHOD,
+    cindex.CursorKind.CONSTRUCTOR,
+    cindex.CursorKind.DESTRUCTOR,
+    cindex.CursorKind.FUNCTION_TEMPLATE,
+})
+
+_DEFAULT_ARGS = ["-std=c++20", "-xc++",
+                 "-I", os.path.join(_REPO_ROOT, "src")]
+
+# Created at import so a missing libclang.so fails the import itself —
+# idicn_analysis.build_graph catches that and falls back to cpp_frontend.
+_index = cindex.Index.create()
+_compile_args: dict[str, list] | None = None
+
+
+def _load_compile_args() -> dict:
+    """file -> clang args, from the repo compile_commands.json. Headers
+    are not TUs; they parse with _DEFAULT_ARGS."""
+    global _compile_args
+    if _compile_args is not None:
+        return _compile_args
+    _compile_args = {}
+    db = os.path.join(_REPO_ROOT, "compile_commands.json")
+    if os.path.exists(db):
+        with open(db, encoding="utf-8") as fh:
+            for entry in json.load(fh):
+                path = os.path.normpath(os.path.join(
+                    entry.get("directory", ""), entry["file"]))
+                args = entry.get("arguments")
+                if args is None:
+                    args = entry.get("command", "").split()
+                # strip compiler, -c/-o pairs, and the input file itself
+                cleaned = []
+                skip = False
+                for arg in args[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if arg in ("-c", path, entry["file"]):
+                        continue
+                    if arg == "-o":
+                        skip = True
+                        continue
+                    cleaned.append(arg)
+                _compile_args[os.path.relpath(path, _REPO_ROOT)] = cleaned
+    return _compile_args
+
+
+def _harvest_suppressions(text: str) -> Suppressions:
+    supp = Suppressions()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            supp.add(lineno, m.group(1), m.group(2))
+    return supp
+
+
+def _qualified_name(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.kind != cindex.CursorKind.TRANSLATION_UNIT:
+        if c.kind in (cindex.CursorKind.NAMESPACE,
+                      cindex.CursorKind.CLASS_DECL,
+                      cindex.CursorKind.STRUCT_DECL,
+                      cindex.CursorKind.CLASS_TEMPLATE) or c is cursor:
+            spelling = c.spelling
+            if spelling:  # anonymous namespaces elide, matching cpp_frontend
+                parts.append(spelling)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _attr_tokens(cursor) -> list:
+    try:
+        return [t.spelling for t in cursor.get_tokens()]
+    except Exception:
+        return []
+
+
+def _annotations(cursor) -> tuple:
+    """(hot_path, loop_root) from the declaration's attributes."""
+    hot = False
+    loop_root = False
+    for child in cursor.get_children():
+        if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
+            if child.spelling == "idicn_hot_path":
+                hot = True
+        elif child.kind.is_attribute():
+            toks = _attr_tokens(child)
+            if any("IDICN_REQUIRES" in t for t in toks) or \
+                    "requires_capability" in toks:
+                if any("role" in t for t in toks):
+                    loop_root = True
+    # GCC-configured compile commands expand IDICN_HOT_PATH to nothing; the
+    # declaration tokens still spell the macro, so fall back to them.
+    if not hot:
+        decl_tokens = _attr_tokens(cursor)
+        # only look before the body brace
+        head = decl_tokens[:decl_tokens.index("{")] \
+            if "{" in decl_tokens else decl_tokens
+        if "IDICN_HOT_PATH" in head:
+            hot = True
+        if not loop_root and "IDICN_REQUIRES" in head:
+            k = head.index("IDICN_REQUIRES")
+            if any("role" in t for t in head[k:k + 8]):
+                loop_root = True
+    return hot, loop_root
+
+
+def _callee_of(call_cursor) -> tuple:
+    """(callee_name, is_member) for a CALL_EXPR."""
+    ref = call_cursor.referenced
+    if ref is not None and ref.spelling:
+        name = _qualified_name(ref) or ref.spelling
+        is_member = ref.kind == cindex.CursorKind.CXX_METHOD
+        return name, is_member
+    return call_cursor.spelling or "", False
+
+
+class _LockTracker:
+    """MutexLock declarations live until the end of their enclosing
+    compound statement (source-extent containment)."""
+
+    def __init__(self):
+        self.locks = []  # (varname, end_line)
+
+    def note_decl(self, cursor, enclosing_end_line: int):
+        type_spelling = cursor.type.spelling if cursor.type else ""
+        if re.search(r"\bMutexLock\b", type_spelling):
+            self.locks.append((cursor.spelling or "lock", enclosing_end_line))
+
+    def held_at(self, line: int) -> tuple:
+        return tuple(name for name, end in self.locks if line <= end)
+
+
+def _walk_body(cursor, fn: Function, supp: Suppressions, tracker,
+               compound_end: int):
+    for child in cursor.get_children():
+        kind = child.kind
+        line = child.location.line or fn.line
+        if kind == cindex.CursorKind.COMPOUND_STMT:
+            end = child.extent.end.line or compound_end
+            _walk_body(child, fn, supp, tracker, end)
+            continue
+        if kind == cindex.CursorKind.VAR_DECL:
+            tracker.note_decl(child, compound_end)
+        if kind == cindex.CursorKind.CXX_NEW_EXPR:
+            suppressed = frozenset(supp.rules_near(line))
+            if "*" not in suppressed:
+                fn.calls.append(Call(
+                    callee="new", line=line, suppressed=suppressed,
+                    locks_held=tracker.held_at(line)))
+        elif kind == cindex.CursorKind.CALL_EXPR:
+            callee, is_member = _callee_of(child)
+            if callee:
+                suppressed = frozenset(supp.rules_near(line))
+                if "*" not in suppressed:
+                    fn.calls.append(Call(
+                        callee=callee, line=line, is_member=is_member,
+                        suppressed=suppressed,
+                        locks_held=tracker.held_at(line)))
+        _walk_body(child, fn, supp, tracker, compound_end)
+
+
+def parse_file(rel_path: str, abs_path: str):
+    """-> (list[Function], Suppressions) — cpp_frontend-compatible."""
+    with open(abs_path, encoding="utf-8", errors="replace") as fh:
+        text = fh.read()
+    supp = _harvest_suppressions(text)
+    args = _load_compile_args().get(rel_path, _DEFAULT_ARGS)
+    tu = _index.parse(abs_path, args=args)
+    functions = []
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc_file = child.location.file
+            if loc_file is not None and \
+                    os.path.normpath(loc_file.name) != \
+                    os.path.normpath(abs_path):
+                continue  # skip included headers; they are parsed as files
+            if child.kind in _FUNCTION_KINDS and child.is_definition():
+                hot, loop_root = _annotations(child)
+                def_line = child.location.line or 1
+                fn = Function(
+                    name=_qualified_name(child), file=rel_path,
+                    line=def_line, hot_path=hot, loop_root=loop_root,
+                    suppressed_rules=frozenset(supp.rules_near(def_line)))
+                tracker = _LockTracker()
+                body_end = child.extent.end.line or def_line
+                _walk_body(child, fn, supp, tracker, body_end)
+                functions.append(fn)
+            elif child.kind in (cindex.CursorKind.NAMESPACE,
+                                cindex.CursorKind.CLASS_DECL,
+                                cindex.CursorKind.STRUCT_DECL,
+                                cindex.CursorKind.CLASS_TEMPLATE,
+                                cindex.CursorKind.UNEXPOSED_DECL):
+                visit(child)
+
+    visit(tu.cursor)
+    return functions, supp

@@ -1,0 +1,378 @@
+"""Internal C++ frontend: stdlib-only tokenizer + structural parser.
+
+This is the frontend the analyzer trusts everywhere: it needs nothing but
+Python 3. It is not a C++ parser — it is a brace/paren-accurate structural
+scanner tuned to this repo's idiom (clang-format-clean C++20, no macros
+that hide braces, no K&R surprises). It extracts, per translation unit:
+
+  * function definitions with fully qualified names (namespace and class
+    scopes tracked through brace nesting),
+  * every call site inside each body, reduced to a terminal callee name
+    (`net::make_response`, `push_back`, `new`, ...),
+  * which MutexLock-style guards are live in scope at each call site
+    (brace-depth scoped, so `{ MutexLock l(m); ... }` releases at `}`),
+  * IDICN_HOT_PATH / IDICN_REQUIRES(<...role...>) annotations on the
+    definition, and
+  * `// idicn-analysis: allow(<rule>): <why>` suppression comments.
+
+Known, documented approximations (DESIGN.md §12):
+  * calls through stored std::function (e.g. `loop_->post(lambda)`) are
+    not edges — the lambda body's calls are attributed to the enclosing
+    function, which is the thread they were written on, not necessarily
+    the thread they run on;
+  * overloads merge into one call-graph node;
+  * a `{` inside parentheses (brace-init arguments) never opens a scope,
+    but a delegating-constructor body after such an argument may be
+    attributed one statement late. Neither affects reachability answers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from callgraph import Call, Function, NOISE_NAMES
+
+# C++ keywords and repo macros that can precede `(` without being calls.
+_NON_CALL = NOISE_NAMES | {
+    "and", "or", "not", "new", "co_await", "co_return", "co_yield",
+    "do", "else", "try", "template", "typename", "using", "operator",
+    "case", "default", "goto", "requires", "concept",
+}
+_NON_CALL_PREFIXES = ("IDICN_",)  # annotation macro family, never calls
+
+_KEYWORD_NO_DEF = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "else", "do",
+    "sizeof", "new", "delete", "throw", "case",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"idicn-analysis:\s*allow\(([a-z*-]+)\)\s*:?\s*(.*)")
+
+_TOKEN_RE = re.compile(r"""
+      ::\s*~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*   # ::qualified
+    | ~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*        # name or a::b::c
+    | ->\*? | \+\+ | -- | << | >> | <= | >= | == | != | && | \|\|
+    | [{}()\[\];:,.<>=+\-*/%!&|^?~]
+    | \d[\w.]*                                         # numeric literal
+""", re.VERBOSE)
+
+
+class Suppressions:
+    """Per-line rule suppressions with mandatory justifications."""
+
+    def __init__(self):
+        self.by_line: dict[int, set[str]] = {}
+        self.missing_reason: list[int] = []
+
+    def add(self, line: int, rule: str, reason: str):
+        if not reason.strip():
+            self.missing_reason.append(line)
+            return
+        self.by_line.setdefault(line, set()).add(rule)
+
+    def rules_near(self, line: int) -> set:
+        """A suppression applies on its own line or the line above."""
+        return self.by_line.get(line, set()) | self.by_line.get(line - 1, set())
+
+
+def strip_comments_and_strings(text: str, supp: Suppressions) -> str:
+    """Blank out comments, string/char literals, and preprocessor lines,
+    preserving newlines so token line numbers stay true. Suppression
+    comments are harvested before they disappear."""
+    out = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            m = _SUPPRESS_RE.search(text[i:j])
+            if m:
+                supp.add(line, m.group(1), m.group(2))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            block = text[i:j]
+            m = _SUPPRESS_RE.search(block)
+            if m:
+                supp.add(line, m.group(1), m.group(2))
+            out.append("\n" * block.count("\n"))
+            line += block.count("\n")
+            i = j + 2
+        elif c in "\"'":
+            if c == '"' and text[i - 1:i] == "R" and \
+                    not text[i - 2:i - 1].isalnum():
+                # raw string: R"delim( ... )delim"
+                delim_end = text.find("(", i)
+                delim = text[i + 1:delim_end] if delim_end > 0 else ""
+                close = text.find(")" + delim + '"', delim_end)
+                close = n if close < 0 else close + len(delim) + 2
+                skipped = text[i:close]
+                out.append("\n" * skipped.count("\n"))
+                line += skipped.count("\n")
+                i = close
+                continue
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            out.append('""' if c == '"' else "'x'")
+            i = j + 1
+        elif c == "#" and (i == 0 or text[i - 1] == "\n"):
+            # preprocessor line incl. backslash continuations
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                k = n if k < 0 else k
+                if text[k - 1:k] == "\\":
+                    out.append("\n")
+                    line += 1
+                    j = k + 1
+                else:
+                    j = k
+                    break
+            i = j
+        else:
+            out.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text: str) -> list:
+    """[(token, line)] with `a :: b` / `operator+` merged."""
+    tokens = []
+    line = 1
+    pos = 0
+    for m in _TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, m.start())
+        pos = m.start()
+        tok = re.sub(r"\s+", "", m.group(0))
+        if tokens and tokens[-1][0] == "operator":
+            prev_tok, prev_line = tokens.pop()
+            tokens.append((prev_tok + tok, prev_line))
+            continue
+        tokens.append((tok, line))
+    return tokens
+
+
+def _is_name(tok: str) -> bool:
+    return bool(tok) and (tok[0].isalpha() or tok[0] in "_~:" or
+                          tok.startswith("operator"))
+
+
+class _Scope:
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: str = ""):
+        self.kind = kind   # namespace | class | function | block
+        self.name = name
+
+
+class Parser:
+    """One pass over a token stream; collects Function records."""
+
+    def __init__(self, rel_path: str, supp: Suppressions):
+        self.rel = rel_path
+        self.supp = supp
+        self.functions: list[Function] = []
+
+    # -- declaration-head analysis -----------------------------------------
+
+    @staticmethod
+    def _find_definition(pending) -> tuple:
+        """Given the tokens since the last statement boundary (ending just
+        before a `{` at paren-depth 0), decide whether they form a function
+        definition head. Returns (name, hot, loop_root) or (None, ...)."""
+        hot = any(t == "IDICN_HOT_PATH" for t, _ in pending)
+        loop_root = False
+        name = None
+        depth = 0
+        for idx, (tok, _ln) in enumerate(pending):
+            if tok == "(":
+                depth += 1
+                continue
+            if tok == ")":
+                depth -= 1
+                continue
+            if depth:
+                continue
+            nxt = pending[idx + 1][0] if idx + 1 < len(pending) else ""
+            if tok.startswith("IDICN_REQUIRES") or (
+                    tok == "IDICN_REQUIRES"):
+                # args live in the following paren group
+                args = []
+                d = 0
+                for t2, _ in pending[idx + 1:]:
+                    if t2 == "(":
+                        d += 1
+                    elif t2 == ")":
+                        d -= 1
+                        if d == 0:
+                            break
+                    elif d:
+                        args.append(t2)
+                if any("role" in a for a in args):
+                    loop_root = True
+                continue
+            if name is None and _is_name(tok) and nxt == "(" and \
+                    tok not in _KEYWORD_NO_DEF and \
+                    not any(tok.startswith(p) for p in _NON_CALL_PREFIXES):
+                name = tok.lstrip(":")
+        if name is None:
+            return None, hot, loop_root
+        # `foo() = default;`-style heads never reach here (they end in `;`),
+        # but lambdas assigned at namespace scope would: reject heads whose
+        # candidate is preceded by `=` capture-style brackets.
+        return name, hot, loop_root
+
+    # -- main loop ----------------------------------------------------------
+
+    def parse(self, tokens):
+        scopes: list[_Scope] = []
+        pending: list = []          # tokens since last ; { }
+        paren_depth = 0
+        current_fn: Function | None = None
+        fn_base_depth = 0           # scope-stack length where fn body began
+        locks: list = []            # (varname, scope_depth)
+        i = 0
+        n = len(tokens)
+        while i < n:
+            tok, line = tokens[i]
+            if tok == "(":
+                paren_depth += 1
+                self._maybe_record_call(pending, tokens, i, line,
+                                        current_fn, locks, len(scopes))
+                pending.append((tok, line))
+            elif tok == ")":
+                paren_depth = max(0, paren_depth - 1)
+                pending.append((tok, line))
+            elif tok == "{" and paren_depth == 0:
+                self._open_brace(pending, scopes, line,
+                                 current_fn_ref := [current_fn])
+                current_fn = current_fn_ref[0]
+                if current_fn is not None and fn_base_depth == 0:
+                    fn_base_depth = len(scopes)
+                pending = []
+            elif tok == "}" and paren_depth == 0:
+                if scopes:
+                    closing = scopes.pop()
+                    locks = [lk for lk in locks if lk[1] <= len(scopes)]
+                    if closing.kind == "function":
+                        current_fn = None
+                        fn_base_depth = 0
+                        locks = []
+                pending = []
+            elif tok == ";" and paren_depth == 0:
+                pending = []
+            else:
+                if current_fn is not None and tok == "new":
+                    current_fn.calls.append(Call(
+                        callee="new", line=line,
+                        locks_held=tuple(lk[0] for lk in locks)))
+                if current_fn is not None and paren_depth == 0 and \
+                        tok.endswith("MutexLock"):
+                    # `MutexLock name(...)` / `MutexLock name{...}` /
+                    # possibly cv-qualified and namespace-qualified.
+                    if i + 1 < n and _is_name(tokens[i + 1][0]):
+                        locks.append((tokens[i + 1][0], len(scopes)))
+                pending.append((tok, line))
+            i += 1
+
+    def _open_brace(self, pending, scopes, line, current_fn_ref):
+        toks = [t for t, _ in pending]
+        in_function = any(s.kind == "function" for s in scopes)
+        if in_function:
+            scopes.append(_Scope("block"))
+            return
+        if toks and toks[0] == "namespace":
+            name = toks[1] if len(toks) > 1 and _is_name(toks[1]) else ""
+            scopes.append(_Scope("namespace", name))
+            return
+        # `class X`, `struct X`, possibly after template<...> or with a
+        # base clause; also `enum class X`.
+        for kw in ("class", "struct"):
+            if kw in toks and "enum" not in toks:
+                k = toks.index(kw)
+                if k + 1 < len(toks) and _is_name(toks[k + 1]) and \
+                        "(" not in toks[:k]:
+                    # not a `struct X` used as a return type of a function:
+                    # a definition head would contain a `(` after the name.
+                    if "(" not in toks[k + 1:] or ":" in toks[k + 2:k + 3]:
+                        scopes.append(_Scope("class", toks[k + 1]))
+                        return
+        if "enum" in toks or (toks and toks[0] == "union"):
+            scopes.append(_Scope("block"))
+            return
+        name, hot, loop_root = self._find_definition(pending)
+        if name is not None:
+            qual = [s.name for s in scopes if s.kind in ("namespace", "class")
+                    and s.name]
+            fq = "::".join(qual + [name]) if "::" not in name else \
+                "::".join(qual[:self._overlap(qual, name)] + [name])
+            def_line = pending[0][1] if pending else line
+            fn = Function(
+                name=fq, file=self.rel, line=def_line,
+                hot_path=hot, loop_root=loop_root,
+                suppressed_rules=frozenset(self.supp.rules_near(def_line)))
+            self.functions.append(fn)
+            scopes.append(_Scope("function", name))
+            current_fn_ref[0] = fn
+        else:
+            scopes.append(_Scope("block"))
+
+    @staticmethod
+    def _overlap(qual, name):
+        """Avoid `idicn::idicn::Proxy::Proxy::serve` when an out-of-line
+        member `Proxy::serve` is defined inside namespace idicn::idicn."""
+        head = name.split("::")[0]
+        for k in range(len(qual)):
+            if qual[k] == head:
+                return k
+        return len(qual)
+
+    def _maybe_record_call(self, pending, tokens, i, line, current_fn,
+                           locks, _depth):
+        if current_fn is None or not pending:
+            return
+        callee_tok, _ = pending[-1]
+        if not _is_name(callee_tok) or callee_tok in _NON_CALL or \
+                any(callee_tok.startswith(p) for p in _NON_CALL_PREFIXES):
+            return
+        is_global = callee_tok.startswith("::")
+        callee = callee_tok.lstrip(":").lstrip("~")
+        if not callee:
+            return
+        prev = pending[-2][0] if len(pending) >= 2 else ""
+        is_member = prev in (".", "->")
+        is_ctor = False
+        if _is_name(prev) and prev not in _NON_CALL and \
+                not prev.startswith("IDICN_"):
+            # `Type name(args)` — a declaration whose ctor runs: the
+            # interesting callee is the *type*.
+            if prev.endswith("MutexLock"):
+                return  # handled as a lock acquisition, not a call
+            callee = prev.lstrip(":")
+            is_ctor = True
+            is_global = prev.startswith("::")
+            is_member = False
+        suppressed = self.supp.rules_near(line)
+        if "*" in suppressed:
+            return
+        current_fn.calls.append(Call(
+            callee=callee, line=line, is_ctor=is_ctor,
+            is_member=is_member, is_global=is_global,
+            suppressed=frozenset(suppressed),
+            locks_held=tuple(lk[0] for lk in locks)))
+
+
+def parse_file(rel_path: str, text: str):
+    """-> (list[Function], Suppressions)"""
+    supp = Suppressions()
+    stripped = strip_comments_and_strings(text, supp)
+    tokens = tokenize(stripped)
+    parser = Parser(rel_path, supp)
+    parser.parse(tokens)
+    return parser.functions, supp

@@ -19,7 +19,13 @@ Rules
   loop-blocking  No sleeps, process spawns, or synchronous connect/HTTP
                helpers inside the event-loop implementation files —
                callbacks run on the loop thread and a blocked loop
-               stalls every connection it owns.
+               stalls every connection it owns. When a compilation
+               database exists (any configured build), this rule is
+               delegated to the call-graph analyzer
+               (tools/analysis/idicn_analysis.py --rule loop-blocking),
+               which checks the property *transitively* from every
+               IDICN_REQUIRES(<role>) handler instead of per-file; the
+               regex form below is the fallback for unconfigured trees.
   perf-macro   The IDICN_PERF_COUNTERS token stays inside
                src/core/perf_counters.hpp; code branches on the toggle
                via `if constexpr (core::kPerfCountersEnabled)` so the
@@ -139,7 +145,33 @@ def strip_comments_and_strings(text: str) -> str:
     return _STRIP.sub(lambda m: "\n" * m.group(0).count("\n"), text)
 
 
-def check_file(rel: Path, text: str) -> list[str]:
+def run_callgraph_loop_blocking() -> list[str] | None:
+    """Delegate loop-blocking to the call-graph analyzer when it can run.
+
+    Returns the analyzer's diagnostics (empty list = clean) or None when
+    no compilation database exists — the caller then keeps the per-file
+    regex rule. The analyzer subsumes the regex: it walks transitive
+    reachability from every IDICN_REQUIRES(<role>) handler, so a sleep
+    three calls below a loop callback is caught even when it lives in a
+    file the regex never singles out.
+    """
+    compile_db = REPO_ROOT / "compile_commands.json"
+    analyzer = REPO_ROOT / "tools" / "analysis" / "idicn_analysis.py"
+    if not compile_db.exists() or not analyzer.exists():
+        return None
+    import subprocess
+    proc = subprocess.run(
+        [sys.executable, str(analyzer), "--rule", "loop-blocking",
+         "--compile-db", str(compile_db)],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        return []
+    return [line for line in (proc.stdout + proc.stderr).splitlines()
+            if line.strip()]
+
+
+def check_file(rel: Path, text: str,
+               skip_loop_blocking: bool = False) -> list[str]:
     findings: list[str] = []
     code = strip_comments_and_strings(text)
 
@@ -156,7 +188,8 @@ def check_file(rel: Path, text: str) -> list[str]:
                 report(i, "raw-thread",
                        "raw std::thread; use core::sync::Thread "
                        "(join-on-destruction, annotation-friendly)")
-        if rel in LOOP_FILES and LOOP_BLOCKING.search(line):
+        if rel in LOOP_FILES and not skip_loop_blocking and \
+                LOOP_BLOCKING.search(line):
             report(i, "loop-blocking",
                    "blocking call in event-loop code; loop callbacks must "
                    "not sleep, spawn, or issue synchronous network I/O")
@@ -208,6 +241,10 @@ def check_file(rel: Path, text: str) -> list[str]:
 def main() -> int:
     findings: list[str] = []
     scanned = 0
+    delegated = run_callgraph_loop_blocking()
+    if delegated is not None:
+        findings.extend(f"[loop-blocking/callgraph] {line}"
+                        for line in delegated)
     for top in SCAN_DIRS:
         base = REPO_ROOT / top
         if not base.is_dir():
@@ -217,7 +254,8 @@ def main() -> int:
                 continue
             rel = path.relative_to(REPO_ROOT)
             scanned += 1
-            findings.extend(check_file(rel, path.read_text(encoding="utf-8")))
+            findings.extend(check_file(rel, path.read_text(encoding="utf-8"),
+                                       skip_loop_blocking=delegated is not None))
 
     if findings:
         print("\n".join(findings))
