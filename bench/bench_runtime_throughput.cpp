@@ -29,6 +29,18 @@
 //                               models (default IDICN_BENCH_RUNTIME_BODY)
 //   IDICN_BENCH_OUT             JSON artifact path (default
 //                               BENCH_runtime.json in the cwd)
+//   IDICN_BENCH_LATENCY_UNDER_MISS=1
+//                               append a latency-under-miss window: a
+//                               driver thread fetches cold objects through
+//                               a 200 ms FaultInjector Latency rule on the
+//                               upstream while the closed-loop clients
+//                               keep hammering warmed objects. The HIT
+//                               latency percentiles sampled while a MISS
+//                               was in flight land in the JSON
+//                               (hit_p99_us_during_miss) — the mutual-
+//                               stall regression number: before the async
+//                               MISS path, every co-scheduled HIT paid the
+//                               injected delay.
 //
 // The last stdout line is a single JSON object with the results — the
 // same object written to the artifact file — so CI and scripts can scrape
@@ -50,6 +62,7 @@
 #include "idicn/origin_server.hpp"
 #include "idicn/proxy.hpp"
 #include "idicn/reverse_proxy.hpp"
+#include "net/fault_injector.hpp"
 #include "runtime/host_server.hpp"
 #include "runtime/http_client.hpp"
 #include "runtime/socket_net.hpp"
@@ -180,6 +193,126 @@ WindowResult run_window(Proxy& proxy, runtime::SocketNet& net,
   return result;
 }
 
+/// Latency-under-miss window: HIT latency percentiles restricted to
+/// samples whose whole round trip overlapped an in-flight (latency-
+/// injected) MISS on the same proxy.
+struct LatencyUnderMissResult {
+  std::size_t miss_fetches = 0;      ///< cold objects pulled through the delay
+  double miss_p50_ms = 0.0;
+  std::size_t hit_samples_during_miss = 0;
+  double hit_p50_us_during_miss = 0.0;
+  double hit_p99_us_during_miss = 0.0;
+  std::uint64_t errors = 0;
+};
+
+LatencyUnderMissResult run_latency_under_miss(
+    Proxy& proxy, runtime::SocketNet& net, net::FaultInjector& faulty,
+    std::size_t workers, long client_count, long seconds,
+    const std::vector<std::string>& warm_targets,
+    const std::vector<std::string>& cold_targets) {
+  runtime::HostServer::Options options;
+  options.workers = workers;
+  runtime::HostServer proxy_server(&proxy, "cache.ad1", options);
+  proxy_server.start();
+  net.register_endpoint(proxy_server);
+
+  {
+    runtime::HttpClient warm("127.0.0.1", proxy_server.port());
+    for (const auto& target : warm_targets) {
+      const auto response = warm.get(target);
+      if (!response || response->status != 200) {
+        std::fprintf(stderr, "warmup fetch failed for %s\n", target.c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  // Every upstream hop now costs 200 ms — each cold fetch parks its
+  // FetchOp on a worker loop for at least that long.
+  net::FaultInjector::Rule slow;
+  slow.to = "rp.pub";
+  slow.kind = net::FaultInjector::FaultKind::Latency;
+  slow.latency_ms = 200;
+  faulty.add_rule(slow);
+
+  std::atomic<bool> running{true};
+  std::atomic<bool> miss_inflight{false};
+  std::atomic<std::uint64_t> errors{0};
+
+  std::vector<std::uint64_t> miss_ns;
+  core::sync::Thread miss_driver([&] {
+    runtime::HttpClient client("127.0.0.1", proxy_server.port());
+    for (const auto& target : cold_targets) {
+      if (!running.load(std::memory_order_relaxed)) break;
+      const auto t0 = Clock::now();
+      miss_inflight.store(true, std::memory_order_release);
+      const auto response = client.get(target);
+      miss_inflight.store(false, std::memory_order_release);
+      if (!response || response->status != 200) {
+        errors.fetch_add(1);
+        continue;
+      }
+      miss_ns.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count()));
+    }
+  });
+
+  std::vector<std::vector<std::uint64_t>> during_ns(
+      static_cast<std::size_t>(client_count));
+  {
+    std::vector<core::sync::Thread> clients;
+    clients.reserve(static_cast<std::size_t>(client_count));
+    for (long c = 0; c < client_count; ++c) {
+      clients.emplace_back([&, c] {
+        runtime::HttpClient client("127.0.0.1", proxy_server.port());
+        auto& samples = during_ns[static_cast<std::size_t>(c)];
+        std::size_t i = static_cast<std::size_t>(c);
+        while (running.load(std::memory_order_relaxed)) {
+          const bool miss_at_start = miss_inflight.load(std::memory_order_acquire);
+          const auto t0 = Clock::now();
+          const auto response = client.get(warm_targets[i % warm_targets.size()]);
+          const auto t1 = Clock::now();
+          if (!response || response->status != 200) {
+            errors.fetch_add(1);
+            continue;
+          }
+          // Conservative bucketing: count a sample only when a MISS was
+          // parked for the sample's entire round trip.
+          if (miss_at_start && miss_inflight.load(std::memory_order_acquire)) {
+            samples.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
+          }
+          ++i;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    running.store(false);
+  }  // hit clients joined
+  miss_driver.join();
+  proxy_server.stop();
+
+  LatencyUnderMissResult result;
+  result.errors = errors.load();
+  result.miss_fetches = miss_ns.size();
+  std::sort(miss_ns.begin(), miss_ns.end());
+  result.miss_p50_ms = static_cast<double>(percentile(miss_ns, 0.50)) / 1e6;
+  std::vector<std::uint64_t> all;
+  for (const auto& samples : during_ns) {
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.hit_samples_during_miss = all.size();
+  result.hit_p50_us_during_miss =
+      static_cast<double>(percentile(all, 0.50)) / 1000.0;
+  result.hit_p99_us_during_miss =
+      static_cast<double>(percentile(all, 0.99)) / 1000.0;
+  return result;
+}
+
 void print_window(const WindowResult& w) {
   std::printf("  [%zu worker%s, %s]\n", w.workers, w.workers == 1 ? "" : "s",
               w.used_reuseport ? "SO_REUSEPORT" : "single-acceptor");
@@ -235,8 +368,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool latency_under_miss =
+      env_long("IDICN_BENCH_LATENCY_UNDER_MISS", 0) != 0;
+
   // --- deploy the socketed stack -----------------------------------------
   runtime::SocketNet net;
+  // The proxy's upstream rides a FaultInjector so the latency-under-miss
+  // window can script a slow origin. Rule-free it is pass-through, and the
+  // measured windows are pure HIT traffic (no upstream sends), so wrapping
+  // unconditionally does not perturb the throughput numbers.
+  net::FaultInjector faulty(&net);
   net::DnsService dns;
   crypto::MerkleSigner signer(0xbe9c, 8);  // 256 one-time keys
   NameResolutionSystem nrs(&dns);
@@ -245,7 +386,7 @@ int main(int argc, char** argv) {
                              &signer);
   Proxy::Options proxy_options;
   proxy_options.cache_shards = workers;  // one lock stripe per reactor
-  Proxy proxy(&net, "cache.ad1", "nrs.consortium", &dns, proxy_options);
+  Proxy proxy(&faulty, "cache.ad1", "nrs.consortium", &dns, proxy_options);
 
   runtime::HostServer nrs_server(&nrs, "nrs.consortium");
   runtime::HostServer origin_server(&origin, "origin.pub");
@@ -283,6 +424,27 @@ int main(int argc, char** argv) {
     targets.push_back("http://" + name->host() + "/");
   }
 
+  // Cold catalog for the latency-under-miss window: never warmed, fetched
+  // one at a time through the injected delay (~200 ms each), so the count
+  // scales with the window. Capped by the signer's one-time key budget.
+  std::vector<std::string> cold_targets;
+  if (latency_under_miss) {
+    const long cold_count = std::min<long>(200, seconds * 6 + 4);
+    for (long i = 0; i < cold_count; ++i) {
+      const std::string label = "cold-" + std::to_string(i);
+      origin_server.run_on_loop([&] {
+        origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 'c'));
+      });
+      std::optional<SelfCertifyingName> name;
+      rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
+      if (!name) {
+        std::fprintf(stderr, "publish failed for %s\n", label.c_str());
+        return 1;
+      }
+      cold_targets.push_back("http://" + name->host() + "/");
+    }
+  }
+
   // --- measured windows ---------------------------------------------------
   // With workers > 1: a 1-worker baseline window first, then the N-worker
   // window against the same warmed proxy, so the comparison isolates the
@@ -309,6 +471,22 @@ int main(int argc, char** argv) {
   if (baseline) {
     std::printf("  scaling            %.2fx over 1 worker (efficiency %.2f)\n",
                 measured.req_per_s / baseline->req_per_s, scaling_efficiency);
+  }
+
+  // Latency-under-miss window (opt-in): cold fetches crawl through the
+  // injected upstream delay while the closed-loop clients stay on the hit
+  // path. The p99 sampled during in-flight misses is the headline — the
+  // synchronous MISS path put it at ~the injected 200 ms; the parked
+  // FetchOp keeps it at cache-hit scale.
+  std::optional<LatencyUnderMissResult> lum;
+  if (latency_under_miss) {
+    lum = run_latency_under_miss(proxy, net, faulty, workers, client_count,
+                                 seconds, targets, cold_targets);
+    std::printf("  latency under miss %zu miss fetches (p50 %.0f ms), "
+                "%zu hit samples during miss: p50 %.1f us, p99 %.1f us\n",
+                lum->miss_fetches, lum->miss_p50_ms,
+                lum->hit_samples_during_miss, lum->hit_p50_us_during_miss,
+                lum->hit_p99_us_during_miss);
   }
 
   rp_server.stop();
@@ -379,18 +557,32 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(net.stats().breaker_fast_fails),
       static_cast<unsigned long long>(proxy_stats.stale_served.value()),
       static_cast<unsigned long long>(proxy_stats.upstream_errors.value()));
-  std::printf("%s\n", json);
+  std::string json_out(json);
+  if (lum) {
+    char extra[384];
+    std::snprintf(
+        extra, sizeof(extra),
+        ",\"miss_fetches\":%zu,\"miss_p50_ms\":%.1f,"
+        "\"hit_samples_during_miss\":%zu,"
+        "\"hit_p50_us_during_miss\":%.1f,\"hit_p99_us_during_miss\":%.1f}",
+        lum->miss_fetches, lum->miss_p50_ms, lum->hit_samples_during_miss,
+        lum->hit_p50_us_during_miss, lum->hit_p99_us_during_miss);
+    json_out.pop_back();  // the closing brace moves behind the new fields
+    json_out += extra;
+  }
+  std::printf("%s\n", json_out.c_str());
 
   const char* out_path = std::getenv("IDICN_BENCH_OUT");
   if (out_path == nullptr) out_path = "BENCH_runtime.json";
   if (std::FILE* out = std::fopen(out_path, "w")) {
-    std::fprintf(out, "%s\n", json);
+    std::fprintf(out, "%s\n", json_out.c_str());
     std::fclose(out);
   } else {
     std::fprintf(stderr, "could not write %s\n", out_path);
   }
 
-  const std::uint64_t total_errors =
+  std::uint64_t total_errors =
       measured.errors + (baseline ? baseline->errors : 0);
+  if (lum) total_errors += lum->errors;
   return total_errors == 0 ? 0 : 1;
 }

@@ -46,15 +46,22 @@ private:
 /// Receives an upstream body chunk by chunk: on a 200 head it builds a
 /// Transit and hands it to `publish` (which makes it visible to
 /// concurrent requests), then appends each chunk under the transit lock
-/// while hashing incrementally. Never cancels the transfer — error bodies
-/// are drained and discarded.
+/// while hashing incrementally. Error bodies are drained and discarded.
+///
+/// Cancellation boundary: when `halted` flips (the requesting client
+/// disconnected) *before* the head arrives, on_head refuses the transfer —
+/// nobody wants the bytes yet. Once the transit is published, concurrent
+/// joined readers may be consuming it, so the transfer always runs to
+/// completion regardless of the original requester.
 class FetchSink final : public net::ChunkSink {
 public:
   using Publish = std::function<void(const std::shared_ptr<detail::Transit>&)>;
 
-  explicit FetchSink(Publish publish) : publish_(std::move(publish)) {}
+  explicit FetchSink(Publish publish, std::shared_ptr<const bool> halted = {})
+      : publish_(std::move(publish)), halted_(std::move(halted)) {}
 
   bool on_head(const net::HttpResponse& head) override {
+    if (halted_ != nullptr && *halted_) return false;  // client gone pre-head
     if (!head.ok()) return true;  // drain and ignore the error body
     auto transit = std::make_shared<detail::Transit>();
     transit->content_type =
@@ -89,6 +96,7 @@ public:
 
 private:
   Publish publish_;
+  std::shared_ptr<const bool> halted_;  ///< may be null (no cancellation)
   std::shared_ptr<detail::Transit> transit_;
   crypto::Sha256 hasher_;
   std::uint64_t bytes_ = 0;
@@ -245,165 +253,6 @@ net::HttpResponse Proxy::store_and_serve(CacheShard& shard,
   return response;
 }
 
-std::optional<Proxy::Entry> Proxy::fetch_and_verify(const SelfCertifyingName& name,
-                                                    const net::Address& location,
-                                                    bool* transport_failure,
-                                                    std::size_t hops) {
-  const std::string host = name.host();
-  CacheShard& shard = shard_for(host);
-
-  net::HttpRequest fetch;
-  fetch.method = "GET";
-  fetch.target = "/";
-  fetch.headers.set("Host", host);
-  fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
-  // A sibling fetch carries its forwarding depth so the receiving proxy
-  // can enforce Options::sibling_hop_limit (loop safety).
-  if (hops > 0) fetch.headers.set(kHopsHeader, std::to_string(hops));
-
-  // Streaming fetch: chunks accumulate in a Transit that concurrent
-  // requests for the same object join mid-flight (serve_transit), and the
-  // digest is computed incrementally — the body is never reassembled into
-  // one contiguous buffer.
-  FetchSink sink([&](const std::shared_ptr<detail::Transit>& transit) {
-    const core::sync::MutexLock lock(shard.mutex);
-    shard.transit[host] = transit;
-  });
-  const net::HttpResponse head = net_->send_streaming(self_, location, fetch, sink);
-
-  // Retire the transit from the shard map (if this fetch published one and
-  // it was not replaced by a competing fetch) and resolve its end state.
-  // `failed` is the fail-closed switch: joined readers abort, their
-  // connections close mid-body, nobody receives a cleanly-terminated copy.
-  const auto retire = [&](bool failed) {
-    const std::shared_ptr<detail::Transit>& transit = sink.transit();
-    if (transit == nullptr) return;
-    {
-      const core::sync::MutexLock lock(transit->mutex);
-      transit->failed = failed;
-      transit->complete = !failed;
-    }
-    const core::sync::MutexLock lock(shard.mutex);
-    const auto it = shard.transit.find(host);
-    if (it != shard.transit.end() && it->second == transit) {
-      shard.transit.erase(it);
-    }
-  };
-
-  if (!head.ok()) {
-    // Either the upstream answered non-2xx, or the transport synthesized
-    // a failure — possibly *after* body delivery began (mid-body death).
-    if (transport_failure != nullptr && head.status >= 500) {
-      *transport_failure = true;
-    }
-    retire(/*failed=*/true);
-    return std::nullopt;
-  }
-  if (hops == 0) {
-    // Sibling transfers stay inside the cache tier — only true upstream
-    // (origin/mirror) fetches count toward origin byte load.
-    stats_.bytes_from_origin += sink.bytes();
-    const core::sync::MutexLock lock(shard.mutex);
-    shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin, sink.bytes());
-  }
-
-  Entry entry;
-  entry.content_type = head.headers.get("Content-Type").value_or("text/plain");
-  entry.etag = head.headers.get("ETag").value_or("");
-  entry.fetched_from = location;
-  entry.stored_at_ms = net_->now_ms();
-  entry.metadata = ContentMetadata::from_headers(head.headers);
-
-  if (options_.verify) {
-    if (!entry.metadata || entry.metadata->name != name ||
-        verify_content(*entry.metadata, sink.digest()) != VerifyResult::Ok) {
-      ++stats_.verification_failures;
-      retire(/*failed=*/true);
-      return std::nullopt;
-    }
-  }
-  // The entry shares the transit's chunks — admission costs reference
-  // bumps, not a body copy, and joiners keep streaming from the same
-  // bytes the cache now holds.
-  if (const auto& transit = sink.transit()) {
-    const core::sync::MutexLock lock(transit->mutex);
-    entry.body = transit->chunks;
-  }
-  retire(/*failed=*/false);
-  return entry;
-}
-
-bool Proxy::revalidate(const std::string& host, const std::string& etag,
-                       const net::Address& fetched_from) {
-  if (etag.empty() || fetched_from.empty()) return false;
-  ++stats_.revalidations;
-  net::HttpRequest conditional;
-  conditional.method = "GET";
-  conditional.target = "/";
-  conditional.headers.set("Host", host);
-  conditional.headers.set("If-None-Match", etag);
-  const net::HttpResponse response = net_->send(self_, fetched_from, conditional);
-  if (response.status != 304) return false;
-  ++stats_.revalidated_304;
-  return true;
-}
-
-std::optional<Proxy::Entry> Proxy::fetch_from_peers(const SelfCertifyingName& name) {
-  for (const net::Address& peer : peers_) {
-    net::HttpRequest query;
-    query.method = "GET";
-    query.target = "http://" + name.host() + "/";
-    query.headers.set("Host", name.host());
-    query.headers.set(kIcpQueryHeader, "1");
-    query.headers.set(kWantMetadataHeader, "1");
-    net::HttpResponse response = net_->send(self_, peer, query);
-    if (!response.ok()) continue;
-
-    Entry entry;
-    entry.body = response.take_body_chunks();
-    entry.content_type = response.headers.get("Content-Type").value_or("text/plain");
-    entry.etag = response.headers.get("ETag").value_or("");
-    entry.fetched_from = peer;
-    entry.stored_at_ms = net_->now_ms();
-    entry.metadata = ContentMetadata::from_headers(response.headers);
-    if (options_.verify) {
-      // Peers are not more trusted than any other source.
-      if (!entry.metadata || entry.metadata->name != name ||
-          verify_content(*entry.metadata, entry.body) != VerifyResult::Ok) {
-        ++stats_.verification_failures;
-        continue;
-      }
-    }
-    ++stats_.peer_hits;
-    return entry;
-  }
-  return std::nullopt;
-}
-
-std::optional<Proxy::Entry> Proxy::fetch_from_siblings(
-    const SelfCertifyingName& name, std::size_t hops) {
-  if (directory_ == nullptr) return std::nullopt;
-  // Forwarding would push the chain past the hop limit: stop here (the
-  // receiving side enforces the same bound, so both ends agree).
-  if (hops + 1 > options_.sibling_hop_limit) return std::nullopt;
-  const std::string host = name.host();
-  std::size_t tried = 0;
-  for (const net::Address& holder : directory_->holders(host)) {
-    if (tried >= options_.sibling_fanout) break;  // stale-hint damage control
-    if (holder == self_) continue;
-    ++tried;
-    if (auto entry = fetch_and_verify(name, holder, nullptr, hops + 1)) {
-      ++stats_.sibling_hits;
-      return entry;
-    }
-    // The sibling answered 404 (hint stale — the copy was evicted), failed
-    // verification, or is down: forget the hint so the next miss does not
-    // chase the same dead end, and try the next-nearest holder.
-    directory_->forget(holder, host);
-  }
-  return std::nullopt;
-}
-
 net::HttpResponse Proxy::serve_hint(const net::HttpRequest& request) {
   const auto sender = request.headers.get(kHintHeader);
   if (!sender || sender->empty()) {
@@ -493,222 +342,714 @@ std::optional<net::HttpResponse> Proxy::serve_stale(CacheShard& shard,
   return response;
 }
 
-net::HttpResponse Proxy::serve_idicn(const SelfCertifyingName& name,
-                                     const net::HttpRequest& request) {
-  const std::string host = name.host();
-  const bool peer_query = request.headers.contains(kIcpQueryHeader);
-  // Peer proxies re-verify what they pull, so they always get the proof.
-  const bool full_metadata =
-      peer_query || request.headers.contains(kWantMetadataHeader);
-  // Sibling-redirect forwarding depth (0 = client-originated). A request
-  // already at the hop limit is answered strictly from cache — hops only
-  // ever increment, so redirect chains terminate here no matter what the
-  // directories claim.
-  const std::size_t hops = parse_hops(request.headers);
-  const bool sibling_query = hops > 0;
-  const bool cache_only = peer_query || hops >= options_.sibling_hop_limit;
+// The serving state machine: one heap object per request carrying the
+// entire serve flow — routing, cache fast path, revalidation, peer query,
+// sibling redirect, NRS resolution, location fetches, legacy forward — as
+// uniquely-named continuations chained through Transport::send_async /
+// send_streaming_async. With a real executor each upstream exchange parks
+// the machine and the loop thread returns to its poller; with a null
+// executor every transport hop completes inline and the machine settles
+// before dispatch() returns (the synchronous handle_http contract).
+//
+// Lifetime: completion lambdas hold shared_ptr self-references, so the
+// machine lives exactly as long as work is outstanding. Cancellation
+// (abort(), from the serving worker when the client disconnects) never
+// interrupts an exchange mid-flight — it stops *new* upstream work, makes
+// a pre-head streaming fetch refuse its transfer, and suppresses the
+// respond; a post-head fetch still completes, verifies, and admits to the
+// cache because joined readers may be streaming from its transit.
+class Proxy::FetchOp final : public net::AsyncOp,
+                             public std::enable_shared_from_this<FetchOp> {
+public:
+  FetchOp(Proxy* proxy, net::HttpRequest request, net::Executor* exec,
+          std::function<void(net::HttpResponse)> respond)
+      : proxy_(proxy),
+        request_(std::move(request)),
+        exec_(exec),
+        respond_(std::move(respond)) {}
 
-  CacheShard& shard = shard_for(host);
-
-  // Step 7 fast path under the shard lock: fresh cached copy. A stale
-  // entry only donates its validators here — the conditional refresh is
-  // network I/O and must run with the lock dropped so sibling requests on
-  // this shard keep flowing.
-  bool stale = false;
-  std::string stale_etag;
-  net::Address stale_fetched_from;
-  {
-    const core::sync::MutexLock lock(shard.mutex);
-    const auto cached = shard.entries.find(host);
-    if (cached != shard.entries.end()) {
-      const bool fresh =
-          net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
-      if (fresh) {
-        ++stats_.hits;
-        return serve_entry(shard, host, cached->second, true, full_metadata);
-      }
-      ++stats_.expired;
-      stale = true;
-      stale_etag = cached->second.etag;
-      stale_fetched_from = cached->second.fetched_from;
+  /// Route the request and run until the next park point (or settle
+  /// inline). Call exactly once.
+  void dispatch() {
+    // Control channel: a sibling pushing its content digest.
+    if (request_.method == "POST" && request_.target == kHintPath) {
+      settle(proxy_->serve_hint(request_));
+      return;
     }
-    // Another worker is already fetching this object: join its stream
-    // and serve the arrived prefix now, the tail as it lands — no second
-    // upstream fetch, no waiting for the whole object. Stale-entry
-    // holders join too (the in-flight refetch supersedes revalidation —
-    // without this they raced a duplicate upstream fetch and reported
-    // MISS while every sibling connection reported STREAM). Cache-only
-    // queries stay out: an in-flight fetch is not a cached object yet.
-    if (!cache_only) {
-      const auto streaming = shard.transit.find(host);
-      if (streaming != shard.transit.end()) {
-        return serve_transit(streaming->second, full_metadata);
-      }
+    if (request_.method != "GET") {
+      settle(net::make_response(400, "proxy supports GET only"));
+      return;
     }
+    const auto uri = net::parse_uri(request_.target);
+    if (uri && !uri->host.empty()) {
+      host_ = uri->host;  // absolute-form proxy request
+    } else if (const auto host_header = request_.headers.get("Host")) {
+      host_ = *host_header;  // transparent / origin-form fallback
+    } else {
+      settle(net::make_response(400, "cannot determine host"));
+      return;
+    }
+    name_ = SelfCertifyingName::parse_host(host_);
+    if (!name_) {
+      legacy_forward();
+      return;
+    }
+    host_ = name_->host();
+    apply_range_ = !request_.headers.contains(kIcpQueryHeader);
+    begin_idicn();
   }
-  if (stale && !cache_only &&
-      revalidate(host, stale_etag, stale_fetched_from)) {
-    // 304: the body is still authentic. Re-lock and renew — unless a
-    // concurrent worker evicted the entry meanwhile, in which case fall
-    // through to a full refetch.
-    const core::sync::MutexLock lock(shard.mutex);
-    const auto renewed = shard.entries.find(host);
-    if (renewed != shard.entries.end()) {
-      renewed->second.stored_at_ms = net_->now_ms();  // fresh again
-      ++stats_.hits;
-      return serve_entry(shard, host, renewed->second, true, full_metadata);
-    }
-  }
-  // Cooperative queries are strictly cache-only: never trigger a fetch.
-  if (cache_only) return net::make_response(404, "not cached here");
-  ++stats_.misses;
 
-  // Scoped cooperation first: a same-AD peer may already hold the object
-  // (forwarded sibling fetches skip this — their requester runs its own
-  // cooperation round).
-  if (!sibling_query) {
-    if (auto entry = fetch_from_peers(name)) {
-      return store_and_serve(shard, host, std::move(*entry), full_metadata);
+  void abort() override {
+    cancelled_ = true;
+    // A streaming fetch that has not yet published a transit refuses its
+    // head; one that has keeps filling for joined readers (see FetchSink).
+    *halt_flag_ = true;
+  }
+
+  [[nodiscard]] bool settled() const noexcept { return settled_; }
+
+private:
+  /// Exactly-once completion: applies the Range rewrite (idICN path only)
+  /// and the PoP attribution header, then fires the respond — unless the
+  /// client disconnected, in which case the response is dropped.
+  void settle(net::HttpResponse response) {
+    if (settled_) return;
+    settled_ = true;
+    auto respond = std::move(respond_);
+    respond_ = nullptr;
+    if (cancelled_ || respond == nullptr) return;
+    // Ranged reads ride the cached-object path: a complete 200 is
+    // rewritten into the requested 206 (slices share the cache entry's
+    // chunk blocks — no copy). Cooperative fetches always need the whole
+    // object (they verify and cache it), so their Range headers — which
+    // they never send — would be ignored here anyway; producer-backed
+    // STREAM joins fall back to the full 200 (apply_byte_range declines).
+    if (apply_range_) {
+      if (const auto range = request_.headers.get_view("Range")) {
+        net::apply_byte_range(*range, response);
+      }
     }
+    // Serving-PoP attribution on every response (testbed observability).
+    if (!proxy_->options_.pop_name.empty()) {
+      response.headers.set(kPopHeader, proxy_->options_.pop_name);
+    }
+    respond(std::move(response));
+  }
+
+  /// The client is gone: park the machine permanently instead of starting
+  /// another upstream exchange nobody will read. Returns true when halted.
+  bool halt_if_cancelled() {
+    if (!cancelled_) return false;
+    settle(net::HttpResponse{});
+    return true;
+  }
+
+  void begin_idicn() {
+    peer_query_ = request_.headers.contains(kIcpQueryHeader);
+    // Peer proxies re-verify what they pull, so they always get the proof.
+    full_metadata_ =
+        peer_query_ || request_.headers.contains(kWantMetadataHeader);
+    // Sibling-redirect forwarding depth (0 = client-originated). A request
+    // already at the hop limit is answered strictly from cache — hops only
+    // ever increment, so redirect chains terminate here no matter what the
+    // directories claim.
+    hops_ = parse_hops(request_.headers);
+    sibling_query_ = hops_ > 0;
+    cache_only_ = peer_query_ || hops_ >= proxy_->options_.sibling_hop_limit;
+
+    CacheShard& shard = proxy_->shard_for(host_);
+
+    // Step 7 fast path under the shard lock: fresh cached copy. A stale
+    // entry only donates its validators here — the conditional refresh is
+    // network I/O and must run with the lock dropped so sibling requests
+    // on this shard keep flowing. The settled response leaves the lock
+    // scope before respond fires (respond drives the client socket).
+    std::optional<net::HttpResponse> immediate;
+    {
+      const core::sync::MutexLock lock(shard.mutex);
+      const auto cached = shard.entries.find(host_);
+      if (cached != shard.entries.end()) {
+        const bool fresh = proxy_->net_->now_ms() -
+                               cached->second.stored_at_ms <=
+                           proxy_->options_.freshness_ms;
+        if (fresh) {
+          ++proxy_->stats_.hits;
+          immediate = proxy_->serve_entry(shard, host_, cached->second, true,
+                                          full_metadata_);
+        } else {
+          ++proxy_->stats_.expired;
+          stale_ = true;
+          stale_etag_ = cached->second.etag;
+          stale_fetched_from_ = cached->second.fetched_from;
+        }
+      }
+      // Another worker is already fetching this object: join its stream
+      // and serve the arrived prefix now, the tail as it lands — no second
+      // upstream fetch, no waiting for the whole object. Stale-entry
+      // holders join too (the in-flight refetch supersedes revalidation —
+      // without this they raced a duplicate upstream fetch and reported
+      // MISS while every sibling connection reported STREAM). Cache-only
+      // queries stay out: an in-flight fetch is not a cached object yet.
+      if (!immediate && !cache_only_) {
+        const auto streaming = shard.transit.find(host_);
+        if (streaming != shard.transit.end()) {
+          immediate = proxy_->serve_transit(streaming->second, full_metadata_);
+        }
+      }
+    }
+    if (immediate) {
+      settle(std::move(*immediate));
+      return;
+    }
+    if (stale_ && !cache_only_ && !stale_etag_.empty() &&
+        !stale_fetched_from_.empty()) {
+      // Conditional refresh against the snapshotted validators.
+      ++proxy_->stats_.revalidations;
+      net::HttpRequest conditional;
+      conditional.method = "GET";
+      conditional.target = "/";
+      conditional.headers.set("Host", host_);
+      conditional.headers.set("If-None-Match", stale_etag_);
+      auto self = shared_from_this();
+      proxy_->net_->send_async(proxy_->self_, stale_fetched_from_, conditional,
+                               exec_, [self](net::HttpResponse answer) {
+                                 self->after_revalidate(std::move(answer));
+                               });
+      return;
+    }
+    after_fast_path();
+  }
+
+  void after_revalidate(net::HttpResponse answer) {
+    if (answer.status == 304) {
+      // 304: the body is still authentic. Re-lock and renew — unless a
+      // concurrent worker evicted the entry meanwhile, in which case fall
+      // through to a full refetch.
+      ++proxy_->stats_.revalidated_304;
+      CacheShard& shard = proxy_->shard_for(host_);
+      std::optional<net::HttpResponse> renewed_response;
+      {
+        const core::sync::MutexLock lock(shard.mutex);
+        const auto renewed = shard.entries.find(host_);
+        if (renewed != shard.entries.end()) {
+          renewed->second.stored_at_ms = proxy_->net_->now_ms();  // fresh again
+          ++proxy_->stats_.hits;
+          renewed_response = proxy_->serve_entry(shard, host_, renewed->second,
+                                                 true, full_metadata_);
+        }
+      }
+      if (renewed_response) {
+        settle(std::move(*renewed_response));
+        return;
+      }
+    }
+    after_fast_path();
+  }
+
+  void after_fast_path() {
+    // Cooperative queries are strictly cache-only: never trigger a fetch.
+    if (cache_only_) {
+      settle(net::make_response(404, "not cached here"));
+      return;
+    }
+    ++proxy_->stats_.misses;
+    // Scoped cooperation first: a same-AD peer may already hold the object
+    // (forwarded sibling fetches skip this — their requester runs its own
+    // cooperation round).
+    peer_index_ = 0;
+    query_next_peer();
+  }
+
+  void query_next_peer() {
+    if (halt_if_cancelled()) return;
+    if (sibling_query_ || peer_index_ >= proxy_->peers_.size()) {
+      begin_sibling_redirect();
+      return;
+    }
+    const net::Address peer = proxy_->peers_[peer_index_++];
+    net::HttpRequest query;
+    query.method = "GET";
+    query.target = "http://" + host_ + "/";
+    query.headers.set("Host", host_);
+    query.headers.set(kIcpQueryHeader, "1");
+    query.headers.set(kWantMetadataHeader, "1");
+    auto self = shared_from_this();
+    proxy_->net_->send_async(proxy_->self_, peer, query, exec_,
+                             [self, peer](net::HttpResponse answer) {
+                               self->weigh_peer_answer(peer, std::move(answer));
+                             });
+  }
+
+  void weigh_peer_answer(const net::Address& peer, net::HttpResponse answer) {
+    if (!answer.ok()) {
+      query_next_peer();
+      return;
+    }
+    Entry entry;
+    entry.body = answer.take_body_chunks();
+    entry.content_type =
+        answer.headers.get("Content-Type").value_or("text/plain");
+    entry.etag = answer.headers.get("ETag").value_or("");
+    entry.fetched_from = peer;
+    entry.stored_at_ms = proxy_->net_->now_ms();
+    entry.metadata = ContentMetadata::from_headers(answer.headers);
+    if (proxy_->options_.verify) {
+      // Peers are not more trusted than any other source.
+      if (!entry.metadata || entry.metadata->name != *name_ ||
+          verify_content(*entry.metadata, entry.body) != VerifyResult::Ok) {
+        ++proxy_->stats_.verification_failures;
+        query_next_peer();
+        return;
+      }
+    }
+    ++proxy_->stats_.peer_hits;
+    deliver_entry(std::move(entry), nullptr);
   }
 
   // Cross-PoP cooperation: the directory claims a sibling PoP holds the
   // object — fetch it from there (nearest first) instead of the origin.
   // Responses served this way are marked X-Cache: SIBLING so clients (and
   // the testbed's driver) can attribute the transfer to the cache tier.
-  if (auto entry = fetch_from_siblings(name, hops)) {
-    net::HttpResponse response =
-        store_and_serve(shard, host, std::move(*entry), full_metadata);
-    response.headers.set("X-Cache", "SIBLING");
-    return response;
+  void begin_sibling_redirect() {
+    holders_.clear();
+    holder_index_ = 0;
+    holders_tried_ = 0;
+    // Forwarding would push the chain past the hop limit: stop here (the
+    // receiving side enforces the same bound, so both ends agree).
+    if (proxy_->directory_ != nullptr &&
+        hops_ + 1 <= proxy_->options_.sibling_hop_limit) {
+      holders_ = proxy_->directory_->holders(host_);
+    }
+    query_next_sibling();
   }
 
-  // A forwarded sibling fetch never recurses into name resolution: on a
-  // stale hint the *requester* falls through to the origin path itself, so
-  // a redirect can make things better but never reshape the upstream route.
-  if (sibling_query) return net::make_response(404, "not cached here");
+  void query_next_sibling() {
+    if (halt_if_cancelled()) return;
+    while (holder_index_ < holders_.size() &&
+           holders_tried_ < proxy_->options_.sibling_fanout) {
+      const net::Address holder = holders_[holder_index_++];
+      if (holder == proxy_->self_) continue;
+      ++holders_tried_;  // stale-hint damage control: bounded candidates
+      auto self = shared_from_this();
+      start_fetch(holder, hops_ + 1,
+                  [self, holder](std::optional<Entry> entry, bool) {
+                    self->weigh_sibling_fetch(holder, std::move(entry));
+                  });
+      return;
+    }
+    after_siblings();
+  }
 
-  // Step 3: resolve the name, following at most one P-delegation hop. A
-  // resolver that *errors* (unreachable NRS, 5xx) is an upstream failure
-  // eligible for degradation; a resolver that cleanly answers "no such
-  // name" is not.
-  bool resolve_failed = false;
-  std::vector<std::string> locations;
-  net::Address resolver = nrs_;
-  for (int hop = 0; hop < 2 && locations.empty(); ++hop) {
+  void weigh_sibling_fetch(const net::Address& holder,
+                           std::optional<Entry> entry) {
+    if (entry) {
+      ++proxy_->stats_.sibling_hits;
+      deliver_entry(std::move(*entry), "SIBLING");
+      return;
+    }
+    // The sibling answered 404 (hint stale — the copy was evicted), failed
+    // verification, or is down: forget the hint so the next miss does not
+    // chase the same dead end, and try the next-nearest holder.
+    proxy_->directory_->forget(holder, host_);
+    query_next_sibling();
+  }
+
+  void after_siblings() {
+    // A forwarded sibling fetch never recurses into name resolution: on a
+    // stale hint the *requester* falls through to the origin path itself,
+    // so a redirect can make things better but never reshape the upstream
+    // route.
+    if (sibling_query_) {
+      settle(net::make_response(404, "not cached here"));
+      return;
+    }
+    // Step 3: resolve the name, following at most one P-delegation hop. A
+    // resolver that *errors* (unreachable NRS, 5xx) is an upstream failure
+    // eligible for degradation; a resolver that cleanly answers "no such
+    // name" is not.
+    resolve_failed_ = false;
+    locations_.clear();
+    resolver_ = proxy_->nrs_;
+    resolver_hop_ = 0;
+    resolve_next_hop();
+  }
+
+  void resolve_next_hop() {
+    if (halt_if_cancelled()) return;
+    if (resolver_hop_ >= 2 || !locations_.empty()) {
+      weigh_resolution();
+      return;
+    }
+    ++resolver_hop_;
     net::HttpRequest query;
     query.method = "GET";
-    query.target = "/resolve?name=" + host;
-    const net::HttpResponse answer = net_->send(self_, resolver, query);
+    query.target = "/resolve?name=" + host_;
+    auto self = shared_from_this();
+    proxy_->net_->send_async(proxy_->self_, resolver_, query, exec_,
+                             [self](net::HttpResponse answer) {
+                               self->weigh_resolver_answer(std::move(answer));
+                             });
+  }
+
+  void weigh_resolver_answer(net::HttpResponse answer) {
     if (!answer.ok()) {
-      resolve_failed = answer.status >= 500;
-      break;
+      resolve_failed_ = answer.status >= 500;
+      weigh_resolution();
+      return;
     }
     std::optional<net::Address> delegate;
     for (const auto& [key, value] : parse_form_lines(answer.body)) {
-      if (key == "location") locations.push_back(value);
+      if (key == "location") locations_.push_back(value);
       if (key == "resolver") delegate = value;
     }
-    if (!locations.empty() || !delegate) break;
-    resolver = *delegate;
+    if (!locations_.empty() || !delegate) {
+      weigh_resolution();
+      return;
+    }
+    resolver_ = *delegate;
+    resolve_next_hop();
   }
-  if (locations.empty()) {
-    if (!resolve_failed) return net::make_response(404, "name did not resolve");
+
+  void weigh_resolution() {
+    if (!locations_.empty()) {
+      // Step 4: fetch from the first location that yields authentic
+      // content.
+      fetch_failed_ = false;
+      location_index_ = 0;
+      fetch_next_location();
+      return;
+    }
+    if (!resolve_failed_) {
+      settle(net::make_response(404, "name did not resolve"));
+      return;
+    }
     // NRS outage. With an expired copy in hand we still know where it came
     // from — sidestep resolution and refetch directly (origin may be fine).
-    if (stale && !stale_fetched_from.empty()) {
-      if (auto entry = fetch_and_verify(name, stale_fetched_from)) {
-        return store_and_serve(shard, host, std::move(*entry), full_metadata);
-      }
+    if (stale_ && !stale_fetched_from_.empty()) {
+      if (halt_if_cancelled()) return;
+      auto self = shared_from_this();
+      start_fetch(stale_fetched_from_, 0,
+                  [self](std::optional<Entry> entry, bool) {
+                    self->weigh_direct_refetch(std::move(entry));
+                  });
+      return;
     }
-    ++stats_.upstream_errors;
-    if (stale) {
-      if (auto degraded = serve_stale(shard, host, full_metadata)) {
-        return *degraded;
-      }
-    }
-    return net::make_response(504, "name resolution unavailable");
+    degrade_or_resolution_error();
   }
 
-  // Step 4: fetch from the first location that yields authentic content.
-  bool fetch_failed = false;
-  for (const net::Address& location : locations) {
-    auto entry = fetch_and_verify(name, location, &fetch_failed);
-    if (!entry) continue;
-    return store_and_serve(shard, host, std::move(*entry), full_metadata);
+  void weigh_direct_refetch(std::optional<Entry> entry) {
+    if (entry) {
+      deliver_entry(std::move(*entry), nullptr);
+      return;
+    }
+    degrade_or_resolution_error();
   }
-  if (fetch_failed) {
-    // At least one location failed at the transport layer (vs content that
-    // merely failed verification): degrade to the expired copy if we hold
-    // one rather than surfacing the error.
-    ++stats_.upstream_errors;
-    if (stale) {
-      if (auto degraded = serve_stale(shard, host, full_metadata)) {
-        return *degraded;
+
+  void degrade_or_resolution_error() {
+    ++proxy_->stats_.upstream_errors;
+    if (stale_) {
+      if (auto degraded = proxy_->serve_stale(proxy_->shard_for(host_), host_,
+                                              full_metadata_)) {
+        settle(std::move(*degraded));
+        return;
       }
     }
+    settle(net::make_response(504, "name resolution unavailable"));
   }
-  return net::make_response(502, "no location provided authentic content");
-}
 
-net::HttpResponse Proxy::serve_legacy(const std::string& host,
-                                      const net::HttpRequest& request) {
-  ++stats_.legacy_forwards;
-  const auto address = dns_ != nullptr ? dns_->resolve_with_wildcards(host)
-                                       : std::optional<std::string>{};
-  if (!address) return net::make_response(502, "legacy host did not resolve");
-  net::HttpRequest forward = request;
-  const auto uri = net::parse_uri(request.target);
-  forward.target = uri ? uri->target() : "/";
-  forward.headers.set("Host", host);
-  forward.headers.set("Via", self_);
-  net::HttpResponse response = net_->send(self_, *address, forward);
-  response.headers.set("Via", self_);
-  return response;
-}
+  void fetch_next_location() {
+    if (halt_if_cancelled()) return;
+    if (location_index_ >= locations_.size()) {
+      all_locations_failed();
+      return;
+    }
+    const net::Address location = locations_[location_index_++];
+    auto self = shared_from_this();
+    start_fetch(location, 0,
+                [self](std::optional<Entry> entry, bool transport_failure) {
+                  self->weigh_location_fetch(std::move(entry),
+                                             transport_failure);
+                });
+  }
 
-net::HttpResponse Proxy::handle_http(const net::HttpRequest& request,
-                                     const net::Address& /*from*/) {
-  net::HttpResponse response = [&]() -> net::HttpResponse {
-    // Control channel: a sibling pushing its content digest.
-    if (request.method == "POST" && request.target == kHintPath) {
-      return serve_hint(request);
+  void weigh_location_fetch(std::optional<Entry> entry,
+                            bool transport_failure) {
+    if (transport_failure) fetch_failed_ = true;
+    if (entry) {
+      deliver_entry(std::move(*entry), nullptr);
+      return;
     }
-    if (request.method != "GET") {
-      return net::make_response(400, "proxy supports GET only");
-    }
-    const auto uri = net::parse_uri(request.target);
-    std::string host;
-    if (uri && !uri->host.empty()) {
-      host = uri->host;  // absolute-form proxy request
-    } else if (const auto host_header = request.headers.get("Host")) {
-      host = *host_header;  // transparent / origin-form fallback
-    } else {
-      return net::make_response(400, "cannot determine host");
-    }
+    fetch_next_location();
+  }
 
-    if (const auto name = SelfCertifyingName::parse_host(host)) {
-      net::HttpResponse served = serve_idicn(*name, request);
-      // Ranged reads ride the cached-object path: a complete 200 is
-      // rewritten into the requested 206 (slices share the cache entry's
-      // chunk blocks — no copy). Cooperative fetches always need the whole
-      // object (they verify and cache it), so their Range headers — which
-      // they never send — would be ignored here anyway; producer-backed
-      // STREAM joins fall back to the full 200 (apply_byte_range declines).
-      if (!request.headers.contains(kIcpQueryHeader)) {
-        if (const auto range = request.headers.get_view("Range")) {
-          net::apply_byte_range(*range, served);
+  void all_locations_failed() {
+    if (fetch_failed_) {
+      // At least one location failed at the transport layer (vs content
+      // that merely failed verification): degrade to the expired copy if
+      // we hold one rather than surfacing the error.
+      ++proxy_->stats_.upstream_errors;
+      if (stale_) {
+        if (auto degraded = proxy_->serve_stale(proxy_->shard_for(host_),
+                                                host_, full_metadata_)) {
+          settle(std::move(*degraded));
+          return;
         }
       }
-      return served;
     }
-    return serve_legacy(host, request);
-  }();
-  // Serving-PoP attribution on every response (testbed observability).
+    settle(net::make_response(502, "no location provided authentic content"));
+  }
+
+  void legacy_forward() {
+    ++proxy_->stats_.legacy_forwards;
+    const auto address = proxy_->dns_ != nullptr
+                             ? proxy_->dns_->resolve_with_wildcards(host_)
+                             : std::optional<std::string>{};
+    if (!address) {
+      settle(net::make_response(502, "legacy host did not resolve"));
+      return;
+    }
+    net::HttpRequest forward = request_;
+    const auto uri = net::parse_uri(request_.target);
+    forward.target = uri ? uri->target() : "/";
+    forward.headers.set("Host", host_);
+    forward.headers.set("Via", proxy_->self_);
+    auto self = shared_from_this();
+    proxy_->net_->send_async(proxy_->self_, *address, forward, exec_,
+                             [self](net::HttpResponse response) {
+                               response.headers.set("Via", self->proxy_->self_);
+                               self->settle(std::move(response));
+                             });
+  }
+
+  /// fetch_and_verify, continuation style: streaming GET of `host_` from
+  /// `location` (hops > 0 marks a sibling fetch and rides along as
+  /// X-IdICN-Hops), chunks accumulating in a Transit that concurrent
+  /// requests join mid-flight while the digest is computed incrementally —
+  /// the body is never reassembled into one contiguous buffer. `k` gets
+  /// the verified entry, or nullopt plus whether the failure was
+  /// transport-layer (unreachable, 5xx) as opposed to a clean negative or
+  /// a verification failure.
+  void start_fetch(net::Address location, std::size_t hops,
+                   std::function<void(std::optional<Entry>, bool)> k) {
+    net::HttpRequest fetch;
+    fetch.method = "GET";
+    fetch.target = "/";
+    fetch.headers.set("Host", host_);
+    fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
+    // A sibling fetch carries its forwarding depth so the receiving proxy
+    // can enforce Options::sibling_hop_limit (loop safety).
+    if (hops > 0) fetch.headers.set(kHopsHeader, std::to_string(hops));
+
+    auto sink = std::make_shared<FetchSink>(
+        [proxy = proxy_, host = host_](
+            const std::shared_ptr<detail::Transit>& transit) {
+          CacheShard& shard = proxy->shard_for(host);
+          const core::sync::MutexLock lock(shard.mutex);
+          shard.transit[host] = transit;
+        },
+        halt_flag_);
+    auto self = shared_from_this();
+    // Built before the send call: capturing `location` here by move while
+    // also passing it as the destination would read a moved-from string
+    // (argument evaluation order is unspecified).
+    net::SendCallback done = [self, sink, location, hops,
+                              k = std::move(k)](net::HttpResponse head) {
+      self->finish_fetch(*sink, location, hops, std::move(head), k);
+    };
+    proxy_->net_->send_streaming_async(proxy_->self_, location, fetch, sink,
+                                       exec_, std::move(done));
+  }
+
+  void finish_fetch(FetchSink& sink, const net::Address& location,
+                    std::size_t hops, net::HttpResponse head,
+                    const std::function<void(std::optional<Entry>, bool)>& k) {
+    CacheShard& shard = proxy_->shard_for(host_);
+    // Retire the transit from the shard map (if this fetch published one
+    // and it was not replaced by a competing fetch) and resolve its end
+    // state. `failed` is the fail-closed switch: joined readers abort,
+    // their connections close mid-body, nobody receives a
+    // cleanly-terminated copy.
+    const auto retire = [&](bool failed) {
+      const std::shared_ptr<detail::Transit>& transit = sink.transit();
+      if (transit == nullptr) return;
+      {
+        const core::sync::MutexLock lock(transit->mutex);
+        transit->failed = failed;
+        transit->complete = !failed;
+      }
+      const core::sync::MutexLock lock(shard.mutex);
+      const auto it = shard.transit.find(host_);
+      if (it != shard.transit.end() && it->second == transit) {
+        shard.transit.erase(it);
+      }
+    };
+
+    if (!head.ok()) {
+      // Either the upstream answered non-2xx, or the transport synthesized
+      // a failure — possibly *after* body delivery began (mid-body death).
+      retire(/*failed=*/true);
+      k(std::nullopt, head.status >= 500);
+      return;
+    }
+    if (hops == 0) {
+      // Sibling transfers stay inside the cache tier — only true upstream
+      // (origin/mirror) fetches count toward origin byte load.
+      proxy_->stats_.bytes_from_origin += sink.bytes();
+      const core::sync::MutexLock lock(shard.mutex);
+      shard.perf.bump(&core::PerfCounters::proxy_bytes_from_origin,
+                      sink.bytes());
+    }
+
+    Entry entry;
+    entry.content_type =
+        head.headers.get("Content-Type").value_or("text/plain");
+    entry.etag = head.headers.get("ETag").value_or("");
+    entry.fetched_from = location;
+    entry.stored_at_ms = proxy_->net_->now_ms();
+    entry.metadata = ContentMetadata::from_headers(head.headers);
+
+    if (proxy_->options_.verify) {
+      if (!entry.metadata || entry.metadata->name != *name_ ||
+          verify_content(*entry.metadata, sink.digest()) != VerifyResult::Ok) {
+        ++proxy_->stats_.verification_failures;
+        retire(/*failed=*/true);
+        k(std::nullopt, false);
+        return;
+      }
+    }
+    // The entry shares the transit's chunks — admission costs reference
+    // bumps, not a body copy, and joiners keep streaming from the same
+    // bytes the cache now holds.
+    if (const auto& transit = sink.transit()) {
+      const core::sync::MutexLock lock(transit->mutex);
+      entry.body = transit->chunks;
+    }
+    retire(/*failed=*/false);
+    k(std::move(entry), false);
+  }
+
+  /// Admit a verified entry and answer the client. A cancelled request
+  /// still admits — joined readers and future requests keep the bytes —
+  /// but skips the serve (settle drops the response anyway).
+  void deliver_entry(Entry entry, const char* cache_mark) {
+    CacheShard& shard = proxy_->shard_for(host_);
+    if (cancelled_) {
+      {
+        const core::sync::MutexLock lock(shard.mutex);
+        proxy_->cache_store(shard, host_, entry);
+      }
+      settle(net::HttpResponse{});
+      return;
+    }
+    net::HttpResponse response =
+        proxy_->store_and_serve(shard, host_, std::move(entry), full_metadata_);
+    if (cache_mark != nullptr) response.headers.set("X-Cache", cache_mark);
+    settle(std::move(response));
+  }
+
+  Proxy* proxy_;
+  net::HttpRequest request_;
+  net::Executor* exec_;  ///< null ⇒ every transport hop completes inline
+  std::function<void(net::HttpResponse)> respond_;
+
+  std::string host_;
+  std::optional<SelfCertifyingName> name_;
+  bool apply_range_ = false;
+  bool peer_query_ = false;
+  bool full_metadata_ = false;
+  std::size_t hops_ = 0;
+  bool sibling_query_ = false;
+  bool cache_only_ = false;
+
+  bool stale_ = false;  ///< an expired-but-verified copy is in the cache
+  std::string stale_etag_;
+  net::Address stale_fetched_from_;
+
+  std::size_t peer_index_ = 0;
+  std::vector<net::Address> holders_;
+  std::size_t holder_index_ = 0;
+  std::size_t holders_tried_ = 0;
+  net::Address resolver_;
+  int resolver_hop_ = 0;
+  bool resolve_failed_ = false;
+  std::vector<std::string> locations_;
+  std::size_t location_index_ = 0;
+  bool fetch_failed_ = false;
+
+  bool settled_ = false;
+  bool cancelled_ = false;
+  /// Shared with in-flight FetchSinks: flipped by abort() so a pre-head
+  /// transfer refuses its body (see FetchSink's cancellation boundary).
+  std::shared_ptr<bool> halt_flag_ = std::make_shared<bool>(false);
+};
+
+net::HttpResponse Proxy::handle_http(const net::HttpRequest& request,
+                                     const net::Address& from) {
+  // Null executor: every transport hop falls back to its synchronous path
+  // inline, so the machine settles before handle_http_async returns.
+  net::HttpResponse response = net::make_response(500, "proxy did not settle");
+  handle_http_async(request, from, nullptr,
+                    [&response](net::HttpResponse settled) {
+                      response = std::move(settled);
+                    });
+  return response;
+}
+
+std::optional<net::HttpResponse> Proxy::serve_if_fresh_hit(
+    const net::HttpRequest& request) {
+  if (request.method != "GET") return std::nullopt;
+  std::string host;
+  const auto uri = net::parse_uri(request.target);
+  if (uri && !uri->host.empty()) {
+    host = uri->host;
+  } else if (const auto host_header = request.headers.get("Host")) {
+    host = *host_header;
+  } else {
+    return std::nullopt;  // 400 — the machine words the error
+  }
+  const auto name = SelfCertifyingName::parse_host(host);
+  if (!name) return std::nullopt;  // legacy forward
+  host = name->host();
+  const bool peer_query = request.headers.contains(kIcpQueryHeader);
+  const bool full_metadata =
+      peer_query || request.headers.contains(kWantMetadataHeader);
+
+  CacheShard& shard = shard_for(host);
+  std::optional<net::HttpResponse> response;
+  {
+    const core::sync::MutexLock lock(shard.mutex);
+    const auto cached = shard.entries.find(host);
+    if (cached == shard.entries.end()) return std::nullopt;
+    const bool fresh =
+        net_->now_ms() - cached->second.stored_at_ms <= options_.freshness_ms;
+    if (!fresh) return std::nullopt;  // stale: revalidation is upstream I/O
+    ++stats_.hits;
+    response = serve_entry(shard, host, cached->second, true, full_metadata);
+  }
+  // Mirrors FetchOp::settle: Range rewrite on the idICN path (cooperative
+  // queries never carry one), then PoP attribution.
+  if (!peer_query) {
+    if (const auto range = request.headers.get_view("Range")) {
+      net::apply_byte_range(*range, *response);
+    }
+  }
   if (!options_.pop_name.empty()) {
-    response.headers.set(kPopHeader, options_.pop_name);
+    response->headers.set(kPopHeader, options_.pop_name);
   }
   return response;
+}
+
+std::shared_ptr<net::AsyncOp> Proxy::handle_http_async(
+    const net::HttpRequest& request, const net::Address& /*from*/,
+    net::Executor* exec, std::function<void(net::HttpResponse)> respond) {
+  if (auto hit = serve_if_fresh_hit(request)) {
+    respond(std::move(*hit));
+    return nullptr;
+  }
+  auto op =
+      std::make_shared<FetchOp>(this, request, exec, std::move(respond));
+  op->dispatch();
+  return op->settled() ? nullptr : op;
 }
 
 }  // namespace idicn::idicn

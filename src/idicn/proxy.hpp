@@ -22,13 +22,22 @@
 // negatives (NRS says the name does not exist, content fails verification)
 // never serve stale.
 //
-// Threading: handle_http is safe to call from any number of
-// runtime::ServerGroup workers concurrently. The content store is striped
-// across Options::cache_shards shards (host-hashed, each a private
-// entries-map + LRU list + byte budget behind its own Mutex, the same
-// layout cache::ShardedCache gives the simulator policies); shard locks
-// are never held across network I/O — a stale hit snapshots its
-// validators, revalidates unlocked, then re-locks to renew. Counters:
+// Threading: handle_http / handle_http_async are safe to call from any
+// number of runtime::ServerGroup workers concurrently. The entire serving
+// flow is one continuation-passing state machine (FetchOp): every upstream
+// exchange — peer query, sibling redirect, NRS resolution, location fetch,
+// revalidation, legacy forward — goes through Transport::send_async /
+// send_streaming_async and parks until the executor resumes it, so a
+// worker's event loop is never blocked on upstream I/O (a cache HIT on the
+// same worker keeps flowing while a MISS fetch is in flight). The
+// synchronous handle_http drives the identical machine with a null
+// executor, where every transport hop completes inline. The content store
+// is striped across Options::cache_shards shards (host-hashed, each a
+// private entries-map + LRU list + byte budget behind its own Mutex, the
+// same layout cache::ShardedCache gives the simulator policies); shard
+// locks are never held across network I/O or a client respond — a stale
+// hit snapshots its validators, revalidates unlocked, then re-locks to
+// renew. Counters:
 // Stats is relaxed-atomic (live sampling from anywhere), PerfCounters are
 // per-shard plain integers bumped under the shard lock and merged by
 // perf(). add_peer() is setup-time only — call it before serving starts.
@@ -202,7 +211,21 @@ public:
   net::HttpResponse handle_http(const net::HttpRequest& request,
                                 const net::Address& from) override;
 
+  /// Loop-native entry point: the serving state machine parks on upstream
+  /// I/O via `exec` and answers through `respond` (inline for cache hits,
+  /// later from the loop for misses). Returns the cancellation handle while
+  /// the request is parked — abort() marks the client gone, stops new
+  /// upstream work, and suppresses the respond (an in-flight streaming
+  /// fetch that already published its transit still runs to completion so
+  /// joined readers and the cache keep the bytes).
+  std::shared_ptr<net::AsyncOp> handle_http_async(
+      const net::HttpRequest& request, const net::Address& from,
+      net::Executor* exec,
+      std::function<void(net::HttpResponse)> respond) override;
+
 private:
+  /// The continuation-passing serving machine (defined in proxy.cpp).
+  class FetchOp;
   struct Entry {
     /// Chunk-granular body: the same shared chunks the object arrived in
     /// (and that any concurrent stream-joiners are reading). Serving a hit
@@ -237,40 +260,8 @@ private:
   [[nodiscard]] CacheShard& shard_for(const std::string& host);
   [[nodiscard]] const CacheShard& shard_for(const std::string& host) const;
 
-  net::HttpResponse serve_idicn(const SelfCertifyingName& name,
-                                const net::HttpRequest& request);
-  net::HttpResponse serve_legacy(const std::string& host,
-                                 const net::HttpRequest& request);
-
-  /// Conditional refresh against snapshotted validators (no shard lock —
-  /// this is network I/O); true when a 304 says the body is still good.
-  bool revalidate(const std::string& host, const std::string& etag,
-                  const net::Address& fetched_from);
-  /// Ask cooperating peers (cache-only); nullopt when no peer has it.
-  std::optional<Entry> fetch_from_peers(const SelfCertifyingName& name);
-
-  /// Directory-guided nearest-replica redirect: try up to
-  /// Options::sibling_fanout sibling holders of `name` (nearest first),
-  /// forwarding with X-IdICN-Hops = hops+1. A sibling that no longer holds
-  /// the object (stale hint) is forgotten from the directory and the next
-  /// candidate tried. Fetches stream through the shard's transit map like
-  /// upstream fetches, so concurrent requests join the sibling transfer.
-  std::optional<Entry> fetch_from_siblings(const SelfCertifyingName& name,
-                                           std::size_t hops);
-
   /// Ingest a sibling's content digest (POST /idicn-hint).
   net::HttpResponse serve_hint(const net::HttpRequest& request);
-
-  /// Fetch `name` from `location` and verify; std::nullopt on any failure.
-  /// When `transport_failure` is non-null it is set to true if the fetch
-  /// failed at the transport/HTTP layer (unreachable, 5xx) — as opposed to
-  /// a clean negative or a verification failure — so the caller can decide
-  /// whether serve-stale degradation applies. `hops` > 0 marks a sibling
-  /// fetch and rides along as X-IdICN-Hops.
-  std::optional<Entry> fetch_and_verify(const SelfCertifyingName& name,
-                                        const net::Address& location,
-                                        bool* transport_failure = nullptr,
-                                        std::size_t hops = 0);
 
   /// Serve-stale-on-error (RFC 5861 flavor): re-lock the shard and serve
   /// the expired-but-verified entry with `Warning: 110` + `X-IdICN-Stale`.
@@ -291,6 +282,13 @@ private:
   net::HttpResponse serve_entry(CacheShard& shard, const std::string& host,
                                 Entry& entry, bool hit, bool full_metadata)
       IDICN_REQUIRES(shard.mutex);
+  /// Allocation-light step-7 fast path shared by both entry points: a GET
+  /// for a valid idICN name with a fresh cached copy is served without
+  /// constructing the FetchOp machine (the hot-path-alloc ratchet counts
+  /// every heap allocation on the hit chain). nullopt falls through to the
+  /// full machine — misses, stale entries, transit joins, hints, legacy.
+  std::optional<net::HttpResponse> serve_if_fresh_hit(
+      const net::HttpRequest& request);
   /// Join a request to an in-flight fetch: a producer-backed response that
   /// serves the already-arrived prefix immediately and the tail as it
   /// streams from upstream (X-Cache: STREAM).

@@ -100,53 +100,130 @@ net::HttpResponse ReverseProxy::respond(const Entry& entry,
   return response;
 }
 
-net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
-                                            const net::Address& /*from*/) {
-  if (request.method != "GET") return net::make_response(404, "no such endpoint");
-  const auto host = request.headers.get("Host");
-  if (!host) return net::make_response(400, "missing Host");
-  const auto name = SelfCertifyingName::parse_host(*host);
-  if (!name) return net::make_response(400, "not an idicn name");
-  if (name->publisher() != publisher_id_) {
-    return net::make_response(403, "wrong publisher");
-  }
-
-  // Fast path: already signed and cached.
-  {
-    const core::sync::MutexLock lock(mutex_);
-    const auto it = entries_.find(name->label());
-    if (it != entries_.end()) {
-      ++cache_hits_;
-      return respond(it->second, request);
-    }
-    // On-demand admission needs a fresh one-time signature.
-    if (signer_->remaining() == 0) {
-      return net::make_response(503, "publisher signing key exhausted");
-    }
-  }
-
-  // Step 5: route the request to the origin server — with the lock
-  // dropped, so sibling workers keep serving while the fetch is in flight.
-  net::HttpRequest fetch;
-  fetch.method = "GET";
-  fetch.target = "/content?label=" + name->label();
-  net::HttpResponse from_origin = net_->send(self_, origin_, fetch);
+net::HttpResponse ReverseProxy::finish_admission(const SelfCertifyingName& name,
+                                                 net::HttpResponse from_origin,
+                                                 const net::HttpRequest& request) {
   if (!from_origin.ok()) return net::make_response(404, "no such content");
   ++origin_fetches_;
 
   const core::sync::MutexLock lock(mutex_);
-  auto it = entries_.find(name->label());
+  auto it = entries_.find(name.label());
   if (it == entries_.end()) {
     // Still missing — we are the admitting worker.
     if (signer_->remaining() == 0) {
       return net::make_response(503, "publisher signing key exhausted");
     }
-    admit(name->label(), from_origin.take_body_chunks(),
+    admit(name.label(), from_origin.take_body_chunks(),
           from_origin.headers.get("Content-Type").value_or("text/plain"));
-    it = entries_.find(name->label());
+    it = entries_.find(name.label());
   }
   // (A sibling admitted it while we fetched: serve theirs, drop our copy.)
   return respond(it->second, request);
+}
+
+// The parked half of a miss: holds the request and the client's deliver
+// callback while the origin fetch rides the executor. abort() (client
+// disconnected) keeps the admission — the signed entry serves future
+// requests — and only drops the delivery.
+class ReverseProxy::AdmitOp final : public net::AsyncOp,
+                                    public std::enable_shared_from_this<AdmitOp> {
+public:
+  AdmitOp(ReverseProxy* proxy, SelfCertifyingName name,
+          net::HttpRequest request,
+          std::function<void(net::HttpResponse)> deliver)
+      : proxy_(proxy),
+        name_(std::move(name)),
+        request_(std::move(request)),
+        deliver_(std::move(deliver)) {}
+
+  void abort() override { cancelled_ = true; }
+  [[nodiscard]] bool settled() const noexcept { return settled_; }
+
+  void weigh_origin_answer(net::HttpResponse from_origin) {
+    settled_ = true;
+    auto deliver = std::move(deliver_);
+    deliver_ = nullptr;
+    net::HttpResponse response =
+        proxy_->finish_admission(name_, std::move(from_origin), request_);
+    if (!cancelled_ && deliver != nullptr) deliver(std::move(response));
+  }
+
+private:
+  ReverseProxy* proxy_;
+  SelfCertifyingName name_;
+  net::HttpRequest request_;
+  std::function<void(net::HttpResponse)> deliver_;
+  bool settled_ = false;
+  bool cancelled_ = false;
+};
+
+net::HttpResponse ReverseProxy::handle_http(const net::HttpRequest& request,
+                                            const net::Address& from) {
+  // Null executor: the origin fetch falls back to its synchronous path
+  // inline, so the delivery fires before handle_http_async returns.
+  net::HttpResponse response =
+      net::make_response(500, "reverse proxy did not settle");
+  handle_http_async(request, from, nullptr,
+                    [&response](net::HttpResponse settled) {
+                      response = std::move(settled);
+                    });
+  return response;
+}
+
+std::shared_ptr<net::AsyncOp> ReverseProxy::handle_http_async(
+    const net::HttpRequest& request, const net::Address& /*from*/,
+    net::Executor* exec, std::function<void(net::HttpResponse)> deliver) {
+  if (request.method != "GET") {
+    deliver(net::make_response(404, "no such endpoint"));
+    return nullptr;
+  }
+  const auto host = request.headers.get("Host");
+  if (!host) {
+    deliver(net::make_response(400, "missing Host"));
+    return nullptr;
+  }
+  const auto name = SelfCertifyingName::parse_host(*host);
+  if (!name) {
+    deliver(net::make_response(400, "not an idicn name"));
+    return nullptr;
+  }
+  if (name->publisher() != publisher_id_) {
+    deliver(net::make_response(403, "wrong publisher"));
+    return nullptr;
+  }
+
+  // Fast path: already signed and cached. The answer is built under the
+  // lock but delivered after it drops — the delivery drives the client
+  // socket.
+  std::optional<net::HttpResponse> immediate;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    const auto it = entries_.find(name->label());
+    if (it != entries_.end()) {
+      ++cache_hits_;
+      immediate = respond(it->second, request);
+    } else if (signer_->remaining() == 0) {
+      // On-demand admission needs a fresh one-time signature.
+      immediate = net::make_response(503, "publisher signing key exhausted");
+    }
+  }
+  if (immediate) {
+    deliver(std::move(*immediate));
+    return nullptr;
+  }
+
+  // Step 5: route the request to the origin server — with the lock dropped
+  // and the request parked, so this worker keeps serving while the fetch
+  // is in flight.
+  net::HttpRequest fetch;
+  fetch.method = "GET";
+  fetch.target = "/content?label=" + name->label();
+  auto op = std::make_shared<AdmitOp>(this, *name, request, std::move(deliver));
+  net_->send_async(self_, origin_, fetch, exec,
+                   [op](net::HttpResponse from_origin) {
+                     op->weigh_origin_answer(std::move(from_origin));
+                   });
+  return op->settled() ? nullptr : op;
 }
 
 }  // namespace idicn::idicn

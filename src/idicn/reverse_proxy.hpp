@@ -8,13 +8,15 @@
 //     metadata headers; on a local miss it fetches from the origin
 //     (step 5) and caches the result.
 //
-// Threading: handle_http is safe under concurrent runtime::ServerGroup
-// workers. One mutex guards the signed-entry map AND the MerkleSigner —
-// sign() consumes one-time keys, so signing must be serialized — but is
-// never held across network I/O: a miss fetches from the origin unlocked,
-// then re-checks under the lock (a sibling worker may have admitted the
-// label meanwhile, in which case the extra fetch is discarded). The hit /
-// fetch counters are relaxed atomics, sampleable from any thread.
+// Threading: handle_http / handle_http_async are safe under concurrent
+// runtime::ServerGroup workers. One mutex guards the signed-entry map AND
+// the MerkleSigner — sign() consumes one-time keys, so signing must be
+// serialized — but is never held across network I/O: a miss fetches from
+// the origin unlocked (via Transport::send_async, parking the request
+// instead of blocking the worker's event loop), then re-checks under the
+// lock (a sibling worker may have admitted the label meanwhile, in which
+// case the extra fetch is discarded). The hit / fetch counters are relaxed
+// atomics, sampleable from any thread.
 #pragma once
 
 #include <map>
@@ -62,7 +64,18 @@ public:
   net::HttpResponse handle_http(const net::HttpRequest& request,
                                 const net::Address& from) override;
 
+  /// Loop-native face: hits answer inline; a miss parks the request on the
+  /// origin fetch via `exec` and resumes through `deliver`. abort() on the
+  /// returned handle suppresses the delivery (the fetched content is still
+  /// admitted — future requests keep the signed entry).
+  std::shared_ptr<net::AsyncOp> handle_http_async(
+      const net::HttpRequest& request, const net::Address& from,
+      net::Executor* exec,
+      std::function<void(net::HttpResponse)> deliver) override;
+
 private:
+  /// Parked origin-fetch continuation (defined in reverse_proxy.cpp).
+  class AdmitOp;
   struct Entry {
     /// Chunk-granular: responses reference these bytes (no copy per
     /// request), and a body that arrived from the origin in pieces is
@@ -79,6 +92,13 @@ private:
   [[nodiscard]] net::HttpResponse respond(const Entry& entry,
                                           const net::HttpRequest& request) const
       IDICN_REQUIRES(mutex_);
+
+  /// Tail of a miss: the origin answered — re-check under the lock, admit
+  /// if still missing (a sibling worker may have won the race), serve.
+  net::HttpResponse finish_admission(const SelfCertifyingName& name,
+                                     net::HttpResponse from_origin,
+                                     const net::HttpRequest& request)
+      IDICN_EXCLUDES(mutex_);
 
   net::Transport* net_;
   net::Address self_;

@@ -197,4 +197,130 @@ std::vector<HttpResponse> FaultInjector::multicast(const Address& group_from,
 
 std::uint64_t FaultInjector::now_ms() const { return inner_->now_ms(); }
 
+void FaultInjector::stall_async(Executor& exec, std::uint64_t delay_ms,
+                                std::function<void()> then) const {
+  if (delay_ms == 0) {
+    then();
+    return;
+  }
+  if (latency_hook_) {
+    // Virtual clock: the hook advances time inline, so `then` can too.
+    latency_hook_(delay_ms);
+    then();
+    return;
+  }
+  exec.schedule(delay_ms, std::move(then));
+}
+
+void FaultInjector::send_async(const Address& from, const Address& to,
+                               const HttpRequest& request, Executor* exec,
+                               SendCallback done) {
+  if (exec == nullptr) {
+    // idicn-analysis: allow(*): sync fallback used only off-loop (no executor supplied)
+    done(send(from, to, request));
+    return;
+  }
+  const Decision decision = decide(to);
+  if (!decision.fire) {
+    inner_->send_async(from, to, request, exec, std::move(done));
+    return;
+  }
+  switch (decision.rule.kind) {
+    case FaultKind::Drop:
+      done(make_response(504, "fault injected: destination " + to +
+                                  " dropped"));
+      return;
+    case FaultKind::BlackHole:
+      stall_async(*exec, decision.rule.latency_ms, [to, done = std::move(done)]() {
+        done(make_response(504, "fault injected: destination " + to +
+                                    " black-holed"));
+      });
+      return;
+    case FaultKind::Reset:
+      done(make_response(504, "fault injected: connection to " + to +
+                                  " reset by peer"));
+      return;
+    case FaultKind::Latency:
+      stall_async(*exec, decision.rule.latency_ms,
+                  [this, from, to, request, exec, done = std::move(done)]() {
+                    inner_->send_async(from, to, request, exec, done);
+                  });
+      return;
+    case FaultKind::TruncateBody:
+    case FaultKind::CorruptBody: {
+      const Rule rule = decision.rule;
+      inner_->send_async(from, to, request, exec,
+                         [rule, done = std::move(done)](HttpResponse response) {
+                           if (response.ok()) mutate_body(rule, response);
+                           done(std::move(response));
+                         });
+      return;
+    }
+  }
+  inner_->send_async(from, to, request, exec, std::move(done));  // unreachable
+}
+
+void FaultInjector::send_streaming_async(const Address& from, const Address& to,
+                                         const HttpRequest& request,
+                                         std::shared_ptr<ChunkSink> sink,
+                                         Executor* exec, SendCallback done) {
+  if (exec == nullptr) {
+    // idicn-analysis: allow(*): sync fallback used only off-loop (no executor supplied)
+    done(send_streaming(from, to, request, *sink));
+    return;
+  }
+  const Decision decision = decide(to);
+  if (!decision.fire) {
+    inner_->send_streaming_async(from, to, request, std::move(sink), exec,
+                                 std::move(done));
+    return;
+  }
+  switch (decision.rule.kind) {
+    case FaultKind::Drop:
+      done(make_response(504, "fault injected: destination " + to +
+                                  " dropped"));
+      return;
+    case FaultKind::BlackHole:
+      stall_async(*exec, decision.rule.latency_ms, [to, done = std::move(done)]() {
+        done(make_response(504, "fault injected: destination " + to +
+                                    " black-holed"));
+      });
+      return;
+    case FaultKind::Reset:
+      done(make_response(504, "fault injected: connection to " + to +
+                                  " reset by peer"));
+      return;
+    case FaultKind::Latency:
+      stall_async(*exec, decision.rule.latency_ms,
+                  [this, from, to, request, sink = std::move(sink), exec,
+                   done = std::move(done)]() {
+                    inner_->send_streaming_async(from, to, request, sink, exec,
+                                                 done);
+                  });
+      return;
+    case FaultKind::TruncateBody:
+    case FaultKind::CorruptBody: {
+      // Body-mutating faults need the whole body before replay: buffered
+      // inner async send, mutate, then stream through the sink.
+      const Rule rule = decision.rule;
+      inner_->send_async(
+          from, to, request, exec,
+          [rule, sink = std::move(sink),
+           done = std::move(done)](HttpResponse response) {
+            if (response.ok()) mutate_body(rule, response);
+            core::ChunkedBody body = response.take_body_chunks();
+            if (sink->on_head(response)) {
+              for (const core::Chunk& chunk : body.chunks()) {
+                if (!sink->on_chunk(chunk)) break;
+              }
+            }
+            done(std::move(response));
+          });
+      return;
+    }
+  }
+  inner_->send_streaming_async(from, to, request, std::move(sink), exec,
+                               std::move(done));  // unreachable
+}
+
 }  // namespace idicn::net

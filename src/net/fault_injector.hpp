@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <random>
 #include <vector>
 
@@ -122,6 +123,19 @@ public:
                                       const HttpRequest& request) override;
   [[nodiscard]] std::uint64_t now_ms() const override;
 
+  /// Async decorator path: one decide() per send (same RNG draw order as
+  /// the sync path), stalls armed on the executor's timer wheel instead of
+  /// blocking, connectivity faults synthesize the same 504s, body-mutating
+  /// faults buffer the inner async send and replay through the sink. A
+  /// null executor falls back to the synchronous methods inline.
+  void send_async(const Address& from, const Address& to,
+                  const HttpRequest& request, Executor* exec,
+                  SendCallback done) override;
+  void send_streaming_async(const Address& from, const Address& to,
+                            const HttpRequest& request,
+                            std::shared_ptr<ChunkSink> sink, Executor* exec,
+                            SendCallback done) override;
+
 private:
   struct StoredRule {
     std::uint64_t id = 0;
@@ -138,6 +152,10 @@ private:
 
   [[nodiscard]] Decision decide(const Address& to) IDICN_EXCLUDES(mutex_);
   void stall(std::uint64_t delay_ms) const;
+  /// Non-blocking stall: run `then` after `delay_ms` via the executor's
+  /// timer (or the latency hook / inline for a zero delay).
+  void stall_async(Executor& exec, std::uint64_t delay_ms,
+                   std::function<void()> then) const;
   static void mutate_body(const Rule& rule, HttpResponse& response);
 
   Transport* inner_;

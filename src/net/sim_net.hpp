@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -20,6 +21,17 @@
 
 namespace idicn::net {
 
+/// Handle to an in-flight asynchronous request inside a host. The server
+/// that parked a connection keeps the handle; abort() tells the host the
+/// client went away so it can stop work it is doing solely for that
+/// client (the response callback must then never fire). abort() is called
+/// on the loop thread that started the operation.
+class AsyncOp {
+public:
+  virtual ~AsyncOp() = default;
+  virtual void abort() = 0;
+};
+
 /// Anything that can answer HTTP requests on the simulated network.
 class SimHost {
 public:
@@ -28,6 +40,21 @@ public:
   /// Handle one request arriving from `from`. Runs synchronously; the host
   /// may itself call SimNet::send() (e.g. a proxy contacting an origin).
   virtual HttpResponse handle_http(const HttpRequest& request, const Address& from) = 0;
+
+  /// Asynchronous variant: answer via `respond` (exactly once, on the
+  /// executor's loop thread — or inline before returning) instead of the
+  /// return value. Hosts with loop-native upstream paths override this to
+  /// park the request while upstream work proceeds on `exec`; the default
+  /// adapts handle_http() inline. Returns a cancellation handle when the
+  /// operation is still pending at return, else nullptr.
+  virtual std::shared_ptr<AsyncOp> handle_http_async(
+      const HttpRequest& request, const Address& from, Executor* exec,
+      std::function<void(HttpResponse)> respond) {
+    (void)exec;
+    // idicn-analysis: allow(*): sync fallback adapter — hosts without an async path answer inline; loop-native hosts override
+    respond(handle_http(request, from));
+    return nullptr;
+  }
 };
 
 class SimNet : public Transport {

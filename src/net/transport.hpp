@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,45 @@
 namespace idicn::net {
 
 using Address = std::string;
+
+/// Reactor services a transport needs to run an operation asynchronously:
+/// timers plus readiness-driven fd watching, both owned by a single loop
+/// thread. runtime::EventLoop implements this; transports that receive a
+/// null Executor fall back to their synchronous path. All methods must be
+/// called on (or, for fd registration before the loop runs, serialized
+/// with) the owning loop thread — the same discipline EventLoop already
+/// enforces with its loop role.
+class Executor {
+public:
+  using TaskId = std::uint64_t;
+  /// (readable, writable, error) — mirrors runtime::EventLoop::IoHandler.
+  using IoCallback = std::function<void(bool, bool, bool)>;
+
+  virtual ~Executor() = default;
+
+  /// Run `fn` once after `delay_ms` on the loop thread. Returns an id
+  /// usable with cancel().
+  virtual TaskId schedule(std::uint64_t delay_ms, std::function<void()> fn) = 0;
+  /// Cancel a scheduled task; false if it already fired or never existed.
+  virtual bool cancel(TaskId id) = 0;
+
+  /// Register `fd` for readiness callbacks. One callback per fd.
+  virtual bool watch_fd(int fd, bool want_read, bool want_write,
+                        IoCallback on_event) = 0;
+  /// Change interest on an already-watched fd.
+  virtual bool update_fd(int fd, bool want_read, bool want_write) = 0;
+  /// Remove `fd` from the watch set (no-op if absent).
+  virtual void unwatch_fd(int fd) = 0;
+
+  /// Monotonic milliseconds on this executor's clock.
+  [[nodiscard]] virtual std::uint64_t now_ms_exec() const = 0;
+};
+
+/// Completion for the async send surface: the full (or head-only, for
+/// streaming) response, always delivered exactly once, on the executor's
+/// loop thread when an executor was supplied and the transport supports
+/// asynchrony — otherwise inline before the async call returns.
+using SendCallback = std::function<void(HttpResponse)>;
 
 /// Receiver side of a streaming fetch (send_streaming): the response head
 /// arrives first, then body bytes chunk by chunk as the wire produces
@@ -68,6 +109,34 @@ public:
       if (!sink.on_chunk(chunk)) break;
     }
     return response;
+  }
+
+  /// Asynchronous send: deliver `request` to `to` and hand the response to
+  /// `done` without blocking the calling thread, using `exec` for timers
+  /// and fd readiness. `done` fires exactly once. Transports that have no
+  /// native async path (SimNet, decorators over message-oriented inners)
+  /// complete inline via the synchronous send() before returning — callers
+  /// must tolerate re-entrant completion. Passing a null `exec` always
+  /// selects the synchronous fallback.
+  virtual void send_async(const Address& from, const Address& to,
+                          const HttpRequest& request, Executor* exec,
+                          SendCallback done) {
+    (void)exec;
+    // idicn-analysis: allow(*): sync fallback adapter — message-oriented transports complete inline; loop-native transports override this method
+    done(send(from, to, request));
+  }
+
+  /// Asynchronous streaming send: like send_streaming(), completing via
+  /// `done` with the response head after the body was delivered to `sink`.
+  /// Same inline-fallback contract as send_async(). The sink is shared so
+  /// asynchronous transports can hold it across loop turns.
+  virtual void send_streaming_async(const Address& from, const Address& to,
+                                    const HttpRequest& request,
+                                    std::shared_ptr<ChunkSink> sink,
+                                    Executor* exec, SendCallback done) {
+    (void)exec;
+    // idicn-analysis: allow(*): sync fallback adapter — message-oriented transports complete inline; loop-native transports override this method
+    done(send_streaming(from, to, request, *sink));
   }
 
   /// Deliver to every reachable member of `group` (except `from`) and

@@ -24,12 +24,13 @@
 #include <vector>
 
 #include "core/sync.hpp"
+#include "net/transport.hpp"
 #include "runtime/poller.hpp"
 #include "runtime/timer_wheel.hpp"
 
 namespace idicn::runtime {
 
-class EventLoop {
+class EventLoop : public net::Executor {
  public:
   /// Called with the fd's readiness; `error` implies the peer hung up or
   /// the fd failed — the handler should unwatch and close.
@@ -76,6 +77,23 @@ class EventLoop {
   /// Milliseconds on the steady clock (process-relative).
   [[nodiscard]] std::uint64_t now_ms() const;
   [[nodiscard]] const char* backend_name() const { return poller_->name(); }
+
+  // --- net::Executor (thin adapters; loop thread only, like the methods
+  // they forward to) -----------------------------------------------------
+  net::Executor::TaskId schedule(std::uint64_t delay_ms,
+                                 std::function<void()> fn) override {
+    return add_timer(delay_ms, std::move(fn));
+  }
+  bool cancel(net::Executor::TaskId id) override { return cancel_timer(id); }
+  bool watch_fd(int fd, bool want_read, bool want_write,
+                net::Executor::IoCallback on_event) override {
+    return watch(fd, want_read, want_write, std::move(on_event));
+  }
+  bool update_fd(int fd, bool want_read, bool want_write) override {
+    return update(fd, want_read, want_write);
+  }
+  void unwatch_fd(int fd) override { unwatch(fd); }
+  [[nodiscard]] std::uint64_t now_ms_exec() const override { return now_ms(); }
 
  private:
   void drain_tasks() IDICN_REQUIRES(loop_role_) IDICN_EXCLUDES(tasks_mutex_);

@@ -1,8 +1,9 @@
 #include "runtime/retry.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 namespace idicn::runtime {
 
@@ -32,7 +33,22 @@ bool RetryPolicy::within_deadline(std::uint64_t elapsed_ms,
 
 void RetryPolicy::sleep(std::uint64_t delay_ms) {
   if (delay_ms == 0) return;
-  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  // Empty-set poll() as the wait primitive, resumed across EINTR so the
+  // full delay is honored. Off-loop callers only; loop code must use
+  // schedule_backoff().
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms);
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return;
+    ::poll(nullptr, 0, static_cast<int>(remaining.count()));
+  }
+}
+
+net::Executor::TaskId RetryPolicy::schedule_backoff(
+    net::Executor& exec, std::uint64_t delay_ms, std::function<void()> resume) {
+  return exec.schedule(delay_ms, std::move(resume));
 }
 
 // --- RetryBudget -----------------------------------------------------------

@@ -11,9 +11,10 @@
 //                     (delay ~ Uniform[0, min(cap, base·2^attempt)]), a
 //                     seeded deterministic RNG, and an overall deadline so
 //                     a send's retries cannot outlive the caller's patience.
-//                     Its sleep() is the single sanctioned blocking backoff
-//                     point in src/ (enforced by the idicn_lint
-//                     `raw-backoff` rule).
+//                     The loop-native async send path reschedules backoff
+//                     through the timer wheel (schedule_backoff); the
+//                     blocking sleep() remains only for off-loop callers
+//                     (tests, benches, the trace driver).
 //   * RetryBudget   — a token bucket that couples retry volume to request
 //                     volume: each first attempt deposits a fraction of a
 //                     token, each retry withdraws a whole one. Under a hard
@@ -31,9 +32,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
 
 #include "core/sync.hpp"
+#include "net/transport.hpp"
 
 namespace idicn::runtime {
 
@@ -63,10 +66,18 @@ class RetryPolicy {
   [[nodiscard]] bool within_deadline(std::uint64_t elapsed_ms,
                                      std::uint64_t delay_ms) const noexcept;
 
-  /// The single sanctioned blocking backoff point (idicn_lint `raw-backoff`
-  /// bans raw sleeps elsewhere in src/): block the calling thread for
-  /// `delay_ms`. Never call on an event-loop thread.
+  /// Blocking backoff for off-loop callers (tests, benches, the trace
+  /// driver): block the calling thread for `delay_ms`. Never call on an
+  /// event-loop thread — loop code uses schedule_backoff() instead.
   static void sleep(std::uint64_t delay_ms);
+
+  /// Non-blocking backoff: arm a one-shot timer on `exec` that runs
+  /// `resume` after `delay_ms` (0 ⇒ still deferred one timer dispatch, so
+  /// the caller's stack unwinds first). Returns the timer id, cancellable
+  /// via Executor::cancel.
+  static net::Executor::TaskId schedule_backoff(net::Executor& exec,
+                                                std::uint64_t delay_ms,
+                                                std::function<void()> resume);
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 

@@ -80,6 +80,13 @@ void accumulate(ServerGroup::Stats& total, const ServerGroup::Stats& part) {
 // worker's loop_role_. Lifecycle methods (start / stop_accepting /
 // begin_drain / shutdown) are driven by the ServerGroup's controlling
 // thread in that order.
+//
+// Requests are dispatched through SimHost::handle_http_async with this
+// worker's loop as the executor: a handler that must fetch upstream parks
+// its request in a per-connection ResponseSlot and returns immediately,
+// so one slow MISS never blocks the reactor — concurrent cache HITs on
+// the same worker keep flowing. Slots drain FIFO per connection, which
+// preserves HTTP/1.1 pipeline order across out-of-order completions.
 class ServerWorker {
  public:
   ServerWorker(net::SimHost* host, const ServerGroup::Options& options,
@@ -161,7 +168,11 @@ class ServerWorker {
     loop_role_.assert_held();
     for (auto& [fd, conn] : connections_) {
       loop_->unwatch(fd);
-      (void)conn;
+      // Straggling parked handlers are told their client is gone before
+      // the connection state (and the respond callbacks' target) vanishes.
+      for (Connection::ResponseSlot& slot : conn->slots) {
+        if (slot.op != nullptr) slot.op->abort();
+      }
     }
     connections_.clear();
     active_ = 0;
@@ -229,6 +240,21 @@ class ServerWorker {
 
  private:
   struct Connection {
+    /// One decoded request's place in the response pipeline. The host may
+    /// answer inline (cache hit) or park the request and resume later from
+    /// the event loop (upstream MISS fetch); either way the slot keeps the
+    /// request's position, and slots drain strictly FIFO so responses
+    /// leave in request order even when a parked MISS resolves after a
+    /// later pipelined HIT.
+    struct ResponseSlot {
+      std::uint64_t id = 0;
+      bool ready = false;          ///< response present; may drain at front
+      bool count_served = false;   ///< tally in requests_served on drain
+      bool peer_wants_close = false;  ///< request asked to close after it
+      net::HttpResponse response;
+      std::shared_ptr<net::AsyncOp> op;  ///< cancellation handle while parked
+    };
+
     ScopedFd fd;
     std::string peer;                ///< "ip:port", passed as `from`
     net::HttpDecoder decoder;
@@ -254,6 +280,17 @@ class ServerWorker {
     std::uint64_t last_activity_ms = 0;
     std::uint64_t message_start_ms = 0;  ///< first byte of in-flight request
     TimerWheel::TimerId timer = 0;
+    /// Outstanding + resolved-but-blocked response slots, in request
+    /// order. Non-empty ⇔ the front slot is still parked on its handler
+    /// (ready fronts drain immediately).
+    std::deque<ResponseSlot> slots;
+    std::uint64_t next_slot_id = 1;
+    /// Distinguishes this connection from a later one reusing the same fd,
+    /// so a parked handler's late respond callback cannot cross wires.
+    std::uint64_t generation = 0;
+    /// True while serve_decoded is inside handle_http_async: an inline
+    /// respond just fills its slot and lets the dispatch loop drain.
+    bool in_handler = false;
 
     Connection(ScopedFd fd_in, std::string peer_in,
                const net::HttpDecoder::Limits& limits)
@@ -261,9 +298,11 @@ class ServerWorker {
           peer(std::move(peer_in)),
           decoder(net::HttpDecoder::Mode::Request, limits) {}
 
-    /// True while any response bytes remain unsent or unproduced.
+    /// True while any response bytes remain unsent, unproduced, or still
+    /// owed by a parked handler.
     [[nodiscard]] bool response_pending() const {
-      return !outq.empty() || producer != nullptr || !deferred.empty();
+      return !outq.empty() || producer != nullptr || !deferred.empty() ||
+             !slots.empty();
     }
   };
 
@@ -305,6 +344,7 @@ class ServerWorker {
     const int raw = fd.get();
     auto conn = std::make_unique<Connection>(std::move(fd), std::move(peer),
                                              options_.decoder_limits);
+    conn->generation = next_generation_++;
     conn->last_activity_ms = loop_->now_ms();
     arm_timer(*conn);
     loop_->watch(raw, true, false,
@@ -334,7 +374,16 @@ class ServerWorker {
     const auto it = connections_.find(fd);
     if (it == connections_.end()) return;
     Connection& conn = *it->second;
+    // A parked connection is waiting on this server, not the client: the
+    // handler's own deadlines (connect/IO timeouts, the retry envelope's
+    // overall deadline) bound that wait, so neither the idle clock nor a
+    // pending close may tear it down under the handler.
+    const bool parked = !conn.slots.empty();
     if (conn.closing) {  // already draining towards close; stop waiting
+      if (parked) {
+        arm_timer(conn);
+        return;
+      }
       close_connection(fd);
       return;
     }
@@ -345,7 +394,7 @@ class ServerWorker {
         mid_request &&
         now - conn.message_start_ms >= options_.request_timeout_ms;
     const bool idle_expired =
-        now - conn.last_activity_ms >= options_.idle_timeout_ms;
+        !parked && now - conn.last_activity_ms >= options_.idle_timeout_ms;
 
     if (request_expired || idle_expired) {
       {
@@ -353,7 +402,14 @@ class ServerWorker {
         ++stats_.timeouts;
       }
       if (request_expired) {
-        enqueue_response(conn, net::make_response(408, "request timed out"));
+        // Pre-resolved slot: the 408 queues behind any earlier parked
+        // responses instead of jumping the pipeline.
+        conn.slots.push_back({});
+        Connection::ResponseSlot& slot = conn.slots.back();
+        slot.id = conn.next_slot_id++;
+        slot.ready = true;
+        slot.response = net::make_response(408, "request timed out");
+        drain_slots(conn);
       }
       conn.closing = true;
       flush(conn);  // may close the connection
@@ -366,6 +422,13 @@ class ServerWorker {
   void close_connection(int fd) IDICN_REQUIRES(loop_role_) {
     const auto it = connections_.find(fd);
     if (it == connections_.end()) return;
+    // The client went away: abort parked handler work so the host stops
+    // fetching for a response nobody will read. A respond callback that
+    // races the abort finds the fd gone (or the generation changed) and
+    // drops its response.
+    for (Connection::ResponseSlot& slot : it->second->slots) {
+      if (slot.op != nullptr) slot.op->abort();
+    }
     loop_->cancel_timer(it->second->timer);
     loop_->unwatch(fd);
     connections_.erase(it);  // ScopedFd closes
@@ -378,29 +441,55 @@ class ServerWorker {
   }
 
   void serve_decoded(Connection& conn) IDICN_REQUIRES(loop_role_) {
-    // Drain every pipelined request in arrival order.
+    const int fd = conn.fd.get();
+    // Dispatch every pipelined request in arrival order. Each gets an
+    // ordered ResponseSlot; the host answers via the respond callback —
+    // inline for cache hits and other synchronous paths, later from the
+    // event loop when the handler parks on upstream work. The loop thread
+    // stays free to serve other connections while a request is parked.
     while (auto request = conn.decoder.next_request()) {
-      net::HttpResponse response;
-      try {
-        response = host_->handle_http(*request, conn.peer);
-      } catch (const std::exception& e) {
-        response =
-            net::make_response(500, std::string("handler error: ") + e.what());
-      }
       const bool peer_wants_close = [&] {
         const auto connection = request->headers.get_view("Connection");
         if (connection) return *connection == "close" || *connection == "Close";
         return request->version == "HTTP/1.0";
       }();
-      if (peer_wants_close) {
-        response.headers.set("Connection", "close");
-        conn.closing = true;
-      }
-      enqueue_response(conn, std::move(response));
+      conn.slots.push_back({});
       {
-        const core::sync::MutexLock lock(stats_mutex_);
-        ++stats_.requests_served;
+        Connection::ResponseSlot& slot = conn.slots.back();
+        slot.id = conn.next_slot_id++;
+        slot.count_served = true;
+        slot.peer_wants_close = peer_wants_close;
       }
+      const std::uint64_t slot_id = conn.slots.back().id;
+      const std::uint64_t generation = conn.generation;
+
+      conn.in_handler = true;  // inline respond defers to the drain below
+      try {
+        auto op = host_->handle_http_async(
+            *request, conn.peer, loop_.get(),
+            [this, fd, generation, slot_id](net::HttpResponse response) {
+              loop_role_.assert_held();
+              resolve_slot(fd, generation, slot_id, std::move(response));
+            });
+        // Keep the cancellation handle only while the request is parked,
+        // so close_connection can tell the host the client went away.
+        if (op != nullptr) {
+          for (Connection::ResponseSlot& pending : conn.slots) {
+            if (pending.id == slot_id && !pending.ready) {
+              pending.op = std::move(op);
+              break;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        resolve_slot(fd, generation, slot_id,
+                     net::make_response(
+                         500, std::string("handler error: ") + e.what()));
+      }
+      conn.in_handler = false;
+
+      if (peer_wants_close) conn.closing = true;  // last request we serve
+      drain_slots(conn);
       if (conn.closing) break;
     }
     // A draining worker closes each connection once its buffered requests
@@ -412,11 +501,59 @@ class ServerWorker {
         const core::sync::MutexLock lock(stats_mutex_);
         ++stats_.decode_errors;
       }
-      enqueue_response(conn,
-                       net::make_response(conn.decoder.suggested_status(),
-                                          "malformed request: " +
-                                              conn.decoder.error()));
+      // Pre-resolved slot so the error response queues behind any parked
+      // requests instead of jumping the pipeline.
+      conn.slots.push_back({});
+      Connection::ResponseSlot& slot = conn.slots.back();
+      slot.id = conn.next_slot_id++;
+      slot.ready = true;
+      slot.response = net::make_response(conn.decoder.suggested_status(),
+                                         "malformed request: " +
+                                             conn.decoder.error());
       conn.closing = true;
+      drain_slots(conn);
+    }
+  }
+
+  /// A handler finished — inline or after parking. Fill the slot and, on
+  /// an asynchronous resume, push whatever became drainable to the wire.
+  /// A missing fd or a generation mismatch means the client disconnected
+  /// (and the fd was possibly reused) while the handler ran; the response
+  /// is dropped.
+  void resolve_slot(int fd, std::uint64_t generation, std::uint64_t slot_id,
+                    net::HttpResponse response) IDICN_REQUIRES(loop_role_) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = *it->second;
+    if (conn.generation != generation) return;
+    for (Connection::ResponseSlot& slot : conn.slots) {
+      if (slot.id != slot_id) continue;
+      if (slot.ready) return;  // respond fires once; tolerate repeats
+      slot.ready = true;
+      slot.op.reset();
+      slot.response = std::move(response);
+      break;
+    }
+    if (conn.in_handler) return;  // serve_decoded drains after dispatch
+    drain_slots(conn);
+    flush(conn);  // may close the connection
+  }
+
+  /// Move ready slots at the queue front into the write path, preserving
+  /// request order. Stops at the first slot still parked on its handler.
+  void drain_slots(Connection& conn) IDICN_REQUIRES(loop_role_) {
+    while (!conn.slots.empty() && conn.slots.front().ready) {
+      Connection::ResponseSlot slot = std::move(conn.slots.front());
+      conn.slots.pop_front();
+      if (slot.peer_wants_close) {
+        slot.response.headers.set("Connection", "close");
+        conn.closing = true;
+      }
+      enqueue_response(conn, std::move(slot.response));
+      if (slot.count_served) {
+        const core::sync::MutexLock lock(stats_mutex_);
+        ++stats_.requests_served;
+      }
     }
   }
 
@@ -647,9 +784,12 @@ class ServerWorker {
   /// the worker thread body, re-claimed by shutdown() after the join.
   core::sync::ThreadRole loop_role_;
 
-  net::SimHost* host_;  ///< shared across workers; thread-safe handle_http
+  net::SimHost* host_;  ///< shared across workers; thread-safe handlers
   const ServerGroup::Options& options_;  ///< owned by the ServerGroup
   ServerGroup* group_;                   ///< owns this worker
+  /// Connection identity counter for parked-handler resume callbacks (fd
+  /// values get reused; generations do not).
+  std::uint64_t next_generation_ IDICN_GUARDED_BY(loop_role_) = 1;
   /// Created by start() before the thread exists, destroyed by shutdown()
   /// after the join; the pointer itself is never touched concurrently.
   std::unique_ptr<EventLoop> loop_;

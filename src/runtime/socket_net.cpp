@@ -48,6 +48,7 @@ void SocketNet::register_endpoint(const net::Address& address, std::string host,
   endpoint.host = std::move(host);
   endpoint.port = port;
   endpoint.idle.clear();
+  endpoint.async_idle.clear();
 }
 
 void SocketNet::register_endpoint(const ServerGroup& server) {
@@ -296,6 +297,240 @@ std::uint64_t SocketNet::now_ms() const {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// --- loop-native async send path -------------------------------------------
+
+/// Everything one logical async send carries across attempts. The state is
+/// shared between the issued op's completion, the tracking sink, and the
+/// backoff timer; it dies when the last of them releases it (always after
+/// `done` ran).
+struct SocketNet::AsyncSendState {
+  SocketNet* net = nullptr;
+  net::Address to;
+  net::HttpRequest request;
+  std::shared_ptr<net::ChunkSink> sink;  ///< null ⇒ buffered send
+  net::Executor* exec = nullptr;
+  net::SendCallback done;
+  std::shared_ptr<CircuitBreaker> breaker;
+  std::uint64_t started_ms = 0;
+  int max_attempts = 1;
+  int attempt = 1;
+  bool delivered = false;  ///< the caller's sink saw a head — no more retries
+  std::unique_ptr<AsyncHttpClient> client;  ///< held across one attempt
+};
+
+namespace {
+
+/// Async twin of DeliveryTrackingSink: flips the state's delivered flag on
+/// the head so the retry ladder stops replaying into the caller's sink.
+class AsyncTrackingSink final : public net::ChunkSink {
+public:
+  explicit AsyncTrackingSink(std::shared_ptr<SocketNet::AsyncSendState> state)
+      : state_(std::move(state)) {}
+
+  bool on_head(const net::HttpResponse& head) override {
+    state_->delivered = true;
+    return state_->sink->on_head(head);
+  }
+  bool on_chunk(core::Chunk chunk) override {
+    return state_->sink->on_chunk(std::move(chunk));
+  }
+
+private:
+  std::shared_ptr<SocketNet::AsyncSendState> state_;
+};
+
+}  // namespace
+
+void SocketNet::send_async(const net::Address& from, const net::Address& to,
+                           const net::HttpRequest& request, net::Executor* exec,
+                           net::SendCallback done) {
+  (void)from;
+  if (exec == nullptr) {
+    // idicn-analysis: allow(*): sync fallback used only off-loop (no executor supplied)
+    done(send(from, to, request));
+    return;
+  }
+  auto state = std::make_shared<AsyncSendState>();
+  state->net = this;
+  state->to = to;
+  state->request = request;
+  state->exec = exec;
+  state->done = std::move(done);
+  start_async_send(std::move(state));
+}
+
+void SocketNet::send_streaming_async(const net::Address& from,
+                                     const net::Address& to,
+                                     const net::HttpRequest& request,
+                                     std::shared_ptr<net::ChunkSink> sink,
+                                     net::Executor* exec,
+                                     net::SendCallback done) {
+  (void)from;
+  if (exec == nullptr) {
+    // idicn-analysis: allow(*): sync fallback used only off-loop (no executor supplied)
+    done(send_streaming(from, to, request, *sink));
+    return;
+  }
+  auto state = std::make_shared<AsyncSendState>();
+  state->net = this;
+  state->to = to;
+  state->request = request;
+  state->sink = std::move(sink);
+  state->exec = exec;
+  state->done = std::move(done);
+  start_async_send(std::move(state));
+}
+
+void SocketNet::start_async_send(std::shared_ptr<AsyncSendState> state) {
+  bool unknown = false;
+  {
+    const core::sync::MutexLock lock(mutex_);
+    ++stats_.requests_sent;
+    // Unknown destinations are a wiring error, not upstream ill health:
+    // fail immediately, no breaker accounting, no retries.
+    if (endpoints_.find(state->to) == endpoints_.end()) {
+      ++stats_.send_failures;
+      unknown = true;
+    }
+  }
+  if (unknown) {
+    state->done(net::make_response(504, "unknown destination: " + state->to));
+    return;
+  }
+
+  if (options_.enable_breakers) {
+    state->breaker = breaker_for(state->to);
+    if (!state->breaker->allow(now_ms())) {
+      const std::uint64_t wait_ms = state->breaker->retry_after_ms(now_ms());
+      {
+        const core::sync::MutexLock lock(mutex_);
+        ++stats_.breaker_fast_fails;
+        ++stats_.send_failures;
+      }
+      auto response = net::make_response(
+          503, "circuit open for " + state->to + "; fast-fail");
+      response.headers.set("Retry-After", retry_after_seconds(wait_ms));
+      state->done(std::move(response));
+      return;
+    }
+  }
+
+  retry_budget_.on_attempt();
+  state->started_ms = now_ms();
+  state->max_attempts =
+      options_.enable_retries ? std::max(1, options_.retry.max_attempts) : 1;
+  async_attempt(std::move(state));
+}
+
+void SocketNet::async_attempt(std::shared_ptr<AsyncSendState> state) {
+  state->client = borrow_async(state->to, state->exec);
+  if (state->client == nullptr) {
+    finish_async_attempt(state, std::nullopt, "unknown destination");
+    return;
+  }
+  std::shared_ptr<net::ChunkSink> attempt_sink;
+  if (state->sink != nullptr) {
+    attempt_sink = std::make_shared<AsyncTrackingSink>(state);
+  }
+  AsyncHttpClient* client = state->client.get();
+  client->assert_owned();
+  client->issue(state->request, std::move(attempt_sink),
+                [state](std::optional<net::HttpResponse> head,
+                        std::string error) {
+                  state->net->finish_async_attempt(state, std::move(head),
+                                                   std::move(error));
+                });
+}
+
+void SocketNet::finish_async_attempt(std::shared_ptr<AsyncSendState> state,
+                                     std::optional<net::HttpResponse> head,
+                                     std::string error) {
+  if (head) {
+    give_back_async(state->to, state->exec, std::move(state->client));
+    if (state->breaker != nullptr) state->breaker->record_success(now_ms());
+    state->done(std::move(*head));
+    return;
+  }
+  state->client.reset();  // a failed connection is never pooled
+  if (state->breaker != nullptr) state->breaker->record_failure(now_ms());
+
+  // The same ladder as the blocking envelope, in the same order.
+  bool give_up = false;
+  // Once the sink has seen the head, a retry would deliver the body prefix
+  // twice — the failure must surface to the caller instead.
+  if (state->delivered) give_up = true;
+  if (!give_up && state->attempt >= state->max_attempts) give_up = true;
+  if (!give_up && state->breaker != nullptr &&
+      state->breaker->state(now_ms()) == CircuitBreaker::State::Open) {
+    give_up = true;
+  }
+  std::uint64_t delay_ms = 0;
+  if (!give_up) {
+    delay_ms = retry_policy_.backoff_delay_ms(state->attempt);
+    if (!retry_policy_.within_deadline(now_ms() - state->started_ms,
+                                       delay_ms)) {
+      give_up = true;
+    }
+  }
+  if (!give_up && !retry_budget_.try_spend()) give_up = true;
+  if (give_up) {
+    {
+      const core::sync::MutexLock lock(mutex_);
+      ++stats_.send_failures;
+    }
+    state->done(net::make_response(
+        504, "upstream " + state->to + " unreachable: " + error));
+    return;
+  }
+  {
+    const core::sync::MutexLock lock(mutex_);
+    ++stats_.retries;
+  }
+  net::Executor* exec = state->exec;
+  RetryPolicy::schedule_backoff(*exec, delay_ms, [state]() {
+    ++state->attempt;
+    state->net->async_attempt(state);
+  });
+}
+
+std::unique_ptr<AsyncHttpClient> SocketNet::borrow_async(const net::Address& to,
+                                                         net::Executor* exec) {
+  const core::sync::MutexLock lock(mutex_);
+  const auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) return nullptr;
+  Endpoint& endpoint = it->second;
+  auto& pool = endpoint.async_idle[exec];
+  while (!pool.empty()) {
+    auto client = std::move(pool.back());
+    pool.pop_back();
+    // Same borrow-time staleness check as the blocking pool: a pooled
+    // connection the peer closed (or wrote into) while idle must be
+    // discarded, not reused.
+    // idicn-analysis: allow(lock-across-io): MSG_PEEK|MSG_DONTWAIT probe never waits
+    if (client->stale_connection()) {
+      ++stats_.stale_pool_drops;
+      continue;
+    }
+    return client;
+  }
+  ++stats_.connections_opened;
+  AsyncHttpClient::Options client_options;
+  client_options.connect_timeout_ms = options_.client.connect_timeout_ms;
+  client_options.io_timeout_ms = options_.client.io_timeout_ms;
+  return std::make_unique<AsyncHttpClient>(exec, endpoint.host, endpoint.port,
+                                           client_options);
+}
+
+void SocketNet::give_back_async(const net::Address& to, net::Executor* exec,
+                                std::unique_ptr<AsyncHttpClient> client) {
+  if (client == nullptr || !client->idle()) return;
+  const core::sync::MutexLock lock(mutex_);
+  const auto it = endpoints_.find(to);
+  // Drop the connection when the endpoint moved while we were using it.
+  if (it == endpoints_.end() || it->second.port != client->port()) return;
+  it->second.async_idle[exec].push_back(std::move(client));
 }
 
 SocketNet::Stats SocketNet::stats() const {

@@ -36,6 +36,7 @@
 
 #include "core/sync.hpp"
 #include "net/transport.hpp"
+#include "runtime/async_http_client.hpp"
 #include "runtime/http_client.hpp"
 #include "runtime/retry.hpp"
 
@@ -97,6 +98,22 @@ public:
                                            const net::HttpRequest& request) override;
   [[nodiscard]] std::uint64_t now_ms() const override;
 
+  /// Loop-native sends: the same failure envelope as send()/send_streaming()
+  /// — 504 synthesis, breaker fast-fail, budgeted full-jitter retries — but
+  /// each attempt runs on `exec` via a pooled AsyncHttpClient and backoff is
+  /// a timer-wheel reschedule instead of a sleeping thread. `done` fires
+  /// exactly once on the loop thread (inline for the synthesized fast
+  /// failures). A null `exec` falls back to the blocking path inline; never
+  /// do that on a loop thread.
+  void send_async(const net::Address& from, const net::Address& to,
+                  const net::HttpRequest& request, net::Executor* exec,
+                  net::SendCallback done) override;
+  void send_streaming_async(const net::Address& from, const net::Address& to,
+                            const net::HttpRequest& request,
+                            std::shared_ptr<net::ChunkSink> sink,
+                            net::Executor* exec,
+                            net::SendCallback done) override;
+
   struct Stats {
     std::uint64_t requests_sent = 0;
     std::uint64_t send_failures = 0;  ///< unknown endpoint or socket error
@@ -112,11 +129,21 @@ public:
   [[nodiscard]] CircuitBreaker::State breaker_state(const net::Address& to) const
       IDICN_EXCLUDES(mutex_);
 
+  /// One in-flight async send's retry envelope (defined in the .cpp;
+  /// public only so the .cpp's helper sink can name it).
+  struct AsyncSendState;
+
 private:
   struct Endpoint {
     std::string host;
     std::uint16_t port = 0;
     std::vector<std::unique_ptr<HttpClient>> idle;  ///< pooled connections
+    /// Parked loop-native connections, per owning executor (an
+    /// AsyncHttpClient is confined to its loop thread, so pools never mix
+    /// executors). Parked clients are unwatched and timer-less — safe to
+    /// destroy from any thread when the endpoint is replaced or forgotten.
+    std::map<net::Executor*, std::vector<std::unique_ptr<AsyncHttpClient>>>
+        async_idle;
   };
 
   /// Borrow a pooled (or freshly dialed) client for `to`; nullptr when the
@@ -145,6 +172,28 @@ private:
   std::optional<net::HttpResponse> attempt_streaming(
       const net::Address& to, const net::HttpRequest& request,
       net::ChunkSink& sink, bool* delivered, std::string* error)
+      IDICN_EXCLUDES(mutex_);
+
+  /// Shared front half of send_async/send_streaming_async: the unknown-
+  /// destination and breaker fast-fail gates, then the first attempt.
+  void start_async_send(std::shared_ptr<AsyncSendState> state)
+      IDICN_EXCLUDES(mutex_);
+  /// One borrow → issue attempt on the state's executor.
+  void async_attempt(std::shared_ptr<AsyncSendState> state)
+      IDICN_EXCLUDES(mutex_);
+  /// Attempt outcome: success completes, failure walks the same retry
+  /// ladder as the blocking envelope with timer-wheel backoff.
+  void finish_async_attempt(std::shared_ptr<AsyncSendState> state,
+                            std::optional<net::HttpResponse> head,
+                            std::string error) IDICN_EXCLUDES(mutex_);
+
+  /// Async counterpart of borrow(): pooled clients owned by `exec`, with
+  /// the same borrow-time staleness probe. nullptr when `to` is unknown.
+  std::unique_ptr<AsyncHttpClient> borrow_async(const net::Address& to,
+                                                net::Executor* exec)
+      IDICN_EXCLUDES(mutex_);
+  void give_back_async(const net::Address& to, net::Executor* exec,
+                       std::unique_ptr<AsyncHttpClient> client)
       IDICN_EXCLUDES(mutex_);
 
   Options options_;

@@ -152,4 +152,31 @@ int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms,
   return fd.release();
 }
 
+int connect_tcp_nonblocking(const std::string& host, std::uint16_t port,
+                            std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "unsupported address (IPv4 literal expected): " + host;
+    return -1;
+  }
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket");
+    return -1;
+  }
+  if (!set_nonblocking(fd.get())) {
+    set_error(error, "fcntl");
+    return -1;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    set_error(error, "connect");
+    return -1;
+  }
+  return fd.release();
+}
+
 }  // namespace idicn::runtime

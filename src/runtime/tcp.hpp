@@ -65,4 +65,12 @@ int listen_tcp(std::uint16_t port, std::uint16_t* bound_port, std::string* error
 int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms,
                 std::string* error);
 
+/// Start a non-blocking connect to `host`:`port` and return the fd with
+/// the connect possibly still in progress (EINPROGRESS is success). The
+/// caller watches the fd for writability and then checks SO_ERROR to
+/// learn the outcome; the fd stays non-blocking. -1 on immediate failure
+/// (reason in `error` when non-null).
+int connect_tcp_nonblocking(const std::string& host, std::uint16_t port,
+                            std::string* error);
+
 }  // namespace idicn::runtime

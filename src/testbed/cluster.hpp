@@ -71,9 +71,10 @@ struct ClusterOptions {
   /// sends (0 = no injection; NRS resolution is always latency-free, the
   /// paper's conservatively-generous lookup assumption).
   std::uint64_t ms_per_hop = 0;
-  /// ServerGroup worker threads per proxy. Two keeps a spare reactor for
-  /// inbound sibling queries and hint POSTs while the other is blocked in a
-  /// synchronous upstream fetch.
+  /// ServerGroup worker threads per proxy. Upstream fetches park on the
+  /// worker's event loop rather than blocking it, so two workers are pure
+  /// serving parallelism (inbound sibling queries and hint POSTs keep
+  /// flowing even while one worker drains a burst).
   std::size_t workers_per_pop = 2;
   std::uint64_t seed = 42;
   core::OriginAssignment origin_assignment =
@@ -81,16 +82,18 @@ struct ClusterOptions {
 
   // Cooperation-protocol knobs, passed through to idicn::Proxy::Options.
   //
-  // The hop limit defaults to 1 here (not the Proxy default of 2): every
-  // received sibling fetch then lands at hops ≥ limit and is answered
-  // cache-only, so a proxy never dials out while serving a sibling. With
-  // limit 2, proxy A blocked fetching from B can be counter-fetched by B
-  // (B's stale hint pointing back at A) — and since handlers run on the
-  // reactor thread, SO_REUSEPORT can hash B's fetch onto A's blocked
-  // reactor: a mutual stall that only the socket timeout breaks. Hop
-  // chains are safe over SimNet (same-thread recursion), not over
-  // blocking socket reactors.
-  std::size_t sibling_hop_limit = 1;
+  // The hop limit matches the Proxy default of 2: a proxy serving a
+  // sibling fetch may itself redirect one hop further before answering
+  // cache-only, matching the simulator's NearestReplica oracle more
+  // closely than the old cache-only-on-first-hop limit of 1. That limit
+  // existed because upstream fetches used to block the reactor thread —
+  // proxy A blocked fetching from B could be counter-fetched by B onto
+  // A's stalled reactor, a mutual stall only the socket timeout broke.
+  // Fetches now park on the event loop (Proxy::FetchOp over
+  // Transport::send_async), so a worker keeps serving inbound queries
+  // while its own upstream fetch is in flight and deeper hop chains are
+  // safe over real sockets, not just SimNet's same-thread recursion.
+  std::size_t sibling_hop_limit = 2;
   std::size_t max_hint_entries = 256;
   std::size_t sibling_fanout = 2;
   std::uint64_t freshness_ms = 3'600'000;  ///< long: no revalidation mid-run

@@ -13,6 +13,8 @@
 // the schedule runs deterministically under ASan/UBSan and TSan.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -93,7 +95,8 @@ struct ChaosDeployment {
   }
 
   explicit ChaosDeployment(std::uint64_t freshness_ms = 1,
-                           bool with_peer = false)
+                           bool with_peer = false,
+                           std::size_t proxy_workers = 2)
       : proxy{&faulty, "cache.ad1", "nrs.consortium", &dns,
               proxy_options(freshness_ms, 2)},
         peer_proxy{&net, "cache2.ad1", "nrs.consortium", &dns,
@@ -114,7 +117,7 @@ struct ChaosDeployment {
       net.register_endpoint(*peer_server);
     }
     runtime::ServerGroup::Options proxy_opts;
-    proxy_opts.workers = 2;
+    proxy_opts.workers = proxy_workers;
     proxy_server = std::make_unique<runtime::ServerGroup>(&proxy, "cache.ad1",
                                                           proxy_opts);
     proxy_server->start();
@@ -334,6 +337,78 @@ TEST(ChaosE2e, SlowPeerInjectedOverSocketNetDoesNotBreakServing) {
   // Slow is not broken: nothing opened, nothing was dropped.
   EXPECT_EQ(d.net.breaker_state("cache2.ad1"),
             runtime::CircuitBreaker::State::Closed);
+}
+
+TEST(ChaosE2e, LatencyInjectedMissDoesNotDelayConcurrentHits) {
+  // The mutual-stall regression (DESIGN §11): upstream fetches used to run
+  // synchronously on the reactor thread, so one slow MISS froze every
+  // other connection on the same worker. With the MISS parked on the event
+  // loop, a Latency rule on the upstream must cost only the client that
+  // asked for the cold object — concurrent cache-HIT clients on the SAME
+  // single worker keep their sub-injection latency the whole time.
+  ChaosDeployment d(/*freshness_ms=*/60'000, /*with_peer=*/false,
+                    /*proxy_workers=*/1);
+  const auto pinned = d.publish("pinned", "hot replica");
+  const auto cold = d.publish("cold", "fetched through molasses");
+  std::string error;
+  {
+    runtime::HttpClient warmer("127.0.0.1", d.proxy_server->port());
+    ASSERT_EQ(warmer.get(url_of(pinned), &error).value().status, 200) << error;
+  }
+
+  net::FaultInjector::Rule slow;
+  slow.to = "rp.pub";
+  slow.kind = net::FaultInjector::FaultKind::Latency;
+  slow.latency_ms = 500;
+  d.faulty.add_rule(slow);
+
+  std::atomic<bool> miss_done{false};
+  std::atomic<int> miss_status{0};
+  std::atomic<std::uint64_t> miss_ms{0};
+  core::sync::Thread misser([&] {
+    runtime::HttpClient client("127.0.0.1", d.proxy_server->port());
+    std::string thread_error;
+    const auto start = std::chrono::steady_clock::now();
+    const auto response = client.get(url_of(cold), &thread_error);
+    miss_ms.store(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    miss_status.store(response ? response->status : -1);
+    miss_done.store(true);
+  });
+
+  // Hammer the hit path from a second connection while the MISS is parked.
+  sleep_ms(50);
+  runtime::HttpClient browser("127.0.0.1", d.proxy_server->port());
+  std::uint64_t hits_during_miss = 0;
+  std::uint64_t worst_hit_ms = 0;
+  while (!miss_done.load() && hits_during_miss < 500) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto hit = browser.get(url_of(pinned), &error);
+    const auto took = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ASSERT_TRUE(hit.has_value()) << error;
+    EXPECT_EQ(hit->status, 200);
+    EXPECT_EQ(hit->body, "hot replica");
+    if (!miss_done.load()) {
+      ++hits_during_miss;
+      worst_hit_ms = std::max(worst_hit_ms, took);
+    }
+  }
+  misser.join();
+
+  // The cold fetch really crossed the injected latency and succeeded.
+  EXPECT_EQ(miss_status.load(), 200);
+  EXPECT_GE(miss_ms.load(), 500u);
+  EXPECT_GE(d.faulty.stats().delays, 1u);
+  // The invariant: HITs flowed during the in-flight MISS, and none of
+  // them came anywhere near the injected delay (p100 bound — with one
+  // worker, a blocking fetch would have cost every one of them 500 ms).
+  EXPECT_GE(hits_during_miss, 3u);
+  EXPECT_LT(worst_hit_ms, 250u);
 }
 
 TEST(ChaosE2e, ConcurrentClientsSurviveOriginFlaps) {

@@ -34,12 +34,13 @@ Rules
                libraries report through return values and exceptions,
                binaries (bench/, examples/, tools/) own the terminal.
   raw-backoff  No raw sleeps (sleep_for / sleep_until / usleep /
-               nanosleep) anywhere in src/ outside RetryPolicy::sleep
-               (src/runtime/retry.cpp) and the fault injector's latency
-               leg (src/net/fault_injector.cpp). Hand-rolled
+               nanosleep) anywhere in src/ outside the fault injector's
+               latency leg (src/net/fault_injector.cpp). Hand-rolled
                sleep-and-retry loops dodge the jitter, deadline, and
                token-budget discipline — all backoff goes through
-               runtime::RetryPolicy.
+               runtime::RetryPolicy::schedule_backoff, which reschedules
+               on the owning executor's timer wheel instead of sleeping
+               the loop thread.
   body-copy    No whole-body materialization on the serving data path
                (src/runtime/): `<response>.serialize()` flattens head +
                body into one string (request.serialize() is fine —
@@ -92,10 +93,11 @@ GUARDED_DIRS = ("src/runtime", "src/cache", "src/testbed")
 # clients × object_size (the PR-6 bug class).
 BODY_COPY_DIR = "src/runtime"
 
-# The only library files allowed to block the calling thread on purpose:
-# the sanctioned backoff point and the fault injector's latency leg.
+# The only library file allowed to block the calling thread on purpose:
+# the fault injector's latency leg (chaos harness, never on a serving
+# loop). RetryPolicy lost its seat when backoff moved to timer-wheel
+# rescheduling (schedule_backoff) — nothing in src/runtime sleeps anymore.
 RAW_BACKOFF_ALLOWED = {
-    Path("src/runtime/retry.cpp"),
     Path("src/net/fault_injector.cpp"),
 }
 

@@ -101,6 +101,13 @@ class BackoffAndPerfTest(unittest.TestCase):
             findings = check_file(rel, "sleep_for(jittered);\n")
             self.assertNotIn("raw-backoff", rules_of(findings))
 
+    def test_retry_policy_lost_its_backoff_seat(self):
+        # Backoff is timer-wheel rescheduling now; a raw sleep creeping
+        # back into retry.cpp must be flagged like any other library file.
+        findings = check_file(Path("src/runtime/retry.cpp"),
+                              "sleep_for(jittered);\n")
+        self.assertEqual(rules_of(findings), ["raw-backoff"])
+
     def test_perf_macro_containment(self):
         findings = check_file(Path("src/net/sim_net.cpp"),
                               "#ifdef IDICN_PERF_COUNTERS\n")
