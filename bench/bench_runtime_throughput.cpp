@@ -41,6 +41,20 @@
 //                               stall regression number: before the async
 //                               MISS path, every co-scheduled HIT paid the
 //                               injected delay.
+//   IDICN_BENCH_LATENCY_TAIL=1
+//                               append a latency-tail pair of cold-MISS
+//                               sweeps over objects replicated on two
+//                               reverse proxies, with a FaultInjector
+//                               degradation schedule stepping one replica
+//                               to 800 ms after a few healthy sends. The
+//                               first sweep runs with hedging disabled,
+//                               the second with the multi-source
+//                               fetcher's defaults; the JSON lands
+//                               unhedged_p99_us vs hedged_p99_us plus
+//                               hedges_sent / hedge_wins /
+//                               hedges_suppressed / range_failovers and
+//                               the per-destination rtt_p95_us map — the
+//                               tail-latency headline for DESIGN.md §13.
 //
 // The last stdout line is a single JSON object with the results — the
 // same object written to the artifact file — so CI and scripts can scrape
@@ -51,6 +65,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -86,6 +101,51 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
   if (sorted.empty()) return 0;
   const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
   return sorted[rank];
+}
+
+/// Open keep-alive connections until every reactor has one. SO_REUSEPORT
+/// assigns a connection to a worker by flow hash, and with only a handful
+/// of long-lived client connections the hash can collapse onto a subset of
+/// the workers — the historical bench artifact showed a 4-worker run where
+/// one worker served 8 req/s against a 22k mean. Each fresh connect draws
+/// a new ephemeral source port (re-rolling the hash); a probe request
+/// reveals which worker the connection landed on via the live
+/// requests_served counters, and the connection is kept only when it
+/// covers a new worker. Must run with no other traffic in flight so the
+/// counter delta attributes unambiguously. Gives up (returning a partial
+/// cover) after a generous attempt budget; round-robin over the pool still
+/// spreads whatever was won.
+std::vector<std::unique_ptr<runtime::HttpClient>> connect_cover(
+    runtime::HostServer& server, const std::string& probe_target,
+    std::size_t workers) {
+  std::vector<std::unique_ptr<runtime::HttpClient>> pool;
+  std::vector<bool> covered(workers, false);
+  std::size_t hit = 0;
+  for (std::size_t attempt = 0; attempt < 64 * workers && hit < workers;
+       ++attempt) {
+    auto client =
+        std::make_unique<runtime::HttpClient>("127.0.0.1", server.port());
+    std::vector<std::uint64_t> before(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      before[w] = server.worker_stats(w).requests_served;
+    }
+    const auto response = client->get(probe_target);
+    if (!response || response->status != 200) continue;
+    for (std::size_t w = 0; w < workers; ++w) {
+      if (server.worker_stats(w).requests_served == before[w]) continue;
+      if (!covered[w]) {
+        covered[w] = true;
+        ++hit;
+        pool.push_back(std::move(client));
+      }
+      break;
+    }
+  }
+  if (pool.empty()) {
+    pool.push_back(
+        std::make_unique<runtime::HttpClient>("127.0.0.1", server.port()));
+  }
+  return pool;
 }
 
 /// One measured window: `workers` reactors serving `client_count`
@@ -124,6 +184,21 @@ WindowResult run_window(Proxy& proxy, runtime::SocketNet& net,
     }
   }
 
+  // Pre-built connection pools, one per client thread, each covering every
+  // worker — built serially before the clock starts so probe attribution
+  // is unambiguous and the window measures steady-state traffic only.
+  std::vector<std::vector<std::unique_ptr<runtime::HttpClient>>> pools(
+      static_cast<std::size_t>(client_count));
+  for (auto& pool : pools) {
+    if (proxy_server.using_reuseport() && proxy_server.worker_count() > 1) {
+      pool = connect_cover(proxy_server, targets.front(),
+                           proxy_server.worker_count());
+    } else {
+      pool.push_back(
+          std::make_unique<runtime::HttpClient>("127.0.0.1", proxy_server.port()));
+    }
+  }
+
   std::atomic<bool> running{true};
   std::vector<std::vector<std::uint64_t>> latencies_ns(
       static_cast<std::size_t>(client_count));
@@ -134,16 +209,20 @@ WindowResult run_window(Proxy& proxy, runtime::SocketNet& net,
   const auto start = Clock::now();
   for (long c = 0; c < client_count; ++c) {
     clients.emplace_back([&, c] {
-      runtime::HttpClient client("127.0.0.1", proxy_server.port());
+      auto& pool = pools[static_cast<std::size_t>(c)];
       auto& samples = latencies_ns[static_cast<std::size_t>(c)];
       samples.reserve(1 << 18);
       std::size_t i = static_cast<std::size_t>(c);
       while (running.load(std::memory_order_relaxed)) {
+        // Round-robin over the per-worker connections so every reactor
+        // sees a share of this client's closed loop.
+        runtime::HttpClient& client = *pool[i % pool.size()];
         const auto t0 = Clock::now();
         const auto response = client.get(targets[i % targets.size()]);
         const auto t1 = Clock::now();
         if (!response || response->status != 200) {
           ++errors[static_cast<std::size_t>(c)];
+          ++i;
           continue;
         }
         samples.push_back(static_cast<std::uint64_t>(
@@ -313,6 +392,92 @@ LatencyUnderMissResult run_latency_under_miss(
   return result;
 }
 
+/// One latency-tail sweep: a fresh proxy (so RTT estimators start cold)
+/// pulls `targets` — all replicated on rp.pub + rp2.pub — once each while
+/// a degradation schedule steps rp.pub from healthy to an 800 ms stall
+/// after its first 5 matched sends. Cold fetches only: the p99 of the
+/// sweep *is* the MISS tail under a decaying replica.
+struct LatencyTailSweep {
+  std::size_t fetches = 0;
+  std::uint64_t errors = 0;
+  double p99_us = 0.0;
+  std::uint64_t hedges_sent = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedges_suppressed = 0;
+  std::uint64_t range_failovers = 0;
+  std::uint64_t rtt_p95_rp_us = 0;
+  std::uint64_t rtt_p95_rp2_us = 0;
+};
+
+LatencyTailSweep run_latency_tail_sweep(runtime::SocketNet& net,
+                                        net::FaultInjector& faulty,
+                                        net::DnsService& dns, bool hedging,
+                                        std::size_t workers,
+                                        const std::vector<std::string>& targets) {
+  Proxy::Options options;
+  options.cache_shards = workers;
+  options.fetch.hedging_enabled = hedging;
+  // Loopback RTTs sit well under this floor, so the hedge timer only
+  // fires for genuinely degraded sends — same setting the chaos e2e pins.
+  options.fetch.hedge_min_delay_ms = 25;
+  Proxy proxy(&faulty, "cache.ad1", "nrs.consortium", &dns, options);
+
+  runtime::HostServer::Options host;
+  host.workers = workers;
+  runtime::HostServer proxy_server(&proxy, "cache.ad1", host);
+  proxy_server.start();
+  net.register_endpoint(proxy_server);
+
+  // Fresh schedule per sweep: each keeps a private matched-send counter,
+  // so both sweeps see the identical healthy→800 ms step at send 6.
+  net::FaultInjector::Degradation ramp;
+  ramp.to = "rp.pub";
+  ramp.start_latency_ms = 800;
+  ramp.peak_latency_ms = 800;
+  ramp.ramp_start = 6;  // first sends seed honest RTT estimates
+  faulty.add_degradation(ramp);
+
+  std::vector<std::uint64_t> sample_us;
+  LatencyTailSweep result;
+  {
+    runtime::HttpClient client("127.0.0.1", proxy_server.port());
+    for (const auto& target : targets) {
+      const auto t0 = Clock::now();
+      const auto response = client.get(target);
+      const auto t1 = Clock::now();
+      if (!response || response->status != 200) {
+        ++result.errors;
+        continue;
+      }
+      sample_us.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()));
+    }
+  }
+  faulty.clear_degradations();
+
+  const auto& stats = proxy.fetcher().stats();
+  result.hedges_sent = stats.hedges_sent.value();
+  result.hedge_wins = stats.hedge_wins.value();
+  result.hedges_suppressed = stats.hedges_suppressed.value();
+  result.range_failovers = stats.range_failovers.value();
+  result.rtt_p95_rp_us = proxy.fetcher().rtt_p95_us("rp.pub");
+  result.rtt_p95_rp2_us = proxy.fetcher().rtt_p95_us("rp2.pub");
+  proxy_server.stop();
+
+  result.fetches = sample_us.size();
+  std::sort(sample_us.begin(), sample_us.end());
+  if (!sample_us.empty()) {
+    // Nearest-rank (ceil) p99, matching the chaos e2e: with one scripted
+    // straggler in a small sweep the tail must not hide behind
+    // interpolation.
+    const std::size_t rank = (sample_us.size() * 99 + 99) / 100;
+    result.p99_us = static_cast<double>(
+        sample_us[std::max<std::size_t>(rank, 1) - 1]);
+  }
+  return result;
+}
+
 void print_window(const WindowResult& w) {
   std::printf("  [%zu worker%s, %s]\n", w.workers, w.workers == 1 ? "" : "s",
               w.used_reuseport ? "SO_REUSEPORT" : "single-acceptor");
@@ -335,12 +500,15 @@ void print_window(const WindowResult& w) {
 int main(int argc, char** argv) {
   std::size_t workers =
       static_cast<std::size_t>(env_long("IDICN_BENCH_WORKERS", 1));
+  bool check = env_long("IDICN_BENCH_CHECK", 0) != 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       const long parsed = std::strtol(argv[++i], nullptr, 10);
       if (parsed > 0) workers = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--workers N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--workers N] [--check]\n", argv[0]);
       return 2;
     }
   }
@@ -370,6 +538,7 @@ int main(int argc, char** argv) {
 
   const bool latency_under_miss =
       env_long("IDICN_BENCH_LATENCY_UNDER_MISS", 0) != 0;
+  const bool latency_tail = env_long("IDICN_BENCH_LATENCY_TAIL", 0) != 0;
 
   // --- deploy the socketed stack -----------------------------------------
   runtime::SocketNet net;
@@ -379,7 +548,10 @@ int main(int argc, char** argv) {
   // unconditionally does not perturb the throughput numbers.
   net::FaultInjector faulty(&net);
   net::DnsService dns;
-  crypto::MerkleSigner signer(0xbe9c, 8);  // 256 one-time keys
+  // 512 one-time keys: each publish burns two (content metadata + NRS
+  // registration), and the latency-tail leg republishes its catalog on a
+  // second reverse proxy.
+  crypto::MerkleSigner signer(0xbe9c, 9);
   NameResolutionSystem nrs(&dns);
   OriginServer origin;
   ReverseProxy reverse_proxy(&net, "rp.pub", "origin.pub", "nrs.consortium",
@@ -397,6 +569,21 @@ int main(int argc, char** argv) {
   net.register_endpoint(nrs_server);
   net.register_endpoint(origin_server);
   net.register_endpoint(rp_server);
+
+  // Second replica for the latency-tail leg: shares the signer, so the
+  // same label published on both reverse proxies yields one
+  // self-certifying name with two NRS location rows (rp.pub first, by
+  // registration order — the degradation schedule targets it).
+  std::unique_ptr<ReverseProxy> reverse_proxy2;
+  std::unique_ptr<runtime::HostServer> rp2_server;
+  if (latency_tail) {
+    reverse_proxy2 = std::make_unique<ReverseProxy>(
+        &net, "rp2.pub", "origin.pub", "nrs.consortium", &signer);
+    rp2_server =
+        std::make_unique<runtime::HostServer>(reverse_proxy2.get(), "rp2.pub");
+    rp2_server->start();
+    net.register_endpoint(*rp2_server);
+  }
 
   // Publish a small catalog (each publish costs one-time keys).
   constexpr int kCatalog = 16;
@@ -445,6 +632,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Two cold catalogs for the latency-tail sweeps (one per hedging mode,
+  // so both start as true MISSes), each replicated on rp.pub and rp2.pub.
+  std::vector<std::string> tail_unhedged_targets;
+  std::vector<std::string> tail_hedged_targets;
+  if (latency_tail) {
+    constexpr int kTailCatalog = 40;
+    const auto publish_replicated =
+        [&](const std::string& label, std::vector<std::string>& out) -> bool {
+      origin_server.run_on_loop([&] {
+        origin.put(label, std::string(static_cast<std::size_t>(body_bytes), 't'));
+      });
+      std::optional<SelfCertifyingName> name;
+      std::optional<SelfCertifyingName> twin;
+      rp_server.run_on_loop([&] { name = reverse_proxy.publish(label); });
+      if (!name) return false;
+      rp2_server->run_on_loop([&] { twin = reverse_proxy2->publish(label); });
+      if (!twin || twin->flat() != name->flat()) return false;
+      out.push_back("http://" + name->host() + "/");
+      return true;
+    };
+    for (int i = 0; i < kTailCatalog; ++i) {
+      if (!publish_replicated("tail-u-" + std::to_string(i),
+                              tail_unhedged_targets) ||
+          !publish_replicated("tail-h-" + std::to_string(i),
+                              tail_hedged_targets)) {
+        std::fprintf(stderr, "replicated publish failed for tail object %d\n",
+                     i);
+        return 1;
+      }
+    }
+  }
+
   // --- measured windows ---------------------------------------------------
   // With workers > 1: a 1-worker baseline window first, then the N-worker
   // window against the same warmed proxy, so the comparison isolates the
@@ -473,6 +692,49 @@ int main(int argc, char** argv) {
                 measured.req_per_s / baseline->req_per_s, scaling_efficiency);
   }
 
+  // Worker-coverage check (--check / IDICN_BENCH_CHECK=1): with the
+  // connection pools pinned per worker, no reactor should sit idle. A
+  // worker under 5% of the mean means the SO_REUSEPORT flow-hash collapse
+  // is back (or a reactor wedged) — fail loudly instead of publishing a
+  // scaling number measured on fewer workers than claimed.
+  bool coverage_failed = false;
+  if (check && measured.per_worker_req_per_s.size() > 1) {
+    double mean = 0.0;
+    for (const double rate : measured.per_worker_req_per_s) mean += rate;
+    mean /= static_cast<double>(measured.per_worker_req_per_s.size());
+    for (std::size_t w = 0; w < measured.per_worker_req_per_s.size(); ++w) {
+      if (measured.per_worker_req_per_s[w] < 0.05 * mean) {
+        std::fprintf(stderr,
+                     "worker coverage check FAILED: worker %zu served "
+                     "%.1f req/s against a %.1f req/s mean (< 5%%)\n",
+                     w, measured.per_worker_req_per_s[w], mean);
+        coverage_failed = true;
+      }
+    }
+  }
+
+  // Latency-tail sweeps (opt-in): the same degradation schedule twice —
+  // once with hedging off, once with the fetcher defaults. Runs before
+  // the latency-under-miss window because that window installs a
+  // persistent Latency rule on rp.pub.
+  std::optional<LatencyTailSweep> tail_unhedged;
+  std::optional<LatencyTailSweep> tail_hedged;
+  if (latency_tail) {
+    tail_unhedged = run_latency_tail_sweep(net, faulty, dns, false, workers,
+                                           tail_unhedged_targets);
+    tail_hedged = run_latency_tail_sweep(net, faulty, dns, true, workers,
+                                         tail_hedged_targets);
+    std::printf("  latency tail       unhedged p99 %.1f ms vs hedged p99 %.1f ms "
+                "over %zu cold fetches (%llu hedges sent, %llu won, "
+                "%llu suppressed, %llu range failovers)\n",
+                tail_unhedged->p99_us / 1000.0, tail_hedged->p99_us / 1000.0,
+                tail_hedged->fetches,
+                static_cast<unsigned long long>(tail_hedged->hedges_sent),
+                static_cast<unsigned long long>(tail_hedged->hedge_wins),
+                static_cast<unsigned long long>(tail_hedged->hedges_suppressed),
+                static_cast<unsigned long long>(tail_hedged->range_failovers));
+  }
+
   // Latency-under-miss window (opt-in): cold fetches crawl through the
   // injected upstream delay while the closed-loop clients stay on the hit
   // path. The p99 sampled during in-flight misses is the headline — the
@@ -489,6 +751,7 @@ int main(int argc, char** argv) {
                 lum->hit_p99_us_during_miss);
   }
 
+  if (rp2_server) rp2_server->stop();
   rp_server.stop();
   origin_server.stop();
   nrs_server.stop();
@@ -558,6 +821,27 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(proxy_stats.stale_served.value()),
       static_cast<unsigned long long>(proxy_stats.upstream_errors.value()));
   std::string json_out(json);
+  if (tail_unhedged && tail_hedged) {
+    char extra[512];
+    std::snprintf(
+        extra, sizeof(extra),
+        ",\"unhedged_p99_us\":%.1f,\"hedged_p99_us\":%.1f,"
+        "\"tail_fetches\":%zu,\"tail_errors\":%llu,"
+        "\"hedges_sent\":%llu,\"hedge_wins\":%llu,"
+        "\"hedges_suppressed\":%llu,\"range_failovers\":%llu,"
+        "\"rtt_p95_us\":{\"rp.pub\":%llu,\"rp2.pub\":%llu}}",
+        tail_unhedged->p99_us, tail_hedged->p99_us, tail_hedged->fetches,
+        static_cast<unsigned long long>(tail_unhedged->errors +
+                                        tail_hedged->errors),
+        static_cast<unsigned long long>(tail_hedged->hedges_sent),
+        static_cast<unsigned long long>(tail_hedged->hedge_wins),
+        static_cast<unsigned long long>(tail_hedged->hedges_suppressed),
+        static_cast<unsigned long long>(tail_hedged->range_failovers),
+        static_cast<unsigned long long>(tail_hedged->rtt_p95_rp_us),
+        static_cast<unsigned long long>(tail_hedged->rtt_p95_rp2_us));
+    json_out.pop_back();  // the closing brace moves behind the new fields
+    json_out += extra;
+  }
   if (lum) {
     char extra[384];
     std::snprintf(
@@ -584,5 +868,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_errors =
       measured.errors + (baseline ? baseline->errors : 0);
   if (lum) total_errors += lum->errors;
-  return total_errors == 0 ? 0 : 1;
+  if (tail_unhedged) total_errors += tail_unhedged->errors;
+  if (tail_hedged) total_errors += tail_hedged->errors;
+  return total_errors == 0 && !coverage_failed ? 0 : 1;
 }

@@ -124,7 +124,9 @@ Proxy::Proxy(net::Transport* net, net::Address self, net::Address nrs,
       self_(std::move(self)),
       nrs_(std::move(nrs)),
       dns_(dns),
-      options_(options) {
+      options_(options),
+      fetcher_(std::make_unique<runtime::MultiSourceFetcher>(net_,
+                                                             options.fetch)) {
   const std::size_t count = std::max<std::size_t>(1, options_.cache_shards);
   const std::uint64_t base = options_.capacity_bytes / count;
   const std::uint64_t remainder = options_.capacity_bytes % count;
@@ -481,6 +483,12 @@ private:
           stale_ = true;
           stale_etag_ = cached->second.etag;
           stale_fetched_from_ = cached->second.fetched_from;
+          // The expired copy's metalink mirrors join the multi-source
+          // candidate set — replicas we learned about the last time the
+          // object verified.
+          if (cached->second.metadata) {
+            stale_mirrors_ = cached->second.metadata->mirrors;
+          }
         }
       }
       // Another worker is already fetching this object: join its stream
@@ -716,6 +724,15 @@ private:
       // content.
       fetch_failed_ = false;
       location_index_ = 0;
+      if (proxy_->options_.multi_source_fetch) {
+        // DESIGN.md §13: with ≥2 known replicas the fetch becomes a
+        // congestion-aware race instead of a serial ladder.
+        std::vector<net::Address> sources = multi_sources();
+        if (sources.size() >= 2) {
+          start_multi_fetch(std::move(sources));
+          return;
+        }
+      }
       fetch_next_location();
       return;
     }
@@ -735,6 +752,83 @@ private:
       return;
     }
     degrade_or_resolution_error();
+  }
+
+  /// The candidate replica set for a multi-source MISS: every NRS row,
+  /// mirrors remembered from the expired copy's metalink metadata, and
+  /// the address the expired copy originally came from — deduped
+  /// preserving that priority order.
+  [[nodiscard]] std::vector<net::Address> multi_sources() const {
+    std::vector<net::Address> sources;
+    sources.reserve(locations_.size() + stale_mirrors_.size() + 1);
+    const auto push = [&sources](const net::Address& candidate) {
+      if (candidate.empty()) return;
+      if (std::find(sources.begin(), sources.end(), candidate) !=
+          sources.end()) {
+        return;
+      }
+      sources.push_back(candidate);
+    };
+    for (const auto& location : locations_) push(location);
+    for (const auto& mirror : stale_mirrors_) push(mirror);
+    if (stale_) push(stale_fetched_from_);
+    return sources;
+  }
+
+  /// DESIGN.md §13: race the fetch across every known replica through the
+  /// proxy's MultiSourceFetcher (RTT-ranked primary, hedged duplicate past
+  /// the straggler threshold, parallel range legs on large objects). The
+  /// fetcher synthesizes a plain 200 head even when the body arrives as
+  /// joined ranges, so the FetchSink / verification / transit machinery is
+  /// exactly the serial path's.
+  void start_multi_fetch(std::vector<net::Address> sources) {
+    if (halt_if_cancelled()) return;
+    net::HttpRequest fetch;
+    fetch.method = "GET";
+    fetch.target = "/";
+    fetch.headers.set("Host", host_);
+    fetch.headers.set(kWantMetadataHeader, "1");  // this proxy verifies
+
+    auto sink = std::make_shared<FetchSink>(
+        [proxy = proxy_, host = host_](
+            const std::shared_ptr<detail::Transit>& transit) {
+          CacheShard& shard = proxy->shard_for(host);
+          const core::sync::MutexLock lock(shard.mutex);
+          shard.transit[host] = transit;
+        },
+        halt_flag_);
+    auto self = shared_from_this();
+    proxy_->fetcher_->fetch_from_best(
+        proxy_->self_, std::move(sources), std::move(fetch), sink, exec_,
+        [self, sink](net::HttpResponse head,
+                     const runtime::MultiSourceFetcher::Result& result) {
+          // The winning replica is where revalidations should go back to.
+          const net::Address source = !result.source.empty()
+                                          ? result.source
+                                          : self->locations_.front();
+          self->finish_fetch(
+              *sink, source, 0, std::move(head),
+              [self, source](std::optional<Entry> entry,
+                             bool transport_failure) {
+                self->weigh_multi_fetch(source, std::move(entry),
+                                        transport_failure);
+              });
+        });
+  }
+
+  void weigh_multi_fetch(const net::Address& source, std::optional<Entry> entry,
+                         bool transport_failure) {
+    if (transport_failure) fetch_failed_ = true;
+    if (entry) {
+      deliver_entry(std::move(*entry), nullptr);
+      return;
+    }
+    // The race failed — every source errored, or the winner's content did
+    // not verify. Fall back to the serial location ladder, skipping the
+    // replica the race already proved bad: multi-source may make a MISS
+    // faster, it must never make one less available.
+    multi_failed_source_ = source;
+    fetch_next_location();
   }
 
   void weigh_direct_refetch(std::optional<Entry> entry) {
@@ -759,6 +853,12 @@ private:
 
   void fetch_next_location() {
     if (halt_if_cancelled()) return;
+    // A source the multi-source race already consumed (and whose content
+    // failed to deliver or verify) is not retried serially.
+    while (location_index_ < locations_.size() &&
+           locations_[location_index_] == multi_failed_source_) {
+      ++location_index_;
+    }
     if (location_index_ >= locations_.size()) {
       all_locations_failed();
       return;
@@ -964,6 +1064,8 @@ private:
   bool stale_ = false;  ///< an expired-but-verified copy is in the cache
   std::string stale_etag_;
   net::Address stale_fetched_from_;
+  std::vector<std::string> stale_mirrors_;  ///< metalink mirrors of the stale copy
+  net::Address multi_failed_source_;  ///< spent by the race; ladder skips it
 
   std::size_t peer_index_ = 0;
   std::vector<net::Address> holders_;

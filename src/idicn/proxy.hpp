@@ -62,6 +62,7 @@
 #include "net/dns.hpp"
 #include "net/sim_net.hpp"
 #include "net/transport.hpp"
+#include "runtime/multi_source_fetcher.hpp"
 
 namespace idicn::idicn {
 
@@ -142,6 +143,15 @@ public:
     /// Stale-hint damage control: at most this many directory candidates
     /// are tried per miss before falling through to the NRS/origin path.
     std::size_t sibling_fanout = 2;
+    /// Congestion-aware multi-source MISS path (DESIGN.md §13): when a
+    /// name resolves to ≥2 distinct sources (NRS rows, metalink mirrors
+    /// remembered from an expired copy, the stale copy's origin), the
+    /// fetch races through a runtime::MultiSourceFetcher — RTT-ranked
+    /// replica choice, hedged requests past the straggler threshold,
+    /// parallel range legs on large objects — with the serial location
+    /// ladder as fallback, so availability never regresses.
+    bool multi_source_fetch = true;
+    runtime::MultiSourceFetcher::Options fetch;  ///< fetcher tuning knobs
   };
 
   Proxy(net::Transport* net, net::Address self, net::Address nrs,
@@ -199,6 +209,11 @@ public:
   void push_hints();
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// The congestion-aware multi-source fetch engine: hedging/range-split
+  /// counters and per-destination RTT snapshots for the bench exporters.
+  [[nodiscard]] runtime::MultiSourceFetcher& fetcher() noexcept {
+    return *fetcher_;
+  }
   /// Hot-path counters (byte throughput mirrors of Stats); zero-valued
   /// when the perf-counter layer is compiled out. Returns a merged
   /// snapshot of the per-shard counters (each shard locked in turn), safe
@@ -309,6 +324,7 @@ private:
   const net::DnsService* dns_;
   Options options_;
   Stats stats_;
+  std::unique_ptr<runtime::MultiSourceFetcher> fetcher_;
 
   /// Sized by the constructor, never resized: the vector and each shard's
   /// identity are immutable; only guarded shard innards mutate.

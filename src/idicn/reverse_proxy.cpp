@@ -5,6 +5,32 @@
 #include "net/uri.hpp"
 
 namespace idicn::idicn {
+namespace {
+
+/// Buffers a streamed multi-source fetch back into one HttpResponse for
+/// the admission path (signing needs the complete body anyway). The head
+/// the sink sees is already the synthesized 200 when the body arrived as
+/// joined range legs.
+class BufferSink final : public net::ChunkSink {
+public:
+  bool on_head(const net::HttpResponse&) override { return true; }
+  bool on_chunk(core::Chunk chunk) override {
+    body_.append(std::move(chunk));
+    return true;
+  }
+
+  /// The buffered body attached to the fetch's final head.
+  [[nodiscard]] net::HttpResponse assemble(net::HttpResponse head) {
+    head.body.clear();
+    head.stream_body = std::move(body_);
+    return head;
+  }
+
+private:
+  core::ChunkedBody body_;
+};
+
+}  // namespace
 
 ReverseProxy::ReverseProxy(net::Transport* net, net::Address self, net::Address origin,
                            net::Address nrs, crypto::MerkleSigner* signer)
@@ -13,6 +39,7 @@ ReverseProxy::ReverseProxy(net::Transport* net, net::Address self, net::Address 
       origin_(std::move(origin)),
       nrs_(std::move(nrs)),
       publisher_id_(SelfCertifyingName::publisher_id(signer->root())),
+      origin_fetcher_(net),
       signer_(signer) {}
 
 ReverseProxy::Entry& ReverseProxy::admit(const std::string& label,
@@ -28,6 +55,11 @@ ReverseProxy::Entry& ReverseProxy::admit(const std::string& label,
   entry.metadata.publisher_key = signer_->root();
   entry.metadata.signature = signer_->sign(entry.metadata.signing_input());
   entry.metadata.mirrors = {self_};
+  // Advertised replicas ride in the metalink metadata so downstream
+  // proxies can hedge/range-split across them (DESIGN.md §13).
+  for (const net::Address& mirror : mirrors_) {
+    entry.metadata.mirrors.push_back(mirror);
+  }
   return entries_[label] = std::move(entry);
 }
 
@@ -97,6 +129,15 @@ net::HttpResponse ReverseProxy::respond(const Entry& entry,
       net::make_stream_response(200, entry.body, entry.content_type);
   entry.metadata.apply_to(response.headers);
   response.headers.set("ETag", etag);
+  // RFC 7233 ranged reads, applied after the metadata headers so a 206
+  // still carries the verification material. This is what lets a
+  // multi-source fetcher split one object across replicas: the probe's
+  // 206 exposes the total size via Content-Range, and an empty object's
+  // 416 carries "bytes */0". Pre-range clients are unaffected (no Range
+  // header ⇒ plain 200).
+  if (const auto range = request.headers.get_view("Range")) {
+    net::apply_byte_range(*range, response);
+  }
   return response;
 }
 
@@ -212,17 +253,29 @@ std::shared_ptr<net::AsyncOp> ReverseProxy::handle_http_async(
     return nullptr;
   }
 
-  // Step 5: route the request to the origin server — with the lock dropped
-  // and the request parked, so this worker keeps serving while the fetch
-  // is in flight.
+  // Step 5: route the request to the origin backend — with the lock
+  // dropped and the request parked, so this worker keeps serving while the
+  // fetch is in flight. The fetch goes through the congestion-aware
+  // multi-source engine: with replicas registered it RTT-ranks them,
+  // hedges past the straggler threshold and fails over on faults; with
+  // just the one origin it degrades to a breaker-gated single fetch.
   net::HttpRequest fetch;
   fetch.method = "GET";
   fetch.target = "/content?label=" + name->label();
+  std::vector<net::Address> sources;
+  sources.reserve(1 + origin_replicas_.size());
+  sources.push_back(origin_);
+  for (const net::Address& replica : origin_replicas_) {
+    sources.push_back(replica);
+  }
+  auto sink = std::make_shared<BufferSink>();
   auto op = std::make_shared<AdmitOp>(this, *name, request, std::move(deliver));
-  net_->send_async(self_, origin_, fetch, exec,
-                   [op](net::HttpResponse from_origin) {
-                     op->weigh_origin_answer(std::move(from_origin));
-                   });
+  origin_fetcher_.fetch_from_best(
+      self_, std::move(sources), std::move(fetch), sink, exec,
+      [op, sink](net::HttpResponse head,
+                 const runtime::MultiSourceFetcher::Result&) {
+        op->weigh_origin_answer(sink->assemble(std::move(head)));
+      });
   return op->settled() ? nullptr : op;
 }
 

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/buffer.hpp"
 #include "core/sync.hpp"
@@ -30,6 +31,7 @@
 #include "idicn/name.hpp"
 #include "net/sim_net.hpp"
 #include "net/transport.hpp"
+#include "runtime/multi_source_fetcher.hpp"
 
 namespace idicn::idicn {
 
@@ -58,6 +60,26 @@ public:
   }
   [[nodiscard]] std::uint64_t origin_fetches() const noexcept {
     return origin_fetches_.value();
+  }
+
+  /// Advertise an additional replica in every signed object's metalink
+  /// metadata (Link rel=duplicate): downstream proxies feed these into
+  /// their multi-source fetch as hedge/range candidates. Setup-time only —
+  /// call before serving starts; already-signed entries are unaffected.
+  void add_mirror(net::Address mirror) {
+    mirrors_.push_back(std::move(mirror));
+  }
+
+  /// Register a replica of the origin backend: miss-path admissions fetch
+  /// through the congestion-aware MultiSourceFetcher across the origin and
+  /// every replica (RTT-ranked, hedged, breaker-gated). Setup-time only.
+  void add_origin_replica(net::Address replica) {
+    origin_replicas_.push_back(std::move(replica));
+  }
+
+  /// The miss-path fetch engine (stats/snapshots for benches and tests).
+  [[nodiscard]] runtime::MultiSourceFetcher& origin_fetcher() noexcept {
+    return origin_fetcher_;
   }
 
   /// HTTP face: GET with Host: <L>.<P>.idicn.org (any path).
@@ -105,6 +127,9 @@ private:
   net::Address origin_;
   net::Address nrs_;
   std::string publisher_id_;  ///< construction-time, immutable
+  std::vector<net::Address> mirrors_;          ///< setup-time (add_mirror)
+  std::vector<net::Address> origin_replicas_;  ///< setup-time
+  runtime::MultiSourceFetcher origin_fetcher_;  ///< miss-path fetch engine
   /// Guards the entry map and the signer's one-time-key state; never held
   /// across net_->send().
   mutable core::sync::Mutex mutex_;

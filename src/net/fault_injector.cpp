@@ -20,6 +20,8 @@ std::uint64_t FaultInjector::add_rule(Rule rule) {
 void FaultInjector::remove_rule(std::uint64_t id) {
   const core::sync::MutexLock lock(mutex_);
   std::erase_if(rules_, [id](const StoredRule& r) { return r.id == id; });
+  std::erase_if(degradations_,
+                [id](const StoredDegradation& d) { return d.id == id; });
 }
 
 void FaultInjector::set_enabled(std::uint64_t id, bool enabled) {
@@ -27,11 +29,43 @@ void FaultInjector::set_enabled(std::uint64_t id, bool enabled) {
   for (auto& stored : rules_) {
     if (stored.id == id) stored.enabled = enabled;
   }
+  for (auto& stored : degradations_) {
+    if (stored.id == id) stored.enabled = enabled;
+  }
 }
 
 void FaultInjector::clear_rules() {
   const core::sync::MutexLock lock(mutex_);
   rules_.clear();
+}
+
+std::uint64_t FaultInjector::add_degradation(Degradation schedule) {
+  const core::sync::MutexLock lock(mutex_);
+  const std::uint64_t id = next_rule_id_++;
+  degradations_.push_back(
+      StoredDegradation{id, /*enabled=*/true, std::move(schedule),
+                        /*matched=*/0});
+  return id;
+}
+
+void FaultInjector::clear_degradations() {
+  const core::sync::MutexLock lock(mutex_);
+  degradations_.clear();
+}
+
+std::uint64_t FaultInjector::ramp_latency_ms(const Degradation& spec,
+                                             std::uint64_t n) {
+  if (n < spec.ramp_start || n >= spec.hold_until) return 0;
+  const std::uint64_t into = n - spec.ramp_start;
+  const std::uint64_t span = spec.ramp_sends == 0 ? 1 : spec.ramp_sends;
+  if (into >= span) return spec.peak_latency_ms;
+  // Linear interpolation; ramps may climb (degrading) or fall (recovering).
+  if (spec.peak_latency_ms >= spec.start_latency_ms) {
+    return spec.start_latency_ms +
+           (spec.peak_latency_ms - spec.start_latency_ms) * into / span;
+  }
+  return spec.start_latency_ms -
+         (spec.start_latency_ms - spec.peak_latency_ms) * into / span;
 }
 
 void FaultInjector::set_latency_hook(std::function<void(std::uint64_t)> hook) {
@@ -46,6 +80,16 @@ FaultInjector::Stats FaultInjector::stats() const {
 FaultInjector::Decision FaultInjector::decide(const Address& to) {
   const core::sync::MutexLock lock(mutex_);
   const std::uint64_t send_index = stats_.sends++;
+  Decision decision;
+  for (auto& sched : degradations_) {
+    if (!sched.enabled) continue;
+    if (sched.spec.to != "*" && sched.spec.to != to) continue;
+    decision.degrade_ms += ramp_latency_ms(sched.spec, sched.matched++);
+  }
+  if (decision.degrade_ms > 0) {
+    ++stats_.degraded_sends;
+    stats_.degrade_ms += decision.degrade_ms;
+  }
   for (const auto& stored : rules_) {
     if (!stored.enabled) continue;
     const Rule& rule = stored.rule;
@@ -66,9 +110,11 @@ FaultInjector::Decision FaultInjector::decide(const Address& to) {
       case FaultKind::TruncateBody: ++stats_.truncations; break;
       case FaultKind::CorruptBody: ++stats_.corruptions; break;
     }
-    return Decision{true, rule};
+    decision.fire = true;
+    decision.rule = rule;
+    return decision;
   }
-  return Decision{};
+  return decision;
 }
 
 void FaultInjector::stall(std::uint64_t delay_ms) const {
@@ -105,6 +151,7 @@ void FaultInjector::mutate_body(const Rule& rule, HttpResponse& response) {
 HttpResponse FaultInjector::send(const Address& from, const Address& to,
                                  const HttpRequest& request) {
   const Decision decision = decide(to);
+  if (decision.degrade_ms > 0) stall(decision.degrade_ms);
   if (!decision.fire) return inner_->send(from, to, request);
   switch (decision.rule.kind) {
     case FaultKind::Drop:
@@ -135,6 +182,7 @@ HttpResponse FaultInjector::send_streaming(const Address& from, const Address& t
                                            const HttpRequest& request,
                                            ChunkSink& sink) {
   const Decision decision = decide(to);
+  if (decision.degrade_ms > 0) stall(decision.degrade_ms);
   if (!decision.fire) return inner_->send_streaming(from, to, request, sink);
   switch (decision.rule.kind) {
     case FaultKind::Drop:
@@ -171,6 +219,7 @@ std::vector<HttpResponse> FaultInjector::multicast(const Address& group_from,
                                                    const std::string& group,
                                                    const HttpRequest& request) {
   const Decision decision = decide(group);
+  if (decision.degrade_ms > 0) stall(decision.degrade_ms);
   if (!decision.fire) return inner_->multicast(group_from, group, request);
   switch (decision.rule.kind) {
     case FaultKind::Drop:
@@ -221,6 +270,22 @@ void FaultInjector::send_async(const Address& from, const Address& to,
     return;
   }
   const Decision decision = decide(to);
+  if (decision.degrade_ms > 0) {
+    stall_async(*exec, decision.degrade_ms,
+                [this, decision, from, to, request, exec,
+                 done = std::move(done)]() mutable {
+                  act_send_async(decision, from, to, request, exec,
+                                 std::move(done));
+                });
+    return;
+  }
+  act_send_async(decision, from, to, request, exec, std::move(done));
+}
+
+void FaultInjector::act_send_async(const Decision& decision,
+                                   const Address& from, const Address& to,
+                                   const HttpRequest& request, Executor* exec,
+                                   SendCallback done) {
   if (!decision.fire) {
     inner_->send_async(from, to, request, exec, std::move(done));
     return;
@@ -270,6 +335,24 @@ void FaultInjector::send_streaming_async(const Address& from, const Address& to,
     return;
   }
   const Decision decision = decide(to);
+  if (decision.degrade_ms > 0) {
+    stall_async(*exec, decision.degrade_ms,
+                [this, decision, from, to, request, sink = std::move(sink),
+                 exec, done = std::move(done)]() mutable {
+                  act_streaming_async(decision, from, to, request,
+                                      std::move(sink), exec, std::move(done));
+                });
+    return;
+  }
+  act_streaming_async(decision, from, to, request, std::move(sink), exec,
+                      std::move(done));
+}
+
+void FaultInjector::act_streaming_async(const Decision& decision,
+                                        const Address& from, const Address& to,
+                                        const HttpRequest& request,
+                                        std::shared_ptr<ChunkSink> sink,
+                                        Executor* exec, SendCallback done) {
   if (!decision.fire) {
     inner_->send_streaming_async(from, to, request, std::move(sink), exec,
                                  std::move(done));

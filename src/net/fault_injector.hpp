@@ -71,6 +71,32 @@ public:
     std::uint64_t until_sends = std::numeric_limits<std::uint64_t>::max();
   };
 
+  /// Time-varying per-destination degradation: a latency ramp measured in
+  /// *matched sends to that destination* (each schedule keeps its own
+  /// counter, so one destination's ramp is unaffected by traffic to
+  /// others). The nth matched send stalls for
+  ///
+  ///        n <  ramp_start              → 0            (healthy)
+  ///        n ∈ [ramp_start, +ramp_sends)→ linear start→peak interpolation
+  ///        n ∈ [.., hold_until)         → peak_latency_ms (fully degraded)
+  ///        n >= hold_until              → 0            (recovered)
+  ///
+  /// Ramps compose with the fault rules: the schedule's stall is applied
+  /// first, then the matched rule (if any) fires as usual. This is the
+  /// straggler model the multi-source fetcher is tested against — a
+  /// replica that decays gradually rather than failing crisply, which
+  /// timeouts miss but hedging must catch.
+  struct Degradation {
+    Address to = "*";
+    std::uint64_t start_latency_ms = 0;  ///< stall at the ramp's first send
+    std::uint64_t peak_latency_ms = 0;   ///< stall once the ramp tops out
+    std::uint64_t ramp_start = 0;        ///< matched-send index ramp begins
+    std::uint64_t ramp_sends = 1;        ///< sends over which latency climbs
+    /// Matched-send index at which the destination recovers (stall back
+    /// to 0); default: degraded forever.
+    std::uint64_t hold_until = std::numeric_limits<std::uint64_t>::max();
+  };
+
   struct Options {
     std::uint64_t seed = 0xfa017;  ///< probability RNG seed
   };
@@ -85,6 +111,8 @@ public:
     std::uint64_t delays = 0;
     std::uint64_t truncations = 0;
     std::uint64_t corruptions = 0;
+    std::uint64_t degraded_sends = 0;  ///< sends stalled by a schedule
+    std::uint64_t degrade_ms = 0;      ///< total schedule stall injected
   };
 
   /// Does not own `inner`; the caller keeps it alive.
@@ -99,6 +127,12 @@ public:
   /// Toggle a rule without forgetting it (manual fail→recover scripting).
   void set_enabled(std::uint64_t id, bool enabled) IDICN_EXCLUDES(mutex_);
   void clear_rules() IDICN_EXCLUDES(mutex_);
+
+  /// Install a degradation schedule (latency ramp); ids share the rule id
+  /// space and work with remove_rule / set_enabled / clear via
+  /// clear_degradations. Multiple matching schedules stack additively.
+  std::uint64_t add_degradation(Degradation schedule) IDICN_EXCLUDES(mutex_);
+  void clear_degradations() IDICN_EXCLUDES(mutex_);
 
   /// Replace the blocking sleep used for Latency/BlackHole stalls (e.g.
   /// advance a SimNet virtual clock). Install before traffic flows.
@@ -143,12 +177,26 @@ private:
     Rule rule;
   };
 
+  struct StoredDegradation {
+    std::uint64_t id = 0;
+    bool enabled = true;
+    Degradation spec;
+    std::uint64_t matched = 0;  ///< this schedule's private send clock
+  };
+
   /// A fault decision for one send, resolved entirely under the lock so the
   /// RNG draw order is deterministic; acted on after unlock.
   struct Decision {
     bool fire = false;
     Rule rule;
+    /// Additional stall from matching degradation schedules, applied
+    /// before the rule (if any) acts.
+    std::uint64_t degrade_ms = 0;
   };
+
+  /// The stall a schedule applies to its nth matched send.
+  [[nodiscard]] static std::uint64_t ramp_latency_ms(const Degradation& spec,
+                                                     std::uint64_t n);
 
   [[nodiscard]] Decision decide(const Address& to) IDICN_EXCLUDES(mutex_);
   void stall(std::uint64_t delay_ms) const;
@@ -158,11 +206,22 @@ private:
                    std::function<void()> then) const;
   static void mutate_body(const Rule& rule, HttpResponse& response);
 
+  // Decision tails of the async entry points, run after any degradation
+  // stall has elapsed (factored out so the ramp wraps them untouched).
+  void act_send_async(const Decision& decision, const Address& from,
+                      const Address& to, const HttpRequest& request,
+                      Executor* exec, SendCallback done);
+  void act_streaming_async(const Decision& decision, const Address& from,
+                           const Address& to, const HttpRequest& request,
+                           std::shared_ptr<ChunkSink> sink, Executor* exec,
+                           SendCallback done);
+
   Transport* inner_;
   Options options_;
   std::function<void(std::uint64_t)> latency_hook_;  ///< set before traffic
   mutable core::sync::Mutex mutex_;
   std::vector<StoredRule> rules_ IDICN_GUARDED_BY(mutex_);
+  std::vector<StoredDegradation> degradations_ IDICN_GUARDED_BY(mutex_);
   std::uint64_t next_rule_id_ IDICN_GUARDED_BY(mutex_) = 1;
   std::mt19937_64 rng_ IDICN_GUARDED_BY(mutex_);
   Stats stats_ IDICN_GUARDED_BY(mutex_);

@@ -400,4 +400,45 @@ bool apply_byte_range(std::string_view range_value, HttpResponse& response) {
   return true;
 }
 
+std::optional<ContentRange> parse_content_range(std::string_view value) {
+  value = trim_spaces(value);
+  constexpr std::string_view kUnit = "bytes";
+  if (value.substr(0, kUnit.size()) != kUnit) return std::nullopt;
+  value = value.substr(kUnit.size());
+  if (value.empty() || (value.front() != ' ' && value.front() != '\t')) {
+    return std::nullopt;
+  }
+  value = trim_spaces(value);
+  const std::size_t slash = value.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view range_part = trim_spaces(value.substr(0, slash));
+  const std::string_view total_part = trim_spaces(value.substr(slash + 1));
+
+  ContentRange out;
+  if (total_part == "*") {
+    out.total_known = false;
+  } else {
+    if (!parse_decimal(total_part, &out.total)) return std::nullopt;
+    out.total_known = true;
+  }
+
+  if (range_part == "*") {
+    // Unsatisfied-range form requires a known total per RFC 7233.
+    if (!out.total_known) return std::nullopt;
+    out.satisfied = false;
+    return out;
+  }
+
+  const std::size_t dash = range_part.find('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  if (!parse_decimal(range_part.substr(0, dash), &out.first) ||
+      !parse_decimal(range_part.substr(dash + 1), &out.last)) {
+    return std::nullopt;
+  }
+  if (out.first > out.last) return std::nullopt;
+  if (out.total_known && out.last >= out.total) return std::nullopt;
+  out.satisfied = true;
+  return out;
+}
+
 }  // namespace idicn::net

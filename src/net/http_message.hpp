@@ -201,4 +201,23 @@ enum class RangeParse {
 /// or multi-range header) and the response is untouched.
 bool apply_byte_range(std::string_view range_value, HttpResponse& response);
 
+/// Parsed Content-Range response header (RFC 7233 §4.2).
+struct ContentRange {
+  /// True for the satisfied form "bytes a-b/T" or "bytes a-b/*"; false for
+  /// the unsatisfied-range form "bytes */T" (416 responses).
+  bool satisfied = false;
+  std::uint64_t first = 0;  ///< first byte position (satisfied form)
+  std::uint64_t last = 0;   ///< last byte position, inclusive
+  bool total_known = false; ///< false when the complete length is "*"
+  std::uint64_t total = 0;  ///< complete representation length when known
+};
+
+/// Parse a Content-Range value ("bytes 0-499/1234", "bytes 5-9/*",
+/// "bytes */1234"). nullopt for other units, malformed input, or
+/// inconsistent positions (first > last, last ≥ known total). The
+/// multi-source fetcher uses this to learn an object's total size from a
+/// ranged probe before splitting the remainder across replicas.
+[[nodiscard]] std::optional<ContentRange> parse_content_range(
+    std::string_view value);
+
 }  // namespace idicn::net

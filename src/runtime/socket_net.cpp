@@ -14,6 +14,21 @@ std::string retry_after_seconds(std::uint64_t retry_after_ms) {
   return std::to_string((retry_after_ms + 999) / 1000);
 }
 
+}  // namespace
+
+std::optional<std::uint64_t> parse_retry_after_ms(std::string_view value) {
+  if (value.empty()) return std::nullopt;
+  std::uint64_t seconds = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seconds = seconds * 10 + static_cast<std::uint64_t>(c - '0');
+    if (seconds > 86'400) return std::nullopt;  // cap: a day is a refusal
+  }
+  return seconds * 1000;
+}
+
+namespace {
+
 /// Wraps the caller's sink to record whether anything was delivered —
 /// the retry loop must stop replaying attempts once the sink saw a head.
 class DeliveryTrackingSink final : public net::ChunkSink {
@@ -448,6 +463,38 @@ void SocketNet::finish_async_attempt(std::shared_ptr<AsyncSendState> state,
                                      std::optional<net::HttpResponse> head,
                                      std::string error) {
   if (head) {
+    // A 503 with a Retry-After hint is a breaker-fronted peer (or an
+    // over-capacity server) saying exactly when to come back: replay the
+    // attempt no earlier than the hint instead of surfacing the refusal.
+    // Buffered sends only — a streaming sink already consumed this head —
+    // and still bounded by attempts, deadline, and the retry budget. The
+    // exchange itself was clean HTTP, so the connection pools and the
+    // local breaker records nothing either way.
+    if (head->status == 503 && !state->delivered &&
+        state->attempt < state->max_attempts) {
+      const auto hint = head->headers.get_view("Retry-After");
+      const auto hint_ms =
+          hint ? parse_retry_after_ms(*hint) : std::nullopt;
+      if (hint_ms) {
+        const std::uint64_t delay_ms = std::max(
+            *hint_ms, retry_policy_.backoff_delay_ms(state->attempt));
+        if (retry_policy_.within_deadline(now_ms() - state->started_ms,
+                                          delay_ms) &&
+            retry_budget_.try_spend()) {
+          give_back_async(state->to, state->exec, std::move(state->client));
+          {
+            const core::sync::MutexLock lock(mutex_);
+            ++stats_.retries;
+            ++stats_.retry_after_honored;
+          }
+          RetryPolicy::schedule_backoff(*state->exec, delay_ms, [state]() {
+            ++state->attempt;
+            state->net->async_attempt(state);
+          });
+          return;
+        }
+      }
+    }
     give_back_async(state->to, state->exec, std::move(state->client));
     if (state->breaker != nullptr) state->breaker->record_success(now_ms());
     state->done(std::move(*head));

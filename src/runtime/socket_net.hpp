@@ -31,7 +31,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/sync.hpp"
@@ -43,6 +45,13 @@
 namespace idicn::runtime {
 
 class ServerGroup;
+
+/// Parse a delay-seconds Retry-After value (RFC 7231 §7.1.3, the only form
+/// this runtime emits) to milliseconds; nullopt for HTTP-date or garbage —
+/// callers fall back to the backoff curve. Values over a day are treated
+/// as a refusal, not a hint.
+[[nodiscard]] std::optional<std::uint64_t> parse_retry_after_ms(
+    std::string_view value);
 
 class SocketNet final : public net::Transport {
 public:
@@ -121,6 +130,9 @@ public:
     std::uint64_t retries = 0;             ///< backoff-delayed re-attempts
     std::uint64_t breaker_fast_fails = 0;  ///< 503s from an open breaker
     std::uint64_t stale_pool_drops = 0;    ///< dead pooled fds discarded
+    /// Async retries whose delay was stretched to a peer's Retry-After
+    /// hint on a 503 (instead of the generic backoff curve).
+    std::uint64_t retry_after_honored = 0;
   };
   [[nodiscard]] Stats stats() const IDICN_EXCLUDES(mutex_);
 

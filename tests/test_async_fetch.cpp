@@ -33,6 +33,7 @@
 #include "idicn/reverse_proxy.hpp"
 #include "net/fault_injector.hpp"
 #include "net/http_decoder.hpp"
+#include "runtime/event_loop.hpp"
 #include "runtime/http_client.hpp"
 #include "runtime/server_group.hpp"
 #include "runtime/socket_net.hpp"
@@ -345,6 +346,58 @@ TEST(AsyncFetch, RetryBackoffDoesNotBlockConcurrentHits) {
   // Far under one connect timeout: the worker never sat in the ladder.
   EXPECT_LT(worst_hit_ms, 200u);
   EXPECT_GE(d.net.stats().retries, 1u);
+}
+
+/// Answers the first request with 503 + Retry-After, then recovers — the
+/// wire shape of a breaker-fronted or over-capacity peer.
+struct RetryAfterHost : net::SimHost {
+  std::atomic<int> hits{0};
+  net::HttpResponse handle_http(const net::HttpRequest& /*request*/,
+                                const net::Address& /*from*/) override {
+    if (hits.fetch_add(1) == 0) {
+      auto refusal = net::make_response(503, "overloaded; come back");
+      refusal.headers.set("Retry-After", "1");
+      return refusal;
+    }
+    return net::make_response(200, "recovered");
+  }
+};
+
+TEST(AsyncFetch, RetryAfterHintDelaysAsyncRetry) {
+  // A 503 with a Retry-After hint must be replayed no earlier than the
+  // hinted second — not on the generic ~5 ms backoff curve — and the
+  // replay is a timer-wheel park, not a blocked thread.
+  runtime::SocketNet net(async_net_options());
+  RetryAfterHost host;
+  runtime::ServerGroup server(&host, "flaky.svc");
+  server.start();
+  net.register_endpoint(server);
+
+  runtime::EventLoop loop;
+  std::optional<net::HttpResponse> answer;
+  std::uint64_t elapsed_ms = 0;
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/";
+  const auto t0 = Clock::now();
+  loop.post([&] {
+    net.send_async("client", "flaky.svc", request, &loop,
+                   [&](net::HttpResponse response) {
+                     answer = std::move(response);
+                     elapsed_ms = ms_since(t0);
+                     loop.stop();
+                   });
+  });
+  loop.run();
+  server.stop();
+
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->status, 200);
+  EXPECT_EQ(answer->body, "recovered");
+  EXPECT_EQ(host.hits.load(), 2);
+  EXPECT_GE(elapsed_ms, 1000u);  // no earlier than the hint
+  EXPECT_EQ(net.stats().retry_after_honored, 1u);
+  EXPECT_EQ(net.stats().retries, 1u);
 }
 
 }  // namespace

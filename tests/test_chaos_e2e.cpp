@@ -70,17 +70,25 @@ struct ChaosDeployment {
   runtime::SocketNet net{chaos_net_options()};
   net::FaultInjector faulty{&net};
   net::DnsService dns;
-  crypto::MerkleSigner signer{12345, 6};
+  // Height 8 ⇒ 256 one-time signatures: replicated publishing burns one
+  // signature per (object, replica) pair, so the hedging sweep's 40 objects
+  // × 2 replicas fit with room to spare.
+  crypto::MerkleSigner signer{12345, 8};
   NameResolutionSystem nrs{&dns};
   OriginServer origin;
   ReverseProxy reverse_proxy{&net, "rp.pub", "origin.pub", "nrs.consortium",
                              &signer};
+  /// Optional second replica of the same publisher (same signer, same
+  /// origin): publishing the same label on both makes the NRS return two
+  /// locations for one self-certifying name — the multi-source MISS path.
+  std::unique_ptr<ReverseProxy> reverse_proxy2;
   Proxy proxy;
   Proxy peer_proxy;
 
   runtime::ServerGroup origin_server{&origin, "origin.pub"};
   std::unique_ptr<runtime::ServerGroup> nrs_server;
   std::unique_ptr<runtime::ServerGroup> rp_server;
+  std::unique_ptr<runtime::ServerGroup> rp2_server;
   std::unique_ptr<runtime::ServerGroup> peer_server;
   std::unique_ptr<runtime::ServerGroup> proxy_server;
   std::uint16_t nrs_port = 0;
@@ -96,9 +104,11 @@ struct ChaosDeployment {
 
   explicit ChaosDeployment(std::uint64_t freshness_ms = 1,
                            bool with_peer = false,
-                           std::size_t proxy_workers = 2)
+                           std::size_t proxy_workers = 2,
+                           bool with_second_rp = false,
+                           std::optional<Proxy::Options> proxy_override = {})
       : proxy{&faulty, "cache.ad1", "nrs.consortium", &dns,
-              proxy_options(freshness_ms, 2)},
+              proxy_override.value_or(proxy_options(freshness_ms, 2))},
         peer_proxy{&net, "cache2.ad1", "nrs.consortium", &dns,
                    proxy_options(freshness_ms, 1)} {
     if (with_peer) proxy.add_peer("cache2.ad1");  // before serving starts
@@ -110,6 +120,14 @@ struct ChaosDeployment {
     rp_server = std::make_unique<runtime::ServerGroup>(&reverse_proxy, "rp.pub");
     rp_port = rp_server->start();
     net.register_endpoint(*rp_server);
+    if (with_second_rp) {
+      reverse_proxy2 = std::make_unique<ReverseProxy>(
+          &net, "rp2.pub", "origin.pub", "nrs.consortium", &signer);
+      rp2_server = std::make_unique<runtime::ServerGroup>(reverse_proxy2.get(),
+                                                          "rp2.pub");
+      rp2_server->start();
+      net.register_endpoint(*rp2_server);
+    }
     if (with_peer) {
       peer_server = std::make_unique<runtime::ServerGroup>(&peer_proxy,
                                                            "cache2.ad1");
@@ -127,6 +145,7 @@ struct ChaosDeployment {
   ~ChaosDeployment() {
     proxy_server->stop();
     if (peer_server) peer_server->stop();
+    if (rp2_server) rp2_server->stop();
     if (rp_server) rp_server->stop();
     if (nrs_server) nrs_server->stop();
     origin_server.stop();
@@ -138,6 +157,23 @@ struct ChaosDeployment {
     rp_server->run_on_all_workers([&] { name = reverse_proxy.publish(label); });
     EXPECT_TRUE(name.has_value());
     return *name;
+  }
+
+  /// Publish on BOTH replicas: same signer + same label ⇒ same
+  /// self-certifying name, two NRS location rows (rp.pub first).
+  SelfCertifyingName publish_replicated(const std::string& label,
+                                        const std::string& body) {
+    const auto name = publish(label, body);
+    if (rp2_server) {
+      std::optional<SelfCertifyingName> twin;
+      rp2_server->run_on_all_workers(
+          [&] { twin = reverse_proxy2->publish(label); });
+      EXPECT_TRUE(twin.has_value());
+      if (twin) {
+        EXPECT_EQ(twin->flat(), name.flat());
+      }
+    }
+    return name;
   }
 
   /// Kill the reverse proxy (the proxy's only content location).
@@ -476,6 +512,115 @@ TEST(ChaosE2e, ConcurrentClientsSurviveOriginFlaps) {
   }
   EXPECT_EQ(d.net.breaker_state("rp.pub"),
             runtime::CircuitBreaker::State::Closed);
+}
+
+/// Order statistic over request latencies: index ⌈0.99·n⌉−1 of the sorted
+/// samples (the same convention RttEstimator::quantile_us uses).
+std::uint64_t p99_of(std::vector<std::uint64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t rank = (samples.size() * 99 + 99) / 100;  // ⌈0.99·n⌉
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+struct TailRun {
+  std::uint64_t p99_ms = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t hedges_sent = 0;
+  std::uint64_t hedge_wins = 0;
+  double budget_cap = 0.0;  ///< max duplicates the hedge budget ever allowed
+};
+
+/// One cold-MISS sweep over `objects` distinct names replicated on rp.pub
+/// and rp2.pub, with rp.pub's latency degrading abruptly mid-sweep: the
+/// first sends are healthy (seeding honest RTT estimates that keep rp.pub
+/// ranked primary), then every send to it stalls 800 ms.
+void run_latency_ramp_sweep(bool hedging, int objects, TailRun* out) {
+  Proxy::Options popt = ChaosDeployment::proxy_options(/*freshness_ms=*/60'000,
+                                                       /*shards=*/2);
+  popt.multi_source_fetch = true;
+  popt.fetch.hedging_enabled = hedging;
+  // Well above the healthy RTT, far below the injected stall: the timer
+  // only fires for genuine stragglers, never for the healthy replica.
+  popt.fetch.hedge_min_delay_ms = 25;
+  ChaosDeployment d(/*freshness_ms=*/60'000, /*with_peer=*/false,
+                    /*proxy_workers=*/2, /*with_second_rp=*/true, popt);
+
+  std::vector<SelfCertifyingName> names;
+  names.reserve(static_cast<std::size_t>(objects));
+  for (int i = 0; i < objects; ++i) {
+    names.push_back(d.publish_replicated("tail" + std::to_string(i),
+                                         "obj" + std::to_string(i) +
+                                             std::string(512, 'x')));
+  }
+
+  // Degradation schedule on the proxy→rp.pub hop: sends 0–5 untouched,
+  // then a hard 800 ms stall on every send (no recovery within the sweep).
+  net::FaultInjector::Degradation stall;
+  stall.to = "rp.pub";
+  stall.ramp_start = 6;
+  stall.ramp_sends = 1;  // step, not a slope: the worst-case straggler
+  stall.start_latency_ms = 800;
+  stall.peak_latency_ms = 800;
+  d.faulty.add_degradation(stall);
+
+  runtime::HttpClient browser("127.0.0.1", d.proxy_server->port());
+  std::string error;
+  std::vector<std::uint64_t> latencies_ms;
+  latencies_ms.reserve(names.size());
+  for (const auto& name : names) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto response = browser.get(url_of(name), &error);
+    const auto took = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->status, 200) << response->body;
+    latencies_ms.push_back(took);
+  }
+
+  out->p99_ms = p99_of(latencies_ms);
+  const auto& stats = d.proxy.fetcher().stats();
+  out->fetches = stats.fetches;
+  out->hedges_sent = stats.hedges_sent;
+  out->hedge_wins = stats.hedge_wins;
+  const auto& budget = popt.fetch.hedge_budget;
+  out->budget_cap =
+      budget.initial_tokens +
+      budget.tokens_per_request * static_cast<double>(out->fetches);
+}
+
+TEST(ChaosE2e, HedgingBoundsMissTailUnderLatencyRampedReplica) {
+  // The ISSUE's acceptance leg: under an injected straggler (latency step
+  // on one of two replicas), MISS-path p99 with hedging must be at least
+  // 2× lower than without, and hedge duplicates must stay inside the
+  // retry-budget ratio. The bench's latency-tail leg measures the same
+  // schedule; this is the asserted (with slack) version.
+  const int kObjects = 40;
+  TailRun unhedged;
+  TailRun hedged;
+  ASSERT_NO_FATAL_FAILURE(
+      run_latency_ramp_sweep(/*hedging=*/false, kObjects, &unhedged));
+  ASSERT_NO_FATAL_FAILURE(
+      run_latency_ramp_sweep(/*hedging=*/true, kObjects, &hedged));
+
+  // The schedule actually bit: without hedging at least one cold MISS ate
+  // the full injected stall (ranking re-routes later fetches, but the
+  // straggler fetches themselves have no escape).
+  EXPECT_EQ(unhedged.hedges_sent, 0u);
+  ASSERT_GE(unhedged.p99_ms, 400u);
+
+  // Hedging raced the stall: duplicates were sent, at least one won, and
+  // the tail collapsed — ≥2× lower, with the step being ~10× the hedged
+  // path's worst case as slack against scheduler noise.
+  EXPECT_GE(hedged.hedges_sent, 1u);
+  EXPECT_GE(hedged.hedge_wins, 1u);
+  EXPECT_LE(hedged.p99_ms * 2, unhedged.p99_ms);
+
+  // Bounded aggression: duplicates never exceed what the budget's token
+  // arithmetic permits (initial grant + per-request trickle).
+  EXPECT_EQ(hedged.fetches, static_cast<std::uint64_t>(kObjects));
+  EXPECT_LE(static_cast<double>(hedged.hedges_sent), hedged.budget_cap);
 }
 
 }  // namespace

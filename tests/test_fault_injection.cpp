@@ -131,6 +131,66 @@ TEST(FaultInjector, LatencyHookAvoidsWallClockSleeps) {
   EXPECT_EQ(faulty.stats().delays, 1u);
 }
 
+TEST(FaultInjector, DegradationRampIsLinearPerDestinationAndRecovers) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("slow.svc", &host);
+  net.attach("fast.svc", &host);
+  net::FaultInjector faulty(&net);
+  std::vector<std::uint64_t> stalls;
+  faulty.set_latency_hook([&](std::uint64_t ms) { stalls.push_back(ms); });
+
+  net::FaultInjector::Degradation ramp;
+  ramp.to = "slow.svc";
+  ramp.start_latency_ms = 10;
+  ramp.peak_latency_ms = 410;
+  ramp.ramp_start = 1;   // first send healthy
+  ramp.ramp_sends = 4;   // climbs 10 → 410 over 4 sends: 10, 110, 210, 310
+  ramp.hold_until = 7;   // sends 5 and 6 at peak, 7+ recovered
+  faulty.add_degradation(ramp);
+
+  net::HttpRequest request;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(faulty.send("a", "slow.svc", request).status, 200);
+    // Traffic to another destination never advances this ramp's clock.
+    EXPECT_EQ(faulty.send("a", "fast.svc", request).status, 200);
+  }
+  EXPECT_EQ(stalls, (std::vector<std::uint64_t>{10, 110, 210, 310, 410, 410}));
+  EXPECT_EQ(faulty.stats().degraded_sends, 6u);
+  EXPECT_EQ(faulty.stats().degrade_ms, 10u + 110 + 210 + 310 + 410 + 410);
+}
+
+TEST(FaultInjector, DegradationComposesWithRulesAndObeysEnableToggle) {
+  net::SimNet net;
+  EchoHost host;
+  net.attach("svc", &host);
+  net::FaultInjector faulty(&net);
+  std::vector<std::uint64_t> stalls;
+  faulty.set_latency_hook([&](std::uint64_t ms) { stalls.push_back(ms); });
+
+  net::FaultInjector::Degradation ramp;
+  ramp.to = "svc";
+  ramp.start_latency_ms = 50;
+  ramp.peak_latency_ms = 50;
+  const auto id = faulty.add_degradation(ramp);
+  net::FaultInjector::Rule drop;
+  drop.to = "svc";
+  drop.kind = net::FaultInjector::FaultKind::Drop;
+  drop.after_sends = 1;
+  drop.until_sends = 2;
+  faulty.add_rule(drop);
+
+  net::HttpRequest request;
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);  // degraded only
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 504);  // stall, then drop
+  faulty.set_enabled(id, false);
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);  // ramp paused
+  faulty.set_enabled(id, true);
+  EXPECT_EQ(faulty.send("a", "svc", request).status, 200);
+  EXPECT_EQ(stalls, (std::vector<std::uint64_t>{50, 50, 50}));
+  EXPECT_EQ(faulty.stats().drops, 1u);
+}
+
 TEST(FaultInjector, ResetReportsConnectionReset) {
   net::SimNet net;
   EchoHost host;

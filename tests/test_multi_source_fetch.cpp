@@ -1,0 +1,618 @@
+// Deterministic unit tests for the multi-source fetch stack (DESIGN.md
+// §13): RttEstimator and CubicWindow are pure policy driven on a virtual
+// clock, so known input sequences map to exact, hand-computed outputs; the
+// MultiSourceFetcher race machine runs over a scripted transport whose
+// completions the test delivers by hand, with hedge timers fired from a
+// manually-advanced executor — no sockets, no threads, no real time.
+#include "runtime/multi_source_fetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "net/http_message.hpp"
+#include "net/transport.hpp"
+#include "runtime/congestion_window.hpp"
+#include "runtime/rtt_estimator.hpp"
+
+namespace idicn::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RttEstimator: RFC 6298 integer math, exact values.
+// ---------------------------------------------------------------------------
+
+TEST(RttEstimator, FirstSampleSeedsSrttAndHalvedVariance) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.srtt_us(), 50'000u);  // initial_rtt_us before any sample
+  est.on_sample(100'000);
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.samples(), 1u);
+  EXPECT_EQ(est.srtt_us(), 100'000u);   // SRTT = R
+  EXPECT_EQ(est.rttvar_us(), 50'000u);  // RTTVAR = R/2
+  // RTO = srtt + max(4·rttvar, G) = 100000 + 200000.
+  EXPECT_EQ(est.rto_us(), 300'000u);
+}
+
+TEST(RttEstimator, SampleSequenceProducesExactSmoothedValues) {
+  RttEstimator est;
+  est.on_sample(100'000);
+  est.on_sample(200'000);
+  // abs_err = 100000; rttvar = (3·50000 + 100000)/4; srtt = (7·100000 + 200000)/8.
+  EXPECT_EQ(est.rttvar_us(), 62'500u);
+  EXPECT_EQ(est.srtt_us(), 112'500u);
+  EXPECT_EQ(est.rto_us(), 362'500u);
+  est.on_sample(50'000);
+  // abs_err = 62500; rttvar = (3·62500 + 62500)/4 = 62500 (unchanged);
+  // srtt = (7·112500 + 50000)/8 = 837500/8 = 104687 (integer division).
+  EXPECT_EQ(est.rttvar_us(), 62'500u);
+  EXPECT_EQ(est.srtt_us(), 104'687u);
+  EXPECT_EQ(est.samples(), 3u);
+}
+
+TEST(RttEstimator, QuantileIsExactOrderStatistic) {
+  RttEstimator est;
+  EXPECT_EQ(est.quantile_us(0.95), 50'000u);  // empty window → initial RTT
+  for (std::uint64_t i = 1; i <= 20; ++i) est.on_sample(i * 1'000);
+  EXPECT_EQ(est.quantile_us(0.95), 19'000u);  // ⌈0.95·20⌉ = 19 → sorted[18]
+  EXPECT_EQ(est.quantile_us(0.50), 10'000u);  // ⌈0.5·20⌉ = 10 → sorted[9]
+  EXPECT_EQ(est.quantile_us(1.0), 20'000u);   // the max
+  EXPECT_EQ(est.quantile_us(0.0), 1'000u);    // clamped to q=0.01 → the min
+}
+
+TEST(RttEstimator, QuantileRingOverwritesOldestOnceFull) {
+  RttEstimator::Options options;
+  options.window = 4;
+  RttEstimator est(options);
+  for (std::uint64_t s : {10u, 20u, 30u, 40u}) est.on_sample(s);
+  est.on_sample(50);  // overwrites the oldest (10)
+  EXPECT_EQ(est.quantile_us(1.0), 50u);
+  EXPECT_EQ(est.quantile_us(0.25), 20u);  // 10 is gone
+  est.on_sample(60);
+  est.on_sample(70);  // window is now {50, 60, 70, 40}
+  EXPECT_EQ(est.quantile_us(1.0), 70u);
+  EXPECT_EQ(est.quantile_us(0.25), 40u);
+}
+
+TEST(RttEstimator, KarnBackoffDoublesAndClearsOnCleanSample) {
+  RttEstimator est;
+  est.on_sample(40'000);  // srtt 40000, rttvar 20000 → rto 120000
+  EXPECT_EQ(est.ranking_rtt_us(), 40'000u);
+  EXPECT_EQ(est.rto_us(), 120'000u);
+  est.on_retransmit();
+  EXPECT_EQ(est.backoff_shift(), 1);
+  EXPECT_EQ(est.ranking_rtt_us(), 80'000u);
+  EXPECT_EQ(est.rto_us(), 240'000u);
+  est.on_retransmit();
+  EXPECT_EQ(est.ranking_rtt_us(), 160'000u);
+  EXPECT_EQ(est.rto_us(), 480'000u);
+  // The shift caps at max_backoff_shift (default 6) no matter how many
+  // ambiguous exchanges pile up.
+  for (int i = 0; i < 10; ++i) est.on_retransmit();
+  EXPECT_EQ(est.backoff_shift(), 6);
+  EXPECT_EQ(est.ranking_rtt_us(), 40'000u << 6);
+  EXPECT_EQ(est.rto_us(), 7'680'000u);
+  // One clean exchange collapses the whole backoff (Karn).
+  est.on_sample(40'000);
+  EXPECT_EQ(est.backoff_shift(), 0);
+  EXPECT_EQ(est.ranking_rtt_us(), 40'000u);
+}
+
+TEST(RttEstimator, RtoClampsToFloorAndCeiling) {
+  RttEstimator est;
+  est.on_sample(1'000);  // raw RTO = 1000 + max(2000, 1000) = 3000
+  EXPECT_EQ(est.rto_us(), 20'000u);  // floored at min_rto_us
+  RttEstimator big;
+  big.on_sample(5'000'000);  // raw RTO = 5M + 10M = 15M
+  EXPECT_EQ(big.rto_us(), 10'000'000u);  // clamped at max_rto_us
+}
+
+TEST(RttEstimator, UnmeasuredDestinationStillPaysKarnPenaltyInRanking) {
+  RttEstimator est;
+  est.on_retransmit();
+  // No sample yet: ranking is initial_rtt · 2^shift, so a replica that
+  // loses hedge races before ever answering still sinks in the ranking.
+  EXPECT_EQ(est.ranking_rtt_us(), 100'000u);
+}
+
+// ---------------------------------------------------------------------------
+// CubicWindow: slow start, multiplicative decrease, cubic recovery.
+// ---------------------------------------------------------------------------
+
+TEST(CubicWindow, SlowStartAddsOnePerAckUntilSsthresh) {
+  CubicWindow window;
+  EXPECT_TRUE(window.in_slow_start());
+  EXPECT_DOUBLE_EQ(window.window(), 2.0);
+  EXPECT_EQ(window.allowance(), 2u);
+  for (int i = 0; i < 5; ++i) window.on_ack(0);
+  EXPECT_DOUBLE_EQ(window.window(), 7.0);
+  EXPECT_EQ(window.allowance(), 7u);
+  for (int i = 0; i < 25; ++i) window.on_ack(0);
+  EXPECT_DOUBLE_EQ(window.window(), 32.0);  // reached ssthresh exactly
+  EXPECT_FALSE(window.in_slow_start());
+}
+
+TEST(CubicWindow, SlowStartRespectsMaxWindowCap) {
+  CubicWindow::Options options;
+  options.max_window = 5.0;
+  CubicWindow window(options);
+  for (int i = 0; i < 10; ++i) window.on_ack(0);
+  EXPECT_DOUBLE_EQ(window.window(), 5.0);
+  EXPECT_EQ(window.allowance(), 5u);
+}
+
+TEST(CubicWindow, LossCutsMultiplicativelyAndNeverBelowFloor) {
+  CubicWindow window;
+  for (int i = 0; i < 8; ++i) window.on_ack(0);  // grow 2 → 10
+  ASSERT_DOUBLE_EQ(window.window(), 10.0);
+  window.on_loss(0);
+  EXPECT_DOUBLE_EQ(window.window(), 7.0);  // β = 0.7
+  EXPECT_EQ(window.allowance(), 7u);
+  EXPECT_FALSE(window.in_slow_start());
+
+  CubicWindow::Options floor_options;
+  floor_options.initial_window = 1.0;
+  CubicWindow choked(floor_options);
+  choked.on_loss(0);
+  EXPECT_DOUBLE_EQ(choked.window(), 1.0);  // min_window floor, not 0.7
+  EXPECT_EQ(choked.allowance(), 1u);
+}
+
+TEST(CubicWindow, CubicRecoveryHitsExactTargetsOnVirtualClock) {
+  // β = 0.5, C = 0.5 make K = ∛(w_max·(1−β)/C) = ∛w_max: with w_max = 8
+  // the plateau is regained exactly 2 virtual seconds after the loss.
+  CubicWindow::Options options;
+  options.beta = 0.5;
+  options.c = 0.5;
+  options.initial_window = 8.0;
+  options.initial_ssthresh = 8.0;  // start at ssthresh: no slow start
+  CubicWindow window(options);
+  window.on_loss(0);  // w_max = 8, window = 4, K = 2s
+  ASSERT_DOUBLE_EQ(window.window(), 4.0);
+  // At t = K the cubic target is exactly w_max; per-ack growth covers
+  // (target − w) / w of the gap: 4 + (8−4)/4 = 5.
+  window.on_ack(2'000);
+  EXPECT_DOUBLE_EQ(window.window(), 5.0);
+  // At t = 2K: target = 0.5·2³ + 8 = 12 → 5 + (12−5)/5 = 6.4.
+  window.on_ack(4'000);
+  EXPECT_DOUBLE_EQ(window.window(), 6.4);
+}
+
+TEST(CubicWindow, AckBeforeKGrowsTowardOldPlateauNotPast) {
+  CubicWindow::Options options;
+  options.beta = 0.5;
+  options.c = 0.5;
+  options.initial_window = 8.0;
+  options.initial_ssthresh = 8.0;
+  CubicWindow window(options);
+  window.on_loss(0);
+  // At t = 0 the target is w_max + C·(−K)³ = 8 − 4 = 4 = window: no move.
+  window.on_ack(0);
+  EXPECT_DOUBLE_EQ(window.window(), 4.0);
+  // At t = 1s (< K = 2s): target = 0.5·(−1)³ + 8 = 7.5, still below the
+  // old plateau — concave recovery, never overshooting w_max before K.
+  window.on_ack(1'000);
+  EXPECT_DOUBLE_EQ(window.window(), 4.0 + 3.5 / 4.0);
+  EXPECT_LT(window.window(), 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// MultiSourceFetcher: the race machine over a scripted transport.
+// ---------------------------------------------------------------------------
+
+/// Executor with a hand-cranked clock: schedule() parks tasks, advance_to()
+/// fires the due ones in deadline order. No fds.
+class ManualExecutor final : public net::Executor {
+ public:
+  TaskId schedule(std::uint64_t delay_ms, std::function<void()> fn) override {
+    const TaskId id = next_id_++;
+    tasks_.push_back({id, now_ms_ + delay_ms, std::move(fn)});
+    delays.push_back(delay_ms);
+    return id;
+  }
+  bool cancel(TaskId id) override {
+    for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+      if (it->id == id) {
+        tasks_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool watch_fd(int, bool, bool, IoCallback) override { return false; }
+  bool update_fd(int, bool, bool) override { return false; }
+  void unwatch_fd(int) override {}
+  [[nodiscard]] std::uint64_t now_ms_exec() const override { return now_ms_; }
+
+  void advance_to(std::uint64_t now_ms) {
+    while (true) {
+      auto due = tasks_.end();
+      for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+        if (it->deadline_ms <= now_ms &&
+            (due == tasks_.end() || it->deadline_ms < due->deadline_ms)) {
+          due = it;
+        }
+      }
+      if (due == tasks_.end()) break;
+      now_ms_ = due->deadline_ms;
+      auto fn = std::move(due->fn);
+      tasks_.erase(due);
+      fn();
+    }
+    now_ms_ = now_ms;
+  }
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+  std::vector<std::uint64_t> delays;  ///< every scheduled delay, in order
+
+ private:
+  struct Task {
+    TaskId id;
+    std::uint64_t deadline_ms;
+    std::function<void()> fn;
+  };
+  std::vector<Task> tasks_;
+  TaskId next_id_ = 1;
+  std::uint64_t now_ms_ = 0;
+};
+
+/// Transport that records streaming sends for the test to complete by hand:
+/// deliver the head/chunks through `sink`, then fire `done`.
+class ScriptedTransport final : public net::Transport {
+ public:
+  struct PendingSend {
+    net::Address to;
+    net::HttpRequest request;
+    std::shared_ptr<net::ChunkSink> sink;
+    net::SendCallback done;
+  };
+
+  net::HttpResponse send(const net::Address&, const net::Address&,
+                         const net::HttpRequest&) override {
+    return net::make_response(504, "scripted transport is async-only");
+  }
+  std::vector<net::HttpResponse> multicast(const net::Address&,
+                                           const std::string&,
+                                           const net::HttpRequest&) override {
+    return {};
+  }
+  [[nodiscard]] std::uint64_t now_ms() const override { return now_ms_; }
+  void send_streaming_async(const net::Address&, const net::Address& to,
+                            const net::HttpRequest& request,
+                            std::shared_ptr<net::ChunkSink> sink,
+                            net::Executor*, net::SendCallback done) override {
+    sends.push_back({to, request, std::move(sink), std::move(done)});
+  }
+
+  std::deque<PendingSend> sends;
+  std::uint64_t now_ms_ = 0;
+};
+
+/// Caller-side sink collecting whatever the fetcher forwards.
+class CollectSink final : public net::ChunkSink {
+ public:
+  bool on_head(const net::HttpResponse& head) override {
+    heads.push_back(head);
+    return true;
+  }
+  bool on_chunk(core::Chunk chunk) override {
+    body.append(chunk.view());
+    return true;
+  }
+  std::vector<net::HttpResponse> heads;
+  std::string body;
+};
+
+net::HttpRequest get_request(const std::string& target) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+net::HttpResponse head_206(const std::string& content_range) {
+  net::HttpResponse head;
+  head.status = 206;
+  head.reason = "Partial Content";
+  head.headers.set("Content-Range", content_range);
+  return head;
+}
+
+TEST(MultiSourceFetch, HedgeWinsAndStragglerPaysKarnPenalty) {
+  ScriptedTransport net;
+  ManualExecutor exec;
+  MultiSourceFetcher::Options options;
+  options.range_fetch_enabled = false;
+  MultiSourceFetcher fetcher(&net, options);
+
+  auto sink = std::make_shared<CollectSink>();
+  int done_count = 0;
+  net::HttpResponse final_head;
+  MultiSourceFetcher::Result result;
+  fetcher.fetch_from_best("client", {"a.svc", "b.svc"}, get_request("/obj"),
+                          sink, &exec,
+                          [&](net::HttpResponse head,
+                              const MultiSourceFetcher::Result& r) {
+                            ++done_count;
+                            final_head = std::move(head);
+                            result = r;
+                          });
+
+  // Primary dialed at the best (caller-order tie) source; the hedge timer
+  // is parked at the unmeasured-destination delay.
+  ASSERT_EQ(net.sends.size(), 1u);
+  EXPECT_EQ(net.sends[0].to, "a.svc");
+  ASSERT_EQ(exec.delays.size(), 1u);
+  EXPECT_EQ(exec.delays[0], options.initial_hedge_delay_ms);
+
+  // The primary stays silent past the hedge delay: duplicate to b.svc.
+  exec.advance_to(options.initial_hedge_delay_ms);
+  ASSERT_EQ(net.sends.size(), 2u);
+  EXPECT_EQ(net.sends[1].to, "b.svc");
+  EXPECT_EQ(fetcher.stats().hedges_sent, 1u);
+
+  // The hedge answers first and wins the race.
+  net::HttpResponse win;
+  win.status = 200;
+  ASSERT_TRUE(net.sends[1].sink->on_head(win));
+  ASSERT_TRUE(net.sends[1].sink->on_chunk(core::Chunk::copy_of("hello")));
+  net.sends[1].done(win);
+
+  EXPECT_EQ(done_count, 1);
+  EXPECT_EQ(final_head.status, 200);
+  EXPECT_TRUE(result.hedge_won);
+  EXPECT_EQ(result.source, "b.svc");
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(fetcher.stats().hedge_wins, 1u);
+  ASSERT_EQ(sink->heads.size(), 1u);
+  EXPECT_EQ(sink->body, "hello");
+
+  // The straggling primary eventually dies; the fetch is already settled.
+  net.sends[0].done(net::make_response(504, "slow upstream"));
+  EXPECT_EQ(done_count, 1);
+
+  // Losing the hedge race fed Karn's on_retransmit to a.svc: its ranking
+  // decays without the cancelled exchange ever producing a sample.
+  const auto snap = fetcher.snapshot();  // sorted by address: a.svc first
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].address, "a.svc");
+  EXPECT_EQ(snap[0].backoff_shift, 1);
+  EXPECT_EQ(snap[1].address, "b.svc");
+  EXPECT_EQ(snap[1].backoff_shift, 0);
+}
+
+TEST(MultiSourceFetch, HedgeSuppressedWhenBudgetIsEmpty) {
+  ScriptedTransport net;
+  ManualExecutor exec;
+  MultiSourceFetcher::Options options;
+  options.range_fetch_enabled = false;
+  options.hedge_budget.initial_tokens = 0.0;
+  options.hedge_budget.tokens_per_request = 0.0;  // drained budget, no refill
+  MultiSourceFetcher fetcher(&net, options);
+
+  auto sink = std::make_shared<CollectSink>();
+  int done_count = 0;
+  fetcher.fetch_from_best(
+      "client", {"a.svc", "b.svc"}, get_request("/obj"), sink, &exec,
+      [&](net::HttpResponse, const MultiSourceFetcher::Result&) {
+        ++done_count;
+      });
+  ASSERT_EQ(net.sends.size(), 1u);
+
+  // The timer fires, a hedge target exists, but the budget refuses: the
+  // duplicate is suppressed — bounded aggression under fault storms.
+  exec.advance_to(options.initial_hedge_delay_ms);
+  EXPECT_EQ(net.sends.size(), 1u);
+  EXPECT_EQ(fetcher.stats().hedges_sent, 0u);
+  EXPECT_EQ(fetcher.stats().hedges_suppressed, 1u);
+
+  net::HttpResponse win;
+  win.status = 200;
+  ASSERT_TRUE(net.sends[0].sink->on_head(win));
+  net.sends[0].done(win);
+  EXPECT_EQ(done_count, 1);
+  EXPECT_EQ(fetcher.stats().hedge_wins, 0u);
+}
+
+TEST(MultiSourceFetch, HedgeTimerIsMootOncePrimaryHeadArrived) {
+  ScriptedTransport net;
+  ManualExecutor exec;
+  MultiSourceFetcher::Options options;
+  options.range_fetch_enabled = false;
+  MultiSourceFetcher fetcher(&net, options);
+
+  auto sink = std::make_shared<CollectSink>();
+  fetcher.fetch_from_best(
+      "client", {"a.svc", "b.svc"}, get_request("/obj"), sink, &exec,
+      [](net::HttpResponse, const MultiSourceFetcher::Result&) {});
+  ASSERT_EQ(net.sends.size(), 1u);
+
+  // The head lands before the hedge delay elapses: the body is committed,
+  // so the timer firing later must not duplicate the request.
+  net::HttpResponse win;
+  win.status = 200;
+  ASSERT_TRUE(net.sends[0].sink->on_head(win));
+  exec.advance_to(options.initial_hedge_delay_ms + 10);
+  EXPECT_EQ(net.sends.size(), 1u);
+  EXPECT_EQ(fetcher.stats().hedges_sent, 0u);
+  EXPECT_EQ(fetcher.stats().hedges_suppressed, 0u);
+}
+
+TEST(MultiSourceFetch, SingleSourceNeverArmsTheHedgeTimer) {
+  ScriptedTransport net;
+  ManualExecutor exec;
+  MultiSourceFetcher::Options options;
+  options.range_fetch_enabled = false;
+  MultiSourceFetcher fetcher(&net, options);
+  auto sink = std::make_shared<CollectSink>();
+  fetcher.fetch_from_best(
+      "client", {"only.svc"}, get_request("/obj"), sink, &exec,
+      [](net::HttpResponse, const MultiSourceFetcher::Result&) {});
+  EXPECT_EQ(net.sends.size(), 1u);
+  EXPECT_EQ(exec.pending(), 0u);  // nothing to hedge toward: no timer
+}
+
+TEST(MultiSourceFetch, SerialFailoverLadderKeepsTheBestErrorHead) {
+  ScriptedTransport net;
+  MultiSourceFetcher::Options options;
+  options.hedging_enabled = false;
+  options.range_fetch_enabled = false;
+  MultiSourceFetcher fetcher(&net, options);
+
+  auto sink = std::make_shared<CollectSink>();
+  int done_count = 0;
+  net::HttpResponse final_head;
+  MultiSourceFetcher::Result result;
+  fetcher.fetch_from_best("client", {"a.svc", "b.svc", "c.svc"},
+                          get_request("/obj"), sink, /*exec=*/nullptr,
+                          [&](net::HttpResponse head,
+                              const MultiSourceFetcher::Result& r) {
+                            ++done_count;
+                            final_head = std::move(head);
+                            result = r;
+                          });
+
+  // a.svc answers with an upstream 404: the head is refused (the caller's
+  // sink must not see an error body) but remembered for the final verdict.
+  ASSERT_EQ(net.sends.size(), 1u);
+  net::HttpResponse miss = net::make_response(404, "no such object");
+  EXPECT_FALSE(net.sends[0].sink->on_head(miss));
+  net.sends[0].done(miss);
+
+  // b.svc and c.svc die at the transport layer (no head at all).
+  ASSERT_EQ(net.sends.size(), 2u);
+  EXPECT_EQ(net.sends[1].to, "b.svc");
+  net.sends[1].done(net::make_response(504, "connect failed"));
+  ASSERT_EQ(net.sends.size(), 3u);
+  EXPECT_EQ(net.sends[2].to, "c.svc");
+  net.sends[2].done(net::make_response(504, "connect failed"));
+
+  // Every source tried, none produced bytes: the caller gets the most
+  // meaningful upstream answer (the 404), attributed to who said it.
+  EXPECT_EQ(done_count, 1);
+  EXPECT_EQ(final_head.status, 404);
+  EXPECT_EQ(result.source, "a.svc");
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(fetcher.stats().source_failovers, 2u);
+  EXPECT_TRUE(sink->heads.empty());
+  EXPECT_TRUE(sink->body.empty());
+}
+
+TEST(MultiSourceFetch, RangeLegFailsOverAndJoinStaysInOrder) {
+  ScriptedTransport net;
+  MultiSourceFetcher::Options options;
+  options.hedging_enabled = false;
+  options.range_fetch_enabled = true;
+  options.max_parallel_ranges = 2;  // probe + one tail leg
+  options.range_probe_bytes = 4;
+  MultiSourceFetcher fetcher(&net, options);
+
+  auto sink = std::make_shared<CollectSink>();
+  int done_count = 0;
+  net::HttpResponse final_head;
+  MultiSourceFetcher::Result result;
+  fetcher.fetch_from_best("client", {"a.svc", "b.svc"}, get_request("/big"),
+                          sink, /*exec=*/nullptr,
+                          [&](net::HttpResponse head,
+                              const MultiSourceFetcher::Result& r) {
+                            ++done_count;
+                            final_head = std::move(head);
+                            result = r;
+                          });
+
+  // The probe carries the synthesized Range header.
+  ASSERT_EQ(net.sends.size(), 1u);
+  EXPECT_EQ(net.sends[0].to, "a.svc");
+  EXPECT_EQ(net.sends[0].request.headers.get_view("Range").value_or(""),
+            "bytes=0-3");
+
+  // 206 with the total size: the join layer synthesizes the full 200 for
+  // the caller and immediately dials the tail leg at the other replica.
+  ASSERT_TRUE(
+      net.sends[0].sink->on_head(head_206("bytes 0-3/10")));
+  ASSERT_EQ(sink->heads.size(), 1u);
+  EXPECT_EQ(sink->heads[0].status, 200);
+  EXPECT_EQ(sink->heads[0].headers.get_view("Content-Length").value_or(""),
+            "10");
+  ASSERT_EQ(net.sends.size(), 2u);
+  EXPECT_EQ(net.sends[1].to, "b.svc");
+  EXPECT_EQ(net.sends[1].request.headers.get_view("Range").value_or(""),
+            "bytes=4-9");
+
+  // Probe body lands and completes cleanly.
+  ASSERT_TRUE(net.sends[0].sink->on_chunk(core::Chunk::copy_of("0123")));
+  net.sends[0].done(head_206("bytes 0-3/10"));
+  EXPECT_EQ(sink->body, "0123");
+
+  // The tail leg's replica dies mid-air: the unreceived remainder is
+  // re-aimed at the surviving source with the exact same byte range.
+  net.sends[1].done(net::make_response(504, "replica died"));
+  EXPECT_EQ(fetcher.stats().range_failovers, 1u);
+  ASSERT_EQ(net.sends.size(), 3u);
+  EXPECT_EQ(net.sends[2].to, "a.svc");
+  EXPECT_EQ(net.sends[2].request.headers.get_view("Range").value_or(""),
+            "bytes=4-9");
+
+  // The retry delivers; the join forwards in byte order and finishes.
+  ASSERT_TRUE(net.sends[2].sink->on_head(head_206("bytes 4-9/10")));
+  ASSERT_TRUE(net.sends[2].sink->on_chunk(core::Chunk::copy_of("456789")));
+  net.sends[2].done(head_206("bytes 4-9/10"));
+
+  EXPECT_EQ(done_count, 1);
+  EXPECT_EQ(final_head.status, 200);
+  EXPECT_TRUE(result.range_split);
+  EXPECT_FALSE(result.hedge_won);
+  EXPECT_EQ(sink->body, "0123456789");
+  EXPECT_EQ(fetcher.stats().range_fetches, 1u);
+}
+
+TEST(MultiSourceFetch, RankPrefersMeasuredFastReplicaAndDemotesKarnLosers) {
+  ScriptedTransport net;
+  MultiSourceFetcher::Options options;
+  options.hedging_enabled = false;
+  options.range_fetch_enabled = false;
+  MultiSourceFetcher fetcher(&net, options);
+
+  // One clean exchange against b.svc at 10ms: measured 10ms beats the
+  // 50ms explore default, so b.svc now outranks the unmeasured a.svc.
+  auto sink = std::make_shared<CollectSink>();
+  net.now_ms_ = 0;
+  fetcher.fetch_from_best(
+      "client", {"b.svc"}, get_request("/warm"), sink, nullptr,
+      [](net::HttpResponse, const MultiSourceFetcher::Result&) {});
+  ASSERT_EQ(net.sends.size(), 1u);
+  net::HttpResponse win;
+  win.status = 200;
+  net.now_ms_ = 10;
+  ASSERT_TRUE(net.sends[0].sink->on_head(win));
+  net.sends[0].done(win);
+
+  EXPECT_EQ(fetcher.rank({"a.svc", "b.svc"}),
+            (std::vector<net::Address>{"b.svc", "a.svc"}));
+  EXPECT_EQ(fetcher.rtt_p95_us("b.svc"), 10'000u);
+
+  // Two hedge losses double b.svc's ranking RTT twice: 40ms still beats
+  // the 50ms default, a third pushes it to 80ms and behind a.svc.
+  const auto snap_before = fetcher.snapshot();
+  ASSERT_EQ(snap_before.size(), 2u);
+  // (note_straggler is internal; emulate via the public race — simplest is
+  // ranking math on the estimator directly.)
+  RttEstimator est;
+  est.on_sample(10'000);
+  est.on_retransmit();
+  est.on_retransmit();
+  EXPECT_EQ(est.ranking_rtt_us(), 40'000u);
+  est.on_retransmit();
+  EXPECT_EQ(est.ranking_rtt_us(), 80'000u);
+}
+
+}  // namespace
+}  // namespace idicn::runtime

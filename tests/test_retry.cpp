@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "runtime/socket_net.hpp"
+#include "runtime/timer_wheel.hpp"
 
 namespace idicn::runtime {
 namespace {
@@ -176,6 +180,48 @@ TEST(CircuitBreaker, RetryAfterIsZeroUnlessOpen) {
   EXPECT_EQ(breaker.retry_after_ms(0), 0u);
   for (int i = 0; i < 3; ++i) breaker.record_failure(i);
   EXPECT_GT(breaker.retry_after_ms(3), 0u);
+}
+
+TEST(RetryAfter, ParsesDelaySecondsOnly) {
+  EXPECT_EQ(parse_retry_after_ms("0"), 0u);
+  EXPECT_EQ(parse_retry_after_ms("1"), 1000u);
+  EXPECT_EQ(parse_retry_after_ms("30"), 30'000u);
+  EXPECT_EQ(parse_retry_after_ms("86400"), 86'400'000u);
+  EXPECT_FALSE(parse_retry_after_ms(""));
+  EXPECT_FALSE(parse_retry_after_ms("86401"));  // over a day: a refusal
+  EXPECT_FALSE(parse_retry_after_ms("-1"));
+  EXPECT_FALSE(parse_retry_after_ms("1.5"));
+  EXPECT_FALSE(parse_retry_after_ms("Fri, 31 Dec 1999 23:59:59 GMT"));
+}
+
+TEST(RetryAfter, HonoredRetryFiresNoEarlierThanHintOnVirtualWheel) {
+  // The async 503 honor path stretches the backoff delay to the peer's
+  // Retry-After hint and arms it on the executor's timer wheel. Replayed
+  // here on a manually-advanced wheel: the retry must not fire a tick
+  // before the hinted delay, even though the backoff curve alone would
+  // have re-dialed much sooner.
+  RetryPolicy::Options options;
+  options.base_delay_ms = 10;
+  options.max_delay_ms = 50;
+  options.seed = 7;
+  RetryPolicy policy(options);
+  const std::uint64_t backoff_ms = policy.backoff_delay_ms(1);
+  ASSERT_LE(backoff_ms, 50u);
+
+  const auto hint_ms = parse_retry_after_ms("2");
+  ASSERT_TRUE(hint_ms.has_value());
+  const std::uint64_t delay_ms = std::max(*hint_ms, backoff_ms);
+  EXPECT_EQ(delay_ms, 2000u);  // the hint wins over the backoff curve
+
+  TimerWheel wheel(10, 64, 0);
+  int retried = 0;
+  wheel.schedule(delay_ms, [&] { ++retried; });
+  wheel.advance_to(backoff_ms);  // where the generic curve would re-dial
+  EXPECT_EQ(retried, 0);
+  wheel.advance_to(1990);
+  EXPECT_EQ(retried, 0);  // one tick early: still parked
+  wheel.advance_to(2000);
+  EXPECT_EQ(retried, 1);  // exactly the hint
 }
 
 }  // namespace

@@ -49,6 +49,17 @@ Rules
                the runtime through the chunk queue / BodyProducer write
                path (serialize_head() + core::Chunk), never as one flat
                copy per connection.
+  hedge-timer  The multi-source fetch policy files (the fetcher, the RTT
+               estimator, the CUBIC window) take all time as injected
+               arguments (now_ms from the transport, explicit now
+               parameters) and arm every delay — the hedge timer above
+               all — via Executor::schedule, i.e. the owning loop's
+               TimerWheel. Reading a wall clock directly
+               (steady_clock::now, clock_gettime, gettimeofday) or
+               creating an OS timer (timerfd, setitimer, alarm) there
+               would break the virtual-clock determinism the unit tests
+               rely on and dodge the Karn-shifted hedge-delay
+               discipline.
   unguarded-sync  In the concurrent layers (src/runtime/, src/cache/)
                every declared core::sync::Mutex / ThreadRole must be
                referenced by at least one thread-safety annotation
@@ -101,6 +112,19 @@ RAW_BACKOFF_ALLOWED = {
     Path("src/net/fault_injector.cpp"),
 }
 
+# Multi-source fetch policy files: time is injected (now_ms / explicit
+# now arguments) and timers arm only via Executor::schedule on the
+# owning loop's TimerWheel. retry.cpp is deliberately absent — its
+# RetryPolicy::sleep is the documented off-loop blocking wait.
+HEDGE_TIMER_FILES = {
+    Path("src/runtime/multi_source_fetcher.hpp"),
+    Path("src/runtime/multi_source_fetcher.cpp"),
+    Path("src/runtime/rtt_estimator.hpp"),
+    Path("src/runtime/rtt_estimator.cpp"),
+    Path("src/runtime/congestion_window.hpp"),
+    Path("src/runtime/congestion_window.cpp"),
+}
+
 RAW_SYNC = re.compile(
     r"std::(?:mutex|recursive_mutex|recursive_timed_mutex|timed_mutex"
     r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
@@ -116,6 +140,14 @@ LOOP_BLOCKING = re.compile(
     r"|connect_tcp|HttpClient)\s*\(|\bHttpClient\b"
 )
 RAW_SLEEP = re.compile(r"\b(?:sleep_for|sleep_until|usleep|nanosleep)\s*\(")
+# Direct wall-clock reads and OS timer primitives: banned in the hedge
+# policy files, where every delay must arm on the executor's timer wheel.
+RAW_CLOCK = re.compile(
+    r"\bstd::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"::now\b"
+    r"|\b(?:clock_gettime|gettimeofday|timerfd_create|timerfd_settime"
+    r"|setitimer|alarm)\s*\("
+)
 PERF_MACRO = re.compile(r"\bIDICN_PERF_COUNTERS\b")
 IOSTREAM_PRINT = re.compile(r"std::(?:cout|cerr|clog)\b")
 # A Mutex/ThreadRole declaration (member or local; not a reference,
@@ -201,6 +233,12 @@ def check_file(rel: Path, text: str,
                    "raw sleep in library code; all retry backoff goes "
                    "through runtime::RetryPolicy (jitter, deadlines, "
                    "token budget) — see RetryPolicy::sleep")
+        if rel in HEDGE_TIMER_FILES and RAW_CLOCK.search(line):
+            report(i, "hedge-timer",
+                   "raw clock/OS-timer in fetch policy code; hedging and "
+                   "backoff delays arm via Executor::schedule (the loop's "
+                   "TimerWheel) and all time is injected (now_ms / explicit "
+                   "now arguments) so virtual-clock tests stay exact")
         if rel != PERF_HEADER and PERF_MACRO.search(line):
             report(i, "perf-macro",
                    "IDICN_PERF_COUNTERS must not leak outside "

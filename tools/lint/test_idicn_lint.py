@@ -117,6 +117,41 @@ class BackoffAndPerfTest(unittest.TestCase):
         self.assertEqual(ok, [])
 
 
+class HedgeTimerTest(unittest.TestCase):
+    FETCHER = Path("src/runtime/multi_source_fetcher.cpp")
+
+    def test_raw_clock_in_fetcher_flagged(self):
+        findings = check_file(
+            self.FETCHER,
+            "const auto t0 = std::chrono::steady_clock::now();\n")
+        self.assertEqual(rules_of(findings), ["hedge-timer"])
+
+    def test_os_timer_in_estimator_flagged(self):
+        findings = check_file(Path("src/runtime/rtt_estimator.cpp"),
+                              "int fd = timerfd_create(CLOCK_MONOTONIC, 0);\n")
+        self.assertEqual(rules_of(findings), ["hedge-timer"])
+
+    def test_executor_schedule_is_the_sanctioned_path(self):
+        findings = check_file(
+            self.FETCHER,
+            "hedge_timer = exec->schedule(delay, [self] { go(); });\n"
+            "attempt.started_ms = fetcher->net_->now_ms();\n")
+        self.assertEqual(findings, [])
+
+    def test_rule_scoped_to_policy_files(self):
+        # The blocking HttpClient legitimately reads the wall clock.
+        findings = check_file(Path("src/runtime/http_client.cpp"),
+                              "const auto t0 = std::chrono::steady_clock::now();\n")
+        self.assertNotIn("hedge-timer", rules_of(findings))
+
+    def test_retry_sleep_keeps_its_off_loop_seat(self):
+        # retry.cpp's RetryPolicy::sleep is the documented off-loop wait;
+        # the hedge-timer rule must not claim it.
+        findings = check_file(Path("src/runtime/retry.cpp"),
+                              "deadline - std::chrono::steady_clock::now();\n")
+        self.assertNotIn("hedge-timer", rules_of(findings))
+
+
 class BodyCopyTest(unittest.TestCase):
     def test_response_serialize_on_serving_path_flagged(self):
         findings = check_file(Path("src/runtime/server_group.cpp"),
